@@ -1,0 +1,190 @@
+//! Globus-Groups-style role-based access control (§3.1.2).
+//!
+//! Groups gate which users may use the service at all, and which users may
+//! reach restricted models or resources ("researchers working on sensitive
+//! projects may be granted special access to specific models").
+
+use crate::identity::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Role a member holds within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupRole {
+    /// Ordinary member.
+    Member,
+    /// Group administrator (may manage membership).
+    Admin,
+}
+
+/// A named access group.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Group {
+    /// Group name, e.g. `"first-users"` or `"auroragpt-early-access"`.
+    pub name: String,
+    members: BTreeMap<UserId, GroupRole>,
+}
+
+impl Group {
+    /// Create an empty group.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// Add or update a member.
+    pub fn add_member(&mut self, user: UserId, role: GroupRole) {
+        self.members.insert(user, role);
+    }
+
+    /// Remove a member; returns true if they were present.
+    pub fn remove_member(&mut self, user: &UserId) -> bool {
+        self.members.remove(user).is_some()
+    }
+
+    /// Whether the user is a member (any role).
+    pub fn contains(&self, user: &UserId) -> bool {
+        self.members.contains_key(user)
+    }
+
+    /// Whether the user is a group admin.
+    pub fn is_admin(&self, user: &UserId) -> bool {
+        matches!(self.members.get(user), Some(GroupRole::Admin))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Registry of all groups known to the deployment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroupRegistry {
+    groups: BTreeMap<String, Group>,
+}
+
+impl GroupRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a group if it does not already exist; returns whether it was created.
+    pub fn create_group(&mut self, name: impl Into<String>) -> bool {
+        let name = name.into();
+        if self.groups.contains_key(&name) {
+            return false;
+        }
+        self.groups.insert(name.clone(), Group::new(name));
+        true
+    }
+
+    /// Look up a group.
+    pub fn get(&self, name: &str) -> Option<&Group> {
+        self.groups.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Group> {
+        self.groups.get_mut(name)
+    }
+
+    /// Add a member to a group, creating the group if needed.
+    pub fn add_member(&mut self, group: &str, user: UserId, role: GroupRole) {
+        self.create_group(group);
+        self.groups
+            .get_mut(group)
+            .expect("group just created")
+            .add_member(user, role);
+    }
+
+    /// All group names the user belongs to, sorted.
+    pub fn groups_of(&self, user: &UserId) -> Vec<String> {
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        for (name, g) in &self.groups {
+            if g.contains(user) {
+                out.insert(name.clone());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Whether the user belongs to *any* of the listed groups. An empty list
+    /// means "no group requirement" and always passes.
+    pub fn member_of_any(&self, user: &UserId, required: &[String]) -> bool {
+        if required.is_empty() {
+            return true;
+        }
+        required
+            .iter()
+            .any(|g| self.get(g).map(|g| g.contains(user)).unwrap_or(false))
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_and_roles() {
+        let mut g = Group::new("first-users");
+        g.add_member(UserId::new("alice"), GroupRole::Admin);
+        g.add_member(UserId::new("bob"), GroupRole::Member);
+        assert!(g.contains(&UserId::new("alice")));
+        assert!(g.is_admin(&UserId::new("alice")));
+        assert!(!g.is_admin(&UserId::new("bob")));
+        assert_eq!(g.len(), 2);
+        assert!(g.remove_member(&UserId::new("bob")));
+        assert!(!g.contains(&UserId::new("bob")));
+    }
+
+    #[test]
+    fn registry_tracks_user_groups() {
+        let mut reg = GroupRegistry::new();
+        reg.add_member("first-users", UserId::new("alice"), GroupRole::Member);
+        reg.add_member("sensitive-project", UserId::new("alice"), GroupRole::Member);
+        reg.add_member("first-users", UserId::new("bob"), GroupRole::Member);
+        assert_eq!(
+            reg.groups_of(&UserId::new("alice")),
+            vec!["first-users".to_string(), "sensitive-project".to_string()]
+        );
+        assert_eq!(reg.groups_of(&UserId::new("bob")), vec!["first-users".to_string()]);
+        assert!(reg.groups_of(&UserId::new("carol")).is_empty());
+    }
+
+    #[test]
+    fn member_of_any_semantics() {
+        let mut reg = GroupRegistry::new();
+        reg.add_member("a", UserId::new("alice"), GroupRole::Member);
+        assert!(reg.member_of_any(&UserId::new("alice"), &[]));
+        assert!(reg.member_of_any(&UserId::new("alice"), &["a".into(), "b".into()]));
+        assert!(!reg.member_of_any(&UserId::new("bob"), &["a".into()]));
+        assert!(!reg.member_of_any(&UserId::new("alice"), &["missing".into()]));
+    }
+
+    #[test]
+    fn create_group_is_idempotent() {
+        let mut reg = GroupRegistry::new();
+        assert!(reg.create_group("g"));
+        assert!(!reg.create_group("g"));
+        assert_eq!(reg.len(), 1);
+    }
+}

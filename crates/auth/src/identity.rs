@@ -1,0 +1,141 @@
+//! Users, identity providers and confidential clients.
+//!
+//! Mirrors the roles Globus Auth plays in the paper (§3.1.2): users log in
+//! through institutional identity providers (possibly with MFA), while the
+//! FIRST administrators own a *confidential client* whose credentials gate all
+//! direct communication with the compute endpoints.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque user identifier (`user@institution` style principal).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub String);
+
+impl UserId {
+    /// Build a user id from any displayable value.
+    pub fn new(s: impl Into<String>) -> Self {
+        UserId(s.into())
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An institutional identity provider (university, laboratory, ORCID, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdentityProvider {
+    /// Display name, e.g. `"anl.gov"` or `"uchicago.edu"`.
+    pub name: String,
+    /// Whether the deployment's Globus policy accepts logins from this IdP.
+    pub trusted: bool,
+    /// Whether this IdP enforces multi-factor authentication at login.
+    pub enforces_mfa: bool,
+}
+
+impl IdentityProvider {
+    /// A trusted, MFA-enforcing institutional provider.
+    pub fn trusted(name: impl Into<String>) -> Self {
+        IdentityProvider {
+            name: name.into(),
+            trusted: true,
+            enforces_mfa: true,
+        }
+    }
+
+    /// A provider the deployment policy does not accept.
+    pub fn untrusted(name: impl Into<String>) -> Self {
+        IdentityProvider {
+            name: name.into(),
+            trusted: false,
+            enforces_mfa: false,
+        }
+    }
+}
+
+/// A registered user identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Identity {
+    /// The user's principal.
+    pub user: UserId,
+    /// Identity provider through which the user authenticates.
+    pub provider: String,
+    /// Whether the user completed multi-factor authentication.
+    pub mfa_completed: bool,
+    /// Free-form project affiliation used in the request log.
+    pub project: String,
+}
+
+impl Identity {
+    /// Construct an identity that has completed MFA.
+    pub fn new(user: impl Into<String>, provider: impl Into<String>) -> Self {
+        Identity {
+            user: UserId::new(user),
+            provider: provider.into(),
+            mfa_completed: true,
+            project: String::new(),
+        }
+    }
+
+    /// Attach a project affiliation.
+    pub fn with_project(mut self, project: impl Into<String>) -> Self {
+        self.project = project.into();
+        self
+    }
+
+    /// Mark MFA as not completed (used to exercise policy rejections).
+    pub fn without_mfa(mut self) -> Self {
+        self.mfa_completed = false;
+        self
+    }
+}
+
+/// Administrator-owned confidential client (§3.2.3): the only principal
+/// allowed to talk to compute endpoints directly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfidentialClient {
+    /// Public client identifier.
+    pub client_id: String,
+    /// Secret; never exposed to general users.
+    pub client_secret: String,
+}
+
+impl ConfidentialClient {
+    /// Create a client with the given id and secret.
+    pub fn new(client_id: impl Into<String>, client_secret: impl Into<String>) -> Self {
+        ConfidentialClient {
+            client_id: client_id.into(),
+            client_secret: client_secret.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_builders() {
+        let id = Identity::new("alice", "anl.gov").with_project("climate");
+        assert_eq!(id.user, UserId::new("alice"));
+        assert!(id.mfa_completed);
+        assert_eq!(id.project, "climate");
+        let no_mfa = Identity::new("bob", "anl.gov").without_mfa();
+        assert!(!no_mfa.mfa_completed);
+    }
+
+    #[test]
+    fn identity_provider_flags() {
+        let t = IdentityProvider::trusted("anl.gov");
+        assert!(t.trusted && t.enforces_mfa);
+        let u = IdentityProvider::untrusted("example.com");
+        assert!(!u.trusted);
+    }
+
+    #[test]
+    fn user_id_display() {
+        assert_eq!(UserId::new("carol").to_string(), "carol");
+    }
+}

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the hot paths of the FIRST reproduction:
+//! the continuous-batching engine, the batch scheduler, the federation
+//! router + gateway request path, and the vector index behind the RAG case
+//! study. The full table/figure regenerations live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use first_core::{ChatCompletionRequest, DeploymentBuilder};
+use first_desim::{SimDuration, SimProcess, SimTime};
+use first_hpc::{BatchScheduler, Cluster, GpuModel, JobRequest};
+use first_serving::{find_model, run_to_completion, EngineConfig, InferenceRequest};
+use first_telemetry::{BucketHistogram, LabelSet, MetricRegistry};
+use first_vector::{Embedder, FlatIndex, Metric};
+
+fn bench_engine_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vllm_engine");
+    group.sample_size(10);
+    for &batch in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("saturated_decode", batch), &batch, |b, &n| {
+            b.iter(|| {
+                let cfg =
+                    EngineConfig::for_model(find_model("llama-8b").unwrap(), GpuModel::A100_40);
+                let requests: Vec<InferenceRequest> = (0..n as u64)
+                    .map(|i| InferenceRequest::chat(i, "llama-8b", 200, 100))
+                    .collect();
+                run_to_completion(cfg, requests, false)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_submit_complete_500_jobs", |b| {
+        b.iter(|| {
+            let mut sched = BatchScheduler::new(Cluster::sophia());
+            let mut now = SimTime::ZERO;
+            for i in 0..500u64 {
+                let id = sched.submit(
+                    JobRequest::single_node((i % 8 + 1) as u32, SimDuration::from_hours(1), "bench"),
+                    now,
+                );
+                now = now + SimDuration::from_secs(5);
+                sched.advance(now);
+                if i % 3 == 0 {
+                    sched.complete(id, now);
+                }
+            }
+            sched.stats().started
+        });
+    });
+}
+
+fn bench_gateway_request_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway");
+    group.sample_size(10);
+    group.bench_function("single_hot_request_end_to_end", |b| {
+        b.iter(|| {
+            let (mut gw, tokens) = DeploymentBuilder::single_cluster_test()
+                .prewarm(1)
+                .build_with_tokens();
+            let req = ChatCompletionRequest::simple(
+                "meta-llama/Llama-3.3-70B-Instruct",
+                "benchmark the gateway path",
+                128,
+            );
+            gw.chat_completions(&req, &tokens.alice, Some(128), SimTime::ZERO)
+                .unwrap();
+            let mut now = SimTime::ZERO;
+            while let Some(t) = SimProcess::next_event_time(&gw) {
+                now = t.max(now);
+                gw.advance(now);
+                if gw.is_drained() {
+                    break;
+                }
+            }
+            gw.take_responses().len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_vector_index(c: &mut Criterion) {
+    let embedder = Embedder::default();
+    let mut index = FlatIndex::new(Metric::Cosine);
+    for i in 0..2000u64 {
+        index.add(i, embedder.embed(&format!("document number {i} about hpc topic {}", i % 17)));
+    }
+    let query = embedder.embed("how do I submit an hpc job");
+    c.bench_function("flat_index_search_top10_of_2000", |b| {
+        b.iter(|| index.search(&query, 10));
+    });
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    // The metrics layer sits on the gateway's request path; these keep its
+    // per-request cost visible (a handful of counter/histogram updates).
+    c.bench_function("metric_registry_request_path_updates", |b| {
+        let registry = MetricRegistry::new();
+        let labels = LabelSet::single("model", "meta-llama/Llama-3.3-70B-Instruct");
+        b.iter(|| {
+            registry.inc_counter("first_gateway_requests_received_total", labels.clone());
+            registry.observe("first_request_latency_seconds", labels.clone(), 9.2);
+            registry.add_counter("first_gateway_output_tokens_total", LabelSet::empty(), 180);
+        });
+    });
+    c.bench_function("bucket_histogram_observe_and_quantile", |b| {
+        let mut h = BucketHistogram::latency_seconds();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            h.observe((i % 600) as f64 / 10.0);
+            h.p95()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_decode,
+    bench_scheduler,
+    bench_gateway_request_path,
+    bench_vector_index,
+    bench_telemetry
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Deployment-scale replay (§1, §4): a scaled-down version of the ten-month
+//! production trace (8.7 M requests, 76 users, 49 batch jobs, >10 B tokens)
+//! played through the gateway's accounting layer to reproduce the dashboard
+//! aggregates the paper reports.
+
+use first_bench::{print_comparisons, Comparison};
+use first_core::{RequestLog, RequestLogEntry, Usage};
+use first_desim::SimDuration;
+use first_serving::catalog;
+use first_workload::{generate_trace, DeploymentTraceConfig, TraceEntryKind};
+
+fn main() {
+    let config = DeploymentTraceConfig::default();
+    let scale = config.scale_down as f64;
+    let trace = generate_trace(&config, 2024);
+    println!(
+        "replaying a 1/{} scale trace: {} requests ({} interactive, {} batch members)",
+        config.scale_down,
+        trace.entries.len(),
+        trace.interactive,
+        trace.batch_members
+    );
+
+    // Replay through the request-log/accounting layer.
+    let models = catalog();
+    let mut log = RequestLog::new();
+    for (i, e) in trace.entries.iter().enumerate() {
+        let model = &models[e.model_index % models.len()];
+        let usage = Usage::new(e.prompt_tokens, e.output_tokens);
+        log.record(RequestLogEntry {
+            request_id: i as u64,
+            user: format!("user-{:02}", e.user),
+            model: model.name.clone(),
+            endpoint: "sophia-endpoint".to_string(),
+            operation: "chat_completions".to_string(),
+            arrived_at: e.at,
+            finished_at: e.at + SimDuration::from_secs(8),
+            prompt_tokens: usage.prompt_tokens,
+            completion_tokens: usage.completion_tokens,
+            success: true,
+            batch: e.kind == TraceEntryKind::BatchMember,
+        });
+    }
+
+    let (interactive, batch) = log.interactive_batch_split();
+    let users = log.distinct_users();
+    let tokens = log
+        .entries()
+        .iter()
+        .map(|e| e.total_tokens())
+        .sum::<u64>();
+    println!("\n== dashboard aggregates (scaled back up by {scale}) ==");
+    print_comparisons(
+        "Deployment totals",
+        &[
+            Comparison::new("inference tasks (millions)", 8.7, (log.len() as f64 * scale) / 1e6),
+            Comparison::new("interactive tasks (millions)", 4.1, (interactive as f64 * scale) / 1e6),
+            Comparison::new("batched tasks (millions)", 4.6, (batch as f64 * scale) / 1e6),
+            Comparison::new("distinct users", 76.0, users as f64),
+            Comparison::new("total tokens (billions)", 10.0, (tokens as f64 * scale) / 1e9),
+            Comparison::new("batch jobs", 49.0, trace.batch_jobs as f64),
+        ],
+    );
+
+    println!("\ntop models by requests:");
+    let mut by_model: Vec<_> = log.usage_by_model().into_iter().collect();
+    by_model.sort_by_key(|(_, s)| std::cmp::Reverse(s.requests));
+    for (model, summary) in by_model.into_iter().take(8) {
+        println!(
+            "  {:<44} {:>8} requests {:>12} tokens",
+            model, summary.requests, summary.total_tokens
+        );
+    }
+    println!("\ntop users by requests:");
+    let mut by_user: Vec<_> = log.usage_by_user().into_iter().collect();
+    by_user.sort_by_key(|(_, s)| std::cmp::Reverse(s.requests));
+    for (user, summary) in by_user.into_iter().take(5) {
+        println!("  {:<12} {:>8} requests", user, summary.requests);
+    }
+}

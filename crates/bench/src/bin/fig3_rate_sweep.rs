@@ -1,0 +1,74 @@
+//! Figure 3: FIRST vs vLLM Direct for Llama 3.3 70B on a single Sophia node,
+//! swept over offered request rates {1, 5, 10, 20, inf} req/s.
+//!
+//! Reports the four §5.1 metrics per (system, rate) cell and the paper-vs-
+//! measured comparison for the headline numbers.
+
+use first_bench::{arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples, Comparison};
+use first_core::{run_direct_openloop, run_gateway_openloop, DeploymentBuilder, ScenarioReport};
+use first_desim::SimTime;
+use first_hpc::GpuModel;
+use first_serving::{find_model, EngineConfig};
+use first_workload::ArrivalProcess;
+
+const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
+
+fn main() {
+    let n = benchmark_request_count();
+    let samples = sharegpt_samples(n, 42);
+    let horizon = SimTime::from_secs(24 * 3600);
+    let rates = [
+        ArrivalProcess::FixedRate(1.0),
+        ArrivalProcess::FixedRate(5.0),
+        ArrivalProcess::FixedRate(10.0),
+        ArrivalProcess::FixedRate(20.0),
+        ArrivalProcess::Infinite,
+    ];
+
+    let mut first_reports: Vec<ScenarioReport> = Vec::new();
+    let mut direct_reports: Vec<ScenarioReport> = Vec::new();
+
+    for rate in rates {
+        let arr = arrivals(rate, n, 7);
+        // FIRST: gateway → Globus Compute → one hot 70B instance on Sophia.
+        let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
+            .prewarm(1)
+            .build_with_tokens();
+        let mut report = run_gateway_openloop(
+            &mut gateway,
+            &tokens.alice,
+            MODEL,
+            &samples,
+            &arr,
+            &rate.label(),
+            horizon,
+        );
+        report.label = "FIRST".to_string();
+        first_reports.push(report);
+
+        // vLLM Direct: the same engine behind the single-threaded API server.
+        let cfg = EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
+        direct_reports.push(run_direct_openloop(cfg, &samples, &arr, &rate.label(), horizon));
+    }
+
+    print_reports("Figure 3 — FIRST (Llama 3.3 70B, 1 instance)", &first_reports);
+    print_reports("Figure 3 — vLLM Direct (Llama 3.3 70B)", &direct_reports);
+
+    let first_low = &first_reports[0];
+    let direct_low = &direct_reports[0];
+    let first_inf = first_reports.last().unwrap();
+    let direct_inf = direct_reports.last().unwrap();
+    print_comparisons(
+        "Figure 3 headline points",
+        &[
+            Comparison::new("FIRST median latency @1 req/s (s)", 9.2, first_low.median_latency_s),
+            Comparison::new("Direct median latency @1 req/s (s)", 3.0, direct_low.median_latency_s),
+            Comparison::new("FIRST req/s @inf", 9.2, first_inf.request_throughput),
+            Comparison::new("Direct req/s @inf", 5.8, direct_inf.request_throughput),
+            Comparison::new("FIRST tok/s @inf", 1677.0, first_inf.output_token_throughput),
+            Comparison::new("Direct tok/s @inf", 1054.0, direct_inf.output_token_throughput),
+            Comparison::new("FIRST median latency @inf (s)", 46.9, first_inf.median_latency_s),
+            Comparison::new("Direct median latency @inf (s)", 80.2, direct_inf.median_latency_s),
+        ],
+    );
+}

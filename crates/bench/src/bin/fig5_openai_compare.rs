@@ -1,0 +1,47 @@
+//! Figure 5: FIRST serving Llama 3.1 8B on Sophia vs the OpenAI API serving
+//! GPT-4o-mini, both driven with the ShareGPT workload at an infinite rate.
+
+use first_bench::{arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples, Comparison};
+use first_core::{run_gateway_openloop, run_openai_openloop, DeploymentBuilder};
+use first_desim::SimTime;
+use first_serving::CloudApiConfig;
+use first_workload::ArrivalProcess;
+
+const MODEL: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
+
+fn main() {
+    let n = benchmark_request_count();
+    let samples = sharegpt_samples(n, 42);
+    let arr = arrivals(ArrivalProcess::Infinite, n, 5);
+    let horizon = SimTime::from_secs(24 * 3600);
+
+    let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
+        .prewarm(1)
+        .build_with_tokens();
+    let mut first = run_gateway_openloop(
+        &mut gateway,
+        &tokens.alice,
+        MODEL,
+        &samples,
+        &arr,
+        "inf",
+        horizon,
+    );
+    first.label = "FIRST (Llama 3.1 8B)".to_string();
+
+    let mut openai = run_openai_openloop(CloudApiConfig::default(), &samples, &arr, "inf", horizon);
+    openai.label = "OpenAI (GPT-4o-mini)".to_string();
+
+    print_reports("Figure 5 — FIRST vs OpenAI API", &[first.clone(), openai.clone()]);
+    print_comparisons(
+        "Figure 5 headline points",
+        &[
+            Comparison::new("FIRST req/s", 25.1, first.request_throughput),
+            Comparison::new("OpenAI req/s", 6.7, openai.request_throughput),
+            Comparison::new("FIRST tok/s", 3283.0, first.output_token_throughput),
+            Comparison::new("OpenAI tok/s", 1199.0, openai.output_token_throughput),
+            Comparison::new("FIRST median latency (s)", 16.3, first.median_latency_s),
+            Comparison::new("OpenAI median latency (s)", 2.0, openai.median_latency_s),
+        ],
+    );
+}

@@ -1,0 +1,337 @@
+//! OpenAI-compatible API types (§3.1.1, §4).
+//!
+//! FIRST exposes the chat-completions, completions and embeddings endpoints so
+//! researchers can point existing OpenAI-client code at the gateway without
+//! modification. These types mirror the wire format (serde-serialisable JSON)
+//! and convert to the engine-level [`InferenceRequest`] used by the fabric.
+
+use first_serving::{InferenceRequest, RequestId, RequestKind};
+use first_workload::ChatMessage;
+use serde::{Deserialize, Serialize};
+
+/// Errors the gateway returns to API clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GatewayError {
+    /// Missing or invalid bearer token.
+    Unauthorized(String),
+    /// The caller lacks access to the requested model or cluster.
+    Forbidden(String),
+    /// The requested model is not registered anywhere.
+    ModelNotFound(String),
+    /// The user exceeded their request-rate allowance.
+    RateLimited,
+    /// The request body failed validation.
+    InvalidRequest(String),
+    /// The compute fabric rejected the request.
+    UpstreamError(String),
+    /// The gateway is overloaded (admission queue full).
+    ServiceUnavailable,
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            GatewayError::Forbidden(m) => write!(f, "forbidden: {m}"),
+            GatewayError::ModelNotFound(m) => write!(f, "model not found: {m}"),
+            GatewayError::RateLimited => write!(f, "rate limit exceeded"),
+            GatewayError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            GatewayError::UpstreamError(m) => write!(f, "upstream error: {m}"),
+            GatewayError::ServiceUnavailable => write!(f, "service unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// HTTP status code the error maps to.
+impl GatewayError {
+    /// The OpenAI-style HTTP status for this error.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            GatewayError::Unauthorized(_) => 401,
+            GatewayError::Forbidden(_) => 403,
+            GatewayError::ModelNotFound(_) => 404,
+            GatewayError::RateLimited => 429,
+            GatewayError::InvalidRequest(_) => 400,
+            GatewayError::UpstreamError(_) => 502,
+            GatewayError::ServiceUnavailable => 503,
+        }
+    }
+}
+
+/// Token usage accounting included in every response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Usage {
+    /// Prompt tokens consumed.
+    pub prompt_tokens: u32,
+    /// Completion tokens generated.
+    pub completion_tokens: u32,
+    /// Total tokens.
+    pub total_tokens: u32,
+}
+
+impl Usage {
+    /// Build usage from prompt/completion counts.
+    pub fn new(prompt_tokens: u32, completion_tokens: u32) -> Self {
+        Usage {
+            prompt_tokens,
+            completion_tokens,
+            total_tokens: prompt_tokens + completion_tokens,
+        }
+    }
+}
+
+/// `/v1/chat/completions` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatCompletionRequest {
+    /// Target model.
+    pub model: String,
+    /// Conversation messages.
+    pub messages: Vec<ChatMessage>,
+    /// Maximum completion tokens.
+    #[serde(default = "default_max_tokens")]
+    pub max_tokens: u32,
+    /// Sampling temperature.
+    #[serde(default)]
+    pub temperature: f64,
+    /// Whether to stream the response (accepted, not simulated token-by-token).
+    #[serde(default)]
+    pub stream: bool,
+}
+
+fn default_max_tokens() -> u32 {
+    256
+}
+
+impl ChatCompletionRequest {
+    /// Convenience constructor with a single user message.
+    pub fn simple(model: &str, prompt: &str, max_tokens: u32) -> Self {
+        ChatCompletionRequest {
+            model: model.to_string(),
+            messages: vec![ChatMessage::user(prompt)],
+            max_tokens,
+            temperature: 0.7,
+            stream: false,
+        }
+    }
+
+    /// Rough prompt-token estimate (≈1 token/word plus per-message framing).
+    pub fn prompt_token_estimate(&self) -> u32 {
+        let words: usize = self
+            .messages
+            .iter()
+            .map(|m| m.content.split_whitespace().count())
+            .sum();
+        (words as u32 + 4 * self.messages.len() as u32).max(1)
+    }
+
+    /// Basic validation of the request body.
+    pub fn validate(&self) -> Result<(), GatewayError> {
+        if self.model.trim().is_empty() {
+            return Err(GatewayError::InvalidRequest("model must be set".into()));
+        }
+        if self.messages.is_empty() {
+            return Err(GatewayError::InvalidRequest(
+                "messages must not be empty".into(),
+            ));
+        }
+        if self.max_tokens == 0 || self.max_tokens > 32_768 {
+            return Err(GatewayError::InvalidRequest(
+                "max_tokens must be between 1 and 32768".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One choice in a chat completion response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatChoice {
+    /// Choice index.
+    pub index: u32,
+    /// Assistant message.
+    pub message: ChatMessage,
+    /// Why generation stopped.
+    pub finish_reason: String,
+}
+
+/// `/v1/chat/completions` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatCompletionResponse {
+    /// Response identifier.
+    pub id: String,
+    /// Object type tag.
+    pub object: String,
+    /// Model that produced the completion.
+    pub model: String,
+    /// Choices (always one in FIRST).
+    pub choices: Vec<ChatChoice>,
+    /// Token accounting.
+    pub usage: Usage,
+}
+
+/// `/v1/completions` request body (plain text completion).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRequest {
+    /// Target model.
+    pub model: String,
+    /// Prompt text.
+    pub prompt: String,
+    /// Maximum completion tokens.
+    #[serde(default = "default_max_tokens")]
+    pub max_tokens: u32,
+}
+
+impl CompletionRequest {
+    /// Rough prompt-token estimate.
+    pub fn prompt_token_estimate(&self) -> u32 {
+        (self.prompt.split_whitespace().count() as u32).max(1)
+    }
+}
+
+/// `/v1/embeddings` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingRequest {
+    /// Target embedding model.
+    pub model: String,
+    /// Input texts.
+    pub input: Vec<String>,
+}
+
+impl EmbeddingRequest {
+    /// Rough token estimate over all inputs.
+    pub fn token_estimate(&self) -> u32 {
+        self.input
+            .iter()
+            .map(|t| t.split_whitespace().count() as u32)
+            .sum::<u32>()
+            .max(1)
+    }
+}
+
+/// `/v1/embeddings` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingResponse {
+    /// Response identifier.
+    pub id: String,
+    /// Model used.
+    pub model: String,
+    /// Number of vectors returned.
+    pub count: usize,
+    /// Token accounting.
+    pub usage: Usage,
+}
+
+/// The API operation kinds the gateway serves (used for routing and logging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiOperation {
+    /// Chat completions.
+    ChatCompletions,
+    /// Text completions.
+    Completions,
+    /// Embeddings.
+    Embeddings,
+}
+
+/// Build the engine-level request for a chat completion.
+pub fn chat_to_inference(
+    id: u64,
+    req: &ChatCompletionRequest,
+    user: &str,
+    expected_output_tokens: u32,
+) -> InferenceRequest {
+    InferenceRequest {
+        id: RequestId(id),
+        model: req.model.clone(),
+        kind: RequestKind::Chat,
+        prompt_tokens: req.prompt_token_estimate(),
+        output_tokens: expected_output_tokens.min(req.max_tokens).max(1),
+        user: user.to_string(),
+    }
+}
+
+/// Build the engine-level request for an embedding call.
+pub fn embedding_to_inference(id: u64, req: &EmbeddingRequest, user: &str) -> InferenceRequest {
+    InferenceRequest {
+        id: RequestId(id),
+        model: req.model.clone(),
+        kind: RequestKind::Embedding,
+        prompt_tokens: req.token_estimate(),
+        output_tokens: 0,
+        user: user.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chat_request_validation() {
+        let ok = ChatCompletionRequest::simple("llama-70b", "hello world", 128);
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.model = "".into();
+        assert!(matches!(bad.validate(), Err(GatewayError::InvalidRequest(_))));
+        let mut empty = ok.clone();
+        empty.messages.clear();
+        assert!(empty.validate().is_err());
+        let mut huge = ok;
+        huge.max_tokens = 100_000;
+        assert!(huge.validate().is_err());
+    }
+
+    #[test]
+    fn prompt_token_estimate_counts_words_and_framing() {
+        let req = ChatCompletionRequest::simple("m", "one two three four", 10);
+        assert_eq!(req.prompt_token_estimate(), 4 + 4);
+        let emb = EmbeddingRequest {
+            model: "nv-embed-v2".into(),
+            input: vec!["a b".into(), "c d e".into()],
+        };
+        assert_eq!(emb.token_estimate(), 5);
+    }
+
+    #[test]
+    fn conversions_preserve_fields() {
+        let req = ChatCompletionRequest::simple("llama-70b", "describe the climate run", 300);
+        let inf = chat_to_inference(42, &req, "alice", 180);
+        assert_eq!(inf.id, RequestId(42));
+        assert_eq!(inf.model, "llama-70b");
+        assert_eq!(inf.output_tokens, 180);
+        assert_eq!(inf.user, "alice");
+        // Expected output above max_tokens is clamped.
+        let clamped = chat_to_inference(43, &req, "alice", 900);
+        assert_eq!(clamped.output_tokens, 300);
+    }
+
+    #[test]
+    fn usage_adds_up() {
+        let u = Usage::new(120, 80);
+        assert_eq!(u.total_tokens, 200);
+    }
+
+    #[test]
+    fn error_status_codes_follow_openai_conventions() {
+        assert_eq!(GatewayError::Unauthorized("x".into()).status_code(), 401);
+        assert_eq!(GatewayError::RateLimited.status_code(), 429);
+        assert_eq!(GatewayError::ModelNotFound("m".into()).status_code(), 404);
+        assert_eq!(GatewayError::ServiceUnavailable.status_code(), 503);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let req = ChatCompletionRequest::simple("llama-70b", "hello", 64);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ChatCompletionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+        // Defaults are applied when fields are omitted.
+        let minimal: ChatCompletionRequest = serde_json::from_str(
+            r#"{"model":"m","messages":[{"role":"user","content":"hi"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.max_tokens, 256);
+        assert!(!minimal.stream);
+    }
+}

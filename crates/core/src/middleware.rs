@@ -1,0 +1,392 @@
+//! Gateway middleware: token validation with caching, per-user rate limiting,
+//! and response caching (§3.1.1, §3.1.2, Optimization 2).
+
+use crate::api::GatewayError;
+use first_auth::{AuthService, IntrospectionResult, Scope, TokenString};
+use first_desim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Outcome of authenticating one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthOutcome {
+    /// The introspected identity.
+    pub identity: IntrospectionResult,
+    /// Latency the auth step added to this request.
+    pub added_latency: SimDuration,
+    /// Whether the introspection cache satisfied the request.
+    pub cache_hit: bool,
+}
+
+/// Token-validation middleware with an introspection cache.
+///
+/// Before Optimization 2 every request introspected the token at Globus Auth
+/// (~1 s); the cache keeps recently validated tokens so repeated requests pay
+/// nothing.
+#[derive(Debug)]
+pub struct AuthMiddleware {
+    /// Whether the cache is enabled (ablation knob).
+    pub cache_enabled: bool,
+    /// Cache entry time-to-live.
+    pub cache_ttl: SimDuration,
+    cache: HashMap<String, (SimTime, IntrospectionResult)>,
+    stats_hits: u64,
+    stats_misses: u64,
+    stats_rejections: u64,
+}
+
+impl AuthMiddleware {
+    /// Middleware with the cache enabled (production configuration).
+    pub fn new() -> Self {
+        AuthMiddleware {
+            cache_enabled: true,
+            cache_ttl: SimDuration::from_mins(10),
+            cache: HashMap::new(),
+            stats_hits: 0,
+            stats_misses: 0,
+            stats_rejections: 0,
+        }
+    }
+
+    /// Middleware with the cache disabled (pre-optimization configuration).
+    pub fn without_cache() -> Self {
+        AuthMiddleware {
+            cache_enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// `(hits, misses, rejections)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.stats_hits, self.stats_misses, self.stats_rejections)
+    }
+
+    /// Validate a bearer token, consulting the cache first.
+    pub fn authenticate(
+        &mut self,
+        auth: &mut AuthService,
+        token: &TokenString,
+        now: SimTime,
+    ) -> Result<AuthOutcome, GatewayError> {
+        if self.cache_enabled {
+            if let Some((cached_at, identity)) = self.cache.get(&token.0) {
+                let fresh = now.saturating_since(*cached_at) < self.cache_ttl;
+                let unexpired = now < identity.expires_at;
+                if fresh && unexpired {
+                    self.stats_hits += 1;
+                    return Ok(AuthOutcome {
+                        identity: identity.clone(),
+                        added_latency: SimDuration::ZERO,
+                        cache_hit: true,
+                    });
+                }
+            }
+        }
+        self.stats_misses += 1;
+        let (result, latency) = auth.introspect(token, now);
+        match result {
+            Ok(identity) => {
+                if !identity.scopes.contains(&Scope::InferenceApi)
+                    && !identity.scopes.contains(&Scope::Admin)
+                {
+                    self.stats_rejections += 1;
+                    return Err(GatewayError::Forbidden(
+                        "token lacks the inference scope".into(),
+                    ));
+                }
+                if self.cache_enabled {
+                    self.cache.insert(token.0.clone(), (now, identity.clone()));
+                }
+                Ok(AuthOutcome {
+                    identity,
+                    added_latency: latency,
+                    cache_hit: false,
+                })
+            }
+            Err(e) => {
+                self.stats_rejections += 1;
+                Err(GatewayError::Unauthorized(e.to_string()))
+            }
+        }
+    }
+}
+
+impl Default for AuthMiddleware {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-user sliding-window rate limiter (requests per minute).
+#[derive(Debug)]
+pub struct RateLimiter {
+    /// Requests allowed per window per user.
+    pub limit: u32,
+    /// Window length.
+    pub window: SimDuration,
+    history: Mutex<HashMap<String, VecDeque<SimTime>>>,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `limit` requests per minute per user.
+    pub fn per_minute(limit: u32) -> Self {
+        RateLimiter {
+            limit,
+            window: SimDuration::from_secs(60),
+            history: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An effectively unlimited limiter (benchmarks).
+    pub fn unlimited() -> Self {
+        Self::per_minute(u32::MAX)
+    }
+
+    /// Record an attempt by `user` at `now`; returns whether it is admitted.
+    pub fn check(&self, user: &str, now: SimTime) -> bool {
+        if self.limit == u32::MAX {
+            return true;
+        }
+        let mut history = self.history.lock();
+        let entry = history.entry(user.to_string()).or_default();
+        let cutoff = now.saturating_since(SimTime::ZERO);
+        let _ = cutoff;
+        while let Some(&front) = entry.front() {
+            if now.saturating_since(front) >= self.window {
+                entry.pop_front();
+            } else {
+                break;
+            }
+        }
+        if entry.len() as u32 >= self.limit {
+            false
+        } else {
+            entry.push_back(now);
+            true
+        }
+    }
+
+    /// Requests currently counted in `user`'s window.
+    pub fn current_usage(&self, user: &str) -> u32 {
+        self.history
+            .lock()
+            .get(user)
+            .map(|q| q.len() as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// A cached gateway response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedResponse {
+    /// The response text.
+    pub text: String,
+    /// Completion tokens of the cached generation.
+    pub completion_tokens: u32,
+}
+
+/// Response cache keyed by (model, prompt) for idempotent repeated requests.
+#[derive(Debug)]
+pub struct ResponseCache {
+    /// Entry time-to-live.
+    pub ttl: SimDuration,
+    /// Maximum entries retained.
+    pub capacity: usize,
+    entries: HashMap<u64, (SimTime, CachedResponse)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResponseCache {
+    /// Cache with the given TTL and capacity.
+    pub fn new(ttl: SimDuration, capacity: usize) -> Self {
+        ResponseCache {
+            ttl,
+            capacity,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hash key for a (model, prompt, max_tokens) triple.
+    pub fn key(model: &str, prompt: &str, max_tokens: u32) -> u64 {
+        let mut h = DefaultHasher::new();
+        model.hash(&mut h);
+        prompt.hash(&mut h);
+        max_tokens.hash(&mut h);
+        h.finish()
+    }
+
+    /// Look up a cached response.
+    pub fn get(&mut self, key: u64, now: SimTime) -> Option<CachedResponse> {
+        match self.entries.get(&key) {
+            Some((at, resp)) if now.saturating_since(*at) < self.ttl => {
+                self.hits += 1;
+                Some(resp.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a response.
+    pub fn put(&mut self, key: u64, response: CachedResponse, now: SimTime) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the oldest entry.
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (t, _))| *t) {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (now, response));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use first_auth::{AccessPolicy, Identity, UserId};
+
+    fn auth_setup() -> (AuthService, TokenString) {
+        let mut svc = AuthService::new(AccessPolicy::default(), 11);
+        svc.enroll_user(&UserId::new("alice"));
+        let (tok, _) = svc
+            .login(&Identity::new("alice", "anl.gov"), &[Scope::InferenceApi], SimTime::ZERO)
+            .unwrap();
+        (svc, tok.token)
+    }
+
+    #[test]
+    fn cache_eliminates_repeat_introspection_latency() {
+        let (mut svc, token) = auth_setup();
+        let mut mw = AuthMiddleware::new();
+        let first = mw.authenticate(&mut svc, &token, SimTime::from_secs(1)).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.added_latency.as_secs_f64() > 0.5);
+        let second = mw.authenticate(&mut svc, &token, SimTime::from_secs(2)).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.added_latency, SimDuration::ZERO);
+        assert_eq!(mw.stats().0, 1);
+        // Without the cache every request pays the introspection latency.
+        let mut legacy = AuthMiddleware::without_cache();
+        let a = legacy.authenticate(&mut svc, &token, SimTime::from_secs(3)).unwrap();
+        let b = legacy.authenticate(&mut svc, &token, SimTime::from_secs(4)).unwrap();
+        assert!(!a.cache_hit && !b.cache_hit);
+        assert!(b.added_latency.as_secs_f64() > 0.5);
+    }
+
+    #[test]
+    fn cache_entries_expire_with_ttl_and_token_expiry() {
+        let (mut svc, token) = auth_setup();
+        let mut mw = AuthMiddleware::new();
+        mw.cache_ttl = SimDuration::from_secs(5);
+        mw.authenticate(&mut svc, &token, SimTime::ZERO).unwrap();
+        let later = mw.authenticate(&mut svc, &token, SimTime::from_secs(10)).unwrap();
+        assert!(!later.cache_hit, "TTL should have expired the entry");
+        // After the token itself expires, even a cached entry must not be used.
+        let expired = mw.authenticate(&mut svc, &token, SimTime::from_secs(49 * 3600));
+        assert!(matches!(expired, Err(GatewayError::Unauthorized(_))));
+    }
+
+    #[test]
+    fn invalid_tokens_are_rejected() {
+        let (mut svc, _) = auth_setup();
+        let mut mw = AuthMiddleware::new();
+        let err = mw
+            .authenticate(&mut svc, &TokenString::new("bogus"), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, GatewayError::Unauthorized(_)));
+        assert_eq!(mw.stats().2, 1);
+    }
+
+    #[test]
+    fn rate_limiter_enforces_per_user_window() {
+        let rl = RateLimiter::per_minute(3);
+        for i in 0..3 {
+            assert!(rl.check("alice", SimTime::from_secs(i)));
+        }
+        assert!(!rl.check("alice", SimTime::from_secs(3)));
+        // A different user has an independent budget.
+        assert!(rl.check("bob", SimTime::from_secs(3)));
+        // After the window slides, alice is admitted again.
+        assert!(rl.check("alice", SimTime::from_secs(61)));
+        assert_eq!(rl.current_usage("bob"), 1);
+    }
+
+    #[test]
+    fn unlimited_limiter_never_blocks() {
+        let rl = RateLimiter::unlimited();
+        for i in 0..10_000 {
+            assert!(rl.check("alice", SimTime::from_millis(i)));
+        }
+    }
+
+    #[test]
+    fn rate_limiter_is_thread_safe() {
+        use std::sync::Arc;
+        let rl = Arc::new(RateLimiter::per_minute(1000));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let rl = Arc::clone(&rl);
+            handles.push(std::thread::spawn(move || {
+                let mut admitted = 0;
+                for i in 0..500 {
+                    if rl.check("shared-user", SimTime::from_millis(t * 1000 + i)) {
+                        admitted += 1;
+                    }
+                }
+                admitted
+            }));
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Exactly the window limit is admitted across all threads.
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn response_cache_hit_and_expiry() {
+        let mut cache = ResponseCache::new(SimDuration::from_secs(60), 10);
+        let key = ResponseCache::key("llama-70b", "what is the queue policy", 128);
+        assert!(cache.get(key, SimTime::ZERO).is_none());
+        cache.put(
+            key,
+            CachedResponse {
+                text: "answer".into(),
+                completion_tokens: 42,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(cache.get(key, SimTime::from_secs(10)).unwrap().completion_tokens, 42);
+        assert!(cache.get(key, SimTime::from_secs(120)).is_none());
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn response_cache_evicts_oldest_when_full() {
+        let mut cache = ResponseCache::new(SimDuration::from_hours(1), 2);
+        for i in 0..3u64 {
+            cache.put(
+                i,
+                CachedResponse {
+                    text: format!("r{i}"),
+                    completion_tokens: i as u32,
+                },
+                SimTime::from_secs(i),
+            );
+        }
+        // Entry 0 (oldest) was evicted; 1 and 2 remain.
+        assert!(cache.get(0, SimTime::from_secs(10)).is_none());
+        assert!(cache.get(1, SimTime::from_secs(10)).is_some());
+        assert!(cache.get(2, SimTime::from_secs(10)).is_some());
+    }
+}

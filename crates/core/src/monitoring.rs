@@ -1,0 +1,382 @@
+//! The gateway's monitoring surface (§3.1.1, §7).
+//!
+//! The production gateway exposes "real-time monitoring of the compute
+//! resources and queue status" plus a summary dashboard, and is scraped by
+//! the facility monitoring stack. This module bridges a live [`Gateway`] into
+//! the `first-telemetry` substrate: it builds [`DashboardSnapshot`]s, exports
+//! a full [`MetricRegistry`] (ready for Prometheus-style exposition), and
+//! ships a default alert pack for the conditions administrators care about
+//! (deep task backlogs, no hot capacity, rising failure rates).
+
+use crate::gateway::Gateway;
+use first_desim::SimTime;
+use first_telemetry::{
+    AlertRule, AlertSeverity, Alerting, ClusterRow, DashboardSnapshot, LabelSet, MetricRegistry,
+    ModelRow, QueueRow,
+};
+use std::collections::BTreeMap;
+
+impl Gateway {
+    /// Build the operations dashboard for the current state of the deployment.
+    ///
+    /// The snapshot combines the `/jobs` view (model states and instance
+    /// counts), the request log (per-model usage), the metrics layer
+    /// (latency summaries) and the fabric/cluster state (node occupancy and
+    /// task queues).
+    pub fn dashboard_snapshot(&mut self, now: SimTime) -> DashboardSnapshot {
+        let jobs = self.jobs_status();
+        let usage = self.log().usage_by_model();
+        let distinct_users = self.log().distinct_users() as u64;
+
+        let mut models = Vec::with_capacity(jobs.len());
+        for entry in &jobs {
+            let summary = usage.get(&entry.model).cloned().unwrap_or_default();
+            let (median, p95) = {
+                let metrics = self.metrics_mut();
+                match metrics.latency_by_model.get_mut(&entry.model) {
+                    Some(h) => (h.median(), h.p95()),
+                    None => (0.0, 0.0),
+                }
+            };
+            models.push(ModelRow {
+                model: entry.model.clone(),
+                state: entry.state.clone(),
+                running_instances: entry.running_instances,
+                requests: summary.requests,
+                output_tokens: summary.completion_tokens,
+                median_latency_s: median,
+                p95_latency_s: p95,
+            });
+        }
+
+        // Cluster rows: endpoints sharing a cluster are aggregated once per
+        // cluster name (the federation view the §4.5 router also consults).
+        let mut clusters: BTreeMap<String, ClusterRow> = BTreeMap::new();
+        let mut queues = Vec::new();
+        for ep in self.service().endpoints() {
+            let status = ep.cluster_status();
+            let row = clusters.entry(status.cluster.clone()).or_insert_with(|| ClusterRow {
+                cluster: status.cluster.clone(),
+                ..ClusterRow::default()
+            });
+            // A cluster appears behind exactly one endpoint in our
+            // deployments; if several endpoints shared a cluster the status
+            // would be identical, so overwriting is safe.
+            row.total_nodes = status.total_nodes;
+            row.idle_nodes = status.idle_nodes;
+            row.busy_nodes = status.total_nodes - status.idle_nodes - status.offline_nodes;
+            row.queued_jobs = ep.scheduler().queued_count() as u32;
+
+            let backlog: usize = ep.all_model_statuses().iter().map(|s| s.backlog).sum();
+            let running: usize = ep.instances().iter().map(|i| i.in_flight()).sum();
+            queues.push(QueueRow {
+                endpoint: ep.name().to_string(),
+                queued_tasks: backlog as u64,
+                running_tasks: running as u64,
+                completed_tasks: ep.stats().tasks_completed,
+            });
+        }
+
+        let metrics = self.metrics_mut();
+        let mut snapshot = DashboardSnapshot {
+            at_seconds: now.as_secs_f64(),
+            models,
+            clusters: clusters.into_values().collect(),
+            queues,
+            total_requests: metrics.total_received(),
+            total_completed: metrics.completed,
+            total_failed: metrics.failed + metrics.rejected,
+            total_output_tokens: metrics.output_tokens,
+            distinct_users,
+        };
+        snapshot.normalise();
+        snapshot
+    }
+
+    /// Export the gateway's current state as a fresh metric registry, ready
+    /// for [`first_telemetry::render_prometheus`].
+    ///
+    /// The registry is rebuilt from scratch on every call (counters reflect
+    /// totals since the deployment started), which keeps the export
+    /// idempotent: scraping twice does not double-count anything.
+    pub fn export_metrics(&mut self, now: SimTime) -> MetricRegistry {
+        let registry = MetricRegistry::new();
+
+        // Gateway request counters by operation.
+        let received: Vec<(String, u64)> = self
+            .metrics_mut()
+            .received
+            .iter()
+            .map(|(op, count)| (op.clone(), *count))
+            .collect();
+        for (op, count) in received {
+            registry.add_counter(
+                "first_gateway_requests_received_total",
+                LabelSet::single("operation", op),
+                count,
+            );
+        }
+        {
+            let metrics = self.metrics_mut();
+            registry.add_counter(
+                "first_gateway_requests_completed_total",
+                LabelSet::empty(),
+                metrics.completed,
+            );
+            registry.add_counter(
+                "first_gateway_requests_failed_total",
+                LabelSet::empty(),
+                metrics.failed,
+            );
+            registry.add_counter(
+                "first_gateway_requests_rejected_total",
+                LabelSet::empty(),
+                metrics.rejected,
+            );
+            registry.add_counter(
+                "first_gateway_output_tokens_total",
+                LabelSet::empty(),
+                metrics.output_tokens,
+            );
+        }
+
+        // Per-request latency histogram, replayed from the request log so the
+        // exported buckets match the canonical record of every request.
+        for entry in self.log().entries() {
+            registry.observe(
+                "first_request_latency_seconds",
+                LabelSet::single("model", entry.model.clone()),
+                entry.latency().as_secs_f64(),
+            );
+            registry.add_counter(
+                "first_request_tokens_total",
+                LabelSet::from_pairs([
+                    ("model", entry.model.clone()),
+                    ("kind", "completion".to_string()),
+                ]),
+                entry.completion_tokens as u64,
+            );
+            registry.add_counter(
+                "first_request_tokens_total",
+                LabelSet::from_pairs([
+                    ("model", entry.model.clone()),
+                    ("kind", "prompt".to_string()),
+                ]),
+                entry.prompt_tokens as u64,
+            );
+        }
+
+        // `/jobs` model states as gauges.
+        for entry in self.jobs_status() {
+            let labels = LabelSet::single("model", entry.model.clone());
+            registry.set_gauge(
+                "first_model_running_instances",
+                labels.clone(),
+                entry.running_instances as f64,
+            );
+            registry.set_gauge(
+                "first_model_starting_instances",
+                labels.clone(),
+                entry.starting_instances as f64,
+            );
+            registry.set_gauge(
+                "first_model_queued_instances",
+                labels,
+                entry.queued_instances as f64,
+            );
+        }
+
+        // Fabric-level counters and queue gauges.
+        let stats = self.service().stats().clone();
+        registry.add_counter("first_fabric_tasks_submitted_total", LabelSet::empty(), stats.submitted);
+        registry.add_counter("first_fabric_tasks_completed_total", LabelSet::empty(), stats.completed);
+        registry.add_counter("first_fabric_tasks_failed_total", LabelSet::empty(), stats.failed);
+        registry.set_gauge(
+            "first_fabric_queue_depth",
+            LabelSet::empty(),
+            self.service().queue_depth() as f64,
+        );
+        registry.set_gauge(
+            "first_fabric_peak_queue_depth",
+            LabelSet::empty(),
+            stats.peak_queue_depth as f64,
+        );
+
+        // Per-endpoint and per-cluster resource gauges.
+        for ep in self.service().endpoints() {
+            let ep_labels = LabelSet::single("endpoint", ep.name().to_string());
+            let ep_stats = ep.stats();
+            registry.add_counter(
+                "first_endpoint_tasks_completed_total",
+                ep_labels.clone(),
+                ep_stats.tasks_completed,
+            );
+            registry.add_counter(
+                "first_endpoint_instance_restarts_total",
+                ep_labels.clone(),
+                ep_stats.restarts,
+            );
+            registry.add_counter(
+                "first_endpoint_instances_released_total",
+                ep_labels.clone(),
+                ep_stats.instances_released,
+            );
+            let backlog: usize = ep.all_model_statuses().iter().map(|s| s.backlog).sum();
+            registry.set_gauge("first_endpoint_backlog_tasks", ep_labels, backlog as f64);
+
+            let status = ep.cluster_status();
+            let cl_labels = LabelSet::single("cluster", status.cluster.clone());
+            registry.set_gauge("first_cluster_total_nodes", cl_labels.clone(), status.total_nodes as f64);
+            registry.set_gauge("first_cluster_idle_nodes", cl_labels.clone(), status.idle_nodes as f64);
+            registry.set_gauge("first_cluster_free_gpus", cl_labels.clone(), status.free_gpus as f64);
+            registry.set_gauge(
+                "first_cluster_queued_jobs",
+                cl_labels,
+                ep.scheduler().queued_count() as f64,
+            );
+        }
+
+        registry.set_gauge("first_scrape_time_seconds", LabelSet::empty(), now.as_secs_f64());
+        registry
+    }
+
+    /// The default alert pack administrators deploy alongside the gateway.
+    pub fn default_alert_rules() -> Vec<AlertRule> {
+        use first_desim::SimDuration;
+        vec![
+            AlertRule::above(
+                "fabric_backlog_high",
+                "first_fabric_queue_depth",
+                LabelSet::empty(),
+                5000.0,
+                SimDuration::from_secs(120),
+                AlertSeverity::Warning,
+            ),
+            AlertRule::above(
+                "gateway_failures_present",
+                "first_gateway_requests_failed_total",
+                LabelSet::empty(),
+                0.0,
+                SimDuration::ZERO,
+                AlertSeverity::Warning,
+            ),
+            AlertRule::above(
+                "gateway_rejections_spiking",
+                "first_gateway_requests_rejected_total",
+                LabelSet::empty(),
+                100.0,
+                SimDuration::from_secs(60),
+                AlertSeverity::Info,
+            ),
+        ]
+    }
+
+    /// Build an [`Alerting`] evaluator pre-loaded with the default rules.
+    pub fn default_alerting() -> Alerting {
+        let mut alerting = Alerting::new();
+        for rule in Self::default_alert_rules() {
+            alerting.add_rule(rule);
+        }
+        alerting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ChatCompletionRequest;
+    use crate::deploy::DeploymentBuilder;
+    use first_desim::SimProcess;
+    use first_telemetry::render_prometheus;
+
+    const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
+
+    fn run_some_traffic() -> Gateway {
+        let (mut gw, tokens) = DeploymentBuilder::single_cluster_test()
+            .prewarm(1)
+            .build_with_tokens();
+        for i in 0..5 {
+            let req = ChatCompletionRequest::simple(MODEL, &format!("prompt {i}"), 200);
+            gw.chat_completions(&req, &tokens.alice, Some(120), SimTime::from_secs(i))
+                .unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        while let Some(t) = SimProcess::next_event_time(&gw) {
+            now = now.max(t);
+            gw.advance(now);
+            if gw.is_drained() {
+                break;
+            }
+        }
+        gw
+    }
+
+    #[test]
+    fn dashboard_reflects_served_traffic() {
+        let mut gw = run_some_traffic();
+        let snap = gw.dashboard_snapshot(SimTime::from_secs(600));
+        assert_eq!(snap.total_completed, 5);
+        assert_eq!(snap.total_failed, 0);
+        assert!(snap.total_output_tokens >= 5 * 120);
+        assert_eq!(snap.distinct_users, 1);
+        let row = snap.models.iter().find(|m| m.model == MODEL).unwrap();
+        assert_eq!(row.state, "running");
+        assert_eq!(row.requests, 5);
+        assert!(row.median_latency_s > 0.0);
+        assert!(!snap.clusters.is_empty());
+        assert!(snap.clusters[0].total_nodes > 0);
+        let text = snap.render_text();
+        assert!(text.contains(MODEL));
+        assert!(text.contains("-- clusters --"));
+    }
+
+    #[test]
+    fn exported_metrics_match_gateway_counters_and_render() {
+        let mut gw = run_some_traffic();
+        let registry = gw.export_metrics(SimTime::from_secs(600));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_family_total("first_gateway_requests_received_total"),
+            5
+        );
+        assert_eq!(
+            snap.counter_value("first_gateway_requests_completed_total", &LabelSet::empty()),
+            5
+        );
+        assert_eq!(
+            snap.counter_family_total("first_request_tokens_total"),
+            gw.log()
+                .entries()
+                .iter()
+                .map(|e| e.total_tokens())
+                .sum::<u64>()
+        );
+        let text = render_prometheus(&snap);
+        assert!(text.contains("first_request_latency_seconds_bucket"));
+        assert!(text.contains("first_cluster_total_nodes"));
+        // Exporting twice yields identical totals (no double counting).
+        let again = gw.export_metrics(SimTime::from_secs(601));
+        assert_eq!(
+            again.snapshot().counter_family_total("first_gateway_requests_received_total"),
+            5
+        );
+    }
+
+    #[test]
+    fn default_alerts_stay_quiet_on_a_healthy_deployment_and_fire_on_failures() {
+        let mut gw = run_some_traffic();
+        let registry = gw.export_metrics(SimTime::from_secs(600));
+        let mut alerting = Gateway::default_alerting();
+        assert_eq!(alerting.rule_count(), 3);
+        let fired = alerting.evaluate(&registry, SimTime::from_secs(600));
+        assert!(fired.is_empty(), "unexpected alerts: {fired:?}");
+
+        // Inject failures into the metrics layer and re-export: the failure
+        // alert fires immediately (hold_for is zero).
+        gw.metrics_mut().on_failed();
+        let registry = gw.export_metrics(SimTime::from_secs(700));
+        let fired = alerting.evaluate(&registry, SimTime::from_secs(700));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "gateway_failures_present");
+    }
+}

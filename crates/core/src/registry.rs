@@ -1,0 +1,490 @@
+//! Model/endpoint registry and the federation router (§4.5).
+//!
+//! The registry records which endpoints can host each model, in configuration
+//! order. The router implements the paper's priority-based endpoint selection:
+//! (1) an endpoint where the model is already running or queued, then (2) an
+//! endpoint whose cluster has free nodes, then (3) the first endpoint listed
+//! for the model in the configuration registry.
+//!
+//! The paper notes the proof-of-concept algorithm is deliberately simple and
+//! lists "improve scheduling for resource optimization" as future work (§7);
+//! [`RoutingPolicy`] therefore also provides round-robin, least-outstanding
+//! and most-idle-nodes alternatives, which the federation ablation benchmark
+//! compares against the paper's priority scheme.
+
+use first_fabric::ComputeService;
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// A model's registration: the endpoints able to host it, in priority order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelRegistration {
+    /// Model name.
+    pub model: String,
+    /// Endpoint names able to host the model, in configuration order.
+    pub endpoints: Vec<String>,
+}
+
+/// The deployment's model registry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    registrations: Vec<ModelRegistration>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a model on an endpoint (appended in configuration order).
+    /// Registering the same pair twice is a no-op.
+    pub fn register(&mut self, model: &str, endpoint: &str) {
+        if let Some(reg) = self.registrations.iter_mut().find(|r| r.model == model) {
+            if !reg.endpoints.iter().any(|e| e == endpoint) {
+                reg.endpoints.push(endpoint.to_string());
+            }
+        } else {
+            self.registrations.push(ModelRegistration {
+                model: model.to_string(),
+                endpoints: vec![endpoint.to_string()],
+            });
+        }
+    }
+
+    /// Remove a model entirely (dashboard "deregister" action).
+    pub fn deregister_model(&mut self, model: &str) -> bool {
+        let before = self.registrations.len();
+        self.registrations.retain(|r| r.model != model);
+        before != self.registrations.len()
+    }
+
+    /// Endpoints registered for a model, in configuration order.
+    pub fn endpoints_for(&self, model: &str) -> Option<&[String]> {
+        self.registrations
+            .iter()
+            .find(|r| r.model == model)
+            .map(|r| r.endpoints.as_slice())
+    }
+
+    /// All registered model names.
+    pub fn models(&self) -> Vec<String> {
+        self.registrations.iter().map(|r| r.model.clone()).collect()
+    }
+
+    /// Whether the model is registered anywhere.
+    pub fn is_registered(&self, model: &str) -> bool {
+        self.endpoints_for(model).is_some()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registrations.is_empty()
+    }
+}
+
+/// Why the router picked the endpoint it picked (exposed for observability
+/// and asserted on by the federation tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingReason {
+    /// The model is already running (hot) or starting/queued on the endpoint.
+    ActiveInstance,
+    /// The endpoint's cluster reported free nodes.
+    FreeCapacity,
+    /// Fallback: first endpoint in the configuration registry.
+    ConfigurationOrder,
+    /// Round-robin rotation over the registered endpoints.
+    RoundRobinRotation,
+    /// The endpoint had the fewest outstanding tasks for the model.
+    LeastOutstanding,
+    /// The endpoint's cluster had the most idle nodes.
+    MostIdleNodes,
+}
+
+/// Endpoint-selection policy used by the federation router.
+///
+/// [`RoutingPolicy::PaperPriority`] is the algorithm described in §4.5 and is
+/// the default everywhere; the alternatives are the "improved scheduling"
+/// candidates from §7, evaluated by `ablation_federation` in `first-bench`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// §4.5: active instance → cluster with free nodes → configuration order.
+    #[default]
+    PaperPriority,
+    /// Rotate over the registered endpoints regardless of their state.
+    RoundRobin,
+    /// Send to the endpoint with the fewest outstanding tasks (backlog plus
+    /// in-flight) for the requested model; ties break toward more idle nodes,
+    /// then configuration order.
+    LeastOutstanding,
+    /// Send to the endpoint whose cluster reports the most idle nodes; ties
+    /// break toward configuration order.
+    MostIdleNodes,
+}
+
+impl RoutingPolicy {
+    /// All policies, in the order the ablation benchmark sweeps them.
+    pub fn all() -> [RoutingPolicy; 4] {
+        [
+            RoutingPolicy::PaperPriority,
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastOutstanding,
+            RoutingPolicy::MostIdleNodes,
+        ]
+    }
+
+    /// Short human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::PaperPriority => "paper-priority",
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastOutstanding => "least-outstanding",
+            RoutingPolicy::MostIdleNodes => "most-idle-nodes",
+        }
+    }
+}
+
+/// A routing decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingDecision {
+    /// Chosen endpoint.
+    pub endpoint: String,
+    /// Why it was chosen.
+    pub reason: RoutingReason,
+}
+
+/// The federation router.
+#[derive(Debug, Clone, Default)]
+pub struct FederationRouter {
+    policy: RoutingPolicy,
+    rotation: Cell<usize>,
+}
+
+impl FederationRouter {
+    /// A router using the paper's §4.5 priority algorithm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A router using an alternative selection policy.
+    pub fn with_policy(policy: RoutingPolicy) -> Self {
+        FederationRouter { policy, rotation: Cell::new(0) }
+    }
+
+    /// The active routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Pick an endpoint for `model` following the configured policy.
+    /// Returns `None` when the model is not registered on any endpoint.
+    pub fn route(
+        &self,
+        registry: &ModelRegistry,
+        service: &ComputeService,
+        model: &str,
+    ) -> Option<RoutingDecision> {
+        let endpoints = registry.endpoints_for(model)?;
+        if endpoints.is_empty() {
+            return None;
+        }
+        match self.policy {
+            RoutingPolicy::PaperPriority => Some(Self::paper_priority(endpoints, service, model)),
+            RoutingPolicy::RoundRobin => Some(self.round_robin(endpoints)),
+            RoutingPolicy::LeastOutstanding => {
+                Some(Self::least_outstanding(endpoints, service, model))
+            }
+            RoutingPolicy::MostIdleNodes => Some(Self::most_idle_nodes(endpoints, service)),
+        }
+    }
+
+    /// The §4.5 priority algorithm.
+    fn paper_priority(
+        endpoints: &[String],
+        service: &ComputeService,
+        model: &str,
+    ) -> RoutingDecision {
+        // 1. Prefer an endpoint where the model is already running or queued.
+        for name in endpoints {
+            if let Some(ep) = service.endpoint(name) {
+                let status = ep.model_status(model);
+                if status.running > 0 || status.starting > 0 || status.queued > 0 {
+                    return RoutingDecision {
+                        endpoint: name.clone(),
+                        reason: RoutingReason::ActiveInstance,
+                    };
+                }
+            }
+        }
+
+        // 2. Otherwise an endpoint whose cluster has idle nodes.
+        for name in endpoints {
+            if let Some(ep) = service.endpoint(name) {
+                if ep.cluster_status().idle_nodes > 0 {
+                    return RoutingDecision {
+                        endpoint: name.clone(),
+                        reason: RoutingReason::FreeCapacity,
+                    };
+                }
+            }
+        }
+
+        // 3. Fall back to the first configured endpoint.
+        RoutingDecision {
+            endpoint: endpoints[0].clone(),
+            reason: RoutingReason::ConfigurationOrder,
+        }
+    }
+
+    fn round_robin(&self, endpoints: &[String]) -> RoutingDecision {
+        let idx = self.rotation.get() % endpoints.len();
+        self.rotation.set(self.rotation.get().wrapping_add(1));
+        RoutingDecision {
+            endpoint: endpoints[idx].clone(),
+            reason: RoutingReason::RoundRobinRotation,
+        }
+    }
+
+    fn least_outstanding(
+        endpoints: &[String],
+        service: &ComputeService,
+        model: &str,
+    ) -> RoutingDecision {
+        let mut best: Option<(&String, usize, u32)> = None;
+        for name in endpoints {
+            let Some(ep) = service.endpoint(name) else { continue };
+            let status = ep.model_status(model);
+            let in_flight: usize = ep
+                .instances()
+                .iter()
+                .filter(|i| i.model == model)
+                .map(|i| i.in_flight())
+                .sum();
+            let outstanding = status.backlog + in_flight;
+            let idle = ep.cluster_status().idle_nodes;
+            let better = match best {
+                None => true,
+                Some((_, best_out, best_idle)) => {
+                    outstanding < best_out || (outstanding == best_out && idle > best_idle)
+                }
+            };
+            if better {
+                best = Some((name, outstanding, idle));
+            }
+        }
+        match best {
+            Some((name, _, _)) => RoutingDecision {
+                endpoint: name.clone(),
+                reason: RoutingReason::LeastOutstanding,
+            },
+            None => RoutingDecision {
+                endpoint: endpoints[0].clone(),
+                reason: RoutingReason::ConfigurationOrder,
+            },
+        }
+    }
+
+    fn most_idle_nodes(endpoints: &[String], service: &ComputeService) -> RoutingDecision {
+        let mut best: Option<(&String, u32)> = None;
+        for name in endpoints {
+            let Some(ep) = service.endpoint(name) else { continue };
+            let idle = ep.cluster_status().idle_nodes;
+            if best.map(|(_, b)| idle > b).unwrap_or(true) {
+                best = Some((name, idle));
+            }
+        }
+        match best {
+            Some((name, _)) => RoutingDecision {
+                endpoint: name.clone(),
+                reason: RoutingReason::MostIdleNodes,
+            },
+            None => RoutingDecision {
+                endpoint: endpoints[0].clone(),
+                reason: RoutingReason::ConfigurationOrder,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use first_desim::SimTime;
+    use first_fabric::{ComputeEndpoint, EndpointConfig, FabricLatencyModel, ModelHostingConfig};
+    use first_hpc::{Cluster, GpuModel};
+    use first_serving::find_model;
+
+    const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
+
+    fn two_cluster_service() -> (ModelRegistry, ComputeService) {
+        let hosting = || ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40);
+        let sophia = ComputeEndpoint::new(
+            EndpointConfig::new("sophia-endpoint", "sophia", GpuModel::A100_40).host(hosting()),
+            Cluster::tiny("sophia", 4, 8),
+        );
+        let polaris = ComputeEndpoint::new(
+            EndpointConfig::new("polaris-endpoint", "polaris", GpuModel::A100_40).host(hosting()),
+            Cluster::tiny("polaris", 4, 8),
+        );
+        let mut service = ComputeService::new(FabricLatencyModel::default());
+        service.add_endpoint(sophia);
+        service.add_endpoint(polaris);
+        let mut registry = ModelRegistry::new();
+        registry.register(MODEL, "sophia-endpoint");
+        registry.register(MODEL, "polaris-endpoint");
+        (registry, service)
+    }
+
+    #[test]
+    fn registry_preserves_configuration_order_and_dedups() {
+        let mut reg = ModelRegistry::new();
+        reg.register("m", "b-endpoint");
+        reg.register("m", "a-endpoint");
+        reg.register("m", "b-endpoint");
+        assert_eq!(
+            reg.endpoints_for("m").unwrap(),
+            &["b-endpoint".to_string(), "a-endpoint".to_string()]
+        );
+        assert!(reg.is_registered("m"));
+        assert!(reg.deregister_model("m"));
+        assert!(!reg.is_registered("m"));
+    }
+
+    #[test]
+    fn router_prefers_endpoint_with_active_instance() {
+        let (registry, mut service) = two_cluster_service();
+        // Warm the model on Polaris only.
+        service
+            .endpoint_mut("polaris-endpoint")
+            .unwrap()
+            .prewarm(MODEL, 1, SimTime::ZERO);
+        let decision = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        assert_eq!(decision.endpoint, "polaris-endpoint");
+        assert_eq!(decision.reason, RoutingReason::ActiveInstance);
+    }
+
+    #[test]
+    fn router_falls_back_to_free_capacity_then_config_order() {
+        let (registry, mut service) = two_cluster_service();
+        // Nothing running anywhere: both clusters idle → free capacity on the
+        // first configured endpoint wins.
+        let d = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        assert_eq!(d.endpoint, "sophia-endpoint");
+        assert_eq!(d.reason, RoutingReason::FreeCapacity);
+
+        // Fill both clusters with background jobs so no node is idle.
+        for name in ["sophia-endpoint", "polaris-endpoint"] {
+            let ep = service.endpoint_mut(name).unwrap();
+            for _ in 0..4 {
+                ep.scheduler_mut().submit(
+                    first_hpc::JobRequest::single_node(
+                        8,
+                        first_desim::SimDuration::from_hours(8),
+                        "background",
+                    ),
+                    SimTime::ZERO,
+                );
+            }
+        }
+        let d = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        assert_eq!(d.endpoint, "sophia-endpoint");
+        assert_eq!(d.reason, RoutingReason::ConfigurationOrder);
+    }
+
+    #[test]
+    fn unregistered_model_routes_nowhere() {
+        let (registry, service) = two_cluster_service();
+        assert!(FederationRouter::new().route(&registry, &service, "unknown").is_none());
+    }
+
+    #[test]
+    fn round_robin_rotates_over_registered_endpoints() {
+        let (registry, service) = two_cluster_service();
+        let router = FederationRouter::with_policy(RoutingPolicy::RoundRobin);
+        let picks: Vec<String> = (0..4)
+            .map(|_| router.route(&registry, &service, MODEL).unwrap().endpoint)
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                "sophia-endpoint".to_string(),
+                "polaris-endpoint".to_string(),
+                "sophia-endpoint".to_string(),
+                "polaris-endpoint".to_string(),
+            ]
+        );
+        assert_eq!(
+            router.route(&registry, &service, MODEL).unwrap().reason,
+            RoutingReason::RoundRobinRotation
+        );
+        assert_eq!(router.policy(), RoutingPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn least_outstanding_avoids_the_backlogged_endpoint() {
+        let (registry, mut service) = two_cluster_service();
+        // Warm one instance on each site, then pile tasks onto Sophia only so
+        // its instance accumulates in-flight work.
+        for name in ["sophia-endpoint", "polaris-endpoint"] {
+            service.endpoint_mut(name).unwrap().prewarm(MODEL, 1, SimTime::ZERO);
+        }
+        let function = service
+            .registry()
+            .find_by_name("run_vllm_inference")
+            .map(|f| f.id)
+            .unwrap();
+        for i in 0..6 {
+            let req = first_serving::InferenceRequest::chat(i, MODEL, 256, 64);
+            service
+                .submit(function, "sophia-endpoint", req, SimTime::from_secs(i))
+                .unwrap();
+            // Push the dispatch through so the tasks land on the endpoint.
+            first_desim::SimProcess::advance(&mut service, SimTime::from_secs(i + 1));
+        }
+        let router = FederationRouter::with_policy(RoutingPolicy::LeastOutstanding);
+        let d = router.route(&registry, &service, MODEL).unwrap();
+        assert_eq!(d.endpoint, "polaris-endpoint");
+        assert_eq!(d.reason, RoutingReason::LeastOutstanding);
+
+        // The paper's priority policy would have stuck with Sophia (active
+        // instance, configuration order) — the contrast the ablation measures.
+        let paper = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        assert_eq!(paper.endpoint, "sophia-endpoint");
+    }
+
+    #[test]
+    fn most_idle_nodes_prefers_the_emptier_cluster() {
+        let (registry, mut service) = two_cluster_service();
+        // Occupy three of Sophia's four nodes with background jobs.
+        let ep = service.endpoint_mut("sophia-endpoint").unwrap();
+        for _ in 0..3 {
+            ep.scheduler_mut().submit(
+                first_hpc::JobRequest::single_node(
+                    8,
+                    first_desim::SimDuration::from_hours(8),
+                    "background",
+                ),
+                SimTime::ZERO,
+            );
+        }
+        let router = FederationRouter::with_policy(RoutingPolicy::MostIdleNodes);
+        let d = router.route(&registry, &service, MODEL).unwrap();
+        assert_eq!(d.endpoint, "polaris-endpoint");
+        assert_eq!(d.reason, RoutingReason::MostIdleNodes);
+    }
+
+    #[test]
+    fn policy_labels_are_distinct() {
+        let labels: Vec<&str> = RoutingPolicy::all().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::PaperPriority);
+    }
+}

@@ -1,0 +1,304 @@
+//! Request logging and the metrics layer (§3.1.1).
+//!
+//! The production gateway logs every user activity in PostgreSQL and exposes
+//! real-time and summary metrics through a dashboard. Here the log is an
+//! in-memory append-only store with the query patterns the dashboard needs
+//! (per-user, per-model, deployment totals), and the metrics layer keeps the
+//! counters and latency histograms the benchmark reports read.
+
+use first_desim::{Histogram, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One logged request (the PostgreSQL row equivalent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestLogEntry {
+    /// Gateway-assigned request id.
+    pub request_id: u64,
+    /// Submitting user.
+    pub user: String,
+    /// Target model.
+    pub model: String,
+    /// Endpoint the request was routed to.
+    pub endpoint: String,
+    /// API operation.
+    pub operation: String,
+    /// Arrival time at the gateway.
+    pub arrived_at: SimTime,
+    /// Completion time (response returned to the user).
+    pub finished_at: SimTime,
+    /// Prompt tokens.
+    pub prompt_tokens: u32,
+    /// Completion tokens.
+    pub completion_tokens: u32,
+    /// Whether the request succeeded.
+    pub success: bool,
+    /// Whether the request was part of a batch job.
+    pub batch: bool,
+}
+
+impl RequestLogEntry {
+    /// End-to-end latency of the request.
+    pub fn latency(&self) -> SimDuration {
+        self.finished_at - self.arrived_at
+    }
+
+    /// Total tokens processed.
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens as u64 + self.completion_tokens as u64
+    }
+}
+
+/// Aggregates the dashboard shows per user or per model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UsageSummary {
+    /// Requests logged.
+    pub requests: u64,
+    /// Prompt + completion tokens.
+    pub total_tokens: u64,
+    /// Completion tokens only.
+    pub completion_tokens: u64,
+    /// Failed requests.
+    pub failures: u64,
+}
+
+/// Append-only request log (PostgreSQL substitute).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequestLog {
+    entries: Vec<RequestLogEntry>,
+}
+
+impl RequestLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    pub fn record(&mut self, entry: RequestLogEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of logged requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all entries.
+    pub fn entries(&self) -> &[RequestLogEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct users seen.
+    pub fn distinct_users(&self) -> usize {
+        let mut users: Vec<&str> = self.entries.iter().map(|e| e.user.as_str()).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+
+    /// Total tokens generated (completion side), the paper's headline metric.
+    pub fn total_completion_tokens(&self) -> u64 {
+        self.entries.iter().map(|e| e.completion_tokens as u64).sum()
+    }
+
+    /// Per-user usage aggregates.
+    pub fn usage_by_user(&self) -> BTreeMap<String, UsageSummary> {
+        let mut out: BTreeMap<String, UsageSummary> = BTreeMap::new();
+        for e in &self.entries {
+            let s = out.entry(e.user.clone()).or_default();
+            s.requests += 1;
+            s.total_tokens += e.total_tokens();
+            s.completion_tokens += e.completion_tokens as u64;
+            if !e.success {
+                s.failures += 1;
+            }
+        }
+        out
+    }
+
+    /// Per-model usage aggregates.
+    pub fn usage_by_model(&self) -> BTreeMap<String, UsageSummary> {
+        let mut out: BTreeMap<String, UsageSummary> = BTreeMap::new();
+        for e in &self.entries {
+            let s = out.entry(e.model.clone()).or_default();
+            s.requests += 1;
+            s.total_tokens += e.total_tokens();
+            s.completion_tokens += e.completion_tokens as u64;
+            if !e.success {
+                s.failures += 1;
+            }
+        }
+        out
+    }
+
+    /// Interactive vs batch request counts.
+    pub fn interactive_batch_split(&self) -> (u64, u64) {
+        let batch = self.entries.iter().filter(|e| e.batch).count() as u64;
+        (self.entries.len() as u64 - batch, batch)
+    }
+}
+
+/// Live metrics the gateway exposes (§3.1.1 "metrics layer").
+#[derive(Debug, Clone, Default)]
+pub struct GatewayMetrics {
+    /// Requests received, keyed by operation.
+    pub received: BTreeMap<String, u64>,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed (any stage).
+    pub failed: u64,
+    /// Requests rejected before dispatch (auth, rate limit, validation).
+    pub rejected: u64,
+    /// Output tokens returned to users.
+    pub output_tokens: u64,
+    /// End-to-end latency histogram (seconds), per model.
+    pub latency_by_model: BTreeMap<String, Histogram>,
+}
+
+impl GatewayMetrics {
+    /// Create empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count a received request for an operation.
+    pub fn on_received(&mut self, operation: &str) {
+        *self.received.entry(operation.to_string()).or_insert(0) += 1;
+    }
+
+    /// Count a rejection.
+    pub fn on_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Count a completion and record its latency.
+    pub fn on_completed(&mut self, model: &str, latency: SimDuration, output_tokens: u32) {
+        self.completed += 1;
+        self.output_tokens += output_tokens as u64;
+        self.latency_by_model
+            .entry(model.to_string())
+            .or_default()
+            .record(latency.as_secs_f64());
+    }
+
+    /// Count a failure.
+    pub fn on_failed(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Total requests received across operations.
+    pub fn total_received(&self) -> u64 {
+        self.received.values().sum()
+    }
+
+    /// Median end-to-end latency for a model, in seconds.
+    pub fn median_latency(&mut self, model: &str) -> Option<f64> {
+        self.latency_by_model.get_mut(model).map(|h| h.median())
+    }
+
+    /// Render the dashboard summary as a plain-text table.
+    pub fn dashboard_summary(&mut self) -> String {
+        let mut out = String::from("model                                    reqs    median_s   p95_s\n");
+        let models: Vec<String> = self.latency_by_model.keys().cloned().collect();
+        for model in models {
+            let h = self.latency_by_model.get_mut(&model).expect("model present");
+            out.push_str(&format!(
+                "{model:<40} {:>6} {:>10.2} {:>7.2}\n",
+                h.count(),
+                h.median(),
+                h.p95()
+            ));
+        }
+        out.push_str(&format!(
+            "totals: received={} completed={} failed={} rejected={} output_tokens={}\n",
+            self.total_received(),
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.output_tokens
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(user: &str, model: &str, tokens: u32, success: bool, batch: bool) -> RequestLogEntry {
+        RequestLogEntry {
+            request_id: 0,
+            user: user.into(),
+            model: model.into(),
+            endpoint: "sophia-endpoint".into(),
+            operation: "chat".into(),
+            arrived_at: SimTime::from_secs(1),
+            finished_at: SimTime::from_secs(4),
+            prompt_tokens: 100,
+            completion_tokens: tokens,
+            success,
+            batch,
+        }
+    }
+
+    #[test]
+    fn log_aggregates_by_user_and_model() {
+        let mut log = RequestLog::new();
+        log.record(entry("alice", "llama-70b", 200, true, false));
+        log.record(entry("alice", "llama-8b", 100, true, false));
+        log.record(entry("bob", "llama-70b", 50, false, true));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.distinct_users(), 2);
+        assert_eq!(log.total_completion_tokens(), 350);
+        let by_user = log.usage_by_user();
+        assert_eq!(by_user["alice"].requests, 2);
+        assert_eq!(by_user["alice"].completion_tokens, 300);
+        assert_eq!(by_user["bob"].failures, 1);
+        let by_model = log.usage_by_model();
+        assert_eq!(by_model["llama-70b"].requests, 2);
+        assert_eq!(log.interactive_batch_split(), (2, 1));
+    }
+
+    #[test]
+    fn log_entry_latency() {
+        let e = entry("alice", "m", 10, true, false);
+        assert_eq!(e.latency(), SimDuration::from_secs(3));
+        assert_eq!(e.total_tokens(), 110);
+    }
+
+    #[test]
+    fn metrics_track_lifecycle() {
+        let mut m = GatewayMetrics::new();
+        m.on_received("chat");
+        m.on_received("chat");
+        m.on_received("embeddings");
+        m.on_rejected();
+        m.on_completed("llama-70b", SimDuration::from_secs(5), 150);
+        m.on_completed("llama-70b", SimDuration::from_secs(7), 180);
+        m.on_failed();
+        assert_eq!(m.total_received(), 3);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.output_tokens, 330);
+        let median = m.median_latency("llama-70b").unwrap();
+        assert!(median >= 5.0 && median <= 7.0);
+        assert!(m.median_latency("unknown").is_none());
+    }
+
+    #[test]
+    fn dashboard_renders_all_models() {
+        let mut m = GatewayMetrics::new();
+        m.on_received("chat");
+        m.on_completed("llama-70b", SimDuration::from_secs(2), 10);
+        m.on_completed("llama-8b", SimDuration::from_secs(1), 10);
+        let dash = m.dashboard_summary();
+        assert!(dash.contains("llama-70b"));
+        assert!(dash.contains("llama-8b"));
+        assert!(dash.contains("output_tokens=20"));
+    }
+}

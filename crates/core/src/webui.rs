@@ -1,0 +1,206 @@
+//! Web interface for interactive chat (§4.7).
+//!
+//! The production WebUI is an Open WebUI frontend backed by FastAPI/Uvicorn
+//! behind Nginx, with PostgreSQL persisting sessions and request metadata.
+//! Users pick among the currently running models, keep chat histories, and
+//! compare responses from different LLMs side by side; every request is
+//! forwarded to the Gateway API with the user's access token. This module
+//! implements that session/history layer (the load behaviour for Table 1 is
+//! driven by [`crate::sim::run_webui_closed_loop`]).
+
+use first_desim::{SimDuration, SimTime};
+use first_workload::ChatMessage;
+use serde::{Deserialize, Serialize};
+
+/// Per-message WebUI backend overhead (session lookup, history persistence,
+/// markdown/LaTeX re-rendering) added on top of the gateway path.
+pub const DEFAULT_WEBUI_OVERHEAD: SimDuration = SimDuration(1_200_000);
+
+/// One message stored in a chat history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredMessage {
+    /// The message.
+    pub message: ChatMessage,
+    /// Model that produced it (empty for user messages).
+    pub model: String,
+    /// When it was stored.
+    pub at: SimTime,
+}
+
+/// A persistent chat session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatSession {
+    /// Session identifier.
+    pub id: u64,
+    /// Owning user.
+    pub user: String,
+    /// Session title (first user message, truncated).
+    pub title: String,
+    /// Models selected for this session (more than one enables the
+    /// multi-column comparison view).
+    pub models: Vec<String>,
+    /// Message history.
+    pub history: Vec<StoredMessage>,
+    /// Creation time.
+    pub created_at: SimTime,
+}
+
+impl ChatSession {
+    /// Number of user turns in the session.
+    pub fn user_turns(&self) -> usize {
+        self.history
+            .iter()
+            .filter(|m| m.message.role == "user")
+            .count()
+    }
+}
+
+/// The WebUI session store (PostgreSQL substitute).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WebUiStore {
+    sessions: Vec<ChatSession>,
+    next_id: u64,
+}
+
+impl WebUiStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a session for `user` targeting one or more models.
+    pub fn create_session(&mut self, user: &str, models: Vec<String>, now: SimTime) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.sessions.push(ChatSession {
+            id,
+            user: user.to_string(),
+            title: String::new(),
+            models,
+            history: Vec::new(),
+            created_at: now,
+        });
+        id
+    }
+
+    /// Append a user message to a session.
+    pub fn add_user_message(&mut self, session: u64, content: &str, now: SimTime) -> bool {
+        let Some(s) = self.sessions.iter_mut().find(|s| s.id == session) else {
+            return false;
+        };
+        if s.title.is_empty() {
+            s.title = content.chars().take(48).collect();
+        }
+        s.history.push(StoredMessage {
+            message: ChatMessage::user(content),
+            model: String::new(),
+            at: now,
+        });
+        true
+    }
+
+    /// Append an assistant response from a specific model.
+    pub fn add_assistant_message(
+        &mut self,
+        session: u64,
+        model: &str,
+        content: &str,
+        now: SimTime,
+    ) -> bool {
+        let Some(s) = self.sessions.iter_mut().find(|s| s.id == session) else {
+            return false;
+        };
+        s.history.push(StoredMessage {
+            message: ChatMessage::assistant(content),
+            model: model.to_string(),
+            at: now,
+        });
+        true
+    }
+
+    /// Sessions belonging to a user, newest first.
+    pub fn sessions_for(&self, user: &str) -> Vec<&ChatSession> {
+        let mut out: Vec<&ChatSession> = self.sessions.iter().filter(|s| s.user == user).collect();
+        out.sort_by_key(|s| std::cmp::Reverse(s.created_at));
+        out
+    }
+
+    /// Look up one session.
+    pub fn session(&self, id: u64) -> Option<&ChatSession> {
+        self.sessions.iter().find(|s| s.id == id)
+    }
+
+    /// Total stored sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_keep_history_and_titles() {
+        let mut store = WebUiStore::new();
+        let id = store.create_session("alice", vec!["llama-70b".into()], SimTime::ZERO);
+        assert!(store.add_user_message(id, "what queues exist on sophia?", SimTime::from_secs(1)));
+        assert!(store.add_assistant_message(
+            id,
+            "llama-70b",
+            "the by-gpu and by-node queues",
+            SimTime::from_secs(8),
+        ));
+        let s = store.session(id).unwrap();
+        assert_eq!(s.user_turns(), 1);
+        assert_eq!(s.history.len(), 2);
+        assert!(s.title.starts_with("what queues"));
+    }
+
+    #[test]
+    fn multi_model_comparison_sessions_store_both_responses() {
+        let mut store = WebUiStore::new();
+        let id = store.create_session(
+            "alice",
+            vec!["llama-70b".into(), "qwen-32b".into()],
+            SimTime::ZERO,
+        );
+        store.add_user_message(id, "compare yourselves", SimTime::from_secs(1));
+        store.add_assistant_message(id, "llama-70b", "answer A", SimTime::from_secs(5));
+        store.add_assistant_message(id, "qwen-32b", "answer B", SimTime::from_secs(6));
+        let s = store.session(id).unwrap();
+        assert_eq!(s.models.len(), 2);
+        let models: Vec<&str> = s
+            .history
+            .iter()
+            .filter(|m| m.message.role == "assistant")
+            .map(|m| m.model.as_str())
+            .collect();
+        assert_eq!(models, vec!["llama-70b", "qwen-32b"]);
+    }
+
+    #[test]
+    fn sessions_listed_per_user_newest_first() {
+        let mut store = WebUiStore::new();
+        store.create_session("alice", vec!["m".into()], SimTime::from_secs(1));
+        let newer = store.create_session("alice", vec!["m".into()], SimTime::from_secs(5));
+        store.create_session("bob", vec!["m".into()], SimTime::from_secs(2));
+        let alice = store.sessions_for("alice");
+        assert_eq!(alice.len(), 2);
+        assert_eq!(alice[0].id, newer);
+        assert_eq!(store.sessions_for("carol").len(), 0);
+    }
+
+    #[test]
+    fn unknown_session_operations_fail_gracefully() {
+        let mut store = WebUiStore::new();
+        assert!(!store.add_user_message(99, "hello", SimTime::ZERO));
+        assert!(!store.add_assistant_message(99, "m", "hi", SimTime::ZERO));
+        assert!(store.session(99).is_none());
+    }
+}

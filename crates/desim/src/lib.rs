@@ -1,0 +1,35 @@
+//! # first-desim — discrete-event simulation kernel
+//!
+//! The deterministic virtual-time substrate every other FIRST crate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time.
+//! * [`EventQueue`] — a `(time, sequence)`-ordered future-event list.
+//! * [`SimProcess`] / [`Driver`] — the cooperative component protocol used to
+//!   compose independently written substrates into one simulation.
+//! * [`SimRng`] — seeded RNG with the distributions the workload and
+//!   performance models need (exponential, log-normal, Zipf, weighted choice).
+//! * [`OnlineStats`] / [`Histogram`] / [`CounterSet`] — the measurement
+//!   primitives behind every table and figure reproduction.
+
+#![warn(missing_docs)]
+
+pub mod process;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use process::{Driver, RunOutcome, SimProcess};
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{CounterSet, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::process::{Driver, RunOutcome, SimProcess};
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{CounterSet, Histogram, OnlineStats};
+    pub use crate::time::{SimDuration, SimTime};
+}

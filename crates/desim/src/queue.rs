@@ -1,0 +1,191 @@
+//! Time-ordered event queue.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)` where the sequence
+//! number breaks ties in insertion order, which keeps runs deterministic even
+//! when many events share a timestamp.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload tagged with its firing time and a tie-breaking sequence.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<T> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Monotonically increasing insertion sequence; breaks ties at equal times.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for ScheduledEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for ScheduledEvent<T> {}
+
+impl<T> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of future events.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Create an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` to fire at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop()
+    }
+
+    /// Remove and return the earliest event only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<ScheduledEvent<T>> {
+        if self.peek_time().map(|t| t <= now).unwrap_or(false) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drain every event due at or before `now`, in firing order.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<ScheduledEvent<T>> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop_due(now) {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Remove all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 1u32);
+        assert!(q.pop_due(SimTime::from_secs(9)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(SimTime::from_secs(10)).unwrap().payload, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_due_returns_all_elapsed_events() {
+        let mut q = EventQueue::new();
+        for s in [1u64, 2, 3, 4, 5] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        let due = q.drain_due(SimTime::from_secs(3));
+        assert_eq!(due.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(SimTime::from_secs(7), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

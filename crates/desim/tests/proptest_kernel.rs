@@ -1,0 +1,107 @@
+//! Property-based tests for the DES kernel invariants.
+
+use first_desim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the event queue always yields non-decreasing timestamps, and
+    /// events with equal timestamps come out in insertion order.
+    #[test]
+    fn event_queue_pops_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_seq_time = None;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last_time);
+            if Some(ev.time) == last_seq_time {
+                // same timestamp: insertion index must increase
+                prop_assert!(seen_at_time.last().map(|&p| p < ev.payload).unwrap_or(true));
+                seen_at_time.push(ev.payload);
+            } else {
+                seen_at_time = vec![ev.payload];
+                last_seq_time = Some(ev.time);
+            }
+            last_time = ev.time;
+        }
+    }
+
+    /// drain_due never returns an event later than `now` and leaves only
+    /// later events in the queue.
+    #[test]
+    fn drain_due_partitions_correctly(
+        times in proptest::collection::vec(0u64..1_000_000, 0..200),
+        cut in 0u64..1_000_000,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_micros(t), t);
+        }
+        let now = SimTime::from_micros(cut);
+        let due = q.drain_due(now);
+        for ev in &due {
+            prop_assert!(ev.time <= now);
+        }
+        prop_assert_eq!(due.len() + q.len(), times.len());
+        if let Some(t) = q.peek_time() {
+            prop_assert!(t > now);
+        }
+    }
+
+    /// Histogram percentiles are bounded by min and max and are monotone in p.
+    #[test]
+    fn histogram_percentiles_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = h.min();
+        let hi = h.max();
+        let mut prev = lo;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= lo && v <= hi);
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Merging OnlineStats in any split matches the unsplit stream.
+    #[test]
+    fn online_stats_merge_is_consistent(
+        samples in proptest::collection::vec(-1e3f64..1e3, 2..300),
+        split in 1usize..200,
+    ) {
+        let split = split.min(samples.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &samples {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &samples[..split] {
+            a.record(x);
+        }
+        for &x in &samples[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    /// Zipf and weighted_index always return an in-range index.
+    #[test]
+    fn rng_indices_in_range(seed in 0u64..u64::MAX, n in 1usize..64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let z = rng.zipf(n, 1.0);
+        prop_assert!(z < n);
+        let weights: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let w = rng.weighted_index(&weights);
+        prop_assert!(w < n);
+    }
+}

@@ -1,0 +1,283 @@
+//! Endpoint configuration (§3.2.2).
+//!
+//! Each Globus Compute endpoint is configured independently by the facility
+//! administrators: which models it hosts, how many GPUs each instance uses,
+//! how far each model may auto-scale, how many inference tasks may run in
+//! parallel on one instance, and how long warm nodes are retained.
+
+use first_desim::SimDuration;
+use first_hpc::GpuModel;
+use first_serving::{EngineConfig, ModelKind, ModelSpec, PerfModel};
+use serde::{Deserialize, Serialize};
+
+/// Per-model serving configuration on one endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelHostingConfig {
+    /// The model served.
+    pub model: ModelSpec,
+    /// GPUs per instance (tensor-parallel degree).
+    pub gpus_per_instance: u32,
+    /// Nodes per instance (>1 only for models that do not fit on one node).
+    pub nodes_per_instance: u32,
+    /// Maximum simultaneously running instances (auto-scaling ceiling).
+    pub max_instances: u32,
+    /// Maximum parallel inference tasks per instance (§3.2.2 "Auto-scaling").
+    pub max_parallel_tasks: usize,
+    /// In-flight tasks per instance beyond which another instance is launched.
+    pub scale_up_threshold: usize,
+    /// Walltime requested for each instance's batch job.
+    pub job_walltime: SimDuration,
+    /// Idle period after which a warm instance is released (§3.2.2: 2 hours).
+    pub idle_timeout: SimDuration,
+}
+
+impl ModelHostingConfig {
+    /// Sensible defaults for a model at its recommended TP on the given GPU,
+    /// assuming DGX-style 8-GPU nodes (Sophia).
+    pub fn new(model: ModelSpec, gpu: GpuModel) -> Self {
+        Self::for_node_size(model, gpu, 8)
+    }
+
+    /// Defaults for a cluster whose nodes carry `gpus_per_node` GPUs: the
+    /// model's tensor-parallel group is spread over as many nodes as needed
+    /// (e.g. a TP=8 Llama 70B instance is 1×8 GPUs on Sophia but 2×4 GPUs on
+    /// Polaris). Endpoints are "configured independently … with the specific
+    /// models selected according to their size and the available compute
+    /// nodes" (§3.2.1).
+    pub fn for_node_size(model: ModelSpec, gpu: GpuModel, gpus_per_node: u32) -> Self {
+        let gpus_per_node = gpus_per_node.max(1);
+        let tp = model.min_gpus(gpu.vram_gb());
+        let nodes = tp.div_ceil(gpus_per_node).max(1);
+        ModelHostingConfig {
+            gpus_per_instance: tp.min(gpus_per_node),
+            nodes_per_instance: nodes,
+            max_instances: 1,
+            max_parallel_tasks: 200,
+            scale_up_threshold: 220,
+            job_walltime: SimDuration::from_hours(12),
+            idle_timeout: SimDuration::from_hours(2),
+            model,
+        }
+    }
+
+    /// Set the auto-scaling ceiling.
+    pub fn with_max_instances(mut self, n: u32) -> Self {
+        self.max_instances = n.max(1);
+        self
+    }
+
+    /// Set the per-instance parallel task limit. The scale-up threshold is
+    /// kept slightly above the limit so another instance is launched once the
+    /// backlog exceeds what the existing instances can absorb.
+    pub fn with_max_parallel_tasks(mut self, n: usize) -> Self {
+        self.max_parallel_tasks = n.max(1);
+        self.scale_up_threshold = self.max_parallel_tasks + self.max_parallel_tasks / 10 + 1;
+        self
+    }
+
+    /// Set the warm-node idle timeout.
+    pub fn with_idle_timeout(mut self, d: SimDuration) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+
+    /// Whether this hosting entry serves an embedding model.
+    pub fn is_embedding(&self) -> bool {
+        self.model.kind == ModelKind::Embedding
+    }
+
+    /// Build the engine configuration for one instance on the given GPU type.
+    pub fn engine_config(&self, gpu: GpuModel) -> EngineConfig {
+        EngineConfig {
+            model: self.model.clone(),
+            gpu,
+            tensor_parallel: self.gpus_per_instance * self.nodes_per_instance,
+            gpus_total: self.gpus_per_instance * self.nodes_per_instance,
+            nodes: self.nodes_per_instance,
+            max_num_seqs: 256,
+            gpu_memory_utilization: 0.90,
+            perf: PerfModel::default(),
+        }
+    }
+}
+
+/// Latency/overhead model of the Globus Compute service path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricLatencyModel {
+    /// Client → cloud-service submission latency.
+    pub client_to_service: SimDuration,
+    /// Serial per-task dispatch cost inside the cloud service. This is the
+    /// routing capacity the paper identifies as the scaling limiter ("limited
+    /// by the ability of Globus Compute to scale and route requests"):
+    /// 1 / cost ≈ 25–26 tasks/s.
+    pub service_dispatch_cost: SimDuration,
+    /// Cloud service → endpoint delivery latency.
+    pub service_to_endpoint: SimDuration,
+    /// Endpoint → cloud service result relay latency.
+    pub endpoint_to_service: SimDuration,
+    /// Cloud service → client result delivery latency (futures mode).
+    pub service_to_client: SimDuration,
+}
+
+impl Default for FabricLatencyModel {
+    fn default() -> Self {
+        FabricLatencyModel {
+            client_to_service: SimDuration::from_millis(300),
+            service_dispatch_cost: SimDuration::from_millis(40),
+            service_to_endpoint: SimDuration::from_millis(2200),
+            endpoint_to_service: SimDuration::from_millis(2200),
+            service_to_client: SimDuration::from_millis(300),
+        }
+    }
+}
+
+impl FabricLatencyModel {
+    /// One-way overhead excluding execution (submission → start of execution
+    /// plus result return), i.e. the extra latency FIRST adds over direct
+    /// access when the system is unloaded.
+    pub fn round_trip_overhead(&self) -> SimDuration {
+        self.client_to_service
+            + self.service_dispatch_cost
+            + self.service_to_endpoint
+            + self.endpoint_to_service
+            + self.service_to_client
+    }
+
+    /// The service-side routing capacity in tasks/second.
+    pub fn dispatch_capacity(&self) -> f64 {
+        1.0 / self.service_dispatch_cost.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Configuration of one compute endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndpointConfig {
+    /// Endpoint name (unique within the deployment), e.g. `"sophia-endpoint"`.
+    pub name: String,
+    /// Cluster the endpoint runs on.
+    pub cluster: String,
+    /// GPU type of the cluster's nodes.
+    pub gpu: GpuModel,
+    /// Models hosted by this endpoint.
+    pub models: Vec<ModelHostingConfig>,
+    /// Whether failed instances are automatically restarted (§3.2.2 "Fault
+    /// Tolerance").
+    pub auto_restart: bool,
+}
+
+impl EndpointConfig {
+    /// An endpoint with no hosted models.
+    pub fn new(name: &str, cluster: &str, gpu: GpuModel) -> Self {
+        EndpointConfig {
+            name: name.to_string(),
+            cluster: cluster.to_string(),
+            gpu,
+            models: Vec::new(),
+            auto_restart: true,
+        }
+    }
+
+    /// Add a hosted model.
+    pub fn host(mut self, model: ModelHostingConfig) -> Self {
+        self.models.push(model);
+        self
+    }
+
+    /// Find the hosting entry for a model name.
+    pub fn hosting_for(&self, model: &str) -> Option<&ModelHostingConfig> {
+        self.models.iter().find(|m| m.model.name == model)
+    }
+
+    /// Whether the endpoint hosts the named model.
+    pub fn hosts(&self, model: &str) -> bool {
+        self.hosting_for(model).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use first_serving::find_model;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40);
+        assert_eq!(cfg.gpus_per_instance, 8);
+        assert_eq!(cfg.nodes_per_instance, 1);
+        assert_eq!(cfg.idle_timeout, SimDuration::from_hours(2));
+        let cfg8 = ModelHostingConfig::new(find_model("llama-8b").unwrap(), GpuModel::A100_40);
+        assert_eq!(cfg8.gpus_per_instance, 4);
+    }
+
+    #[test]
+    fn multi_node_models_span_nodes() {
+        let cfg = ModelHostingConfig::new(find_model("llama-405b").unwrap(), GpuModel::A100_40);
+        assert!(cfg.nodes_per_instance >= 2);
+        let engine = cfg.engine_config(GpuModel::A100_40);
+        assert!(engine.gpus_total >= 16);
+    }
+
+    #[test]
+    fn node_size_aware_config_splits_the_tp_group_across_nodes() {
+        // 70B needs 8 A100-40 GPUs: one Sophia DGX node, but two 4-GPU
+        // Polaris nodes.
+        let sophia = ModelHostingConfig::for_node_size(
+            find_model("llama-70b").unwrap(),
+            GpuModel::A100_40,
+            8,
+        );
+        assert_eq!((sophia.nodes_per_instance, sophia.gpus_per_instance), (1, 8));
+        let polaris = ModelHostingConfig::for_node_size(
+            find_model("llama-70b").unwrap(),
+            GpuModel::A100_40,
+            4,
+        );
+        assert_eq!((polaris.nodes_per_instance, polaris.gpus_per_instance), (2, 4));
+        // Total TP degree (and therefore the engine configuration) is the
+        // same either way.
+        assert_eq!(
+            sophia.engine_config(GpuModel::A100_40).gpus_total,
+            polaris.engine_config(GpuModel::A100_40).gpus_total
+        );
+    }
+
+    #[test]
+    fn builders_adjust_scaling_knobs() {
+        let cfg = ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40)
+            .with_max_instances(4)
+            .with_max_parallel_tasks(64)
+            .with_idle_timeout(SimDuration::from_mins(30));
+        assert_eq!(cfg.max_instances, 4);
+        assert_eq!(cfg.max_parallel_tasks, 64);
+        assert!(cfg.scale_up_threshold > 64);
+        assert_eq!(cfg.idle_timeout, SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn latency_model_routing_capacity() {
+        let lat = FabricLatencyModel::default();
+        let cap = lat.dispatch_capacity();
+        assert!(cap > 20.0 && cap < 30.0, "capacity {cap}");
+        assert!(lat.round_trip_overhead().as_secs_f64() > 4.0);
+        assert!(lat.round_trip_overhead().as_secs_f64() < 8.0);
+    }
+
+    #[test]
+    fn endpoint_config_lookup() {
+        let ep = EndpointConfig::new("sophia-endpoint", "sophia", GpuModel::A100_40)
+            .host(ModelHostingConfig::new(
+                find_model("llama-70b").unwrap(),
+                GpuModel::A100_40,
+            ))
+            .host(ModelHostingConfig::new(
+                find_model("nv-embed-v2").unwrap(),
+                GpuModel::A100_40,
+            ));
+        assert!(ep.hosts("meta-llama/Llama-3.3-70B-Instruct"));
+        assert!(!ep.hosts("missing"));
+        assert!(ep
+            .hosting_for("nvidia/NV-Embed-v2")
+            .map(|h| h.is_embedding())
+            .unwrap_or(false));
+    }
+}

@@ -1,0 +1,874 @@
+//! Compute endpoint: the agent deployed on each HPC cluster (§3.2).
+//!
+//! The endpoint receives inference tasks from the cloud service, acquires
+//! compute nodes through the cluster's batch scheduler, launches serving-
+//! engine instances on them, keeps those instances warm between requests,
+//! auto-scales additional instances when existing ones saturate, releases
+//! resources after an extended idle period, and restarts failed instances —
+//! all without human intervention.
+
+use crate::config::{EndpointConfig, ModelHostingConfig};
+use crate::task::{TaskId, TaskResult};
+use first_desim::{SimProcess, SimTime};
+use first_hpc::{BatchScheduler, Cluster, ClusterStatus, JobId, JobPriority, JobRequest, JobState};
+use first_serving::{
+    EmbeddingConfig, EmbeddingEngine, EngineState, InferenceRequest, VllmEngine,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Serving backend held by an instance.
+#[derive(Debug, Clone)]
+enum InstanceBackend {
+    /// Autoregressive LLM served by the vLLM-style engine.
+    Vllm(VllmEngine),
+    /// Embedding model served by the Infinity-style engine.
+    Embedding(EmbeddingEngine),
+}
+
+/// Lifecycle of a model instance on the endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceState {
+    /// Batch job submitted, waiting for node allocation.
+    PendingJob,
+    /// Nodes allocated; model weights loading.
+    Loading,
+    /// Serving ("hot").
+    Ready,
+    /// Released (idle timeout or shutdown).
+    Released,
+    /// Crashed; awaiting restart.
+    Failed,
+}
+
+/// One running (or starting) serving instance of a model.
+#[derive(Debug, Clone)]
+pub struct ModelInstance {
+    /// Instance identifier within the endpoint.
+    pub id: u32,
+    /// Model served.
+    pub model: String,
+    /// Scheduler job backing the instance.
+    pub job: JobId,
+    /// Current lifecycle state.
+    pub state: InstanceState,
+    backend: Option<InstanceBackend>,
+    in_flight: Vec<TaskId>,
+    last_active: SimTime,
+}
+
+impl ModelInstance {
+    /// Number of tasks currently assigned to this instance.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether the instance is hot and serving.
+    pub fn is_ready(&self) -> bool {
+        self.state == InstanceState::Ready
+    }
+}
+
+/// Endpoint statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Tasks received from the service.
+    pub tasks_received: u64,
+    /// Tasks completed successfully.
+    pub tasks_completed: u64,
+    /// Tasks failed.
+    pub tasks_failed: u64,
+    /// Instances launched (including restarts).
+    pub instances_launched: u64,
+    /// Instances released by the idle-timeout policy.
+    pub instances_released: u64,
+    /// Automatic restarts after failure.
+    pub restarts: u64,
+    /// Output tokens generated across all instances.
+    pub output_tokens: u64,
+}
+
+/// Hosted-model status summary exposed to the gateway's `/jobs` endpoint
+/// (§4.3: "running", "starting" or "queued").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelStatus {
+    /// Model name.
+    pub model: String,
+    /// Instances hot and serving.
+    pub running: u32,
+    /// Instances loading weights.
+    pub starting: u32,
+    /// Instances waiting for node allocation.
+    pub queued: u32,
+    /// Tasks waiting at the endpoint for a free slot.
+    pub backlog: usize,
+}
+
+impl ModelStatus {
+    /// The `/jobs` state string for this model.
+    pub fn state_label(&self) -> &'static str {
+        if self.running > 0 {
+            "running"
+        } else if self.starting > 0 {
+            "starting"
+        } else if self.queued > 0 {
+            "queued"
+        } else {
+            "stopped"
+        }
+    }
+}
+
+/// A Globus-Compute-style endpoint bound to one cluster.
+#[derive(Debug, Clone)]
+pub struct ComputeEndpoint {
+    config: EndpointConfig,
+    scheduler: BatchScheduler,
+    instances: Vec<ModelInstance>,
+    waiting: BTreeMap<String, VecDeque<(TaskId, InferenceRequest)>>,
+    task_of_request: HashMap<u64, TaskId>,
+    results: Vec<TaskResult>,
+    next_instance_id: u32,
+    stats: EndpointStats,
+}
+
+impl ComputeEndpoint {
+    /// Create an endpoint managing the given cluster.
+    pub fn new(config: EndpointConfig, cluster: Cluster) -> Self {
+        ComputeEndpoint {
+            config,
+            scheduler: BatchScheduler::new(cluster),
+            instances: Vec::new(),
+            waiting: BTreeMap::new(),
+            task_of_request: HashMap::new(),
+            results: Vec::new(),
+            next_instance_id: 0,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Endpoint name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Cluster name this endpoint serves.
+    pub fn cluster_name(&self) -> &str {
+        &self.config.cluster
+    }
+
+    /// The endpoint configuration.
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
+    }
+
+    /// Endpoint statistics.
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// Publicly visible status of the underlying cluster.
+    pub fn cluster_status(&self) -> ClusterStatus {
+        self.scheduler.cluster_status()
+    }
+
+    /// Direct access to the batch scheduler (tests and the cold-start bench).
+    pub fn scheduler(&self) -> &BatchScheduler {
+        &self.scheduler
+    }
+
+    /// Mutable access to the batch scheduler (to inject background load).
+    pub fn scheduler_mut(&mut self) -> &mut BatchScheduler {
+        &mut self.scheduler
+    }
+
+    /// All instances (running and historical).
+    pub fn instances(&self) -> &[ModelInstance] {
+        &self.instances
+    }
+
+    /// Drain completed task results.
+    pub fn take_results(&mut self) -> Vec<TaskResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Per-model status for the `/jobs` endpoint.
+    pub fn model_status(&self, model: &str) -> ModelStatus {
+        let mut status = ModelStatus {
+            model: model.to_string(),
+            running: 0,
+            starting: 0,
+            queued: 0,
+            backlog: self.waiting.get(model).map(|q| q.len()).unwrap_or(0),
+        };
+        for inst in self.instances.iter().filter(|i| i.model == model) {
+            match inst.state {
+                InstanceState::Ready => status.running += 1,
+                InstanceState::Loading => status.starting += 1,
+                InstanceState::PendingJob => status.queued += 1,
+                _ => {}
+            }
+        }
+        status
+    }
+
+    /// Status of every hosted model.
+    pub fn all_model_statuses(&self) -> Vec<ModelStatus> {
+        self.config
+            .models
+            .iter()
+            .map(|m| self.model_status(&m.model.name))
+            .collect()
+    }
+
+    /// Whether the named model currently has a hot instance.
+    pub fn has_hot_instance(&self, model: &str) -> bool {
+        self.instances
+            .iter()
+            .any(|i| i.model == model && i.is_ready())
+    }
+
+    /// Receive a task from the cloud service at `now`. Returns `false` if the
+    /// endpoint does not host the requested model (a failed result is
+    /// produced in that case).
+    pub fn receive_task(&mut self, task: TaskId, request: InferenceRequest, now: SimTime) -> bool {
+        self.stats.tasks_received += 1;
+        if !self.config.hosts(&request.model) {
+            self.stats.tasks_failed += 1;
+            self.results.push(TaskResult {
+                task,
+                success: false,
+                completion: None,
+                error: Some(format!(
+                    "endpoint {} does not host model {}",
+                    self.config.name, request.model
+                )),
+                finished_at: now,
+            });
+            return false;
+        }
+        // Fail fast on misconfiguration: a hosting entry whose per-instance
+        // allocation can never be satisfied by this cluster would otherwise
+        // leave the task queued forever with no event to wake it.
+        if let Some(hosting) = self.config.hosting_for(&request.model) {
+            if !self.hosting_is_schedulable(hosting) {
+                self.stats.tasks_failed += 1;
+                self.results.push(TaskResult {
+                    task,
+                    success: false,
+                    completion: None,
+                    error: Some(format!(
+                        "model {} requires {} nodes x {} GPUs, which cluster {} cannot provide",
+                        request.model,
+                        hosting.nodes_per_instance,
+                        hosting.gpus_per_instance,
+                        self.config.cluster
+                    )),
+                    finished_at: now,
+                });
+                return false;
+            }
+        }
+        self.task_of_request.insert(request.id.0, task);
+        self.waiting
+            .entry(request.model.clone())
+            .or_default()
+            .push_back((task, request));
+        // React immediately: launch or assign without waiting for the next
+        // global advance round.
+        self.assign_and_scale(now);
+        true
+    }
+
+    /// Pre-warm `count` instances of a model (used by benchmarks that measure
+    /// steady-state multi-instance throughput, and by administrators who pin
+    /// popular models hot).
+    pub fn prewarm(&mut self, model: &str, count: u32, now: SimTime) -> u32 {
+        let Some(hosting) = self.config.hosting_for(model).cloned() else {
+            return 0;
+        };
+        if !self.hosting_is_schedulable(&hosting) {
+            return 0;
+        }
+        let mut launched = 0;
+        for _ in 0..count {
+            if self.active_instances(model) >= hosting.max_instances as usize {
+                break;
+            }
+            if self.launch_instance(&hosting, now, true) {
+                launched += 1;
+            }
+        }
+        launched
+    }
+
+    /// Simulate a crash of one hot instance of `model` (§3.2.2 fault
+    /// tolerance). In-flight tasks are re-queued; the process manager restarts
+    /// the instance if auto-restart is enabled.
+    pub fn inject_instance_failure(&mut self, model: &str, now: SimTime) -> bool {
+        let Some(idx) = self
+            .instances
+            .iter()
+            .position(|i| i.model == model && i.is_ready())
+        else {
+            return false;
+        };
+        // Re-queue whatever was running there.
+        let inst = &mut self.instances[idx];
+        inst.state = InstanceState::Failed;
+        inst.backend = None;
+        let in_flight = std::mem::take(&mut inst.in_flight);
+        let job = inst.job;
+        let model_name = inst.model.clone();
+        // The instance's tasks are retried from the endpoint queue. Their
+        // request payloads were consumed by the engine, so synthesise retries
+        // is not possible here; instead we fail them and count the restarts —
+        // the gateway retries idempotent requests.
+        for task in in_flight {
+            self.stats.tasks_failed += 1;
+            self.results.push(TaskResult {
+                task,
+                success: false,
+                completion: None,
+                error: Some("instance failure".to_string()),
+                finished_at: now,
+            });
+        }
+        self.scheduler.complete(job, now);
+        if self.config.auto_restart {
+            if let Some(hosting) = self.config.hosting_for(&model_name).cloned() {
+                self.launch_instance(&hosting, now, false);
+                self.stats.restarts += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether this cluster can ever satisfy one instance of the hosting
+    /// entry (enough nodes, and no node asked for more GPUs than it has).
+    fn hosting_is_schedulable(&self, hosting: &ModelHostingConfig) -> bool {
+        let cluster = self.scheduler.cluster();
+        hosting.gpus_per_instance <= cluster.max_gpus_per_node()
+            && hosting.nodes_per_instance <= cluster.node_count()
+    }
+
+    fn active_instances(&self, model: &str) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| {
+                i.model == model
+                    && matches!(
+                        i.state,
+                        InstanceState::PendingJob | InstanceState::Loading | InstanceState::Ready
+                    )
+            })
+            .count()
+    }
+
+    fn launch_instance(&mut self, hosting: &ModelHostingConfig, now: SimTime, hot: bool) -> bool {
+        let request = JobRequest {
+            nodes: hosting.nodes_per_instance,
+            gpus_per_node: hosting.gpus_per_instance,
+            walltime: hosting.job_walltime,
+            priority: JobPriority::High,
+            user: "first-service".to_string(),
+            tag: hosting.model.name.clone(),
+        }
+        .with_user(format!("endpoint:{}", self.config.name));
+        let job = self.scheduler.submit(request, now);
+        let started = self
+            .scheduler
+            .job(job)
+            .map(|j| j.state == JobState::Running)
+            .unwrap_or(false);
+        let id = self.next_instance_id;
+        self.next_instance_id += 1;
+        self.stats.instances_launched += 1;
+        let mut instance = ModelInstance {
+            id,
+            model: hosting.model.name.clone(),
+            job,
+            state: InstanceState::PendingJob,
+            backend: None,
+            in_flight: Vec::new(),
+            last_active: now,
+        };
+        if started {
+            Self::attach_backend(&self.config, hosting, &mut instance, now, hot);
+        }
+        self.instances.push(instance);
+        true
+    }
+
+    fn attach_backend(
+        config: &EndpointConfig,
+        hosting: &ModelHostingConfig,
+        instance: &mut ModelInstance,
+        start: SimTime,
+        hot: bool,
+    ) {
+        if hosting.is_embedding() {
+            instance.backend = Some(InstanceBackend::Embedding(EmbeddingEngine::new(
+                EmbeddingConfig::nv_embed(hosting.model.clone()),
+            )));
+            instance.state = InstanceState::Ready;
+        } else {
+            let engine_config = hosting.engine_config(config.gpu);
+            let engine = if hot {
+                VllmEngine::hot(engine_config, start)
+            } else {
+                VllmEngine::cold(engine_config, start)
+            };
+            instance.state = if hot {
+                InstanceState::Ready
+            } else {
+                InstanceState::Loading
+            };
+            instance.backend = Some(InstanceBackend::Vllm(engine));
+        }
+        instance.last_active = start;
+    }
+
+    /// Core per-advance work: react to scheduler events, drive backends,
+    /// collect completions, hand out waiting tasks, auto-scale and enforce the
+    /// idle timeout. Two passes so that work enabled by this pass (an instance
+    /// launched or becoming ready) is picked up immediately rather than on the
+    /// next advance.
+    fn assign_and_scale(&mut self, now: SimTime) {
+        self.assign_and_scale_pass(now);
+        self.assign_and_scale_pass(now);
+    }
+
+    fn assign_and_scale_pass(&mut self, now: SimTime) {
+        // 1. Scheduler events → instance state transitions.
+        self.scheduler.advance(now);
+        for ev in self.scheduler.take_events() {
+            use first_hpc::SchedulerEventKind as K;
+            match ev.kind {
+                K::Started => {
+                    if let Some(pos) = self
+                        .instances
+                        .iter()
+                        .position(|i| i.job == ev.job && i.state == InstanceState::PendingJob)
+                    {
+                        let model = self.instances[pos].model.clone();
+                        if let Some(hosting) = self.config.hosting_for(&model).cloned() {
+                            let config = self.config.clone();
+                            Self::attach_backend(
+                                &config,
+                                &hosting,
+                                &mut self.instances[pos],
+                                ev.time,
+                                false,
+                            );
+                        }
+                    }
+                }
+                K::TimedOut | K::Cancelled => {
+                    if let Some(inst) = self.instances.iter_mut().find(|i| i.job == ev.job) {
+                        if inst.state != InstanceState::Released {
+                            inst.state = InstanceState::Released;
+                            inst.backend = None;
+                        }
+                    }
+                }
+                K::Completed => {}
+            }
+        }
+
+        // 2. Drive backends and collect completions.
+        for inst in self.instances.iter_mut() {
+            let Some(backend) = inst.backend.as_mut() else { continue };
+            match backend {
+                InstanceBackend::Vllm(engine) => {
+                    engine.advance(now);
+                    if inst.state == InstanceState::Loading && engine.state() == EngineState::Ready
+                    {
+                        inst.state = InstanceState::Ready;
+                        inst.last_active = engine.ready_at();
+                    }
+                    for c in engine.take_completions() {
+                        if let Some(task) = self.task_of_request.remove(&c.id.0) {
+                            inst.in_flight.retain(|t| *t != task);
+                            inst.last_active = c.finished_at;
+                            self.stats.tasks_completed += 1;
+                            self.stats.output_tokens += c.output_tokens as u64;
+                            self.results.push(TaskResult {
+                                task,
+                                success: true,
+                                finished_at: c.finished_at,
+                                completion: Some(c),
+                                error: None,
+                            });
+                        }
+                    }
+                }
+                InstanceBackend::Embedding(engine) => {
+                    engine.advance(now);
+                    for c in engine.take_completions() {
+                        if let Some(task) = self.task_of_request.remove(&c.id.0) {
+                            inst.in_flight.retain(|t| *t != task);
+                            inst.last_active = c.finished_at;
+                            self.stats.tasks_completed += 1;
+                            self.results.push(TaskResult {
+                                task,
+                                success: true,
+                                finished_at: c.finished_at,
+                                completion: Some(c),
+                                error: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Assign waiting tasks to instances with free parallel slots.
+        let hostings: Vec<ModelHostingConfig> = self.config.models.clone();
+        for hosting in &hostings {
+            let model = hosting.model.name.clone();
+            let Some(queue) = self.waiting.get_mut(&model) else { continue };
+            if queue.is_empty() {
+                continue;
+            }
+            // Only hot instances receive work; tasks stay in the endpoint
+            // backlog while an instance is still loading so they can drain to
+            // whichever instance frees capacity first.
+            for inst in self
+                .instances
+                .iter_mut()
+                .filter(|i| i.model == model && i.backend.is_some())
+                .filter(|i| i.state == InstanceState::Ready)
+            {
+                while inst.in_flight.len() < hosting.max_parallel_tasks {
+                    let Some((task, request)) = queue.pop_front() else { break };
+                    match inst.backend.as_mut().expect("backend present") {
+                        InstanceBackend::Vllm(engine) => {
+                            engine.enqueue(request, now);
+                        }
+                        InstanceBackend::Embedding(engine) => {
+                            engine.submit(request, now);
+                        }
+                    }
+                    inst.in_flight.push(task);
+                    inst.last_active = now;
+                }
+                if queue.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        // 4. Auto-scaling: launch instances when the backlog exceeds what the
+        //    active instances can absorb.
+        for hosting in &hostings {
+            let model = &hosting.model.name;
+            let backlog = self.waiting.get(model).map(|q| q.len()).unwrap_or(0);
+            let in_flight: usize = self
+                .instances
+                .iter()
+                .filter(|i| &i.model == model)
+                .map(|i| i.in_flight())
+                .sum();
+            let active = self.active_instances(model);
+            let demand = backlog + in_flight;
+            let need_first = active == 0 && demand > 0;
+            let saturated =
+                active > 0 && demand > hosting.scale_up_threshold * active && backlog > 0;
+            if (need_first || saturated) && active < hosting.max_instances as usize {
+                self.launch_instance(hosting, now, false);
+            }
+        }
+
+        // 5. Hot-node management: release instances idle past the timeout.
+        for idx in 0..self.instances.len() {
+            let (release, job) = {
+                let inst = &self.instances[idx];
+                if inst.state != InstanceState::Ready || !inst.in_flight.is_empty() {
+                    (false, inst.job)
+                } else {
+                    let hosting = self.config.hosting_for(&inst.model);
+                    let timeout = hosting.map(|h| h.idle_timeout).unwrap_or_default();
+                    let backlog = self
+                        .waiting
+                        .get(&inst.model)
+                        .map(|q| !q.is_empty())
+                        .unwrap_or(false);
+                    (
+                        !backlog && now.saturating_since(inst.last_active) >= timeout,
+                        inst.job,
+                    )
+                }
+            };
+            if release {
+                let inst = &mut self.instances[idx];
+                inst.state = InstanceState::Released;
+                inst.backend = None;
+                self.scheduler.complete(job, now);
+                self.stats.instances_released += 1;
+            }
+        }
+    }
+
+    fn idle_release_deadline(&self) -> Option<SimTime> {
+        self.instances
+            .iter()
+            .filter(|i| i.state == InstanceState::Ready && i.in_flight.is_empty())
+            .filter_map(|i| {
+                self.config
+                    .hosting_for(&i.model)
+                    .map(|h| i.last_active + h.idle_timeout)
+            })
+            .min()
+    }
+}
+
+impl SimProcess for ComputeEndpoint {
+    fn next_event_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = SimProcess::next_event_time(&self.scheduler);
+        for inst in &self.instances {
+            let t = match &inst.backend {
+                Some(InstanceBackend::Vllm(e)) => SimProcess::next_event_time(e),
+                Some(InstanceBackend::Embedding(e)) => SimProcess::next_event_time(e),
+                None => None,
+            };
+            next = match (next, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        }
+        if let Some(d) = self.idle_release_deadline() {
+            next = Some(next.map_or(d, |n| n.min(d)));
+        }
+        next
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.assign_and_scale(now);
+    }
+
+    fn name(&self) -> &str {
+        "compute-endpoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelHostingConfig;
+    use first_desim::SimDuration;
+    use first_hpc::GpuModel;
+    use first_serving::find_model;
+
+    fn endpoint() -> ComputeEndpoint {
+        let config = EndpointConfig::new("sophia-endpoint", "sophia", GpuModel::A100_40)
+            .host(
+                ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40)
+                    .with_max_instances(4),
+            )
+            .host(ModelHostingConfig::new(
+                find_model("nv-embed-v2").unwrap(),
+                GpuModel::A100_40,
+            ));
+        ComputeEndpoint::new(config, Cluster::tiny("sophia", 8, 8))
+    }
+
+    fn drive(ep: &mut ComputeEndpoint, until: SimTime) {
+        let mut now = SimTime::ZERO;
+        while let Some(t) = SimProcess::next_event_time(ep) {
+            if t > until {
+                break;
+            }
+            now = t.max(now);
+            ep.advance(now);
+        }
+        ep.advance(until);
+    }
+
+    fn chat_req(id: u64) -> InferenceRequest {
+        InferenceRequest::chat(id, "meta-llama/Llama-3.3-70B-Instruct", 220, 150)
+    }
+
+    #[test]
+    fn infeasible_hosting_fails_tasks_fast_instead_of_hanging() {
+        // A Polaris-like 4-GPU-per-node cluster misconfigured with the
+        // Sophia-style 1x8-GPU hosting entry for Llama 70B: the allocation can
+        // never be satisfied, so tasks must fail immediately with a clear
+        // error rather than queue forever.
+        let config = EndpointConfig::new("polaris-endpoint", "polaris", GpuModel::A100_40).host(
+            ModelHostingConfig::for_node_size(
+                find_model("llama-70b").unwrap(),
+                GpuModel::A100_40,
+                8,
+            ),
+        );
+        let mut ep = ComputeEndpoint::new(config, Cluster::tiny("polaris", 8, 4));
+        // Prewarming an infeasible entry launches nothing.
+        assert_eq!(ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO), 0);
+        assert!(!ep.receive_task(TaskId(1), chat_req(1), SimTime::ZERO));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].success);
+        assert!(results[0].error.as_deref().unwrap_or("").contains("cannot provide"));
+
+        // The properly sized 2x4-GPU entry for the same cluster works.
+        let config = EndpointConfig::new("polaris-endpoint", "polaris", GpuModel::A100_40).host(
+            ModelHostingConfig::for_node_size(
+                find_model("llama-70b").unwrap(),
+                GpuModel::A100_40,
+                4,
+            ),
+        );
+        let mut ep = ComputeEndpoint::new(config, Cluster::tiny("polaris", 8, 4));
+        assert_eq!(ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO), 1);
+        assert!(ep.receive_task(TaskId(2), chat_req(2), SimTime::ZERO));
+        drive(&mut ep, SimTime::from_secs(300));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].success);
+    }
+
+    #[test]
+    fn first_request_triggers_cold_start_and_completes() {
+        let mut ep = endpoint();
+        assert!(ep.receive_task(TaskId(1), chat_req(1), SimTime::ZERO));
+        // The model is not hot: /jobs should say "starting" (node allocated
+        // instantly on the empty cluster, weights loading).
+        let status = ep.model_status("meta-llama/Llama-3.3-70B-Instruct");
+        assert_eq!(status.state_label(), "starting");
+        drive(&mut ep, SimTime::from_secs(600));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].success);
+        // Completion happens only after the cold start (~2 min for 70B).
+        assert!(results[0].finished_at.as_secs_f64() > 60.0);
+        assert!(ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
+    }
+
+    #[test]
+    fn hot_instance_serves_follow_up_quickly() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        assert!(ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
+        ep.receive_task(TaskId(1), chat_req(1), SimTime::from_secs(10));
+        drive(&mut ep, SimTime::from_secs(120));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        let latency = results[0].finished_at.as_secs_f64() - 10.0;
+        assert!(latency < 10.0, "hot latency {latency}");
+    }
+
+    #[test]
+    fn unknown_model_fails_immediately() {
+        let mut ep = endpoint();
+        let req = InferenceRequest::chat(5, "not-hosted", 10, 10);
+        assert!(!ep.receive_task(TaskId(5), req, SimTime::ZERO));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].success);
+    }
+
+    #[test]
+    fn autoscaling_launches_additional_instances_under_load() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        // Far more outstanding work than one instance's scale-up threshold.
+        for i in 0..500 {
+            ep.receive_task(TaskId(i), chat_req(i), SimTime::ZERO);
+        }
+        ep.advance(SimTime::from_secs(1));
+        let model = "meta-llama/Llama-3.3-70B-Instruct";
+        let active = ep
+            .instances()
+            .iter()
+            .filter(|i| i.model == model && i.state != InstanceState::Released)
+            .count();
+        assert!(active >= 2, "expected scale-up, got {active} instances");
+        assert!(active <= 4, "must respect max_instances");
+    }
+
+    #[test]
+    fn idle_timeout_releases_warm_nodes() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        ep.receive_task(TaskId(1), chat_req(1), SimTime::ZERO);
+        drive(&mut ep, SimTime::from_secs(300));
+        assert_eq!(ep.take_results().len(), 1);
+        let busy_gpus_before = ep.cluster_status().total_gpus - ep.cluster_status().free_gpus;
+        assert!(busy_gpus_before >= 8);
+        // Two hours of idleness later the node is released.
+        drive(&mut ep, SimTime::from_secs(300) + SimDuration::from_hours(3));
+        assert!(!ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
+        assert_eq!(ep.cluster_status().free_gpus, ep.cluster_status().total_gpus);
+        assert!(ep.stats().instances_released >= 1);
+    }
+
+    #[test]
+    fn embedding_model_served_without_cold_start() {
+        let mut ep = endpoint();
+        ep.receive_task(
+            TaskId(9),
+            InferenceRequest::embedding(9, "nvidia/NV-Embed-v2", 512),
+            SimTime::ZERO,
+        );
+        drive(&mut ep, SimTime::from_secs(60));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].success);
+        assert!(results[0].finished_at.as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn instance_failure_restarts_automatically() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        assert!(ep.inject_instance_failure("meta-llama/Llama-3.3-70B-Instruct", SimTime::from_secs(5)));
+        assert_eq!(ep.stats().restarts, 1);
+        // A replacement instance is starting.
+        let status = ep.model_status("meta-llama/Llama-3.3-70B-Instruct");
+        assert!(status.starting + status.queued >= 1);
+        drive(&mut ep, SimTime::from_secs(600));
+        assert!(ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
+    }
+
+    #[test]
+    fn max_parallel_tasks_bounds_in_flight_per_instance() {
+        let config = EndpointConfig::new("e", "c", GpuModel::A100_40).host(
+            ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40)
+                .with_max_parallel_tasks(4)
+                .with_max_instances(1),
+        );
+        let mut ep = ComputeEndpoint::new(config, Cluster::tiny("c", 2, 8));
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        for i in 0..20 {
+            ep.receive_task(TaskId(i), chat_req(i), SimTime::ZERO);
+        }
+        ep.advance(SimTime::from_millis(100));
+        let inst = ep
+            .instances()
+            .iter()
+            .find(|i| i.is_ready())
+            .expect("hot instance");
+        assert!(inst.in_flight() <= 4);
+        let status = ep.model_status("meta-llama/Llama-3.3-70B-Instruct");
+        assert!(status.backlog >= 16);
+    }
+
+    #[test]
+    fn cluster_saturation_queues_instances() {
+        // One-node cluster: a second instance cannot start until resources free.
+        let config = EndpointConfig::new("e", "c", GpuModel::A100_40).host(
+            ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40)
+                .with_max_instances(2)
+                .with_max_parallel_tasks(2),
+        );
+        let mut ep = ComputeEndpoint::new(config, Cluster::tiny("c", 1, 8));
+        for i in 0..50 {
+            ep.receive_task(TaskId(i), chat_req(i), SimTime::ZERO);
+        }
+        ep.advance(SimTime::from_secs(1));
+        let status = ep.model_status("meta-llama/Llama-3.3-70B-Instruct");
+        assert!(status.queued >= 1, "second instance should wait for nodes: {status:?}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Registered functions and task lifecycle records.
+//!
+//! Globus Compute executes only functions pre-registered by the FIRST
+//! administrators (§3.2.2 "Security"); every inference request becomes a task
+//! invoking one of those functions on a chosen endpoint.
+
+use first_desim::{SimDuration, SimTime};
+use first_serving::{InferenceCompletion, InferenceRequest};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub u32);
+
+/// A function administrators registered on the endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisteredFunction {
+    /// Function identifier.
+    pub id: FunctionId,
+    /// Human-readable name (e.g. `"run_vllm_inference"`).
+    pub name: String,
+    /// What the function does.
+    pub description: String,
+}
+
+/// Registry of pre-registered functions. Only these may execute on endpoints.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FunctionRegistry {
+    functions: Vec<RegisteredFunction>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard FIRST function set: interactive inference, batch
+    /// inference, and embedding generation.
+    pub fn standard() -> Self {
+        let mut reg = Self::new();
+        reg.register("run_vllm_inference", "Run one interactive inference request");
+        reg.register("run_vllm_batch", "Run an offline batch inference job");
+        reg.register("run_embedding", "Generate embeddings for input texts");
+        reg
+    }
+
+    /// Register a function; returns its id.
+    pub fn register(&mut self, name: &str, description: &str) -> FunctionId {
+        let id = FunctionId(self.functions.len() as u32);
+        self.functions.push(RegisteredFunction {
+            id,
+            name: name.to_string(),
+            description: description.to_string(),
+        });
+        id
+    }
+
+    /// Look up a function by id.
+    pub fn get(&self, id: FunctionId) -> Option<&RegisteredFunction> {
+        self.functions.iter().find(|f| f.id == id)
+    }
+
+    /// Look up a function by name.
+    pub fn find_by_name(&self, name: &str) -> Option<&RegisteredFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Whether the id refers to a registered function.
+    pub fn is_registered(&self, id: FunctionId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+/// Identifier of a task submitted to the compute service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Accepted by the cloud service, waiting to be dispatched.
+    QueuedAtService,
+    /// Dispatched; travelling to / waiting at the endpoint.
+    AtEndpoint,
+    /// Executing on an engine instance.
+    Running,
+    /// Finished; result is (or will shortly be) available to the client.
+    Completed,
+    /// Failed (endpoint refused it or the instance died without retry budget).
+    Failed,
+}
+
+/// The payload carried by an inference task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskPayload {
+    /// The inference request to execute.
+    pub request: InferenceRequest,
+}
+
+/// Completed task outcome as relayed back through the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Task identifier.
+    pub task: TaskId,
+    /// Whether execution succeeded.
+    pub success: bool,
+    /// The engine completion when successful.
+    pub completion: Option<InferenceCompletion>,
+    /// Error description when failed.
+    pub error: Option<String>,
+    /// When the endpoint finished executing.
+    pub finished_at: SimTime,
+}
+
+/// Full task record kept by the compute service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Function being invoked.
+    pub function: FunctionId,
+    /// Target endpoint name.
+    pub endpoint: String,
+    /// Submission time at the service.
+    pub submitted_at: SimTime,
+    /// Current state.
+    pub state: TaskState,
+    /// Result, once completed or failed.
+    pub result: Option<TaskResult>,
+    /// When the result became available for the client to fetch.
+    pub result_available_at: Option<SimTime>,
+}
+
+impl TaskRecord {
+    /// Service-side latency: submission until the result became available.
+    pub fn service_latency(&self) -> Option<SimDuration> {
+        self.result_available_at.map(|t| t - self.submitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_the_three_first_functions() {
+        let reg = FunctionRegistry::standard();
+        assert_eq!(reg.len(), 3);
+        assert!(reg.find_by_name("run_vllm_inference").is_some());
+        assert!(reg.find_by_name("run_vllm_batch").is_some());
+        assert!(reg.find_by_name("run_embedding").is_some());
+        assert!(reg.find_by_name("rm -rf /").is_none());
+    }
+
+    #[test]
+    fn only_registered_ids_are_valid() {
+        let mut reg = FunctionRegistry::new();
+        let id = reg.register("f", "d");
+        assert!(reg.is_registered(id));
+        assert!(!reg.is_registered(FunctionId(99)));
+        assert_eq!(reg.get(id).unwrap().name, "f");
+    }
+
+    #[test]
+    fn task_record_latency() {
+        let rec = TaskRecord {
+            id: TaskId(1),
+            function: FunctionId(0),
+            endpoint: "sophia".into(),
+            submitted_at: SimTime::from_secs(10),
+            state: TaskState::Completed,
+            result: None,
+            result_available_at: Some(SimTime::from_secs(25)),
+        };
+        assert_eq!(rec.service_latency(), Some(SimDuration::from_secs(15)));
+    }
+}

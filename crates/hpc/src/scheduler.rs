@@ -1,0 +1,573 @@
+//! PBS-style batch scheduler.
+//!
+//! Models the part of the facility stack FIRST interacts with (§2.3, §4.3):
+//! jobs are submitted to a queue, wait for node/GPU allocation, run until
+//! released by their owner or killed at their walltime limit, and the queue is
+//! drained in priority order with simple backfill so small jobs can slip past
+//! blocked large ones — the behaviour that shapes cold-start wait times.
+
+use crate::cluster::{Cluster, ClusterStatus};
+use crate::job::{Allocation, JobId, JobRecord, JobRequest, JobState};
+use crate::node::NodeId;
+use first_desim::{SimDuration, SimProcess, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Events emitted by the scheduler as jobs change state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerEvent {
+    /// When the transition happened.
+    pub time: SimTime,
+    /// Which job.
+    pub job: JobId,
+    /// What happened.
+    pub kind: SchedulerEventKind,
+}
+
+/// The kind of job state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerEventKind {
+    /// Resources granted; job processes launched.
+    Started,
+    /// Job released its resources normally.
+    Completed,
+    /// Job exceeded its walltime and was killed.
+    TimedOut,
+    /// Job was cancelled.
+    Cancelled,
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs started.
+    pub started: u64,
+    /// Jobs completed normally.
+    pub completed: u64,
+    /// Jobs killed at walltime.
+    pub timed_out: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Sum of queue-wait seconds over started jobs (for mean wait).
+    pub total_queue_wait_secs: f64,
+}
+
+impl SchedulerStats {
+    /// Mean queue wait over all started jobs, in seconds.
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        if self.started == 0 {
+            0.0
+        } else {
+            self.total_queue_wait_secs / self.started as f64
+        }
+    }
+}
+
+/// The batch scheduler for one cluster.
+#[derive(Debug, Clone)]
+pub struct BatchScheduler {
+    cluster: Cluster,
+    jobs: BTreeMap<JobId, JobRecord>,
+    queue: Vec<JobId>,
+    events: Vec<SchedulerEvent>,
+    stats: SchedulerStats,
+    next_id: u64,
+    last_advance: SimTime,
+}
+
+impl BatchScheduler {
+    /// Create a scheduler managing the given cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        BatchScheduler {
+            cluster,
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            events: Vec::new(),
+            stats: SchedulerStats::default(),
+            next_id: 1,
+            last_advance: SimTime::ZERO,
+        }
+    }
+
+    /// The managed cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the managed cluster (e.g. to drain a node).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Publicly visible cluster occupancy.
+    pub fn cluster_status(&self) -> ClusterStatus {
+        self.cluster.status()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Look up a job record.
+    pub fn job(&self, id: JobId) -> Option<&JobRecord> {
+        self.jobs.get(&id)
+    }
+
+    /// All job records (for the `/jobs` endpoint and tests).
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of currently running jobs.
+    pub fn running_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    }
+
+    /// Drain the accumulated state-transition events.
+    pub fn take_events(&mut self) -> Vec<SchedulerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submit a job. The job may start immediately if resources are free.
+    pub fn submit(&mut self, request: JobRequest, now: SimTime) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                request,
+                state: JobState::Queued,
+                submitted_at: now,
+                started_at: None,
+                ended_at: None,
+                allocation: Allocation::default(),
+            },
+        );
+        self.queue.push(id);
+        self.stats.submitted += 1;
+        self.try_schedule(now);
+        id
+    }
+
+    /// Cancel a queued or running job.
+    pub fn cancel(&mut self, id: JobId, now: SimTime) -> bool {
+        let Some(rec) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if !rec.state.is_active() {
+            return false;
+        }
+        if rec.state == JobState::Running {
+            let alloc = std::mem::take(&mut rec.allocation);
+            Self::release_allocation(&mut self.cluster, &alloc);
+        }
+        rec.state = JobState::Cancelled;
+        rec.ended_at = Some(now);
+        self.queue.retain(|&q| q != id);
+        self.stats.cancelled += 1;
+        self.events.push(SchedulerEvent {
+            time: now,
+            job: id,
+            kind: SchedulerEventKind::Cancelled,
+        });
+        self.try_schedule(now);
+        true
+    }
+
+    /// Release a running job's resources (normal completion).
+    pub fn complete(&mut self, id: JobId, now: SimTime) -> bool {
+        let Some(rec) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if rec.state != JobState::Running {
+            return false;
+        }
+        let alloc = std::mem::take(&mut rec.allocation);
+        Self::release_allocation(&mut self.cluster, &alloc);
+        rec.state = JobState::Completed;
+        rec.ended_at = Some(now);
+        self.stats.completed += 1;
+        self.events.push(SchedulerEvent {
+            time: now,
+            job: id,
+            kind: SchedulerEventKind::Completed,
+        });
+        self.try_schedule(now);
+        true
+    }
+
+    fn release_allocation(cluster: &mut Cluster, alloc: &Allocation) {
+        for (node_id, gpus) in &alloc.placements {
+            if let Some(node) = cluster.node_mut(*node_id) {
+                node.release_gpus(gpus);
+            }
+        }
+    }
+
+    /// Attempt to place a request without mutating anything; returns the
+    /// candidate placement if it fits right now.
+    fn find_placement(&self, request: &JobRequest) -> Option<Vec<(NodeId, u32)>> {
+        let per_node = if request.gpus_per_node == 0 {
+            None // whole node
+        } else {
+            Some(request.gpus_per_node)
+        };
+        let mut chosen: Vec<(NodeId, u32)> = Vec::new();
+        for node in &self.cluster.nodes {
+            if chosen.len() as u32 == request.nodes {
+                break;
+            }
+            if node.offline {
+                continue;
+            }
+            match per_node {
+                None => {
+                    if node.is_idle() && node.gpu_count() > 0 {
+                        chosen.push((node.id, node.gpu_count()));
+                    }
+                }
+                Some(g) => {
+                    if node.free_gpus() >= g {
+                        chosen.push((node.id, g));
+                    }
+                }
+            }
+        }
+        if chosen.len() as u32 == request.nodes {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a request could start immediately given current occupancy.
+    pub fn would_fit_now(&self, request: &JobRequest) -> bool {
+        self.find_placement(request).is_some()
+    }
+
+    /// Rough wait estimate used by the `/jobs` endpoint: zero when the request
+    /// fits now, otherwise the time until the earliest running-job deadline.
+    pub fn estimate_queue_wait(&self, request: &JobRequest, now: SimTime) -> SimDuration {
+        if self.would_fit_now(request) && self.queue.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .filter_map(|j| j.deadline())
+            .min()
+            .map(|d| d.saturating_since(now))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Scan the queue (priority order, then FIFO, with backfill) and start
+    /// every job that fits.
+    fn try_schedule(&mut self, now: SimTime) {
+        // Sort a copy of the queue indices by (priority desc, submit order asc).
+        let mut order: Vec<JobId> = self.queue.clone();
+        order.sort_by_key(|id| {
+            let rec = &self.jobs[id];
+            (std::cmp::Reverse(rec.request.priority as u8), rec.submitted_at, id.0)
+        });
+
+        for id in order {
+            let Some(rec) = self.jobs.get(&id) else { continue };
+            if rec.state != JobState::Queued {
+                continue;
+            }
+            let Some(placement) = self.find_placement(&rec.request) else {
+                // Backfill: a job that does not fit is skipped; later (smaller)
+                // jobs may still start. High-priority blocking is intentionally
+                // not modelled — inference service jobs are small relative to
+                // the cluster and the paper relies on shared-queue behaviour.
+                continue;
+            };
+            // Perform the allocation.
+            let mut placements = Vec::with_capacity(placement.len());
+            for (node_id, count) in placement {
+                let node = self
+                    .cluster
+                    .node_mut(node_id)
+                    .expect("placement referenced a known node");
+                let gpus = node
+                    .allocate_gpus(count)
+                    .expect("placement verified free GPUs");
+                placements.push((node_id, gpus));
+            }
+            let rec = self.jobs.get_mut(&id).expect("job exists");
+            rec.allocation = Allocation { placements };
+            rec.state = JobState::Running;
+            rec.started_at = Some(now);
+            self.queue.retain(|&q| q != id);
+            self.stats.started += 1;
+            self.stats.total_queue_wait_secs += rec.queue_wait(now).as_secs_f64();
+            self.events.push(SchedulerEvent {
+                time: now,
+                job: id,
+                kind: SchedulerEventKind::Started,
+            });
+        }
+    }
+
+    /// Kill jobs whose walltime expired at or before `now`.
+    fn enforce_walltime(&mut self, now: SimTime) {
+        let expired: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .filter(|j| j.deadline().map(|d| d <= now).unwrap_or(false))
+            .map(|j| j.id)
+            .collect();
+        for id in expired {
+            let rec = self.jobs.get_mut(&id).expect("job exists");
+            let alloc = std::mem::take(&mut rec.allocation);
+            Self::release_allocation(&mut self.cluster, &alloc);
+            let rec = self.jobs.get_mut(&id).expect("job exists");
+            rec.state = JobState::TimedOut;
+            rec.ended_at = rec.deadline().or(Some(now));
+            self.stats.timed_out += 1;
+            self.events.push(SchedulerEvent {
+                time: rec.ended_at.unwrap_or(now),
+                job: id,
+                kind: SchedulerEventKind::TimedOut,
+            });
+        }
+    }
+}
+
+impl SimProcess for BatchScheduler {
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .filter_map(|j| j.deadline())
+            .min()
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time went backwards");
+        self.last_advance = now;
+        self.enforce_walltime(now);
+        self.try_schedule(now);
+    }
+
+    fn name(&self) -> &str {
+        "batch-scheduler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobPriority;
+
+    fn scheduler(nodes: u32, gpus: u32) -> BatchScheduler {
+        BatchScheduler::new(Cluster::tiny("test", nodes, gpus))
+    }
+
+    #[test]
+    fn job_starts_immediately_when_resources_free() {
+        let mut s = scheduler(2, 8);
+        let id = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(2), "llama-70b"),
+            SimTime::ZERO,
+        );
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        assert_eq!(s.running_count(), 1);
+        assert_eq!(s.cluster_status().idle_nodes, 1);
+        let events = s.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SchedulerEventKind::Started);
+    }
+
+    #[test]
+    fn job_queues_when_cluster_full_and_starts_on_release() {
+        let mut s = scheduler(1, 8);
+        let a = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(2), "a"),
+            SimTime::ZERO,
+        );
+        let b = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(2), "b"),
+            SimTime::from_secs(10),
+        );
+        assert_eq!(s.job(b).unwrap().state, JobState::Queued);
+        assert_eq!(s.queued_count(), 1);
+
+        s.complete(a, SimTime::from_secs(500));
+        assert_eq!(s.job(b).unwrap().state, JobState::Running);
+        assert_eq!(
+            s.job(b).unwrap().queue_wait(SimTime::from_secs(500)),
+            SimDuration::from_secs(490)
+        );
+    }
+
+    #[test]
+    fn gpu_colocation_on_one_node() {
+        // 70B on 6 GPUs plus 8B and 7B on one GPU each — the §3.2.2 example.
+        let mut s = scheduler(1, 8);
+        let a = s.submit(
+            JobRequest::single_node(6, SimDuration::from_hours(2), "llama-70b"),
+            SimTime::ZERO,
+        );
+        let b = s.submit(
+            JobRequest::single_node(1, SimDuration::from_hours(2), "llama-8b"),
+            SimTime::ZERO,
+        );
+        let c = s.submit(
+            JobRequest::single_node(1, SimDuration::from_hours(2), "mistral-7b"),
+            SimTime::ZERO,
+        );
+        for id in [a, b, c] {
+            assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        }
+        assert_eq!(s.cluster_status().free_gpus, 0);
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_pass_blocked_large_ones() {
+        let mut s = scheduler(2, 8);
+        // Fill one node.
+        s.submit(JobRequest::single_node(8, SimDuration::from_hours(4), "big0"), SimTime::ZERO);
+        // Needs two whole nodes -> cannot start.
+        let blocked = s.submit(
+            JobRequest::multi_node(2, 8, SimDuration::from_hours(4), "blocked"),
+            SimTime::ZERO,
+        );
+        // Small job fits on the second node and should backfill past it.
+        let small = s.submit(
+            JobRequest::single_node(2, SimDuration::from_hours(1), "small"),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(s.job(blocked).unwrap().state, JobState::Queued);
+        assert_eq!(s.job(small).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn walltime_enforcement_frees_resources() {
+        let mut s = scheduler(1, 8);
+        let id = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(2), "a"),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            SimProcess::next_event_time(&s),
+            Some(SimTime::from_secs(7200))
+        );
+        s.advance(SimTime::from_secs(7200));
+        assert_eq!(s.job(id).unwrap().state, JobState::TimedOut);
+        assert_eq!(s.cluster_status().free_gpus, 8);
+        assert_eq!(s.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn walltime_expiry_lets_queued_job_start() {
+        let mut s = scheduler(1, 8);
+        s.submit(JobRequest::single_node(8, SimDuration::from_hours(1), "a"), SimTime::ZERO);
+        let b = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "b"),
+            SimTime::ZERO,
+        );
+        s.advance(SimTime::from_secs(3600));
+        assert_eq!(s.job(b).unwrap().state, JobState::Running);
+        assert_eq!(s.job(b).unwrap().started_at, Some(SimTime::from_secs(3600)));
+    }
+
+    #[test]
+    fn cancel_queued_and_running_jobs() {
+        let mut s = scheduler(1, 4);
+        let a = s.submit(JobRequest::single_node(4, SimDuration::from_hours(1), "a"), SimTime::ZERO);
+        let b = s.submit(JobRequest::single_node(4, SimDuration::from_hours(1), "b"), SimTime::ZERO);
+        assert!(s.cancel(b, SimTime::from_secs(5)));
+        assert_eq!(s.job(b).unwrap().state, JobState::Cancelled);
+        assert!(s.cancel(a, SimTime::from_secs(6)));
+        assert_eq!(s.cluster_status().free_gpus, 4);
+        // Cancelling twice is a no-op.
+        assert!(!s.cancel(a, SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn high_priority_jobs_start_first() {
+        let mut s = scheduler(1, 8);
+        let running = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "running"),
+            SimTime::ZERO,
+        );
+        let normal = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "normal"),
+            SimTime::from_secs(1),
+        );
+        let urgent = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "urgent")
+                .with_priority(JobPriority::High),
+            SimTime::from_secs(2),
+        );
+        s.complete(running, SimTime::from_secs(100));
+        assert_eq!(s.job(urgent).unwrap().state, JobState::Running);
+        assert_eq!(s.job(normal).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn multi_node_allocation_for_large_models() {
+        let mut s = scheduler(4, 8);
+        let id = s.submit(
+            JobRequest::multi_node(3, 8, SimDuration::from_hours(2), "llama-405b"),
+            SimTime::ZERO,
+        );
+        let rec = s.job(id).unwrap();
+        assert_eq!(rec.state, JobState::Running);
+        assert_eq!(rec.allocation.total_gpus(), 24);
+        assert_eq!(rec.allocation.nodes().len(), 3);
+    }
+
+    #[test]
+    fn whole_node_requests_require_idle_nodes() {
+        let mut s = scheduler(2, 8);
+        s.submit(JobRequest::single_node(1, SimDuration::from_hours(1), "tiny"), SimTime::ZERO);
+        // gpus_per_node == 0 means "whole node": only one node is fully idle.
+        let whole = JobRequest {
+            nodes: 2,
+            gpus_per_node: 0,
+            walltime: SimDuration::from_hours(1),
+            priority: JobPriority::Normal,
+            user: "u".into(),
+            tag: "whole".into(),
+        };
+        let id = s.submit(whole, SimTime::ZERO);
+        assert_eq!(s.job(id).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn queue_wait_estimate_is_zero_when_idle() {
+        let mut s = scheduler(2, 8);
+        let req = JobRequest::single_node(8, SimDuration::from_hours(1), "m");
+        assert_eq!(s.estimate_queue_wait(&req, SimTime::ZERO), SimDuration::ZERO);
+        s.submit(req.clone(), SimTime::ZERO);
+        s.submit(req.clone(), SimTime::ZERO);
+        // Cluster now full: estimate points at the earliest deadline.
+        let est = s.estimate_queue_wait(&req, SimTime::from_secs(600));
+        assert_eq!(est, SimDuration::from_secs(3000));
+    }
+
+    #[test]
+    fn stats_track_queue_waits() {
+        let mut s = scheduler(1, 8);
+        let a = s.submit(JobRequest::single_node(8, SimDuration::from_hours(1), "a"), SimTime::ZERO);
+        s.submit(JobRequest::single_node(8, SimDuration::from_hours(1), "b"), SimTime::ZERO);
+        s.complete(a, SimTime::from_secs(100));
+        assert_eq!(s.stats().started, 2);
+        assert!((s.stats().mean_queue_wait_secs() - 50.0).abs() < 1e-9);
+    }
+}

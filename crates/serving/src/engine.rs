@@ -1,0 +1,576 @@
+//! vLLM-style continuous-batching serving engine.
+//!
+//! Models the behaviour that matters for the paper's evaluation: requests
+//! wait until the PagedAttention block pool and the `max_num_seqs` limit admit
+//! them, every running sequence generates one token per decode step, step time
+//! grows mildly with batch size (so aggregate throughput saturates), and a
+//! cold engine spends a model-size-dependent time loading weights before it
+//! serves anything (§4.3).
+
+use crate::kvcache::{BlockPool, DEFAULT_BLOCK_TOKENS};
+use crate::model::ModelSpec;
+use crate::perf::PerfModel;
+use crate::request::{InferenceCompletion, InferenceRequest};
+use first_desim::{SimDuration, SimProcess, SimTime};
+use first_hpc::GpuModel;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Engine instance configuration (the knobs an administrator sets when
+/// registering a model on an endpoint).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Model being served.
+    pub model: ModelSpec,
+    /// GPU type of the hosting node(s).
+    pub gpu: GpuModel,
+    /// Tensor-parallel degree (GPUs participating in each forward pass).
+    pub tensor_parallel: u32,
+    /// Total GPUs allocated to this instance (usually equals `tensor_parallel`).
+    pub gpus_total: u32,
+    /// Nodes spanned by the instance.
+    pub nodes: u32,
+    /// Maximum concurrently running sequences (vLLM `max_num_seqs`).
+    pub max_num_seqs: usize,
+    /// Fraction of GPU memory the engine may use (vLLM `gpu_memory_utilization`).
+    pub gpu_memory_utilization: f64,
+    /// Performance-model coefficients.
+    pub perf: PerfModel,
+}
+
+impl EngineConfig {
+    /// Configuration for a model at its recommended TP degree on the given GPU.
+    pub fn for_model(model: ModelSpec, gpu: GpuModel) -> Self {
+        let tp = model.recommended_tp.max(1);
+        EngineConfig {
+            gpus_total: tp,
+            nodes: tp.div_ceil(8).max(1),
+            tensor_parallel: tp,
+            model,
+            gpu,
+            max_num_seqs: 256,
+            gpu_memory_utilization: 0.90,
+            perf: PerfModel::default(),
+        }
+    }
+
+    /// Size the KV block pool from the memory left after the weights.
+    pub fn kv_pool(&self) -> BlockPool {
+        let total_vram = self.gpu.vram_gb() * self.gpus_total as f64;
+        let free = (total_vram * self.gpu_memory_utilization - self.model.weight_gb()).max(2.0);
+        BlockPool::from_memory(free, self.model.kv_mb_per_token(), DEFAULT_BLOCK_TOKENS)
+    }
+
+    /// Cold-start duration for this configuration.
+    pub fn cold_start_time(&self) -> SimDuration {
+        self.perf
+            .weight_load_time(&self.model, self.gpu, self.tensor_parallel, self.nodes)
+    }
+}
+
+/// Lifecycle state of an engine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineState {
+    /// Weights are loading; no requests are served yet.
+    Loading,
+    /// Serving.
+    Ready,
+    /// Shut down (released by its endpoint); accepts nothing.
+    Stopped,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Requests accepted into the waiting queue.
+    pub accepted: u64,
+    /// Requests rejected (e.g. longer than the KV pool can ever hold).
+    pub rejected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Output tokens generated.
+    pub output_tokens: u64,
+    /// Prompt tokens prefilled.
+    pub prompt_tokens: u64,
+    /// Decode steps executed.
+    pub decode_steps: u64,
+    /// Total time the engine spent executing steps, in seconds.
+    pub busy_secs: f64,
+    /// Maximum concurrent batch size observed.
+    pub peak_batch: usize,
+}
+
+#[derive(Debug, Clone)]
+struct WaitingRequest {
+    req: InferenceRequest,
+    enqueued_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct RunningSeq {
+    req: InferenceRequest,
+    accepted_at: SimTime,
+    first_token_at: Option<SimTime>,
+    generated: u32,
+}
+
+/// A single serving-engine instance.
+#[derive(Debug, Clone)]
+pub struct VllmEngine {
+    config: EngineConfig,
+    state: EngineState,
+    ready_at: SimTime,
+    kv: BlockPool,
+    waiting: VecDeque<WaitingRequest>,
+    running: Vec<RunningSeq>,
+    next_step_at: Option<SimTime>,
+    completions: Vec<InferenceCompletion>,
+    stats: EngineStats,
+}
+
+impl VllmEngine {
+    /// Create a cold engine that begins loading weights at `start`.
+    pub fn cold(config: EngineConfig, start: SimTime) -> Self {
+        let ready_at = start + config.cold_start_time();
+        let kv = config.kv_pool();
+        VllmEngine {
+            config,
+            state: EngineState::Loading,
+            ready_at,
+            kv,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            next_step_at: None,
+            completions: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Create an engine that is already hot (warm node) at `now`.
+    pub fn hot(config: EngineConfig, now: SimTime) -> Self {
+        let mut e = Self::cold(config, now);
+        e.state = EngineState::Ready;
+        e.ready_at = now;
+        e
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> EngineState {
+        self.state
+    }
+
+    /// Instant at which the engine is (or will be) ready.
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// Whether the engine is ready to serve at `now`.
+    pub fn is_ready(&self, now: SimTime) -> bool {
+        self.state == EngineState::Ready
+            || (self.state == EngineState::Loading && now >= self.ready_at)
+    }
+
+    /// Stop the engine (hot-node release). Outstanding work is dropped.
+    pub fn stop(&mut self) {
+        self.state = EngineState::Stopped;
+        self.waiting.clear();
+        self.running.clear();
+        self.next_step_at = None;
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Requests waiting for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Currently running sequences (the continuous-batching batch size).
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether the engine has no queued or running work.
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.running.is_empty()
+    }
+
+    /// KV block pool utilization (0.0–1.0).
+    pub fn kv_utilization(&self) -> f64 {
+        self.kv.utilization()
+    }
+
+    /// Drain accumulated completions.
+    pub fn take_completions(&mut self) -> Vec<InferenceCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Enqueue a request. Returns `false` (and drops the request) if the
+    /// engine is stopped or the request can never fit in the KV pool.
+    pub fn enqueue(&mut self, req: InferenceRequest, now: SimTime) -> bool {
+        if self.state == EngineState::Stopped {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if !BlockPool::new(self.kv.total_blocks(), self.kv.block_tokens)
+            .can_admit(req.total_tokens())
+        {
+            self.stats.rejected += 1;
+            return false;
+        }
+        self.stats.accepted += 1;
+        self.waiting.push_back(WaitingRequest {
+            req,
+            enqueued_at: now,
+        });
+        if self.state == EngineState::Ready && self.next_step_at.is_none() {
+            self.next_step_at = Some(now.max(self.ready_at));
+        }
+        true
+    }
+
+    /// Admit waiting requests into the running batch. Returns the total
+    /// prefill time consumed by newly admitted sequences.
+    fn admit(&mut self, now: SimTime) -> SimDuration {
+        let mut prefill = SimDuration::ZERO;
+        while self.running.len() < self.config.max_num_seqs {
+            let Some(front) = self.waiting.front() else { break };
+            let total = front.req.total_tokens();
+            if !self.kv.reserve(front.req.id.0, total) {
+                break;
+            }
+            let w = self.waiting.pop_front().expect("front exists");
+            prefill += self.config.perf.prefill_time(
+                &self.config.model,
+                self.config.gpu,
+                self.config.tensor_parallel,
+                w.req.prompt_tokens,
+            );
+            self.stats.prompt_tokens += w.req.prompt_tokens as u64;
+            self.running.push(RunningSeq {
+                accepted_at: w.enqueued_at,
+                first_token_at: None,
+                generated: 0,
+                req: w.req,
+            });
+        }
+        let _ = now;
+        prefill
+    }
+
+    /// Execute one continuous-batching step starting at `step_start`.
+    fn execute_step(&mut self, step_start: SimTime) {
+        let prefill_time = self.admit(step_start);
+        if self.running.is_empty() {
+            // Nothing admitted (queue empty, or head larger than free KV while
+            // others run elsewhere): go idle until the next enqueue.
+            self.next_step_at = if self.waiting.is_empty() {
+                None
+            } else {
+                // Head is blocked on KV space that only frees when running
+                // sequences elsewhere complete; with an empty running set this
+                // cannot progress, so drop to idle and rely on enqueue to wake.
+                None
+            };
+            return;
+        }
+        let batch = self.running.len();
+        self.stats.peak_batch = self.stats.peak_batch.max(batch);
+        let decode_time = self.config.perf.decode_step_time(
+            &self.config.model,
+            self.config.gpu,
+            self.config.tensor_parallel,
+            batch,
+        );
+        let step_time = prefill_time + decode_time;
+        let step_end = step_start + step_time;
+        self.stats.decode_steps += 1;
+        self.stats.busy_secs += step_time.as_secs_f64();
+
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, seq) in self.running.iter_mut().enumerate() {
+            seq.generated += 1;
+            if seq.first_token_at.is_none() {
+                seq.first_token_at = Some(step_end);
+            }
+            self.stats.output_tokens += 1;
+            if seq.generated >= seq.req.output_tokens.max(1) {
+                finished.push(i);
+            }
+        }
+        // Remove finished sequences (highest index first to keep indices valid).
+        for &i in finished.iter().rev() {
+            let seq = self.running.swap_remove(i);
+            self.kv.release(seq.req.id.0);
+            self.stats.completed += 1;
+            self.completions.push(InferenceCompletion {
+                id: seq.req.id,
+                model: seq.req.model.clone(),
+                accepted_at: seq.accepted_at,
+                first_token_at: seq.first_token_at.unwrap_or(step_end),
+                finished_at: step_end,
+                prompt_tokens: seq.req.prompt_tokens,
+                output_tokens: seq.req.output_tokens,
+            });
+        }
+
+        self.next_step_at = if self.running.is_empty() && self.waiting.is_empty() {
+            None
+        } else {
+            Some(step_end)
+        };
+    }
+
+    /// Next internal event: readiness transition or the next decode step.
+    fn next_internal_time(&self) -> Option<SimTime> {
+        match self.state {
+            EngineState::Stopped => None,
+            EngineState::Loading => {
+                if self.waiting.is_empty() && self.running.is_empty() {
+                    // Still become ready so hot-node tracking sees the transition.
+                    Some(self.ready_at)
+                } else {
+                    Some(self.ready_at)
+                }
+            }
+            EngineState::Ready => self.next_step_at,
+        }
+    }
+}
+
+impl SimProcess for VllmEngine {
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.next_internal_time()
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        loop {
+            match self.state {
+                EngineState::Stopped => return,
+                EngineState::Loading => {
+                    if now >= self.ready_at {
+                        self.state = EngineState::Ready;
+                        if !self.waiting.is_empty() || !self.running.is_empty() {
+                            self.next_step_at = Some(self.ready_at);
+                        }
+                    } else {
+                        return;
+                    }
+                }
+                EngineState::Ready => {
+                    match self.next_step_at {
+                        Some(t) if t <= now => self.execute_step(t),
+                        _ => return,
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "vllm-engine"
+    }
+}
+
+/// Drive a hot engine with all `requests` enqueued at time zero and run to
+/// completion. Returns the completions and the total makespan — the building
+/// block for the offline batch mode and several unit tests.
+pub fn run_to_completion(
+    config: EngineConfig,
+    requests: Vec<InferenceRequest>,
+    cold: bool,
+) -> (Vec<InferenceCompletion>, SimDuration, EngineStats) {
+    let mut engine = if cold {
+        VllmEngine::cold(config, SimTime::ZERO)
+    } else {
+        VllmEngine::hot(config, SimTime::ZERO)
+    };
+    for r in requests {
+        engine.enqueue(r, SimTime::ZERO);
+    }
+    let mut now = SimTime::ZERO;
+    let mut guard = 0u64;
+    while let Some(t) = SimProcess::next_event_time(&engine) {
+        now = t;
+        engine.advance(now);
+        guard += 1;
+        if engine.is_idle() && engine.state() == EngineState::Ready {
+            break;
+        }
+        assert!(guard < 50_000_000, "engine failed to converge");
+    }
+    let completions = engine.take_completions();
+    let makespan = completions
+        .iter()
+        .map(|c| c.finished_at)
+        .max()
+        .unwrap_or(now)
+        - SimTime::ZERO;
+    (completions, makespan, engine.stats().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::find_model;
+
+    fn config70() -> EngineConfig {
+        EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40)
+    }
+    fn config8() -> EngineConfig {
+        EngineConfig::for_model(find_model("llama-8b").unwrap(), GpuModel::A100_40)
+    }
+
+    fn requests(n: u64, prompt: u32, output: u32) -> Vec<InferenceRequest> {
+        (0..n)
+            .map(|i| InferenceRequest::chat(i, "llama-70b", prompt, output))
+            .collect()
+    }
+
+    #[test]
+    fn single_request_latency_matches_single_stream_rate() {
+        let cfg = config70();
+        let expected_rate = cfg
+            .perf
+            .single_stream_rate(&cfg.model, cfg.gpu, cfg.tensor_parallel);
+        let (completions, makespan, _) = run_to_completion(cfg, requests(1, 220, 200), false);
+        assert_eq!(completions.len(), 1);
+        let latency = completions[0].engine_latency().as_secs_f64();
+        let expected = 200.0 / expected_rate;
+        assert!(
+            (latency - expected).abs() / expected < 0.2,
+            "latency {latency} expected ~{expected}"
+        );
+        assert!(makespan.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn batching_increases_aggregate_throughput() {
+        let cfg = config70();
+        let (_, span1, stats1) = run_to_completion(cfg.clone(), requests(4, 200, 150), false);
+        let (_, span64, stats64) = run_to_completion(cfg, requests(64, 200, 150), false);
+        let tput1 = stats1.output_tokens as f64 / span1.as_secs_f64();
+        let tput64 = stats64.output_tokens as f64 / span64.as_secs_f64();
+        assert!(
+            tput64 > 3.0 * tput1,
+            "batched throughput {tput64} should dwarf small-batch {tput1}"
+        );
+    }
+
+    #[test]
+    fn saturated_70b_throughput_matches_paper_scale() {
+        let cfg = config70();
+        let (_, span, stats) = run_to_completion(cfg, requests(400, 220, 180), false);
+        let tput = stats.output_tokens as f64 / span.as_secs_f64();
+        // Paper: 1054–1757 tok/s for a single saturated instance.
+        assert!(tput > 900.0 && tput < 2200.0, "throughput was {tput}");
+        assert!(stats.peak_batch > 100);
+    }
+
+    #[test]
+    fn max_num_seqs_caps_the_batch() {
+        let mut cfg = config70();
+        cfg.max_num_seqs = 8;
+        let (_, _, stats) = run_to_completion(cfg, requests(64, 100, 50), false);
+        assert!(stats.peak_batch <= 8);
+    }
+
+    #[test]
+    fn kv_pressure_limits_concurrency_for_long_contexts() {
+        let mut cfg = config70();
+        cfg.max_num_seqs = 4096;
+        // Extremely long prompts: the block pool, not max_num_seqs, must bound
+        // the batch.
+        let long: Vec<InferenceRequest> = (0..600)
+            .map(|i| InferenceRequest::chat(i, "llama-70b", 6000, 200))
+            .collect();
+        let (completions, _, stats) = run_to_completion(cfg.clone(), long, false);
+        assert_eq!(completions.len(), 600);
+        let pool = cfg.kv_pool();
+        let per_seq_blocks = pool.blocks_for_tokens(6200);
+        let max_possible = (pool.total_blocks() / per_seq_blocks) as usize;
+        assert!(stats.peak_batch <= max_possible);
+        assert!(stats.peak_batch < 600);
+    }
+
+    #[test]
+    fn cold_engine_waits_for_weight_load() {
+        let cfg = config70();
+        let cold_start = cfg.cold_start_time();
+        let (completions, _, _) = run_to_completion(cfg, requests(1, 200, 100), true);
+        assert_eq!(completions.len(), 1);
+        // The single request cannot finish before the weights are loaded.
+        assert!(completions[0].finished_at.as_secs_f64() > cold_start.as_secs_f64());
+    }
+
+    #[test]
+    fn stopped_engine_rejects_requests() {
+        let mut engine = VllmEngine::hot(config8(), SimTime::ZERO);
+        engine.stop();
+        assert!(!engine.enqueue(InferenceRequest::chat(1, "llama-8b", 100, 10), SimTime::ZERO));
+        assert_eq!(engine.stats().rejected, 1);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let mut cfg = config8();
+        cfg.gpu_memory_utilization = 0.5; // shrink the pool
+        let mut engine = VllmEngine::hot(cfg, SimTime::ZERO);
+        let huge = InferenceRequest::chat(1, "llama-8b", 2_000_000, 1000);
+        assert!(!engine.enqueue(huge, SimTime::ZERO));
+        assert!(engine.enqueue(InferenceRequest::chat(2, "llama-8b", 200, 50), SimTime::ZERO));
+    }
+
+    #[test]
+    fn ttft_precedes_completion() {
+        let cfg = config70();
+        let (completions, _, _) = run_to_completion(cfg, requests(10, 300, 120), false);
+        for c in completions {
+            assert!(c.first_token_at <= c.finished_at);
+            assert!(c.first_token_at >= c.accepted_at);
+            assert!(c.ttft().as_secs_f64() < c.engine_latency().as_secs_f64());
+        }
+    }
+
+    #[test]
+    fn eight_b_model_is_faster_than_70b() {
+        let (_, span8, stats8) = run_to_completion(
+            config8(),
+            (0..200)
+                .map(|i| InferenceRequest::chat(i, "llama-8b", 220, 150))
+                .collect(),
+            false,
+        );
+        let (_, span70, stats70) = run_to_completion(config70(), requests(200, 220, 150), false);
+        let t8 = stats8.output_tokens as f64 / span8.as_secs_f64();
+        let t70 = stats70.output_tokens as f64 / span70.as_secs_f64();
+        assert!(t8 > 1.5 * t70, "8B {t8} vs 70B {t70}");
+    }
+
+    #[test]
+    fn engine_goes_idle_after_draining() {
+        let mut engine = VllmEngine::hot(config8(), SimTime::ZERO);
+        engine.enqueue(InferenceRequest::chat(1, "llama-8b", 100, 20), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        while let Some(t) = SimProcess::next_event_time(&engine) {
+            now = t;
+            engine.advance(now);
+            if engine.is_idle() {
+                break;
+            }
+        }
+        assert!(engine.is_idle());
+        assert_eq!(SimProcess::next_event_time(&engine), None);
+        // A new request wakes it up again.
+        engine.enqueue(InferenceRequest::chat(2, "llama-8b", 100, 20), now);
+        assert!(SimProcess::next_event_time(&engine).is_some());
+    }
+}

@@ -1,0 +1,187 @@
+//! PagedAttention-style KV-cache block pool.
+//!
+//! vLLM's core idea (the paper picked vLLM for exactly this, §4.1) is to
+//! manage the KV cache in fixed-size blocks so memory is neither fragmented
+//! nor over-reserved. The engine simulator uses this pool to decide how many
+//! sequences can run concurrently, which is what bounds batch size — and
+//! therefore throughput — for long-context workloads.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tokens stored per KV block (vLLM default).
+pub const DEFAULT_BLOCK_TOKENS: u32 = 16;
+
+/// A pool of KV-cache blocks shared by all sequences on one engine instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockPool {
+    /// Tokens per block.
+    pub block_tokens: u32,
+    total_blocks: u64,
+    free_blocks: u64,
+    held: BTreeMap<u64, u64>,
+}
+
+impl BlockPool {
+    /// Create a pool with the given number of blocks.
+    pub fn new(total_blocks: u64, block_tokens: u32) -> Self {
+        BlockPool {
+            block_tokens: block_tokens.max(1),
+            total_blocks,
+            free_blocks: total_blocks,
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Size the pool from available memory: `free_gb` of GPU memory divided by
+    /// the per-token KV footprint of the model.
+    pub fn from_memory(free_gb: f64, kv_mb_per_token: f64, block_tokens: u32) -> Self {
+        let tokens = (free_gb.max(0.0) * 1024.0) / kv_mb_per_token.max(1e-6);
+        let blocks = (tokens / block_tokens.max(1) as f64).floor() as u64;
+        Self::new(blocks, block_tokens)
+    }
+
+    /// Total blocks in the pool.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Currently free blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Blocks currently held by sequences.
+    pub fn used_blocks(&self) -> u64 {
+        self.total_blocks - self.free_blocks
+    }
+
+    /// Blocks needed to hold `tokens` tokens.
+    pub fn blocks_for_tokens(&self, tokens: u32) -> u64 {
+        (tokens as u64).div_ceil(self.block_tokens as u64)
+    }
+
+    /// Whether a sequence of `tokens` total length could be admitted now.
+    pub fn can_admit(&self, tokens: u32) -> bool {
+        self.blocks_for_tokens(tokens) <= self.free_blocks
+    }
+
+    /// Reserve blocks for sequence `seq_id` covering `tokens` tokens.
+    /// Returns false (and reserves nothing) if the pool lacks space or the
+    /// sequence already holds a reservation.
+    pub fn reserve(&mut self, seq_id: u64, tokens: u32) -> bool {
+        if self.held.contains_key(&seq_id) {
+            return false;
+        }
+        let need = self.blocks_for_tokens(tokens);
+        if need > self.free_blocks {
+            return false;
+        }
+        self.free_blocks -= need;
+        self.held.insert(seq_id, need);
+        true
+    }
+
+    /// Grow sequence `seq_id`'s reservation to cover `new_total_tokens`.
+    /// Returns false if the pool cannot satisfy the growth (preemption would
+    /// be needed); the existing reservation is left unchanged in that case.
+    pub fn grow(&mut self, seq_id: u64, new_total_tokens: u32) -> bool {
+        let Some(&current) = self.held.get(&seq_id) else {
+            return false;
+        };
+        let need = self.blocks_for_tokens(new_total_tokens);
+        if need <= current {
+            return true;
+        }
+        let extra = need - current;
+        if extra > self.free_blocks {
+            return false;
+        }
+        self.free_blocks -= extra;
+        self.held.insert(seq_id, need);
+        true
+    }
+
+    /// Release sequence `seq_id`'s blocks back to the pool.
+    pub fn release(&mut self, seq_id: u64) {
+        if let Some(blocks) = self.held.remove(&seq_id) {
+            self.free_blocks += blocks;
+        }
+    }
+
+    /// Fraction of the pool currently in use (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.used_blocks() as f64 / self.total_blocks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_conserve_blocks() {
+        let mut pool = BlockPool::new(100, 16);
+        assert!(pool.reserve(1, 160)); // 10 blocks
+        assert!(pool.reserve(2, 170)); // 11 blocks
+        assert_eq!(pool.used_blocks(), 21);
+        assert_eq!(pool.free_blocks(), 79);
+        pool.release(1);
+        assert_eq!(pool.used_blocks(), 11);
+        pool.release(2);
+        assert_eq!(pool.free_blocks(), 100);
+    }
+
+    #[test]
+    fn reserve_fails_when_full_without_side_effects() {
+        let mut pool = BlockPool::new(10, 16);
+        assert!(pool.reserve(1, 150)); // 10 blocks — pool now full
+        assert!(!pool.can_admit(16));
+        assert!(!pool.reserve(2, 16));
+        assert_eq!(pool.used_blocks(), 10);
+        pool.release(1);
+        assert!(pool.reserve(2, 16));
+    }
+
+    #[test]
+    fn duplicate_reservation_rejected() {
+        let mut pool = BlockPool::new(10, 16);
+        assert!(pool.reserve(1, 16));
+        assert!(!pool.reserve(1, 16));
+        assert_eq!(pool.used_blocks(), 1);
+    }
+
+    #[test]
+    fn grow_allocates_only_the_delta() {
+        let mut pool = BlockPool::new(10, 16);
+        assert!(pool.reserve(1, 16)); // 1 block
+        assert!(pool.grow(1, 20)); // 2 blocks total
+        assert_eq!(pool.used_blocks(), 2);
+        assert!(pool.grow(1, 18)); // shrink request is a no-op
+        assert_eq!(pool.used_blocks(), 2);
+        assert!(!pool.grow(1, 16 * 11)); // too big
+        assert_eq!(pool.used_blocks(), 2);
+        assert!(!pool.grow(99, 32)); // unknown sequence
+    }
+
+    #[test]
+    fn from_memory_sizes_the_pool() {
+        // 148 GB free, 0.4 MB/token, 16-token blocks → ~23k blocks.
+        let pool = BlockPool::from_memory(148.0, 0.4, 16);
+        assert!(pool.total_blocks() > 20_000 && pool.total_blocks() < 25_000);
+        let empty = BlockPool::from_memory(0.0, 0.4, 16);
+        assert_eq!(empty.total_blocks(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_usage() {
+        let mut pool = BlockPool::new(100, 16);
+        assert_eq!(pool.utilization(), 0.0);
+        pool.reserve(1, 16 * 50);
+        assert!((pool.utilization() - 0.5).abs() < 1e-12);
+    }
+}

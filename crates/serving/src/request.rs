@@ -1,0 +1,146 @@
+//! Inference requests and completions as the serving layer sees them.
+//!
+//! These are the engine-level records; the gateway crate wraps them in
+//! OpenAI-compatible JSON types.
+
+use first_desim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Unique request identifier assigned by whoever creates the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// What kind of inference is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Chat completion (messages in, assistant message out).
+    Chat,
+    /// Plain text completion.
+    Completion,
+    /// Embedding generation.
+    Embedding,
+}
+
+/// An inference request at the serving layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Target model name (must match a catalog entry).
+    pub model: String,
+    /// Kind of request.
+    pub kind: RequestKind,
+    /// Number of prompt (input) tokens.
+    pub prompt_tokens: u32,
+    /// Number of output tokens the request will generate. The workload
+    /// generator fixes this per request (mirroring the benchmark methodology
+    /// of replaying ShareGPT prompt/response length pairs).
+    pub output_tokens: u32,
+    /// Submitting user (propagated for accounting).
+    pub user: String,
+}
+
+impl InferenceRequest {
+    /// Convenience constructor for a chat request.
+    pub fn chat(id: u64, model: impl Into<String>, prompt_tokens: u32, output_tokens: u32) -> Self {
+        InferenceRequest {
+            id: RequestId(id),
+            model: model.into(),
+            kind: RequestKind::Chat,
+            prompt_tokens,
+            output_tokens,
+            user: "user".to_string(),
+        }
+    }
+
+    /// Convenience constructor for an embedding request.
+    pub fn embedding(id: u64, model: impl Into<String>, prompt_tokens: u32) -> Self {
+        InferenceRequest {
+            id: RequestId(id),
+            model: model.into(),
+            kind: RequestKind::Embedding,
+            prompt_tokens,
+            output_tokens: 0,
+            user: "user".to_string(),
+        }
+    }
+
+    /// Attach the submitting user.
+    pub fn with_user(mut self, user: impl Into<String>) -> Self {
+        self.user = user.into();
+        self
+    }
+
+    /// Total tokens processed for this request.
+    pub fn total_tokens(&self) -> u32 {
+        self.prompt_tokens + self.output_tokens
+    }
+}
+
+/// The completed result of an inference request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceCompletion {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Model that served the request.
+    pub model: String,
+    /// When the serving layer received the request.
+    pub accepted_at: SimTime,
+    /// When generation of the first output token finished (time to first token).
+    pub first_token_at: SimTime,
+    /// When the full response was ready.
+    pub finished_at: SimTime,
+    /// Prompt tokens processed.
+    pub prompt_tokens: u32,
+    /// Output tokens generated.
+    pub output_tokens: u32,
+}
+
+impl InferenceCompletion {
+    /// Engine-side latency (accept → finish).
+    pub fn engine_latency(&self) -> SimDuration {
+        self.finished_at - self.accepted_at
+    }
+
+    /// Time to first token.
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token_at - self.accepted_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors() {
+        let r = InferenceRequest::chat(1, "llama-70b", 220, 180).with_user("alice");
+        assert_eq!(r.kind, RequestKind::Chat);
+        assert_eq!(r.total_tokens(), 400);
+        assert_eq!(r.user, "alice");
+        let e = InferenceRequest::embedding(2, "nv-embed-v2", 512);
+        assert_eq!(e.kind, RequestKind::Embedding);
+        assert_eq!(e.output_tokens, 0);
+    }
+
+    #[test]
+    fn completion_latency_accessors() {
+        let c = InferenceCompletion {
+            id: RequestId(1),
+            model: "m".into(),
+            accepted_at: SimTime::from_secs(10),
+            first_token_at: SimTime::from_secs(11),
+            finished_at: SimTime::from_secs(15),
+            prompt_tokens: 100,
+            output_tokens: 50,
+        };
+        assert_eq!(c.engine_latency(), SimDuration::from_secs(5));
+        assert_eq!(c.ttft(), SimDuration::from_secs(1));
+    }
+}

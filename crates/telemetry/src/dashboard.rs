@@ -1,0 +1,259 @@
+//! The operations dashboard model (§3.1.1).
+//!
+//! The paper's gateway exposes "performance and summary metrics … through a
+//! web dashboard": which models are hot, how busy each federated cluster is,
+//! what the queues look like, and per-model throughput/latency summaries.
+//! This module is the renderable data model of that dashboard; `first-core`
+//! fills it from a live deployment and the examples print it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One model row on the dashboard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelRow {
+    /// Model name.
+    pub model: String,
+    /// Aggregate `/jobs` state ("running", "starting", "queued", "stopped").
+    pub state: String,
+    /// Hot instances across all endpoints.
+    pub running_instances: u32,
+    /// Requests completed so far.
+    pub requests: u64,
+    /// Output tokens generated so far.
+    pub output_tokens: u64,
+    /// Median end-to-end latency in seconds.
+    pub median_latency_s: f64,
+    /// 95th-percentile end-to-end latency in seconds.
+    pub p95_latency_s: f64,
+}
+
+/// One federated cluster row on the dashboard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRow {
+    /// Cluster name (e.g. "sophia", "polaris").
+    pub cluster: String,
+    /// Total compute nodes.
+    pub total_nodes: u32,
+    /// Nodes currently allocated to inference jobs.
+    pub busy_nodes: u32,
+    /// Nodes idle and available.
+    pub idle_nodes: u32,
+    /// Jobs waiting in the batch queue.
+    pub queued_jobs: u32,
+}
+
+impl ClusterRow {
+    /// Fraction of nodes currently busy (0 when the cluster has no nodes).
+    pub fn utilisation(&self) -> f64 {
+        if self.total_nodes == 0 {
+            0.0
+        } else {
+            self.busy_nodes as f64 / self.total_nodes as f64
+        }
+    }
+}
+
+/// One queue-status row (per endpoint).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueRow {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Tasks queued at the compute service waiting for dispatch.
+    pub queued_tasks: u64,
+    /// Tasks currently executing.
+    pub running_tasks: u64,
+    /// Tasks completed so far.
+    pub completed_tasks: u64,
+}
+
+/// A complete dashboard snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DashboardSnapshot {
+    /// Virtual time of the snapshot, in seconds since the deployment started.
+    pub at_seconds: f64,
+    /// Per-model rows, sorted by model name.
+    pub models: Vec<ModelRow>,
+    /// Per-cluster rows, sorted by cluster name.
+    pub clusters: Vec<ClusterRow>,
+    /// Per-endpoint queue rows, sorted by endpoint name.
+    pub queues: Vec<QueueRow>,
+    /// Total requests received by the gateway.
+    pub total_requests: u64,
+    /// Total requests completed successfully.
+    pub total_completed: u64,
+    /// Total requests failed or rejected.
+    pub total_failed: u64,
+    /// Total output tokens generated.
+    pub total_output_tokens: u64,
+    /// Distinct users seen so far.
+    pub distinct_users: u64,
+}
+
+impl DashboardSnapshot {
+    /// Sort every section so rendering and comparisons are deterministic.
+    pub fn normalise(&mut self) {
+        self.models.sort_by(|a, b| a.model.cmp(&b.model));
+        self.clusters.sort_by(|a, b| a.cluster.cmp(&b.cluster));
+        self.queues.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+    }
+
+    /// Overall success ratio (1.0 when nothing has completed or failed yet).
+    pub fn success_ratio(&self) -> f64 {
+        let finished = self.total_completed + self.total_failed;
+        if finished == 0 {
+            1.0
+        } else {
+            self.total_completed as f64 / finished as f64
+        }
+    }
+
+    /// The model rows currently marked "running".
+    pub fn hot_models(&self) -> impl Iterator<Item = &ModelRow> {
+        self.models.iter().filter(|m| m.state == "running")
+    }
+
+    /// Render the dashboard as the plain-text layout the examples print.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "FIRST dashboard @ t={:.0}s   requests={} completed={} failed={} users={} output_tokens={}",
+            self.at_seconds,
+            self.total_requests,
+            self.total_completed,
+            self.total_failed,
+            self.distinct_users,
+            self.total_output_tokens
+        );
+        let _ = writeln!(out, "-- models --");
+        let _ = writeln!(
+            out,
+            "{:<44} {:>9} {:>5} {:>8} {:>12} {:>9} {:>9}",
+            "model", "state", "inst", "reqs", "out_tokens", "median_s", "p95_s"
+        );
+        for m in &self.models {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>9} {:>5} {:>8} {:>12} {:>9.2} {:>9.2}",
+                m.model,
+                m.state,
+                m.running_instances,
+                m.requests,
+                m.output_tokens,
+                m.median_latency_s,
+                m.p95_latency_s
+            );
+        }
+        let _ = writeln!(out, "-- clusters --");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>6} {:>6} {:>8} {:>7}",
+            "cluster", "nodes", "busy", "idle", "queued", "util%"
+        );
+        for c in &self.clusters {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>6} {:>6} {:>8} {:>6.1}%",
+                c.cluster,
+                c.total_nodes,
+                c.busy_nodes,
+                c.idle_nodes,
+                c.queued_jobs,
+                c.utilisation() * 100.0
+            );
+        }
+        let _ = writeln!(out, "-- queues --");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>8} {:>10}",
+            "endpoint", "queued", "running", "completed"
+        );
+        for q in &self.queues {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>8} {:>10}",
+                q.endpoint, q.queued_tasks, q.running_tasks, q.completed_tasks
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> DashboardSnapshot {
+        DashboardSnapshot {
+            at_seconds: 120.0,
+            models: vec![
+                ModelRow {
+                    model: "meta-llama/Llama-3.3-70B-Instruct".into(),
+                    state: "running".into(),
+                    running_instances: 2,
+                    requests: 500,
+                    output_tokens: 90_000,
+                    median_latency_s: 18.8,
+                    p95_latency_s: 55.0,
+                },
+                ModelRow {
+                    model: "meta-llama/Llama-3.1-8B-Instruct".into(),
+                    state: "stopped".into(),
+                    ..ModelRow::default()
+                },
+            ],
+            clusters: vec![ClusterRow {
+                cluster: "sophia".into(),
+                total_nodes: 24,
+                busy_nodes: 6,
+                idle_nodes: 18,
+                queued_jobs: 1,
+            }],
+            queues: vec![QueueRow {
+                endpoint: "sophia-endpoint".into(),
+                queued_tasks: 8000,
+                running_tasks: 12,
+                completed_tasks: 42_000,
+            }],
+            total_requests: 1000,
+            total_completed: 950,
+            total_failed: 50,
+            total_output_tokens: 90_000,
+            distinct_users: 76,
+        }
+    }
+
+    #[test]
+    fn utilisation_and_success_ratio() {
+        let snap = snapshot();
+        assert!((snap.clusters[0].utilisation() - 0.25).abs() < 1e-9);
+        assert!((snap.success_ratio() - 0.95).abs() < 1e-9);
+        assert_eq!(snap.hot_models().count(), 1);
+        let empty = DashboardSnapshot::default();
+        assert_eq!(empty.success_ratio(), 1.0);
+        assert_eq!(ClusterRow::default().utilisation(), 0.0);
+    }
+
+    #[test]
+    fn normalise_sorts_every_section() {
+        let mut snap = snapshot();
+        snap.models.reverse();
+        snap.normalise();
+        assert!(snap.models[0].model < snap.models[1].model);
+    }
+
+    #[test]
+    fn render_text_contains_every_section_and_row() {
+        let snap = snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("-- models --"));
+        assert!(text.contains("-- clusters --"));
+        assert!(text.contains("-- queues --"));
+        assert!(text.contains("Llama-3.3-70B"));
+        assert!(text.contains("sophia"));
+        assert!(text.contains("8000"));
+        assert!(text.contains("users=76"));
+        assert!(text.contains("25.0%"));
+    }
+}

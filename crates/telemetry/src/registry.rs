@@ -1,0 +1,379 @@
+//! The metric registry: named counter/gauge/histogram families with labels.
+//!
+//! The registry is the single sink every layer of the deployment reports
+//! into — the gateway's request path, the compute fabric's endpoint events
+//! and the HPC scheduler's node accounting — and the single source the
+//! dashboard, the Prometheus exposition and the alert evaluator read from.
+//! It is shared behind `parking_lot::Mutex` because the benchmark harness
+//! fans parameter sweeps out across threads and each sweep owns a clone of
+//! the deployment but may report into one shared registry.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::BucketHistogram;
+use crate::metric::{is_valid_metric_name, LabelSet, MetricId, MetricKind};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One exported sample in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter {
+        /// Series identity.
+        id: MetricId,
+        /// Current value.
+        value: u64,
+    },
+    /// Gauge value with its high-water mark.
+    Gauge {
+        /// Series identity.
+        id: MetricId,
+        /// Current value.
+        value: f64,
+        /// Highest value observed.
+        peak: f64,
+    },
+    /// Histogram summary.
+    Histogram {
+        /// Series identity.
+        id: MetricId,
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// `(upper_bound, cumulative_count)` rows including +Inf.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+impl MetricSnapshot {
+    /// The series identity of this sample.
+    pub fn id(&self) -> &MetricId {
+        match self {
+            MetricSnapshot::Counter { id, .. }
+            | MetricSnapshot::Gauge { id, .. }
+            | MetricSnapshot::Histogram { id, .. } => id,
+        }
+    }
+
+    /// The metric kind of this sample.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricSnapshot::Counter { .. } => MetricKind::Counter,
+            MetricSnapshot::Gauge { .. } => MetricKind::Gauge,
+            MetricSnapshot::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A point-in-time copy of every series in the registry, ordered by id.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All samples, sorted by metric id.
+    pub samples: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Find a sample by name and labels.
+    pub fn find(&self, name: &str, labels: &LabelSet) -> Option<&MetricSnapshot> {
+        self.samples
+            .iter()
+            .find(|s| s.id().name == name && &s.id().labels == labels)
+    }
+
+    /// Counter value by name/labels, or 0 when absent.
+    pub fn counter_value(&self, name: &str, labels: &LabelSet) -> u64 {
+        match self.find(name, labels) {
+            Some(MetricSnapshot::Counter { value, .. }) => *value,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name/labels, or 0 when absent.
+    pub fn gauge_value(&self, name: &str, labels: &LabelSet) -> f64 {
+        match self.find(name, labels) {
+            Some(MetricSnapshot::Gauge { value, .. }) => *value,
+            _ => 0.0,
+        }
+    }
+
+    /// Sum a counter family across all label sets.
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter_map(|s| match s {
+                MetricSnapshot::Counter { id, value } if id.name == name => Some(*value),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricId, Counter>,
+    gauges: BTreeMap<MetricId, Gauge>,
+    histograms: BTreeMap<MetricId, BucketHistogram>,
+    kinds: BTreeMap<String, MetricKind>,
+}
+
+impl RegistryInner {
+    fn check_kind(&mut self, name: &str, kind: MetricKind) {
+        assert!(is_valid_metric_name(name), "invalid metric name {name:?}");
+        match self.kinds.get(name) {
+            Some(existing) => assert_eq!(
+                *existing, kind,
+                "metric family {name:?} already registered as {existing:?}"
+            ),
+            None => {
+                self.kinds.insert(name.to_string(), kind);
+            }
+        }
+    }
+}
+
+/// Thread-safe metric registry. Cloning shares the underlying store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricRegistry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a labelled counter by one.
+    pub fn inc_counter(&self, name: &str, labels: LabelSet) {
+        self.add_counter(name, labels, 1);
+    }
+
+    /// Add to a labelled counter.
+    pub fn add_counter(&self, name: &str, labels: LabelSet, delta: u64) {
+        let mut inner = self.inner.lock();
+        inner.check_kind(name, MetricKind::Counter);
+        inner
+            .counters
+            .entry(MetricId::new(name, labels))
+            .or_default()
+            .add(delta);
+    }
+
+    /// Set a labelled gauge.
+    pub fn set_gauge(&self, name: &str, labels: LabelSet, value: f64) {
+        let mut inner = self.inner.lock();
+        inner.check_kind(name, MetricKind::Gauge);
+        inner
+            .gauges
+            .entry(MetricId::new(name, labels))
+            .or_default()
+            .set(value);
+    }
+
+    /// Add to a labelled gauge (may be negative).
+    pub fn add_gauge(&self, name: &str, labels: LabelSet, delta: f64) {
+        let mut inner = self.inner.lock();
+        inner.check_kind(name, MetricKind::Gauge);
+        inner
+            .gauges
+            .entry(MetricId::new(name, labels))
+            .or_default()
+            .add(delta);
+    }
+
+    /// Observe a value into a labelled histogram, creating it with
+    /// [`BucketHistogram::latency_seconds`] buckets when absent.
+    pub fn observe(&self, name: &str, labels: LabelSet, value: f64) {
+        self.observe_with(name, labels, value, BucketHistogram::latency_seconds);
+    }
+
+    /// Observe a value, creating the histogram with custom buckets when absent.
+    pub fn observe_with<F>(&self, name: &str, labels: LabelSet, value: f64, make: F)
+    where
+        F: FnOnce() -> BucketHistogram,
+    {
+        let mut inner = self.inner.lock();
+        inner.check_kind(name, MetricKind::Histogram);
+        inner
+            .histograms
+            .entry(MetricId::new(name, labels))
+            .or_insert_with(make)
+            .observe(value);
+    }
+
+    /// Current value of a counter series (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &LabelSet) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .counters
+            .get(&MetricId::new(name, labels.clone()))
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge series (0 when absent).
+    pub fn gauge_value(&self, name: &str, labels: &LabelSet) -> f64 {
+        let inner = self.inner.lock();
+        inner
+            .gauges
+            .get(&MetricId::new(name, labels.clone()))
+            .map(|g| g.get())
+            .unwrap_or(0.0)
+    }
+
+    /// Median of a histogram series (0 when absent).
+    pub fn histogram_median(&self, name: &str, labels: &LabelSet) -> f64 {
+        let inner = self.inner.lock();
+        inner
+            .histograms
+            .get(&MetricId::new(name, labels.clone()))
+            .map(|h| h.median())
+            .unwrap_or(0.0)
+    }
+
+    /// Number of distinct series across all kinds.
+    pub fn series_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len()
+    }
+
+    /// Take a point-in-time snapshot of every series.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock();
+        let mut samples = Vec::with_capacity(
+            inner.counters.len() + inner.gauges.len() + inner.histograms.len(),
+        );
+        for (id, c) in &inner.counters {
+            samples.push(MetricSnapshot::Counter { id: id.clone(), value: c.get() });
+        }
+        for (id, g) in &inner.gauges {
+            samples.push(MetricSnapshot::Gauge { id: id.clone(), value: g.get(), peak: g.peak() });
+        }
+        for (id, h) in &inner.histograms {
+            samples.push(MetricSnapshot::Histogram {
+                id: id.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                buckets: h.cumulative_buckets(),
+            });
+        }
+        samples.sort_by(|a, b| a.id().cmp(b.id()));
+        RegistrySnapshot { samples }
+    }
+
+    /// Remove every series (used between benchmark repetitions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+        inner.kinds.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn model_labels(model: &str) -> LabelSet {
+        LabelSet::single("model", model)
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let reg = MetricRegistry::new();
+        reg.inc_counter("first_requests_total", model_labels("llama-70b"));
+        reg.add_counter("first_requests_total", model_labels("llama-70b"), 4);
+        reg.add_counter("first_requests_total", model_labels("llama-8b"), 2);
+        reg.set_gauge("first_hot_nodes", LabelSet::single("cluster", "sophia"), 3.0);
+        reg.observe("first_latency_seconds", model_labels("llama-70b"), 9.2);
+        reg.observe("first_latency_seconds", model_labels("llama-70b"), 46.9);
+
+        assert_eq!(reg.counter_value("first_requests_total", &model_labels("llama-70b")), 5);
+        assert_eq!(reg.counter_value("first_requests_total", &model_labels("llama-8b")), 2);
+        assert_eq!(reg.gauge_value("first_hot_nodes", &LabelSet::single("cluster", "sophia")), 3.0);
+        let med = reg.histogram_median("first_latency_seconds", &model_labels("llama-70b"));
+        assert!(med > 0.0);
+        assert_eq!(reg.series_count(), 4);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_family_total("first_requests_total"), 7);
+        assert_eq!(
+            snap.counter_value("first_requests_total", &model_labels("llama-8b")),
+            2
+        );
+        assert_eq!(snap.gauge_value("first_hot_nodes", &LabelSet::single("cluster", "sophia")), 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let reg = MetricRegistry::new();
+        reg.inc_counter("z_metric", LabelSet::empty());
+        reg.inc_counter("a_metric", LabelSet::empty());
+        reg.set_gauge("m_metric", LabelSet::empty(), 1.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.id().name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn clones_share_the_same_store() {
+        let reg = MetricRegistry::new();
+        let clone = reg.clone();
+        clone.inc_counter("shared_total", LabelSet::empty());
+        assert_eq!(reg.counter_value("shared_total", &LabelSet::empty()), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = MetricRegistry::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.inc_counter("first_requests_total", LabelSet::single("op", "chat"));
+                        reg.add_gauge("first_inflight", LabelSet::empty(), 1.0);
+                        reg.add_gauge("first_inflight", LabelSet::empty(), -1.0);
+                        reg.observe("first_latency_seconds", LabelSet::empty(), 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reg.counter_value("first_requests_total", &LabelSet::single("op", "chat")),
+            8000
+        );
+        assert_eq!(reg.gauge_value("first_inflight", &LabelSet::empty()), 0.0);
+        let snap = reg.snapshot();
+        match snap.find("first_latency_seconds", &LabelSet::empty()) {
+            Some(MetricSnapshot::Histogram { count, .. }) => assert_eq!(*count, 8000),
+            other => panic!("unexpected sample {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reusing_a_family_name_with_a_different_kind_panics() {
+        let reg = MetricRegistry::new();
+        reg.inc_counter("first_requests_total", LabelSet::empty());
+        reg.set_gauge("first_requests_total", LabelSet::empty(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = MetricRegistry::new();
+        reg.inc_counter("c", LabelSet::empty());
+        reg.reset();
+        assert_eq!(reg.series_count(), 0);
+        // After reset the name can be reused with another kind.
+        reg.set_gauge("c", LabelSet::empty(), 2.0);
+        assert_eq!(reg.gauge_value("c", &LabelSet::empty()), 2.0);
+    }
+}

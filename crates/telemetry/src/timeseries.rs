@@ -1,0 +1,280 @@
+//! Rolling windows and sampled resource timelines.
+//!
+//! Two time-shaped views the dashboard needs on top of plain counters:
+//!
+//! * [`RollingWindow`] — "requests per second over the last minute", "tokens
+//!   per second over the last five minutes": a window of timestamped
+//!   observations that expires old points as virtual time advances.
+//! * [`ResourceTimeline`] — periodic samples of a resource level (busy nodes,
+//!   queued jobs, hot instances) that can be downsampled for plotting and
+//!   integrated for utilisation summaries.
+
+use first_desim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// When the observation was made.
+    pub at: SimTime,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// A sliding window of timestamped observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RollingWindow {
+    width: SimDuration,
+    points: VecDeque<TimePoint>,
+}
+
+impl RollingWindow {
+    /// A window covering the trailing `width` of virtual time.
+    pub fn new(width: SimDuration) -> Self {
+        RollingWindow { width, points: VecDeque::new() }
+    }
+
+    /// A one-minute window.
+    pub fn one_minute() -> Self {
+        Self::new(SimDuration::from_secs(60))
+    }
+
+    /// Record an observation at `now` and expire anything older than the
+    /// window. Observations must be recorded in non-decreasing time order;
+    /// out-of-order points are clamped to the latest time seen.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        let at = match self.points.back() {
+            Some(last) if now < last.at => last.at,
+            _ => now,
+        };
+        self.points.push_back(TimePoint { at, value });
+        self.expire(at);
+    }
+
+    /// Drop points that have fallen out of the window as of `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        while let Some(front) = self.points.front() {
+            if now.saturating_since(front.at) > self.width {
+                self.points.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of points currently inside the window.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sum of the values currently in the window.
+    pub fn sum(&self) -> f64 {
+        self.points.iter().map(|p| p.value).sum()
+    }
+
+    /// Mean of the values currently in the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.points.len() as f64
+        }
+    }
+
+    /// Events per second: points in the window divided by the window width.
+    /// This is what the dashboard reports as "request rate (last 60 s)".
+    pub fn rate_per_second(&self) -> f64 {
+        let secs = self.width.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.points.len() as f64 / secs
+        }
+    }
+
+    /// Value-weighted throughput per second: sum of values divided by the
+    /// window width ("output tokens per second over the last minute").
+    pub fn throughput_per_second(&self) -> f64 {
+        let secs = self.width.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sum() / secs
+        }
+    }
+
+    /// The window width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+}
+
+/// Periodic samples of a resource level over the whole run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResourceTimeline {
+    samples: Vec<TimePoint>,
+}
+
+impl ResourceTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample; out-of-order samples are rejected (returns `false`).
+    pub fn sample(&mut self, at: SimTime, value: f64) -> bool {
+        if let Some(last) = self.samples.last() {
+            if at < last.at {
+                return false;
+            }
+        }
+        self.samples.push(TimePoint { at, value });
+        true
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the timeline has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[TimePoint] {
+        &self.samples
+    }
+
+    /// Peak sampled value (0 when empty).
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|p| p.value).fold(0.0, f64::max)
+    }
+
+    /// Time-weighted average level between the first and last sample, using
+    /// step interpolation (the level holds until the next sample). Returns 0
+    /// with fewer than two samples.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        for pair in self.samples.windows(2) {
+            let dt = (pair[1].at - pair[0].at).as_secs_f64();
+            weighted += pair[0].value * dt;
+        }
+        let span = (self.samples.last().unwrap().at - self.samples[0].at).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            weighted / span
+        }
+    }
+
+    /// Downsample to at most `max_points` by keeping every k-th sample plus
+    /// the final one — enough fidelity for a terminal plot of a long replay.
+    pub fn downsample(&self, max_points: usize) -> Vec<TimePoint> {
+        if max_points == 0 || self.samples.is_empty() {
+            return Vec::new();
+        }
+        if self.samples.len() <= max_points {
+            return self.samples.clone();
+        }
+        let stride = self.samples.len().div_ceil(max_points);
+        let mut out: Vec<TimePoint> =
+            self.samples.iter().step_by(stride).copied().collect();
+        let last = *self.samples.last().unwrap();
+        if out.last().map(|p| p.at) != Some(last.at) {
+            out.push(last);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn window_expires_old_points() {
+        let mut w = RollingWindow::one_minute();
+        w.record(t(0), 100.0);
+        w.record(t(30), 100.0);
+        w.record(t(59), 100.0);
+        assert_eq!(w.len(), 3);
+        // At t=90 the t=0 point (age 90 s) is outside the 60 s window.
+        w.record(t(90), 100.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sum(), 300.0);
+        assert!((w.rate_per_second() - 3.0 / 60.0).abs() < 1e-9);
+        assert!((w.throughput_per_second() - 300.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_handles_out_of_order_points_by_clamping() {
+        let mut w = RollingWindow::new(SimDuration::from_secs(10));
+        w.record(t(100), 1.0);
+        // An out-of-order record is clamped to the latest time, not dropped.
+        w.record(t(50), 2.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.mean(), 1.5);
+    }
+
+    #[test]
+    fn empty_window_rates_are_zero() {
+        let w = RollingWindow::one_minute();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.rate_per_second(), 0.0);
+    }
+
+    #[test]
+    fn timeline_rejects_out_of_order_samples() {
+        let mut tl = ResourceTimeline::new();
+        assert!(tl.sample(t(10), 4.0));
+        assert!(tl.sample(t(20), 8.0));
+        assert!(!tl.sample(t(15), 6.0));
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.peak(), 8.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_uses_step_interpolation() {
+        let mut tl = ResourceTimeline::new();
+        // 4 nodes busy for 10 s, then 8 nodes busy for 30 s.
+        tl.sample(t(0), 4.0);
+        tl.sample(t(10), 8.0);
+        tl.sample(t(40), 8.0);
+        let mean = tl.time_weighted_mean();
+        let expected = (4.0 * 10.0 + 8.0 * 30.0) / 40.0;
+        assert!((mean - expected).abs() < 1e-9, "{mean} vs {expected}");
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints_and_bounds_length() {
+        let mut tl = ResourceTimeline::new();
+        for i in 0..1000 {
+            tl.sample(t(i), i as f64);
+        }
+        let ds = tl.downsample(50);
+        assert!(ds.len() <= 51, "{}", ds.len());
+        assert_eq!(ds.first().unwrap().at, t(0));
+        assert_eq!(ds.last().unwrap().at, t(999));
+        // Order is preserved.
+        assert!(ds.windows(2).all(|p| p[0].at <= p[1].at));
+        // Degenerate cases.
+        assert!(tl.downsample(0).is_empty());
+        assert_eq!(tl.downsample(5000).len(), 1000);
+    }
+}

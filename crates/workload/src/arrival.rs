@@ -1,0 +1,151 @@
+//! Request arrival processes (§5.2.2).
+//!
+//! The paper's benchmarks offer requests at fixed rates (1, 5, 10, 20 req/s),
+//! at an "infinite" rate (everything sent up front to saturate the server),
+//! or as a sustained load-test stream (Artillery: 100 req/s for 300 s).
+
+use first_desim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How request arrival times are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All requests arrive at time zero ("infinite" request rate).
+    Infinite,
+    /// Deterministic fixed spacing at the given requests/second.
+    FixedRate(f64),
+    /// Poisson arrivals with the given mean requests/second.
+    Poisson(f64),
+}
+
+impl ArrivalProcess {
+    /// Generate `n` arrival times starting at `start`.
+    pub fn arrivals(&self, n: usize, start: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        match *self {
+            ArrivalProcess::Infinite => vec![start; n],
+            ArrivalProcess::FixedRate(rps) => {
+                let gap = SimDuration::from_secs_f64(1.0 / rps.max(1e-9));
+                (0..n).map(|i| start + gap.mul_f64(i as f64)).collect()
+            }
+            ArrivalProcess::Poisson(rps) => {
+                let mean_gap = 1.0 / rps.max(1e-9);
+                let mut t = start;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(t);
+                    t += SimDuration::from_secs_f64(rng.exponential(mean_gap));
+                }
+                out
+            }
+        }
+    }
+
+    /// The nominal offered rate in requests/second (`None` for infinite).
+    pub fn offered_rate(&self) -> Option<f64> {
+        match *self {
+            ArrivalProcess::Infinite => None,
+            ArrivalProcess::FixedRate(r) | ArrivalProcess::Poisson(r) => Some(r),
+        }
+    }
+
+    /// Human-readable label used in benchmark tables ("1", "5", "inf", ...).
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalProcess::Infinite => "inf".to_string(),
+            ArrivalProcess::FixedRate(r) | ArrivalProcess::Poisson(r) => {
+                if (r.fract()).abs() < 1e-9 {
+                    format!("{}", r as u64)
+                } else {
+                    format!("{r:.1}")
+                }
+            }
+        }
+    }
+}
+
+/// A sustained open-loop load test: `rate` req/s for `duration` (the
+/// Artillery configuration from Optimization 3 in §5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SustainedLoad {
+    /// Offered request rate, requests/second.
+    pub rate: f64,
+    /// Length of the load phase.
+    pub duration: SimDuration,
+}
+
+impl SustainedLoad {
+    /// The Artillery benchmark from the paper: 100 req/s for 300 s.
+    pub fn artillery() -> Self {
+        SustainedLoad {
+            rate: 100.0,
+            duration: SimDuration::from_secs(300),
+        }
+    }
+
+    /// Total number of requests offered.
+    pub fn total_requests(&self) -> usize {
+        (self.rate * self.duration.as_secs_f64()).round() as usize
+    }
+
+    /// Generate the arrival times.
+    pub fn arrivals(&self, rng: &mut SimRng) -> Vec<SimTime> {
+        ArrivalProcess::Poisson(self.rate).arrivals(self.total_requests(), SimTime::ZERO, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_rate_sends_everything_at_start() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let arr = ArrivalProcess::Infinite.arrivals(100, SimTime::from_secs(5), &mut rng);
+        assert_eq!(arr.len(), 100);
+        assert!(arr.iter().all(|&t| t == SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn fixed_rate_is_evenly_spaced() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let arr = ArrivalProcess::FixedRate(10.0).arrivals(50, SimTime::ZERO, &mut rng);
+        assert_eq!(arr[0], SimTime::ZERO);
+        assert_eq!(arr[10], SimTime::from_secs(1));
+        assert_eq!(arr[49], SimTime::from_millis(4900));
+    }
+
+    #[test]
+    fn poisson_rate_matches_mean() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 20_000;
+        let arr = ArrivalProcess::Poisson(20.0).arrivals(n, SimTime::ZERO, &mut rng);
+        let span = arr.last().unwrap().as_secs_f64();
+        let rate = (n - 1) as f64 / span;
+        assert!((rate - 20.0).abs() / 20.0 < 0.05, "rate {rate}");
+        // Arrivals are monotone non-decreasing.
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn labels_match_paper_figure_axes() {
+        assert_eq!(ArrivalProcess::FixedRate(1.0).label(), "1");
+        assert_eq!(ArrivalProcess::FixedRate(20.0).label(), "20");
+        assert_eq!(ArrivalProcess::Infinite.label(), "inf");
+        assert_eq!(ArrivalProcess::Poisson(2.5).label(), "2.5");
+    }
+
+    #[test]
+    fn artillery_profile_matches_optimization_3() {
+        let load = SustainedLoad::artillery();
+        assert_eq!(load.total_requests(), 30_000);
+        let mut rng = SimRng::seed_from_u64(3);
+        let arr = load.arrivals(&mut rng);
+        assert_eq!(arr.len(), 30_000);
+    }
+
+    #[test]
+    fn offered_rate_accessor() {
+        assert_eq!(ArrivalProcess::Infinite.offered_rate(), None);
+        assert_eq!(ArrivalProcess::FixedRate(5.0).offered_rate(), Some(5.0));
+    }
+}

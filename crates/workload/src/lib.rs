@@ -1,0 +1,29 @@
+//! # first-workload — synthetic workloads for the FIRST reproduction
+//!
+//! The paper's evaluation replays the ShareGPT dataset through vLLM's
+//! benchmark script at controlled request rates, drives the WebUI with
+//! simulated concurrent sessions, and reports production deployment volumes.
+//! This crate generates statistically matched synthetic equivalents:
+//!
+//! * [`sharegpt`] — conversation length profile and prompt-text generator.
+//! * [`arrival`] — fixed-rate, Poisson, "infinite" and Artillery-style
+//!   sustained arrival processes.
+//! * [`batchfile`] — OpenAI-style JSON Lines batch input files.
+//! * [`sessions`] — closed-loop WebUI session plans for Table 1.
+//! * [`trace`] — scaled ten-month deployment trace (8.7 M requests, 76 users).
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod batchfile;
+pub mod sessions;
+pub mod sharegpt;
+pub mod trace;
+
+pub use arrival::{ArrivalProcess, SustainedLoad};
+pub use batchfile::{BatchBody, BatchInputFile, BatchLine, ChatMessage};
+pub use sessions::{generate_sessions, SessionPlan, SessionWorkloadConfig};
+pub use sharegpt::{ConversationSample, ShareGptGenerator, ShareGptProfile};
+pub use trace::{
+    generate_trace, DeploymentTrace, DeploymentTraceConfig, TraceEntry, TraceEntryKind,
+};
