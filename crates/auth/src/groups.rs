@@ -166,7 +166,10 @@ mod tests {
             reg.groups_of(&UserId::new("alice")),
             vec!["first-users".to_string(), "sensitive-project".to_string()]
         );
-        assert_eq!(reg.groups_of(&UserId::new("bob")), vec!["first-users".to_string()]);
+        assert_eq!(
+            reg.groups_of(&UserId::new("bob")),
+            vec!["first-users".to_string()]
+        );
         assert!(reg.groups_of(&UserId::new("carol")).is_empty());
     }
 

@@ -160,7 +160,9 @@ mod tests {
     #[test]
     fn login_requires_trusted_provider() {
         let policy = AccessPolicy::default();
-        assert!(policy.validate_login(&Identity::new("alice", "anl.gov")).is_ok());
+        assert!(policy
+            .validate_login(&Identity::new("alice", "anl.gov"))
+            .is_ok());
         let err = policy
             .validate_login(&Identity::new("eve", "evil.example"))
             .unwrap_err();
@@ -184,8 +186,12 @@ mod tests {
     fn platform_access_gated_by_group() {
         let policy = AccessPolicy::default();
         let reg = registry_with_alice();
-        assert!(policy.check_platform_access(&UserId::new("alice"), &reg).is_ok());
-        assert!(policy.check_platform_access(&UserId::new("bob"), &reg).is_err());
+        assert!(policy
+            .check_platform_access(&UserId::new("alice"), &reg)
+            .is_ok());
+        assert!(policy
+            .check_platform_access(&UserId::new("bob"), &reg)
+            .is_err());
     }
 
     #[test]

@@ -320,7 +320,11 @@ mod tests {
     fn introspection_reports_expiry_and_revocation() {
         let mut svc = service();
         let (tok, _) = svc
-            .login(&Identity::new("alice", "anl.gov"), &[Scope::InferenceApi], SimTime::ZERO)
+            .login(
+                &Identity::new("alice", "anl.gov"),
+                &[Scope::InferenceApi],
+                SimTime::ZERO,
+            )
             .unwrap();
         // Expired after 48 hours.
         let (res, _) = svc.introspect(&tok.token, SimTime::from_secs(49 * 3600));
@@ -338,10 +342,16 @@ mod tests {
     fn refresh_rotates_tokens() {
         let mut svc = service();
         let (tok, _) = svc
-            .login(&Identity::new("alice", "anl.gov"), &[Scope::InferenceApi], SimTime::ZERO)
+            .login(
+                &Identity::new("alice", "anl.gov"),
+                &[Scope::InferenceApi],
+                SimTime::ZERO,
+            )
             .unwrap();
         let refresh = tok.refresh_token.clone().unwrap();
-        let (newer, _) = svc.refresh(&refresh, SimTime::from_secs(47 * 3600)).unwrap();
+        let (newer, _) = svc
+            .refresh(&refresh, SimTime::from_secs(47 * 3600))
+            .unwrap();
         assert_ne!(newer.token, tok.token);
         assert!(newer.is_valid_at(SimTime::from_secs(90 * 3600)));
         // Old token is revoked, old refresh token unusable.
@@ -366,8 +376,12 @@ mod tests {
     fn live_token_count_tracks_expiry() {
         let mut svc = service();
         for _ in 0..3 {
-            svc.login(&Identity::new("alice", "anl.gov"), &[Scope::InferenceApi], SimTime::ZERO)
-                .unwrap();
+            svc.login(
+                &Identity::new("alice", "anl.gov"),
+                &[Scope::InferenceApi],
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         assert_eq!(svc.live_token_count(SimTime::from_secs(10)), 3);
         assert_eq!(svc.live_token_count(SimTime::from_secs(50 * 3600)), 0);

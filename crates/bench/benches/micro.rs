@@ -15,16 +15,20 @@ fn bench_engine_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("vllm_engine");
     group.sample_size(10);
     for &batch in &[16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("saturated_decode", batch), &batch, |b, &n| {
-            b.iter(|| {
-                let cfg =
-                    EngineConfig::for_model(find_model("llama-8b").unwrap(), GpuModel::A100_40);
-                let requests: Vec<InferenceRequest> = (0..n as u64)
-                    .map(|i| InferenceRequest::chat(i, "llama-8b", 200, 100))
-                    .collect();
-                run_to_completion(cfg, requests, false)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("saturated_decode", batch),
+            &batch,
+            |b, &n| {
+                b.iter(|| {
+                    let cfg =
+                        EngineConfig::for_model(find_model("llama-8b").unwrap(), GpuModel::A100_40);
+                    let requests: Vec<InferenceRequest> = (0..n as u64)
+                        .map(|i| InferenceRequest::chat(i, "llama-8b", 200, 100))
+                        .collect();
+                    run_to_completion(cfg, requests, false)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -36,10 +40,14 @@ fn bench_scheduler(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             for i in 0..500u64 {
                 let id = sched.submit(
-                    JobRequest::single_node((i % 8 + 1) as u32, SimDuration::from_hours(1), "bench"),
+                    JobRequest::single_node(
+                        (i % 8 + 1) as u32,
+                        SimDuration::from_hours(1),
+                        "bench",
+                    ),
                     now,
                 );
-                now = now + SimDuration::from_secs(5);
+                now += SimDuration::from_secs(5);
                 sched.advance(now);
                 if i % 3 == 0 {
                     sched.complete(id, now);
@@ -83,7 +91,10 @@ fn bench_vector_index(c: &mut Criterion) {
     let embedder = Embedder::default();
     let mut index = FlatIndex::new(Metric::Cosine);
     for i in 0..2000u64 {
-        index.add(i, embedder.embed(&format!("document number {i} about hpc topic {}", i % 17)));
+        index.add(
+            i,
+            embedder.embed(&format!("document number {i} about hpc topic {}", i % 17)),
+        );
     }
     let query = embedder.embed("how do I submit an hpc job");
     c.bench_function("flat_index_search_top10_of_2000", |b| {

@@ -47,7 +47,10 @@ fn run_policy(policy: RoutingPolicy, n: usize) -> PolicyOutcome {
             *per_endpoint.entry(entry.endpoint.clone()).or_insert(0) += 1;
         }
     }
-    PolicyOutcome { report, per_endpoint }
+    PolicyOutcome {
+        report,
+        per_endpoint,
+    }
 }
 
 fn main() {
@@ -57,18 +60,28 @@ fn main() {
         .map(|p| (p, run_policy(p, n)))
         .collect();
 
-    let reports: Vec<ScenarioReport> =
-        outcomes.iter().map(|(_, o)| o.report.clone()).collect();
+    let reports: Vec<ScenarioReport> = outcomes.iter().map(|(_, o)| o.report.clone()).collect();
     print_reports(
         "Federation-policy ablation — Llama 3.3 70B, Sophia+Polaris, infinite rate",
         &reports,
     );
 
     println!("\n== request distribution across federated endpoints ==");
-    println!("{:<24} {:>18} {:>18}", "policy", "sophia-endpoint", "polaris-endpoint");
+    println!(
+        "{:<24} {:>18} {:>18}",
+        "policy", "sophia-endpoint", "polaris-endpoint"
+    );
     for (policy, outcome) in &outcomes {
-        let sophia = outcome.per_endpoint.get("sophia-endpoint").copied().unwrap_or(0);
-        let polaris = outcome.per_endpoint.get("polaris-endpoint").copied().unwrap_or(0);
+        let sophia = outcome
+            .per_endpoint
+            .get("sophia-endpoint")
+            .copied()
+            .unwrap_or(0);
+        let polaris = outcome
+            .per_endpoint
+            .get("polaris-endpoint")
+            .copied()
+            .unwrap_or(0);
         println!("{:<24} {:>18} {:>18}", policy.label(), sophia, polaris);
     }
 

@@ -5,14 +5,21 @@
 //! >8000 tasks queued at Globus once the API stopped being the bottleneck.
 
 use first_bench::{arrivals, print_comparisons, print_reports, sharegpt_samples, Comparison};
-use first_core::{run_gateway_openloop, DeploymentBuilder, GatewayConfig, ScenarioReport, WorkerPoolConfig};
+use first_core::{
+    run_gateway_openloop, DeploymentBuilder, GatewayConfig, ScenarioReport, WorkerPoolConfig,
+};
 use first_desim::SimTime;
 use first_fabric::ClientConfig;
 use first_workload::{ArrivalProcess, SustainedLoad};
 
 const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
-fn run_config(label: &str, config: GatewayConfig, n: usize, rate: ArrivalProcess) -> ScenarioReport {
+fn run_config(
+    label: &str,
+    config: GatewayConfig,
+    n: usize,
+    rate: ArrivalProcess,
+) -> ScenarioReport {
     let samples = sharegpt_samples(n, 42);
     let arr = arrivals(rate, n, 3);
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
@@ -37,21 +44,27 @@ fn main() {
 
     // Optimization 1: polling vs futures result retrieval.
     let futures_cfg = GatewayConfig::default();
-    let mut polling_cfg = GatewayConfig::default();
-    polling_cfg.client = ClientConfig {
-        result_mode: first_fabric::ResultMode::polling_2s(),
-        ..ClientConfig::default()
+    let polling_cfg = GatewayConfig {
+        client: ClientConfig {
+            result_mode: first_fabric::ResultMode::polling_2s(),
+            ..ClientConfig::default()
+        },
+        ..GatewayConfig::default()
     };
     // Optimization 2: token introspection + connection caching off.
-    let mut uncached_cfg = GatewayConfig::default();
-    uncached_cfg.auth_cache = false;
-    uncached_cfg.client = ClientConfig {
-        connection_cache: false,
-        ..ClientConfig::default()
+    let uncached_cfg = GatewayConfig {
+        auth_cache: false,
+        client: ClientConfig {
+            connection_cache: false,
+            ..ClientConfig::default()
+        },
+        ..GatewayConfig::default()
     };
     // Optimization 3: synchronous nine-worker gateway.
-    let mut sync_cfg = GatewayConfig::default();
-    sync_cfg.workers = WorkerPoolConfig::sync_legacy();
+    let sync_cfg = GatewayConfig {
+        workers: WorkerPoolConfig::sync_legacy(),
+        ..GatewayConfig::default()
+    };
     // Everything off (the original design).
     let legacy_cfg = GatewayConfig::unoptimized();
 
@@ -62,7 +75,10 @@ fn main() {
         run_config("opt2 off (no caching)", uncached_cfg, 60, low_rate),
         run_config("all opts off", legacy_cfg.clone(), 60, low_rate),
     ];
-    print_reports("Per-request latency at 1 req/s (Optimizations 1 & 2)", &reports_low);
+    print_reports(
+        "Per-request latency at 1 req/s (Optimizations 1 & 2)",
+        &reports_low,
+    );
 
     let inf = ArrivalProcess::Infinite;
     let reports_sat = vec![
@@ -90,13 +106,25 @@ fn main() {
         .build_with_tokens();
     // Only drive the 300 s injection window: we care about queueing, not drain.
     let horizon = SimTime::from_secs(310);
-    let _ = run_gateway_openloop(&mut gateway, &tokens.alice, MODEL, &samples, &arr, "100", horizon);
+    let _ = run_gateway_openloop(
+        &mut gateway,
+        &tokens.alice,
+        MODEL,
+        &samples,
+        &arr,
+        "100",
+        horizon,
+    );
     let peak_queue = gateway.service().stats().peak_queue_depth;
     println!("\n== Artillery sustained load (100 req/s x 300 s) ==");
     println!("requests offered: {total}");
     println!("peak tasks queued at the compute service: {peak_queue}");
     print_comparisons(
         "Artillery test",
-        &[Comparison::new("peak tasks queued at Globus", 8000.0, peak_queue as f64)],
+        &[Comparison::new(
+            "peak tasks queued at Globus",
+            8000.0,
+            peak_queue as f64,
+        )],
     );
 }

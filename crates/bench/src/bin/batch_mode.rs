@@ -22,7 +22,10 @@ fn main() {
 
     let n = benchmark_request_count();
     let report = run_offline_batch(cfg.clone(), requests(n, &model.name));
-    println!("== Batch mode — {} requests, Llama 3.3 70B ==", report.requests);
+    println!(
+        "== Batch mode — {} requests, Llama 3.3 70B ==",
+        report.requests
+    );
     println!(
         "load_time={:.1}s  total={:.1}s  overall={:.1} tok/s  steady={:.1} tok/s  load_fraction={:.1}%",
         report.load_time.as_secs_f64(),
@@ -34,13 +37,24 @@ fn main() {
     print_comparisons(
         "Batch mode (1000 requests)",
         &[
-            Comparison::new("overall output throughput (tok/s)", 2117.0, report.overall_tokens_per_sec),
-            Comparison::new("total duration (s)", 409.0, report.total_duration.as_secs_f64()),
+            Comparison::new(
+                "overall output throughput (tok/s)",
+                2117.0,
+                report.overall_tokens_per_sec,
+            ),
+            Comparison::new(
+                "total duration (s)",
+                409.0,
+                report.total_duration.as_secs_f64(),
+            ),
         ],
     );
 
     println!("\n== Cold-start amortisation vs batch size ==");
-    println!("{:>9} {:>12} {:>14} {:>16}", "requests", "total (s)", "overall tok/s", "load fraction %");
+    println!(
+        "{:>9} {:>12} {:>14} {:>16}",
+        "requests", "total (s)", "overall tok/s", "load fraction %"
+    );
     for size in [100usize, 500, 1000, 5000, 10_000] {
         let r = run_offline_batch(cfg.clone(), requests(size, &model.name));
         println!(

@@ -8,7 +8,10 @@ use first_serving::{find_model, EngineConfig};
 
 fn main() {
     println!("== Cold-start model: weight load + engine start by model size ==");
-    println!("{:<44} {:>8} {:>6} {:>14}", "model", "GPUs", "nodes", "cold start (s)");
+    println!(
+        "{:<44} {:>8} {:>6} {:>14}",
+        "model", "GPUs", "nodes", "cold start (s)"
+    );
     for name in [
         "Qwen/Qwen2.5-7B-Instruct",
         "meta-llama/Meta-Llama-3.1-8B-Instruct",
@@ -41,7 +44,10 @@ fn main() {
         .chat_completions(&req, &tokens.alice, Some(64), SimTime::ZERO)
         .expect("request accepted");
     println!("\n== /jobs status while a cold Llama 3.3 70B request is served ==");
-    println!("{:>10} {:>12} {:>8} {:>9} {:>8}", "t (s)", "state", "running", "starting", "queued");
+    println!(
+        "{:>10} {:>12} {:>8} {:>9} {:>8}",
+        "t (s)", "state", "running", "starting", "queued"
+    );
     let mut printed_done = false;
     for t in [1u64, 10, 30, 60, 90, 120, 150, 200, 300, 600] {
         gateway.advance(SimTime::from_secs(t));
@@ -49,7 +55,11 @@ fn main() {
         let entry = jobs.iter().find(|j| j.model == model).expect("registered");
         println!(
             "{:>10} {:>12} {:>8} {:>9} {:>8}",
-            t, entry.state, entry.running_instances, entry.starting_instances, entry.queued_instances
+            t,
+            entry.state,
+            entry.running_instances,
+            entry.starting_instances,
+            entry.queued_instances
         );
         if entry.state == "running" && !printed_done {
             printed_done = true;

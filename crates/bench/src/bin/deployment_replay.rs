@@ -44,20 +44,32 @@ fn main() {
 
     let (interactive, batch) = log.interactive_batch_split();
     let users = log.distinct_users();
-    let tokens = log
-        .entries()
-        .iter()
-        .map(|e| e.total_tokens())
-        .sum::<u64>();
+    let tokens = log.entries().iter().map(|e| e.total_tokens()).sum::<u64>();
     println!("\n== dashboard aggregates (scaled back up by {scale}) ==");
     print_comparisons(
         "Deployment totals",
         &[
-            Comparison::new("inference tasks (millions)", 8.7, (log.len() as f64 * scale) / 1e6),
-            Comparison::new("interactive tasks (millions)", 4.1, (interactive as f64 * scale) / 1e6),
-            Comparison::new("batched tasks (millions)", 4.6, (batch as f64 * scale) / 1e6),
+            Comparison::new(
+                "inference tasks (millions)",
+                8.7,
+                (log.len() as f64 * scale) / 1e6,
+            ),
+            Comparison::new(
+                "interactive tasks (millions)",
+                4.1,
+                (interactive as f64 * scale) / 1e6,
+            ),
+            Comparison::new(
+                "batched tasks (millions)",
+                4.6,
+                (batch as f64 * scale) / 1e6,
+            ),
             Comparison::new("distinct users", 76.0, users as f64),
-            Comparison::new("total tokens (billions)", 10.0, (tokens as f64 * scale) / 1e9),
+            Comparison::new(
+                "total tokens (billions)",
+                10.0,
+                (tokens as f64 * scale) / 1e9,
+            ),
             Comparison::new("batch jobs", 49.0, trace.batch_jobs as f64),
         ],
     );

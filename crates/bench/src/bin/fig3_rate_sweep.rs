@@ -4,7 +4,10 @@
 //! Reports the four §5.1 metrics per (system, rate) cell and the paper-vs-
 //! measured comparison for the headline numbers.
 
-use first_bench::{arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples, Comparison};
+use first_bench::{
+    arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples,
+    Comparison,
+};
 use first_core::{run_direct_openloop, run_gateway_openloop, DeploymentBuilder, ScenarioReport};
 use first_desim::SimTime;
 use first_hpc::GpuModel;
@@ -48,10 +51,19 @@ fn main() {
 
         // vLLM Direct: the same engine behind the single-threaded API server.
         let cfg = EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
-        direct_reports.push(run_direct_openloop(cfg, &samples, &arr, &rate.label(), horizon));
+        direct_reports.push(run_direct_openloop(
+            cfg,
+            &samples,
+            &arr,
+            &rate.label(),
+            horizon,
+        ));
     }
 
-    print_reports("Figure 3 — FIRST (Llama 3.3 70B, 1 instance)", &first_reports);
+    print_reports(
+        "Figure 3 — FIRST (Llama 3.3 70B, 1 instance)",
+        &first_reports,
+    );
     print_reports("Figure 3 — vLLM Direct (Llama 3.3 70B)", &direct_reports);
 
     let first_low = &first_reports[0];
@@ -61,14 +73,38 @@ fn main() {
     print_comparisons(
         "Figure 3 headline points",
         &[
-            Comparison::new("FIRST median latency @1 req/s (s)", 9.2, first_low.median_latency_s),
-            Comparison::new("Direct median latency @1 req/s (s)", 3.0, direct_low.median_latency_s),
+            Comparison::new(
+                "FIRST median latency @1 req/s (s)",
+                9.2,
+                first_low.median_latency_s,
+            ),
+            Comparison::new(
+                "Direct median latency @1 req/s (s)",
+                3.0,
+                direct_low.median_latency_s,
+            ),
             Comparison::new("FIRST req/s @inf", 9.2, first_inf.request_throughput),
             Comparison::new("Direct req/s @inf", 5.8, direct_inf.request_throughput),
-            Comparison::new("FIRST tok/s @inf", 1677.0, first_inf.output_token_throughput),
-            Comparison::new("Direct tok/s @inf", 1054.0, direct_inf.output_token_throughput),
-            Comparison::new("FIRST median latency @inf (s)", 46.9, first_inf.median_latency_s),
-            Comparison::new("Direct median latency @inf (s)", 80.2, direct_inf.median_latency_s),
+            Comparison::new(
+                "FIRST tok/s @inf",
+                1677.0,
+                first_inf.output_token_throughput,
+            ),
+            Comparison::new(
+                "Direct tok/s @inf",
+                1054.0,
+                direct_inf.output_token_throughput,
+            ),
+            Comparison::new(
+                "FIRST median latency @inf (s)",
+                46.9,
+                first_inf.median_latency_s,
+            ),
+            Comparison::new(
+                "Direct median latency @inf (s)",
+                80.2,
+                direct_inf.median_latency_s,
+            ),
         ],
     );
 }

@@ -1,8 +1,13 @@
 //! Figure 4: auto-scaling performance — one vs two, three and four instances
 //! of Llama 3.3 70B on Sophia under maximum (infinite-rate) load.
 
-use first_bench::{arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples, Comparison};
-use first_core::{run_gateway_openloop, ClusterSite, DeploymentBuilder, HostedModel, ScenarioReport};
+use first_bench::{
+    arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples,
+    Comparison,
+};
+use first_core::{
+    run_gateway_openloop, ClusterSite, DeploymentBuilder, HostedModel, ScenarioReport,
+};
 use first_desim::SimTime;
 use first_hpc::{Cluster, GpuModel};
 use first_workload::ArrivalProcess;
@@ -36,7 +41,10 @@ fn run_with_instances(instances: u32, n: usize) -> ScenarioReport {
 fn main() {
     let n = benchmark_request_count();
     let reports: Vec<ScenarioReport> = (1..=4).map(|i| run_with_instances(i, n)).collect();
-    print_reports("Figure 4 — auto-scaling, Llama 3.3 70B, infinite rate", &reports);
+    print_reports(
+        "Figure 4 — auto-scaling, Llama 3.3 70B, infinite rate",
+        &reports,
+    );
 
     let base = reports[0].output_token_throughput.max(1e-9);
     let mut rows = vec![
@@ -44,10 +52,26 @@ fn main() {
         Comparison::new("2 instances req/s", 14.6, reports[1].request_throughput),
         Comparison::new("3 instances req/s", 20.9, reports[2].request_throughput),
         Comparison::new("4 instances req/s", 23.9, reports[3].request_throughput),
-        Comparison::new("1 instance tok/s", 1432.0, reports[0].output_token_throughput),
-        Comparison::new("4 instances tok/s", 4131.0, reports[3].output_token_throughput),
-        Comparison::new("median latency 1 instance (s)", 54.5, reports[0].median_latency_s),
-        Comparison::new("median latency 4 instances (s)", 16.0, reports[3].median_latency_s),
+        Comparison::new(
+            "1 instance tok/s",
+            1432.0,
+            reports[0].output_token_throughput,
+        ),
+        Comparison::new(
+            "4 instances tok/s",
+            4131.0,
+            reports[3].output_token_throughput,
+        ),
+        Comparison::new(
+            "median latency 1 instance (s)",
+            54.5,
+            reports[0].median_latency_s,
+        ),
+        Comparison::new(
+            "median latency 4 instances (s)",
+            16.0,
+            reports[3].median_latency_s,
+        ),
     ];
     rows.push(Comparison::new(
         "token-throughput scaling at 2 instances (x)",

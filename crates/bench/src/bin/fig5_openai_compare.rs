@@ -1,7 +1,10 @@
 //! Figure 5: FIRST serving Llama 3.1 8B on Sophia vs the OpenAI API serving
 //! GPT-4o-mini, both driven with the ShareGPT workload at an infinite rate.
 
-use first_bench::{arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples, Comparison};
+use first_bench::{
+    arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples,
+    Comparison,
+};
 use first_core::{run_gateway_openloop, run_openai_openloop, DeploymentBuilder};
 use first_desim::SimTime;
 use first_serving::CloudApiConfig;
@@ -32,7 +35,10 @@ fn main() {
     let mut openai = run_openai_openloop(CloudApiConfig::default(), &samples, &arr, "inf", horizon);
     openai.label = "OpenAI (GPT-4o-mini)".to_string();
 
-    print_reports("Figure 5 — FIRST vs OpenAI API", &[first.clone(), openai.clone()]);
+    print_reports(
+        "Figure 5 — FIRST vs OpenAI API",
+        &[first.clone(), openai.clone()],
+    );
     print_comparisons(
         "Figure 5 headline points",
         &[

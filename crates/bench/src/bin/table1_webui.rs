@@ -10,8 +10,11 @@ const MODELS: [(&str, &str); 3] = [
     ("Llama-3.3-70B", "meta-llama/Llama-3.3-70B-Instruct"),
 ];
 
-/// Paper values for (concurrency, 60 s TP/s, 60 s Req/s, 120 s TP/s, 120 s Req/s).
-const PAPER: [(&str, &[(usize, f64, f64, f64, f64)]); 3] = [
+/// One paper row: (concurrency, 60 s TP/s, 60 s Req/s, 120 s TP/s, 120 s Req/s).
+type PaperRow = (usize, f64, f64, f64, f64);
+
+/// Paper values per model.
+const PAPER: [(&str, &[PaperRow]); 3] = [
     (
         "Llama-3.1-8B",
         &[
@@ -49,7 +52,13 @@ fn cell(model: &str, concurrency: usize, duration: u64, seed: u64) -> WebUiCell 
         .prewarm(1)
         .build_with_tokens();
     let config = SessionWorkloadConfig::table1(model, concurrency, duration);
-    run_webui_closed_loop(&mut gateway, &tokens.alice, &config, DEFAULT_WEBUI_OVERHEAD, seed)
+    run_webui_closed_loop(
+        &mut gateway,
+        &tokens.alice,
+        &config,
+        DEFAULT_WEBUI_OVERHEAD,
+        seed,
+    )
 }
 
 fn main() {

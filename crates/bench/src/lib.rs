@@ -66,7 +66,10 @@ impl Comparison {
 /// Print a block of paper-vs-measured comparisons.
 pub fn print_comparisons(title: &str, rows: &[Comparison]) {
     println!("\n== {title}: paper vs measured ==");
-    println!("{:<46} {:>12} {:>12} {:>8}", "metric", "paper", "measured", "ratio");
+    println!(
+        "{:<46} {:>12} {:>12} {:>8}",
+        "metric", "paper", "measured", "ratio"
+    );
     for row in rows {
         println!(
             "{:<46} {:>12.2} {:>12.2} {:>7.2}x",

@@ -273,7 +273,10 @@ mod tests {
         assert!(ok.validate().is_ok());
         let mut bad = ok.clone();
         bad.model = "".into();
-        assert!(matches!(bad.validate(), Err(GatewayError::InvalidRequest(_))));
+        assert!(matches!(
+            bad.validate(),
+            Err(GatewayError::InvalidRequest(_))
+        ));
         let mut empty = ok.clone();
         empty.messages.clear();
         assert!(empty.validate().is_err());
@@ -327,10 +330,9 @@ mod tests {
         let back: ChatCompletionRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(req, back);
         // Defaults are applied when fields are omitted.
-        let minimal: ChatCompletionRequest = serde_json::from_str(
-            r#"{"model":"m","messages":[{"role":"user","content":"hi"}]}"#,
-        )
-        .unwrap();
+        let minimal: ChatCompletionRequest =
+            serde_json::from_str(r#"{"model":"m","messages":[{"role":"user","content":"hi"}]}"#)
+                .unwrap();
         assert_eq!(minimal.max_tokens, 256);
         assert!(!minimal.stream);
     }

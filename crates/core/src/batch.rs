@@ -9,7 +9,9 @@
 use crate::gateway::Gateway;
 use first_desim::{SimDuration, SimProcess, SimTime};
 use first_hpc::{JobId, JobRequest, JobState};
-use first_serving::{find_model, run_offline_batch, BatchRunReport, EngineConfig, InferenceRequest};
+use first_serving::{
+    find_model, run_offline_batch, BatchRunReport, EngineConfig, InferenceRequest,
+};
 use first_workload::BatchInputFile;
 use serde::{Deserialize, Serialize};
 
@@ -203,9 +205,13 @@ impl BatchManager {
                 continue;
             }
             let Some(hpc_job) = job.hpc_job else { continue };
-            let Some(ep) = gateway.service_mut().endpoint_mut(&job.endpoint) else { continue };
+            let Some(ep) = gateway.service_mut().endpoint_mut(&job.endpoint) else {
+                continue;
+            };
             ep.scheduler_mut().advance(now);
-            let Some(rec) = ep.scheduler().job(hpc_job) else { continue };
+            let Some(rec) = ep.scheduler().job(hpc_job) else {
+                continue;
+            };
             if let Some(started) = rec.started_at {
                 if job.started_at.is_none() {
                     job.started_at = Some(started);
@@ -268,7 +274,13 @@ mod tests {
     fn empty_input_fails_validation() {
         let (mut gw, _tokens) = DeploymentBuilder::single_cluster_test().build_with_tokens();
         let mut mgr = BatchManager::new();
-        let id = mgr.submit(&mut gw, "alice", MODEL, &BatchInputFile::new(), SimTime::ZERO);
+        let id = mgr.submit(
+            &mut gw,
+            "alice",
+            MODEL,
+            &BatchInputFile::new(),
+            SimTime::ZERO,
+        );
         assert_eq!(mgr.job(id).unwrap().state, BatchState::Failed);
     }
 

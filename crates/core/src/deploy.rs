@@ -76,6 +76,40 @@ pub struct ClusterSite {
 }
 
 /// Builder for a complete FIRST deployment.
+///
+/// # Example
+///
+/// Stand up the single-cluster test deployment, send one OpenAI-style chat
+/// completion with a pre-enrolled user's bearer token, and drive the
+/// simulation until the response arrives:
+///
+/// ```
+/// use first_core::{ChatCompletionRequest, DeploymentBuilder};
+/// use first_desim::{SimProcess, SimTime};
+///
+/// let (mut gateway, tokens) = DeploymentBuilder::single_cluster_test()
+///     .prewarm(1) // keep one instance of each model hot
+///     .build_with_tokens();
+///
+/// let request = ChatCompletionRequest::simple(
+///     "meta-llama/Llama-3.3-70B-Instruct",
+///     "How does continuous batching raise GPU utilization?",
+///     128,
+/// );
+/// gateway
+///     .chat_completions(&request, &tokens.alice, Some(128), SimTime::ZERO)
+///     .expect("request accepted");
+///
+/// let mut now = SimTime::ZERO;
+/// while let Some(t) = SimProcess::next_event_time(&gateway) {
+///     now = t.max(now);
+///     gateway.advance(now);
+///     if gateway.is_drained() {
+///         break;
+///     }
+/// }
+/// assert_eq!(gateway.take_responses().len(), 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct DeploymentBuilder {
     sites: Vec<ClusterSite>,
@@ -308,9 +342,14 @@ mod tests {
     #[test]
     fn single_cluster_deployment_registers_all_models() {
         let (gw, _tokens) = DeploymentBuilder::single_cluster_test().build_with_tokens();
-        assert!(gw.registry().is_registered("meta-llama/Llama-3.3-70B-Instruct"));
+        assert!(gw
+            .registry()
+            .is_registered("meta-llama/Llama-3.3-70B-Instruct"));
         assert!(gw.registry().is_registered("nvidia/NV-Embed-v2"));
-        assert_eq!(gw.service().endpoint_names(), vec!["sophia-endpoint".to_string()]);
+        assert_eq!(
+            gw.service().endpoint_names(),
+            vec!["sophia-endpoint".to_string()]
+        );
     }
 
     #[test]

@@ -319,6 +319,7 @@ impl Gateway {
         overhead
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn accept(
         &mut self,
         inference: InferenceRequest,
@@ -375,7 +376,11 @@ impl Gateway {
         // Response cache: only textual prompts are cacheable.
         let cache_key = request.messages.first().and_then(|m| {
             if self.config.response_cache && !m.content.is_empty() {
-                Some(ResponseCache::key(&request.model, &m.content, request.max_tokens))
+                Some(ResponseCache::key(
+                    &request.model,
+                    &m.content,
+                    request.max_tokens,
+                ))
             } else {
                 None
             }
@@ -444,7 +449,9 @@ impl Gateway {
         self.metrics.on_received("embeddings");
         if request.input.is_empty() {
             self.metrics.on_rejected();
-            return Err(GatewayError::InvalidRequest("input must not be empty".into()));
+            return Err(GatewayError::InvalidRequest(
+                "input must not be empty".into(),
+            ));
         }
         let (user, auth_latency) = match self.authorize(token, &request.model, now) {
             Ok(v) => v,
@@ -595,7 +602,9 @@ impl Gateway {
 
     fn collect_results(&mut self, now: SimTime) {
         for result in self.service.poll_results(now) {
-            let Some(in_flight) = self.in_flight.remove(&result.task) else { continue };
+            let Some(in_flight) = self.in_flight.remove(&result.task) else {
+                continue;
+            };
             let available = self
                 .service
                 .task(result.task)
@@ -784,7 +793,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, GatewayError::Forbidden(_)));
         // alice is in the group; her request is accepted (routing succeeds).
-        assert!(gw.chat_completions(&req, &tokens.alice, None, SimTime::ZERO).is_ok());
+        assert!(gw
+            .chat_completions(&req, &tokens.alice, None, SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
@@ -794,7 +805,9 @@ mod tests {
             .rate_limit(2)
             .build_with_tokens();
         let req = ChatCompletionRequest::simple(MODEL, "hello", 20);
-        assert!(gw.chat_completions(&req, &tokens.alice, None, SimTime::ZERO).is_ok());
+        assert!(gw
+            .chat_completions(&req, &tokens.alice, None, SimTime::ZERO)
+            .is_ok());
         assert!(gw
             .chat_completions(&req, &tokens.alice, None, SimTime::from_secs(1))
             .is_ok());
@@ -812,12 +825,14 @@ mod tests {
     fn repeated_prompt_is_served_from_the_response_cache() {
         let (mut gw, tokens) = deployment(true);
         let req = ChatCompletionRequest::simple(MODEL, "what is the walltime limit", 100);
-        gw.chat_completions(&req, &tokens.alice, Some(80), SimTime::ZERO).unwrap();
+        gw.chat_completions(&req, &tokens.alice, Some(80), SimTime::ZERO)
+            .unwrap();
         drive(&mut gw, SimTime::from_secs(120));
         let first = gw.take_responses();
         assert_eq!(first.len(), 1);
         let t2 = first[0].finished_at + SimDuration::from_secs(5);
-        gw.chat_completions(&req, &tokens.bob, Some(80), t2).unwrap();
+        gw.chat_completions(&req, &tokens.bob, Some(80), t2)
+            .unwrap();
         let cached = gw.take_responses();
         assert_eq!(cached.len(), 1);
         assert!(cached[0].cached);
@@ -850,11 +865,16 @@ mod tests {
         // Submit a request: a cold start begins, so the model shows as
         // starting (or queued) shortly after.
         let req = ChatCompletionRequest::simple(MODEL, "hi", 50);
-        gw.chat_completions(&req, &tokens.alice, Some(40), SimTime::ZERO).unwrap();
+        gw.chat_completions(&req, &tokens.alice, Some(40), SimTime::ZERO)
+            .unwrap();
         drive(&mut gw, SimTime::from_secs(20));
         let jobs = gw.jobs_status();
         let entry = jobs.iter().find(|j| j.model == MODEL).unwrap();
-        assert!(entry.state == "starting" || entry.state == "queued", "{}", entry.state);
+        assert!(
+            entry.state == "starting" || entry.state == "queued",
+            "{}",
+            entry.state
+        );
         drive(&mut gw, SimTime::from_secs(600));
         let jobs = gw.jobs_status();
         let entry = jobs.iter().find(|j| j.model == MODEL).unwrap();

@@ -54,9 +54,7 @@ pub use sim::{
     ScenarioReport, WebUiCell,
 };
 pub use storage::{GatewayMetrics, RequestLog, RequestLogEntry, UsageSummary};
-pub use streaming::{
-    stream_response, StreamChunk, StreamStats, StreamedResponse, StreamingConfig,
-};
+pub use streaming::{stream_response, StreamChunk, StreamStats, StreamedResponse, StreamingConfig};
 pub use webui::{ChatSession, WebUiStore, DEFAULT_WEBUI_OVERHEAD};
 pub use workers::{WorkerMode, WorkerPool, WorkerPoolConfig};
 

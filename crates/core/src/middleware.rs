@@ -261,7 +261,11 @@ mod tests {
         let mut svc = AuthService::new(AccessPolicy::default(), 11);
         svc.enroll_user(&UserId::new("alice"));
         let (tok, _) = svc
-            .login(&Identity::new("alice", "anl.gov"), &[Scope::InferenceApi], SimTime::ZERO)
+            .login(
+                &Identity::new("alice", "anl.gov"),
+                &[Scope::InferenceApi],
+                SimTime::ZERO,
+            )
             .unwrap();
         (svc, tok.token)
     }
@@ -270,17 +274,25 @@ mod tests {
     fn cache_eliminates_repeat_introspection_latency() {
         let (mut svc, token) = auth_setup();
         let mut mw = AuthMiddleware::new();
-        let first = mw.authenticate(&mut svc, &token, SimTime::from_secs(1)).unwrap();
+        let first = mw
+            .authenticate(&mut svc, &token, SimTime::from_secs(1))
+            .unwrap();
         assert!(!first.cache_hit);
         assert!(first.added_latency.as_secs_f64() > 0.5);
-        let second = mw.authenticate(&mut svc, &token, SimTime::from_secs(2)).unwrap();
+        let second = mw
+            .authenticate(&mut svc, &token, SimTime::from_secs(2))
+            .unwrap();
         assert!(second.cache_hit);
         assert_eq!(second.added_latency, SimDuration::ZERO);
         assert_eq!(mw.stats().0, 1);
         // Without the cache every request pays the introspection latency.
         let mut legacy = AuthMiddleware::without_cache();
-        let a = legacy.authenticate(&mut svc, &token, SimTime::from_secs(3)).unwrap();
-        let b = legacy.authenticate(&mut svc, &token, SimTime::from_secs(4)).unwrap();
+        let a = legacy
+            .authenticate(&mut svc, &token, SimTime::from_secs(3))
+            .unwrap();
+        let b = legacy
+            .authenticate(&mut svc, &token, SimTime::from_secs(4))
+            .unwrap();
         assert!(!a.cache_hit && !b.cache_hit);
         assert!(b.added_latency.as_secs_f64() > 0.5);
     }
@@ -291,7 +303,9 @@ mod tests {
         let mut mw = AuthMiddleware::new();
         mw.cache_ttl = SimDuration::from_secs(5);
         mw.authenticate(&mut svc, &token, SimTime::ZERO).unwrap();
-        let later = mw.authenticate(&mut svc, &token, SimTime::from_secs(10)).unwrap();
+        let later = mw
+            .authenticate(&mut svc, &token, SimTime::from_secs(10))
+            .unwrap();
         assert!(!later.cache_hit, "TTL should have expired the entry");
         // After the token itself expires, even a cached entry must not be used.
         let expired = mw.authenticate(&mut svc, &token, SimTime::from_secs(49 * 3600));
@@ -366,7 +380,13 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        assert_eq!(cache.get(key, SimTime::from_secs(10)).unwrap().completion_tokens, 42);
+        assert_eq!(
+            cache
+                .get(key, SimTime::from_secs(10))
+                .unwrap()
+                .completion_tokens,
+            42
+        );
         assert!(cache.get(key, SimTime::from_secs(120)).is_none());
         assert_eq!(cache.stats(), (1, 2));
     }

@@ -55,10 +55,12 @@ impl Gateway {
         let mut queues = Vec::new();
         for ep in self.service().endpoints() {
             let status = ep.cluster_status();
-            let row = clusters.entry(status.cluster.clone()).or_insert_with(|| ClusterRow {
-                cluster: status.cluster.clone(),
-                ..ClusterRow::default()
-            });
+            let row = clusters
+                .entry(status.cluster.clone())
+                .or_insert_with(|| ClusterRow {
+                    cluster: status.cluster.clone(),
+                    ..ClusterRow::default()
+                });
             // A cluster appears behind exactly one endpoint in our
             // deployments; if several endpoints shared a cluster the status
             // would be identical, so overwriting is safe.
@@ -188,9 +190,21 @@ impl Gateway {
 
         // Fabric-level counters and queue gauges.
         let stats = self.service().stats().clone();
-        registry.add_counter("first_fabric_tasks_submitted_total", LabelSet::empty(), stats.submitted);
-        registry.add_counter("first_fabric_tasks_completed_total", LabelSet::empty(), stats.completed);
-        registry.add_counter("first_fabric_tasks_failed_total", LabelSet::empty(), stats.failed);
+        registry.add_counter(
+            "first_fabric_tasks_submitted_total",
+            LabelSet::empty(),
+            stats.submitted,
+        );
+        registry.add_counter(
+            "first_fabric_tasks_completed_total",
+            LabelSet::empty(),
+            stats.completed,
+        );
+        registry.add_counter(
+            "first_fabric_tasks_failed_total",
+            LabelSet::empty(),
+            stats.failed,
+        );
         registry.set_gauge(
             "first_fabric_queue_depth",
             LabelSet::empty(),
@@ -226,9 +240,21 @@ impl Gateway {
 
             let status = ep.cluster_status();
             let cl_labels = LabelSet::single("cluster", status.cluster.clone());
-            registry.set_gauge("first_cluster_total_nodes", cl_labels.clone(), status.total_nodes as f64);
-            registry.set_gauge("first_cluster_idle_nodes", cl_labels.clone(), status.idle_nodes as f64);
-            registry.set_gauge("first_cluster_free_gpus", cl_labels.clone(), status.free_gpus as f64);
+            registry.set_gauge(
+                "first_cluster_total_nodes",
+                cl_labels.clone(),
+                status.total_nodes as f64,
+            );
+            registry.set_gauge(
+                "first_cluster_idle_nodes",
+                cl_labels.clone(),
+                status.idle_nodes as f64,
+            );
+            registry.set_gauge(
+                "first_cluster_free_gpus",
+                cl_labels.clone(),
+                status.free_gpus as f64,
+            );
             registry.set_gauge(
                 "first_cluster_queued_jobs",
                 cl_labels,
@@ -236,7 +262,11 @@ impl Gateway {
             );
         }
 
-        registry.set_gauge("first_scrape_time_seconds", LabelSet::empty(), now.as_secs_f64());
+        registry.set_gauge(
+            "first_scrape_time_seconds",
+            LabelSet::empty(),
+            now.as_secs_f64(),
+        );
         registry
     }
 
@@ -357,7 +387,9 @@ mod tests {
         // Exporting twice yields identical totals (no double counting).
         let again = gw.export_metrics(SimTime::from_secs(601));
         assert_eq!(
-            again.snapshot().counter_family_total("first_gateway_requests_received_total"),
+            again
+                .snapshot()
+                .counter_family_total("first_gateway_requests_received_total"),
             5
         );
     }

@@ -173,7 +173,10 @@ impl FederationRouter {
 
     /// A router using an alternative selection policy.
     pub fn with_policy(policy: RoutingPolicy) -> Self {
-        FederationRouter { policy, rotation: Cell::new(0) }
+        FederationRouter {
+            policy,
+            rotation: Cell::new(0),
+        }
     }
 
     /// The active routing policy.
@@ -257,7 +260,9 @@ impl FederationRouter {
     ) -> RoutingDecision {
         let mut best: Option<(&String, usize, u32)> = None;
         for name in endpoints {
-            let Some(ep) = service.endpoint(name) else { continue };
+            let Some(ep) = service.endpoint(name) else {
+                continue;
+            };
             let status = ep.model_status(model);
             let in_flight: usize = ep
                 .instances()
@@ -292,7 +297,9 @@ impl FederationRouter {
     fn most_idle_nodes(endpoints: &[String], service: &ComputeService) -> RoutingDecision {
         let mut best: Option<(&String, u32)> = None;
         for name in endpoints {
-            let Some(ep) = service.endpoint(name) else { continue };
+            let Some(ep) = service.endpoint(name) else {
+                continue;
+            };
             let idle = ep.cluster_status().idle_nodes;
             if best.map(|(_, b)| idle > b).unwrap_or(true) {
                 best = Some((name, idle));
@@ -322,7 +329,8 @@ mod tests {
     const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
     fn two_cluster_service() -> (ModelRegistry, ComputeService) {
-        let hosting = || ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40);
+        let hosting =
+            || ModelHostingConfig::new(find_model("llama-70b").unwrap(), GpuModel::A100_40);
         let sophia = ComputeEndpoint::new(
             EndpointConfig::new("sophia-endpoint", "sophia", GpuModel::A100_40).host(hosting()),
             Cluster::tiny("sophia", 4, 8),
@@ -363,7 +371,9 @@ mod tests {
             .endpoint_mut("polaris-endpoint")
             .unwrap()
             .prewarm(MODEL, 1, SimTime::ZERO);
-        let decision = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        let decision = FederationRouter::new()
+            .route(&registry, &service, MODEL)
+            .unwrap();
         assert_eq!(decision.endpoint, "polaris-endpoint");
         assert_eq!(decision.reason, RoutingReason::ActiveInstance);
     }
@@ -373,7 +383,9 @@ mod tests {
         let (registry, mut service) = two_cluster_service();
         // Nothing running anywhere: both clusters idle → free capacity on the
         // first configured endpoint wins.
-        let d = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        let d = FederationRouter::new()
+            .route(&registry, &service, MODEL)
+            .unwrap();
         assert_eq!(d.endpoint, "sophia-endpoint");
         assert_eq!(d.reason, RoutingReason::FreeCapacity);
 
@@ -391,7 +403,9 @@ mod tests {
                 );
             }
         }
-        let d = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        let d = FederationRouter::new()
+            .route(&registry, &service, MODEL)
+            .unwrap();
         assert_eq!(d.endpoint, "sophia-endpoint");
         assert_eq!(d.reason, RoutingReason::ConfigurationOrder);
     }
@@ -399,7 +413,9 @@ mod tests {
     #[test]
     fn unregistered_model_routes_nowhere() {
         let (registry, service) = two_cluster_service();
-        assert!(FederationRouter::new().route(&registry, &service, "unknown").is_none());
+        assert!(FederationRouter::new()
+            .route(&registry, &service, "unknown")
+            .is_none());
     }
 
     #[test]
@@ -431,7 +447,10 @@ mod tests {
         // Warm one instance on each site, then pile tasks onto Sophia only so
         // its instance accumulates in-flight work.
         for name in ["sophia-endpoint", "polaris-endpoint"] {
-            service.endpoint_mut(name).unwrap().prewarm(MODEL, 1, SimTime::ZERO);
+            service
+                .endpoint_mut(name)
+                .unwrap()
+                .prewarm(MODEL, 1, SimTime::ZERO);
         }
         let function = service
             .registry()
@@ -453,7 +472,9 @@ mod tests {
 
         // The paper's priority policy would have stuck with Sophia (active
         // instance, configuration order) — the contrast the ablation measures.
-        let paper = FederationRouter::new().route(&registry, &service, MODEL).unwrap();
+        let paper = FederationRouter::new()
+            .route(&registry, &service, MODEL)
+            .unwrap();
         assert_eq!(paper.endpoint, "sophia-endpoint");
     }
 

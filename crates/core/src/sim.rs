@@ -113,6 +113,36 @@ fn synthetic_chat_request(
 /// Replay `samples` against the FIRST gateway at the given arrival times.
 /// Returns the §5.1 metrics. The gateway is advanced in place, so callers can
 /// inspect its metrics/log afterwards.
+///
+/// # Example
+///
+/// Replay ten ShareGPT-style conversations arriving at 2 req/s against the
+/// single-cluster test deployment:
+///
+/// ```
+/// use first_core::{run_gateway_openloop, DeploymentBuilder};
+/// use first_desim::{SimRng, SimTime};
+/// use first_workload::{ArrivalProcess, ShareGptGenerator};
+///
+/// let (mut gateway, tokens) = DeploymentBuilder::single_cluster_test()
+///     .prewarm(1)
+///     .build_with_tokens();
+/// let samples = ShareGptGenerator::new(42).samples(10);
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let arrivals = ArrivalProcess::FixedRate(2.0).arrivals(10, SimTime::ZERO, &mut rng);
+///
+/// let report = run_gateway_openloop(
+///     &mut gateway,
+///     &tokens.alice,
+///     "meta-llama/Llama-3.3-70B-Instruct",
+///     &samples,
+///     &arrivals,
+///     "2",
+///     SimTime::from_secs(3600),
+/// );
+/// assert_eq!(report.offered, 10);
+/// assert_eq!(report.completed, 10);
+/// ```
 pub fn run_gateway_openloop(
     gateway: &mut Gateway,
     token: &TokenString,
@@ -393,7 +423,9 @@ pub fn run_webui_closed_loop(
 
         // Send due messages.
         for (idx, state) in states.iter_mut().enumerate() {
-            let Some(send_at) = state.send_at else { continue };
+            let Some(send_at) = state.send_at else {
+                continue;
+            };
             if send_at > step {
                 continue;
             }
@@ -421,7 +453,9 @@ pub fn run_webui_closed_loop(
 
         // Handle completions: count them and schedule the next turn.
         for r in gateway.take_responses() {
-            let Some(&session_idx) = owner.get(&r.request_id) else { continue };
+            let Some(&session_idx) = owner.get(&r.request_id) else {
+                continue;
+            };
             if r.success && r.finished_at <= window_end {
                 completed += 1;
                 output_tokens += r.usage.completion_tokens as u64;
@@ -441,7 +475,9 @@ pub fn run_webui_closed_loop(
             }
         }
 
-        let any_pending_send = states.iter().any(|s| s.send_at.map(|t| t <= window_end).unwrap_or(false));
+        let any_pending_send = states
+            .iter()
+            .any(|s| s.send_at.map(|t| t <= window_end).unwrap_or(false));
         let any_waiting = states.iter().any(|s| s.waiting_for.is_some());
         if !any_pending_send && !any_waiting {
             break;
@@ -505,11 +541,14 @@ mod tests {
         let samples = samples(30);
         let mut rng = SimRng::seed_from_u64(2);
         let arrivals = ArrivalProcess::FixedRate(1.0).arrivals(30, SimTime::ZERO, &mut rng);
-        let report =
-            run_direct_openloop(cfg, &samples, &arrivals, "1", SimTime::from_secs(3600));
+        let report = run_direct_openloop(cfg, &samples, &arrivals, "1", SimTime::from_secs(3600));
         assert_eq!(report.completed, 30);
         // At 1 req/s the direct path is fast: a few seconds median.
-        assert!(report.median_latency_s < 8.0, "median {}", report.median_latency_s);
+        assert!(
+            report.median_latency_s < 8.0,
+            "median {}",
+            report.median_latency_s
+        );
     }
 
     #[test]
@@ -520,7 +559,8 @@ mod tests {
         let inf = ArrivalProcess::Infinite.arrivals(n, SimTime::ZERO, &mut rng);
         let direct_cfg =
             EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
-        let direct = run_direct_openloop(direct_cfg, &samples, &inf, "inf", SimTime::from_secs(7200));
+        let direct =
+            run_direct_openloop(direct_cfg, &samples, &inf, "inf", SimTime::from_secs(7200));
         let (mut gw, tokens) = DeploymentBuilder::single_cluster_test()
             .prewarm(1)
             .build_with_tokens();

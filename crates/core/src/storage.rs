@@ -104,7 +104,10 @@ impl RequestLog {
 
     /// Total tokens generated (completion side), the paper's headline metric.
     pub fn total_completion_tokens(&self) -> u64 {
-        self.entries.iter().map(|e| e.completion_tokens as u64).sum()
+        self.entries
+            .iter()
+            .map(|e| e.completion_tokens as u64)
+            .sum()
     }
 
     /// Per-user usage aggregates.
@@ -204,10 +207,14 @@ impl GatewayMetrics {
 
     /// Render the dashboard summary as a plain-text table.
     pub fn dashboard_summary(&mut self) -> String {
-        let mut out = String::from("model                                    reqs    median_s   p95_s\n");
+        let mut out =
+            String::from("model                                    reqs    median_s   p95_s\n");
         let models: Vec<String> = self.latency_by_model.keys().cloned().collect();
         for model in models {
-            let h = self.latency_by_model.get_mut(&model).expect("model present");
+            let h = self
+                .latency_by_model
+                .get_mut(&model)
+                .expect("model present");
             out.push_str(&format!(
                 "{model:<40} {:>6} {:>10.2} {:>7.2}\n",
                 h.count(),
@@ -286,7 +293,7 @@ mod tests {
         assert_eq!(m.completed, 2);
         assert_eq!(m.output_tokens, 330);
         let median = m.median_latency("llama-70b").unwrap();
-        assert!(median >= 5.0 && median <= 7.0);
+        assert!((5.0..=7.0).contains(&median));
         assert!(m.median_latency("unknown").is_none());
     }
 

@@ -168,7 +168,10 @@ mod tests {
             q.push(SimTime::from_secs(s), s);
         }
         let due = q.drain_due(SimTime::from_secs(3));
-        assert_eq!(due.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            due.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(q.len(), 2);
     }
 

@@ -172,7 +172,10 @@ mod tests {
     fn lognormal_mean_cv_matches_requested_mean() {
         let mut rng = SimRng::seed_from_u64(11);
         let n = 40_000;
-        let mean: f64 = (0..n).map(|_| rng.lognormal_mean_cv(200.0, 0.8)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| rng.lognormal_mean_cv(200.0, 0.8))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 200.0).abs() / 200.0 < 0.05, "mean was {mean}");
     }
 

@@ -128,7 +128,9 @@ mod tests {
         let mut extra = 0.0;
         for ms in (100..10_000).step_by(137) {
             let available = SimTime::from_millis(ms);
-            let a = optimized.observe_result_at(submitted, available).as_secs_f64();
+            let a = optimized
+                .observe_result_at(submitted, available)
+                .as_secs_f64();
             let b = legacy.observe_result_at(submitted, available).as_secs_f64();
             assert!(b >= a);
             extra += b - a;
@@ -142,7 +144,13 @@ mod tests {
         assert_eq!(cached.submit_overhead(true), SimDuration::from_millis(1100));
         assert_eq!(cached.submit_overhead(false), SimDuration::ZERO);
         let uncached = ClientConfig::unoptimized();
-        assert_eq!(uncached.submit_overhead(true), SimDuration::from_millis(1100));
-        assert_eq!(uncached.submit_overhead(false), SimDuration::from_millis(1100));
+        assert_eq!(
+            uncached.submit_overhead(true),
+            SimDuration::from_millis(1100)
+        );
+        assert_eq!(
+            uncached.submit_overhead(false),
+            SimDuration::from_millis(1100)
+        );
     }
 }

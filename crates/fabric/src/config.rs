@@ -226,13 +226,19 @@ mod tests {
             GpuModel::A100_40,
             8,
         );
-        assert_eq!((sophia.nodes_per_instance, sophia.gpus_per_instance), (1, 8));
+        assert_eq!(
+            (sophia.nodes_per_instance, sophia.gpus_per_instance),
+            (1, 8)
+        );
         let polaris = ModelHostingConfig::for_node_size(
             find_model("llama-70b").unwrap(),
             GpuModel::A100_40,
             4,
         );
-        assert_eq!((polaris.nodes_per_instance, polaris.gpus_per_instance), (2, 4));
+        assert_eq!(
+            (polaris.nodes_per_instance, polaris.gpus_per_instance),
+            (2, 4)
+        );
         // Total TP degree (and therefore the engine configuration) is the
         // same either way.
         assert_eq!(

@@ -11,9 +11,7 @@ use crate::config::{EndpointConfig, ModelHostingConfig};
 use crate::task::{TaskId, TaskResult};
 use first_desim::{SimProcess, SimTime};
 use first_hpc::{BatchScheduler, Cluster, ClusterStatus, JobId, JobPriority, JobRequest, JobState};
-use first_serving::{
-    EmbeddingConfig, EmbeddingEngine, EngineState, InferenceRequest, VllmEngine,
-};
+use first_serving::{EmbeddingConfig, EmbeddingEngine, EngineState, InferenceRequest, VllmEngine};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -478,7 +476,9 @@ impl ComputeEndpoint {
 
         // 2. Drive backends and collect completions.
         for inst in self.instances.iter_mut() {
-            let Some(backend) = inst.backend.as_mut() else { continue };
+            let Some(backend) = inst.backend.as_mut() else {
+                continue;
+            };
             match backend {
                 InstanceBackend::Vllm(engine) => {
                     engine.advance(now);
@@ -527,7 +527,9 @@ impl ComputeEndpoint {
         let hostings: Vec<ModelHostingConfig> = self.config.models.clone();
         for hosting in &hostings {
             let model = hosting.model.name.clone();
-            let Some(queue) = self.waiting.get_mut(&model) else { continue };
+            let Some(queue) = self.waiting.get_mut(&model) else {
+                continue;
+            };
             if queue.is_empty() {
                 continue;
             }
@@ -541,7 +543,9 @@ impl ComputeEndpoint {
                 .filter(|i| i.state == InstanceState::Ready)
             {
                 while inst.in_flight.len() < hosting.max_parallel_tasks {
-                    let Some((task, request)) = queue.pop_front() else { break };
+                    let Some((task, request)) = queue.pop_front() else {
+                        break;
+                    };
                     match inst.backend.as_mut().expect("backend present") {
                         InstanceBackend::Vllm(engine) => {
                             engine.enqueue(request, now);
@@ -705,12 +709,19 @@ mod tests {
         );
         let mut ep = ComputeEndpoint::new(config, Cluster::tiny("polaris", 8, 4));
         // Prewarming an infeasible entry launches nothing.
-        assert_eq!(ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO), 0);
+        assert_eq!(
+            ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO),
+            0
+        );
         assert!(!ep.receive_task(TaskId(1), chat_req(1), SimTime::ZERO));
         let results = ep.take_results();
         assert_eq!(results.len(), 1);
         assert!(!results[0].success);
-        assert!(results[0].error.as_deref().unwrap_or("").contains("cannot provide"));
+        assert!(results[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("cannot provide"));
 
         // The properly sized 2x4-GPU entry for the same cluster works.
         let config = EndpointConfig::new("polaris-endpoint", "polaris", GpuModel::A100_40).host(
@@ -721,7 +732,10 @@ mod tests {
             ),
         );
         let mut ep = ComputeEndpoint::new(config, Cluster::tiny("polaris", 8, 4));
-        assert_eq!(ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO), 1);
+        assert_eq!(
+            ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO),
+            1
+        );
         assert!(ep.receive_task(TaskId(2), chat_req(2), SimTime::ZERO));
         drive(&mut ep, SimTime::from_secs(300));
         let results = ep.take_results();
@@ -798,9 +812,15 @@ mod tests {
         let busy_gpus_before = ep.cluster_status().total_gpus - ep.cluster_status().free_gpus;
         assert!(busy_gpus_before >= 8);
         // Two hours of idleness later the node is released.
-        drive(&mut ep, SimTime::from_secs(300) + SimDuration::from_hours(3));
+        drive(
+            &mut ep,
+            SimTime::from_secs(300) + SimDuration::from_hours(3),
+        );
         assert!(!ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
-        assert_eq!(ep.cluster_status().free_gpus, ep.cluster_status().total_gpus);
+        assert_eq!(
+            ep.cluster_status().free_gpus,
+            ep.cluster_status().total_gpus
+        );
         assert!(ep.stats().instances_released >= 1);
     }
 
@@ -823,7 +843,9 @@ mod tests {
     fn instance_failure_restarts_automatically() {
         let mut ep = endpoint();
         ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
-        assert!(ep.inject_instance_failure("meta-llama/Llama-3.3-70B-Instruct", SimTime::from_secs(5)));
+        assert!(
+            ep.inject_instance_failure("meta-llama/Llama-3.3-70B-Instruct", SimTime::from_secs(5))
+        );
         assert_eq!(ep.stats().restarts, 1);
         // A replacement instance is starting.
         let status = ep.model_status("meta-llama/Llama-3.3-70B-Instruct");
@@ -869,6 +891,9 @@ mod tests {
         }
         ep.advance(SimTime::from_secs(1));
         let status = ep.model_status("meta-llama/Llama-3.3-70B-Instruct");
-        assert!(status.queued >= 1, "second instance should wait for nodes: {status:?}");
+        assert!(
+            status.queued >= 1,
+            "second instance should wait for nodes: {status:?}"
+        );
     }
 }

@@ -115,7 +115,10 @@ impl ComputeService {
 
     /// Endpoint names, in registration order (the federation registry order).
     pub fn endpoint_names(&self) -> Vec<String> {
-        self.endpoints.iter().map(|e| e.name().to_string()).collect()
+        self.endpoints
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect()
     }
 
     /// Borrow an endpoint by name.
@@ -173,7 +176,8 @@ impl ComputeService {
                 result_available_at: None,
             },
         );
-        self.dispatch_queue.push_back((arrival, id, request, ep_idx));
+        self.dispatch_queue
+            .push_back((arrival, id, request, ep_idx));
         self.stats.submitted += 1;
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.dispatch_queue.len());
         Ok(id)
@@ -205,8 +209,7 @@ impl ComputeService {
 
     fn pump_dispatcher(&mut self, now: SimTime) {
         // Serial dispatcher: one task at a time, each costing dispatch_cost.
-        loop {
-            let Some(&(arrival, _, _, _)) = self.dispatch_queue.front() else { break };
+        while let Some(&(arrival, _, _, _)) = self.dispatch_queue.front() {
             let start = arrival.max(self.dispatcher_free_at);
             if start > now {
                 break;
@@ -337,7 +340,10 @@ mod tests {
     }
 
     fn inference_fn(svc: &ComputeService) -> FunctionId {
-        svc.registry().find_by_name("run_vllm_inference").unwrap().id
+        svc.registry()
+            .find_by_name("run_vllm_inference")
+            .unwrap()
+            .id
     }
 
     fn drive(svc: &mut ComputeService, until: SimTime) {

@@ -39,7 +39,10 @@ impl FunctionRegistry {
     /// inference, and embedding generation.
     pub fn standard() -> Self {
         let mut reg = Self::new();
-        reg.register("run_vllm_inference", "Run one interactive inference request");
+        reg.register(
+            "run_vllm_inference",
+            "Run one interactive inference request",
+        );
         reg.register("run_vllm_batch", "Run an offline batch inference job");
         reg.register("run_embedding", "Generate embeddings for input texts");
         reg

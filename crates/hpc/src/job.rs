@@ -56,7 +56,12 @@ impl JobRequest {
     }
 
     /// A multi-node job (e.g. 405B-class models spanning several nodes).
-    pub fn multi_node(nodes: u32, gpus_per_node: u32, walltime: SimDuration, tag: impl Into<String>) -> Self {
+    pub fn multi_node(
+        nodes: u32,
+        gpus_per_node: u32,
+        walltime: SimDuration,
+        tag: impl Into<String>,
+    ) -> Self {
         JobRequest {
             nodes,
             gpus_per_node,
@@ -197,7 +202,10 @@ mod tests {
             ended_at: None,
             allocation: Allocation::default(),
         };
-        assert_eq!(rec.queue_wait(SimTime::from_secs(100)), SimDuration::from_secs(60));
+        assert_eq!(
+            rec.queue_wait(SimTime::from_secs(100)),
+            SimDuration::from_secs(60)
+        );
         assert_eq!(rec.deadline(), Some(SimTime::from_secs(70 + 3600)));
     }
 

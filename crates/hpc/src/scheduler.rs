@@ -279,11 +279,17 @@ impl BatchScheduler {
         let mut order: Vec<JobId> = self.queue.clone();
         order.sort_by_key(|id| {
             let rec = &self.jobs[id];
-            (std::cmp::Reverse(rec.request.priority as u8), rec.submitted_at, id.0)
+            (
+                std::cmp::Reverse(rec.request.priority as u8),
+                rec.submitted_at,
+                id.0,
+            )
         });
 
         for id in order {
-            let Some(rec) = self.jobs.get(&id) else { continue };
+            let Some(rec) = self.jobs.get(&id) else {
+                continue;
+            };
             if rec.state != JobState::Queued {
                 continue;
             }
@@ -440,7 +446,10 @@ mod tests {
     fn backfill_lets_small_jobs_pass_blocked_large_ones() {
         let mut s = scheduler(2, 8);
         // Fill one node.
-        s.submit(JobRequest::single_node(8, SimDuration::from_hours(4), "big0"), SimTime::ZERO);
+        s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(4), "big0"),
+            SimTime::ZERO,
+        );
         // Needs two whole nodes -> cannot start.
         let blocked = s.submit(
             JobRequest::multi_node(2, 8, SimDuration::from_hours(4), "blocked"),
@@ -475,7 +484,10 @@ mod tests {
     #[test]
     fn walltime_expiry_lets_queued_job_start() {
         let mut s = scheduler(1, 8);
-        s.submit(JobRequest::single_node(8, SimDuration::from_hours(1), "a"), SimTime::ZERO);
+        s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "a"),
+            SimTime::ZERO,
+        );
         let b = s.submit(
             JobRequest::single_node(8, SimDuration::from_hours(1), "b"),
             SimTime::ZERO,
@@ -488,8 +500,14 @@ mod tests {
     #[test]
     fn cancel_queued_and_running_jobs() {
         let mut s = scheduler(1, 4);
-        let a = s.submit(JobRequest::single_node(4, SimDuration::from_hours(1), "a"), SimTime::ZERO);
-        let b = s.submit(JobRequest::single_node(4, SimDuration::from_hours(1), "b"), SimTime::ZERO);
+        let a = s.submit(
+            JobRequest::single_node(4, SimDuration::from_hours(1), "a"),
+            SimTime::ZERO,
+        );
+        let b = s.submit(
+            JobRequest::single_node(4, SimDuration::from_hours(1), "b"),
+            SimTime::ZERO,
+        );
         assert!(s.cancel(b, SimTime::from_secs(5)));
         assert_eq!(s.job(b).unwrap().state, JobState::Cancelled);
         assert!(s.cancel(a, SimTime::from_secs(6)));
@@ -535,7 +553,10 @@ mod tests {
     #[test]
     fn whole_node_requests_require_idle_nodes() {
         let mut s = scheduler(2, 8);
-        s.submit(JobRequest::single_node(1, SimDuration::from_hours(1), "tiny"), SimTime::ZERO);
+        s.submit(
+            JobRequest::single_node(1, SimDuration::from_hours(1), "tiny"),
+            SimTime::ZERO,
+        );
         // gpus_per_node == 0 means "whole node": only one node is fully idle.
         let whole = JobRequest {
             nodes: 2,
@@ -553,7 +574,10 @@ mod tests {
     fn queue_wait_estimate_is_zero_when_idle() {
         let mut s = scheduler(2, 8);
         let req = JobRequest::single_node(8, SimDuration::from_hours(1), "m");
-        assert_eq!(s.estimate_queue_wait(&req, SimTime::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            s.estimate_queue_wait(&req, SimTime::ZERO),
+            SimDuration::ZERO
+        );
         s.submit(req.clone(), SimTime::ZERO);
         s.submit(req.clone(), SimTime::ZERO);
         // Cluster now full: estimate points at the earliest deadline.
@@ -564,8 +588,14 @@ mod tests {
     #[test]
     fn stats_track_queue_waits() {
         let mut s = scheduler(1, 8);
-        let a = s.submit(JobRequest::single_node(8, SimDuration::from_hours(1), "a"), SimTime::ZERO);
-        s.submit(JobRequest::single_node(8, SimDuration::from_hours(1), "b"), SimTime::ZERO);
+        let a = s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "a"),
+            SimTime::ZERO,
+        );
+        s.submit(
+            JobRequest::single_node(8, SimDuration::from_hours(1), "b"),
+            SimTime::ZERO,
+        );
         s.complete(a, SimTime::from_secs(100));
         assert_eq!(s.stats().started, 2);
         assert!((s.stats().mean_queue_wait_secs() - 50.0).abs() < 1e-9);

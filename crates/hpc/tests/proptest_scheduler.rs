@@ -14,7 +14,10 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u32..=8, 10u64..240).prop_map(|(gpus, walltime_mins)| Op::Submit { gpus, walltime_mins }),
+        (1u32..=8, 10u64..240).prop_map(|(gpus, walltime_mins)| Op::Submit {
+            gpus,
+            walltime_mins
+        }),
         Just(Op::CompleteOldest),
         (1u64..120).prop_map(|mins| Op::Advance { mins }),
     ]
@@ -49,7 +52,7 @@ proptest! {
                     }
                 }
                 Op::Advance { mins } => {
-                    now = now + SimDuration::from_mins(mins);
+                    now += SimDuration::from_mins(mins);
                     sched.advance(now);
                 }
             }
@@ -91,7 +94,7 @@ proptest! {
         }
         // Repeatedly complete running jobs; everything must eventually finish.
         for _ in 0..gpu_sizes.len() * 2 {
-            now = now + SimDuration::from_mins(1);
+            now += SimDuration::from_mins(1);
             let running: Vec<_> = sched
                 .jobs()
                 .filter(|j| j.state == JobState::Running)

@@ -116,8 +116,16 @@ mod tests {
         let cfg = EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
         let small = run_offline_batch(cfg.clone(), sharegpt_like(20, "llama-70b"));
         let large = run_offline_batch(cfg, sharegpt_like(2000, "llama-70b"));
-        assert!(small.load_fraction() > 0.5, "small load fraction {}", small.load_fraction());
-        assert!(large.load_fraction() < 0.3, "large load fraction {}", large.load_fraction());
+        assert!(
+            small.load_fraction() > 0.5,
+            "small load fraction {}",
+            small.load_fraction()
+        );
+        assert!(
+            large.load_fraction() < 0.3,
+            "large load fraction {}",
+            large.load_fraction()
+        );
         // Amortisation: overall throughput approaches steady-state throughput
         // as the batch grows.
         let small_gap = small.steady_tokens_per_sec - small.overall_tokens_per_sec;

@@ -113,12 +113,12 @@ impl EmbeddingEngine {
             batch_tokens += req.prompt_tokens as u64;
             members.push((req, arrival));
         }
-        let compute = SimDuration::from_secs_f64(
-            batch_tokens as f64 / self.config.tokens_per_sec.max(1.0),
-        ) + self
-            .config
-            .per_request_overhead
-            .mul_f64(members.len() as f64);
+        let compute =
+            SimDuration::from_secs_f64(batch_tokens as f64 / self.config.tokens_per_sec.max(1.0))
+                + self
+                    .config
+                    .per_request_overhead
+                    .mul_f64(members.len() as f64);
         let finish = start + compute;
         self.busy_until = finish;
         self.stats.batches += 1;
@@ -164,7 +164,9 @@ mod tests {
     use crate::model::find_model;
 
     fn engine() -> EmbeddingEngine {
-        EmbeddingEngine::new(EmbeddingConfig::nv_embed(find_model("nv-embed-v2").unwrap()))
+        EmbeddingEngine::new(EmbeddingConfig::nv_embed(
+            find_model("nv-embed-v2").unwrap(),
+        ))
     }
 
     fn drain(e: &mut EmbeddingEngine, horizon: SimTime) {
@@ -179,7 +181,10 @@ mod tests {
     #[test]
     fn single_embedding_is_fast() {
         let mut e = engine();
-        e.submit(InferenceRequest::embedding(1, "nv-embed-v2", 512), SimTime::ZERO);
+        e.submit(
+            InferenceRequest::embedding(1, "nv-embed-v2", 512),
+            SimTime::ZERO,
+        );
         drain(&mut e, SimTime::from_secs(10));
         let c = e.take_completions();
         assert_eq!(c.len(), 1);
@@ -191,11 +196,14 @@ mod tests {
     fn batches_respect_max_batch() {
         let mut e = engine();
         for i in 0..200 {
-            e.submit(InferenceRequest::embedding(i, "nv-embed-v2", 256), SimTime::ZERO);
+            e.submit(
+                InferenceRequest::embedding(i, "nv-embed-v2", 256),
+                SimTime::ZERO,
+            );
         }
         drain(&mut e, SimTime::from_secs(60));
         assert_eq!(e.stats().completed, 200);
-        assert!(e.stats().batches >= (200 / 64) as u64 + 1);
+        assert!(e.stats().batches > (200 / 64) as u64);
         assert_eq!(e.stats().tokens, 200 * 256);
     }
 
@@ -203,7 +211,10 @@ mod tests {
     fn throughput_matches_configured_rate() {
         let mut e = engine();
         for i in 0..1000 {
-            e.submit(InferenceRequest::embedding(i, "nv-embed-v2", 512), SimTime::ZERO);
+            e.submit(
+                InferenceRequest::embedding(i, "nv-embed-v2", 512),
+                SimTime::ZERO,
+            );
         }
         drain(&mut e, SimTime::from_secs(600));
         let completions = e.take_completions();
@@ -220,9 +231,15 @@ mod tests {
     fn later_submissions_queue_behind_busy_engine() {
         let mut e = engine();
         for i in 0..64 {
-            e.submit(InferenceRequest::embedding(i, "nv-embed-v2", 8192), SimTime::ZERO);
+            e.submit(
+                InferenceRequest::embedding(i, "nv-embed-v2", 8192),
+                SimTime::ZERO,
+            );
         }
-        e.submit(InferenceRequest::embedding(99, "nv-embed-v2", 128), SimTime::from_millis(1));
+        e.submit(
+            InferenceRequest::embedding(99, "nv-embed-v2", 128),
+            SimTime::from_millis(1),
+        );
         drain(&mut e, SimTime::from_secs(600));
         let completions = e.take_completions();
         let last = completions.iter().find(|c| c.id.0 == 99).unwrap();

@@ -242,7 +242,9 @@ impl VllmEngine {
     fn admit(&mut self, now: SimTime) -> SimDuration {
         let mut prefill = SimDuration::ZERO;
         while self.running.len() < self.config.max_num_seqs {
-            let Some(front) = self.waiting.front() else { break };
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
             let total = front.req.total_tokens();
             if !self.kv.reserve(front.req.id.0, total) {
                 break;
@@ -365,12 +367,10 @@ impl SimProcess for VllmEngine {
                         return;
                     }
                 }
-                EngineState::Ready => {
-                    match self.next_step_at {
-                        Some(t) if t <= now => self.execute_step(t),
-                        _ => return,
-                    }
-                }
+                EngineState::Ready => match self.next_step_at {
+                    Some(t) if t <= now => self.execute_step(t),
+                    _ => return,
+                },
             }
         }
     }
@@ -515,7 +515,10 @@ mod tests {
     fn stopped_engine_rejects_requests() {
         let mut engine = VllmEngine::hot(config8(), SimTime::ZERO);
         engine.stop();
-        assert!(!engine.enqueue(InferenceRequest::chat(1, "llama-8b", 100, 10), SimTime::ZERO));
+        assert!(!engine.enqueue(
+            InferenceRequest::chat(1, "llama-8b", 100, 10),
+            SimTime::ZERO
+        ));
         assert_eq!(engine.stats().rejected, 1);
     }
 
@@ -526,7 +529,10 @@ mod tests {
         let mut engine = VllmEngine::hot(cfg, SimTime::ZERO);
         let huge = InferenceRequest::chat(1, "llama-8b", 2_000_000, 1000);
         assert!(!engine.enqueue(huge, SimTime::ZERO));
-        assert!(engine.enqueue(InferenceRequest::chat(2, "llama-8b", 200, 50), SimTime::ZERO));
+        assert!(engine.enqueue(
+            InferenceRequest::chat(2, "llama-8b", 200, 50),
+            SimTime::ZERO
+        ));
     }
 
     #[test]
@@ -558,7 +564,10 @@ mod tests {
     #[test]
     fn engine_goes_idle_after_draining() {
         let mut engine = VllmEngine::hot(config8(), SimTime::ZERO);
-        engine.enqueue(InferenceRequest::chat(1, "llama-8b", 100, 20), SimTime::ZERO);
+        engine.enqueue(
+            InferenceRequest::chat(1, "llama-8b", 100, 20),
+            SimTime::ZERO,
+        );
         let mut now = SimTime::ZERO;
         while let Some(t) = SimProcess::next_event_time(&engine) {
             now = t;

@@ -102,19 +102,34 @@ pub fn catalog() -> Vec<ModelSpec> {
         // Meta Llama 3 family (benchmark models use the §5.2.1 TP settings).
         ModelSpec::chat("meta-llama/Meta-Llama-3.1-8B-Instruct", "Llama-3", 8.0, 4),
         ModelSpec::chat("meta-llama/Llama-3.3-70B-Instruct", "Llama-3", 70.0, 8),
-        ModelSpec::chat("meta-llama/Meta-Llama-3.1-405B-Instruct", "Llama-3", 405.0, 16),
+        ModelSpec::chat(
+            "meta-llama/Meta-Llama-3.1-405B-Instruct",
+            "Llama-3",
+            405.0,
+            16,
+        ),
         // Mistral family.
         ModelSpec::chat("mistralai/Mistral-7B-Instruct-v0.3", "Mistral", 7.0, 1),
         ModelSpec::chat("mistralai/Mixtral-8x22B-Instruct-v0.1", "Mistral", 141.0, 8),
         // Science-focused AuroraGPT suite.
         ModelSpec::chat("argonne-private/AuroraGPT-7B", "AuroraGPT", 7.0, 1),
         ModelSpec::chat("argonne-private/AuroraGPT-IT-v4-0125", "AuroraGPT", 7.0, 1),
-        ModelSpec::chat("argonne-private/AuroraGPT-Tulu3-SFT-0125", "AuroraGPT", 7.0, 1),
+        ModelSpec::chat(
+            "argonne-private/AuroraGPT-Tulu3-SFT-0125",
+            "AuroraGPT",
+            7.0,
+            1,
+        ),
         // Google Gemma (Table 1).
         ModelSpec::chat("google/gemma-2-27b-it", "Gemma", 27.0, 4),
         // Vision-language models.
         ModelSpec::vision("Qwen/Qwen2-VL-72B-Instruct", "Qwen2-VL", 72.0, 8),
-        ModelSpec::vision("meta-llama/Llama-3.2-90B-Vision-Instruct", "Llama-3", 90.0, 8),
+        ModelSpec::vision(
+            "meta-llama/Llama-3.2-90B-Vision-Instruct",
+            "Llama-3",
+            90.0,
+            8,
+        ),
         // Embeddings.
         ModelSpec::embedding("nvidia/NV-Embed-v2", "NV-Embed", 7.8),
     ]
@@ -151,7 +166,10 @@ mod tests {
         assert!(cat.iter().any(|m| m.kind == ModelKind::Chat));
         assert!(cat.iter().any(|m| m.kind == ModelKind::VisionLanguage));
         assert!(cat.iter().any(|m| m.kind == ModelKind::Embedding));
-        assert!(cat.len() >= 15, "paper case study 6.1 benchmarks fifteen models");
+        assert!(
+            cat.len() >= 15,
+            "paper case study 6.1 benchmarks fifteen models"
+        );
     }
 
     #[test]

@@ -61,8 +61,8 @@ impl PerfModel {
         batch: usize,
     ) -> SimDuration {
         let scale = model.params_b / self.effective_compute(gpu, tp);
-        let secs = self.decode_base_coeff * scale
-            + self.decode_incr_coeff * scale * batch.max(1) as f64;
+        let secs =
+            self.decode_base_coeff * scale + self.decode_incr_coeff * scale * batch.max(1) as f64;
         SimDuration::from_secs_f64(secs)
     }
 
@@ -174,12 +174,8 @@ mod tests {
         let perf = PerfModel::default();
         let m8 = perf.weight_load_time(&model8(), GpuModel::A100_40, 4, 1);
         let m70 = perf.weight_load_time(&model70(), GpuModel::A100_40, 8, 1);
-        let m405 = perf.weight_load_time(
-            &find_model("llama-405b").unwrap(),
-            GpuModel::A100_40,
-            16,
-            2,
-        );
+        let m405 =
+            perf.weight_load_time(&find_model("llama-405b").unwrap(), GpuModel::A100_40, 16, 2);
         assert!(m8 < m70);
         assert!(m70 < m405);
         // §4.3: 8B loads "relatively quickly"; 405B takes much longer.

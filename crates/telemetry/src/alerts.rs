@@ -146,7 +146,11 @@ impl Alerting {
 
     /// Add a rule.
     pub fn add_rule(&mut self, rule: AlertRule) {
-        self.rules.push(RuleRuntime { rule, state: AlertState::Ok, pending_since: None });
+        self.rules.push(RuleRuntime {
+            rule,
+            state: AlertState::Ok,
+            pending_since: None,
+        });
     }
 
     /// Number of configured rules.
@@ -156,7 +160,10 @@ impl Alerting {
 
     /// The current state of a rule by name.
     pub fn state(&self, rule: &str) -> Option<AlertState> {
-        self.rules.iter().find(|r| r.rule.name == rule).map(|r| r.state)
+        self.rules
+            .iter()
+            .find(|r| r.rule.name == rule)
+            .map(|r| r.state)
     }
 
     /// Alerts fired so far (in firing order).
@@ -246,13 +253,19 @@ mod tests {
 
         reg.set_gauge("first_queued_tasks", labels.clone(), 5000.0);
         assert!(alerting.evaluate(&reg, SimTime::from_secs(0)).is_empty());
-        assert_eq!(alerting.state("queue_backlog_high"), Some(AlertState::Pending));
+        assert_eq!(
+            alerting.state("queue_backlog_high"),
+            Some(AlertState::Pending)
+        );
         assert!(alerting.evaluate(&reg, SimTime::from_secs(30)).is_empty());
         let fired = alerting.evaluate(&reg, SimTime::from_secs(61));
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].rule, "queue_backlog_high");
         assert_eq!(fired[0].severity, AlertSeverity::Warning);
-        assert_eq!(alerting.state("queue_backlog_high"), Some(AlertState::Firing));
+        assert_eq!(
+            alerting.state("queue_backlog_high"),
+            Some(AlertState::Firing)
+        );
         // Already firing: no duplicate notification.
         assert!(alerting.evaluate(&reg, SimTime::from_secs(120)).is_empty());
         assert_eq!(alerting.fired().len(), 1);

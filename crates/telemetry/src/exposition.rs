@@ -12,7 +12,11 @@ use std::fmt::Write as _;
 
 fn format_value(v: f64) -> String {
     if v.is_infinite() {
-        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
     } else if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -41,7 +45,12 @@ pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
             MetricSnapshot::Gauge { value, .. } => {
                 let _ = writeln!(out, "{name}{labels} {}", format_value(*value));
             }
-            MetricSnapshot::Histogram { count, sum, buckets, .. } => {
+            MetricSnapshot::Histogram {
+                count,
+                sum,
+                buckets,
+                ..
+            } => {
                 for (bound, cumulative) in buckets {
                     let mut le_labels = labels.clone();
                     le_labels.insert("le", format_value(*bound));
@@ -69,8 +78,16 @@ mod tests {
             LabelSet::from_pairs([("model", "llama-70b"), ("op", "chat")]),
             42,
         );
-        reg.set_gauge("first_hot_nodes", LabelSet::single("cluster", "sophia"), 3.0);
-        reg.observe("first_latency_seconds", LabelSet::single("model", "llama-70b"), 9.2);
+        reg.set_gauge(
+            "first_hot_nodes",
+            LabelSet::single("cluster", "sophia"),
+            3.0,
+        );
+        reg.observe(
+            "first_latency_seconds",
+            LabelSet::single("model", "llama-70b"),
+            9.2,
+        );
         let text = render_prometheus(&reg.snapshot());
 
         assert!(text.contains("# TYPE first_requests_total counter"));

@@ -27,11 +27,20 @@ impl BucketHistogram {
     /// finite and strictly increasing; invalid bounds panic because they are
     /// a configuration error, not a data error.
     pub fn with_bounds(bounds: &[f64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
         for pair in bounds.windows(2) {
-            assert!(pair[0] < pair[1], "bucket bounds must be strictly increasing");
+            assert!(
+                pair[0] < pair[1],
+                "bucket bounds must be strictly increasing"
+            );
         }
-        assert!(bounds.iter().all(|b| b.is_finite()), "bounds must be finite");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite"
+        );
         BucketHistogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
@@ -154,7 +163,11 @@ impl BucketHistogram {
                     // Overflow bucket: fall back to the observed maximum.
                     self.max
                 };
-                let within = if c == 0 { 0.0 } else { (rank - seen as f64) / c as f64 };
+                let within = if c == 0 {
+                    0.0
+                } else {
+                    (rank - seen as f64) / c as f64
+                };
                 let est = lower + (upper - lower) * within.clamp(0.0, 1.0);
                 return est.clamp(self.min, self.max);
             }

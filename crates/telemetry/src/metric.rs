@@ -124,7 +124,10 @@ pub struct MetricId {
 impl MetricId {
     /// Build a metric id.
     pub fn new(name: impl Into<String>, labels: LabelSet) -> Self {
-        MetricId { name: name.into(), labels }
+        MetricId {
+            name: name.into(),
+            labels,
+        }
     }
 
     /// A series with no labels.

@@ -243,14 +243,20 @@ impl MetricRegistry {
     /// Take a point-in-time snapshot of every series.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock();
-        let mut samples = Vec::with_capacity(
-            inner.counters.len() + inner.gauges.len() + inner.histograms.len(),
-        );
+        let mut samples =
+            Vec::with_capacity(inner.counters.len() + inner.gauges.len() + inner.histograms.len());
         for (id, c) in &inner.counters {
-            samples.push(MetricSnapshot::Counter { id: id.clone(), value: c.get() });
+            samples.push(MetricSnapshot::Counter {
+                id: id.clone(),
+                value: c.get(),
+            });
         }
         for (id, g) in &inner.gauges {
-            samples.push(MetricSnapshot::Gauge { id: id.clone(), value: g.get(), peak: g.peak() });
+            samples.push(MetricSnapshot::Gauge {
+                id: id.clone(),
+                value: g.get(),
+                peak: g.peak(),
+            });
         }
         for (id, h) in &inner.histograms {
             samples.push(MetricSnapshot::Histogram {
@@ -289,13 +295,26 @@ mod tests {
         reg.inc_counter("first_requests_total", model_labels("llama-70b"));
         reg.add_counter("first_requests_total", model_labels("llama-70b"), 4);
         reg.add_counter("first_requests_total", model_labels("llama-8b"), 2);
-        reg.set_gauge("first_hot_nodes", LabelSet::single("cluster", "sophia"), 3.0);
+        reg.set_gauge(
+            "first_hot_nodes",
+            LabelSet::single("cluster", "sophia"),
+            3.0,
+        );
         reg.observe("first_latency_seconds", model_labels("llama-70b"), 9.2);
         reg.observe("first_latency_seconds", model_labels("llama-70b"), 46.9);
 
-        assert_eq!(reg.counter_value("first_requests_total", &model_labels("llama-70b")), 5);
-        assert_eq!(reg.counter_value("first_requests_total", &model_labels("llama-8b")), 2);
-        assert_eq!(reg.gauge_value("first_hot_nodes", &LabelSet::single("cluster", "sophia")), 3.0);
+        assert_eq!(
+            reg.counter_value("first_requests_total", &model_labels("llama-70b")),
+            5
+        );
+        assert_eq!(
+            reg.counter_value("first_requests_total", &model_labels("llama-8b")),
+            2
+        );
+        assert_eq!(
+            reg.gauge_value("first_hot_nodes", &LabelSet::single("cluster", "sophia")),
+            3.0
+        );
         let med = reg.histogram_median("first_latency_seconds", &model_labels("llama-70b"));
         assert!(med > 0.0);
         assert_eq!(reg.series_count(), 4);
@@ -306,7 +325,10 @@ mod tests {
             snap.counter_value("first_requests_total", &model_labels("llama-8b")),
             2
         );
-        assert_eq!(snap.gauge_value("first_hot_nodes", &LabelSet::single("cluster", "sophia")), 3.0);
+        assert_eq!(
+            snap.gauge_value("first_hot_nodes", &LabelSet::single("cluster", "sophia")),
+            3.0
+        );
     }
 
     #[test]

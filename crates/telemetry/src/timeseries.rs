@@ -32,7 +32,10 @@ pub struct RollingWindow {
 impl RollingWindow {
     /// A window covering the trailing `width` of virtual time.
     pub fn new(width: SimDuration) -> Self {
-        RollingWindow { width, points: VecDeque::new() }
+        RollingWindow {
+            width,
+            points: VecDeque::new(),
+        }
     }
 
     /// A one-minute window.
@@ -188,8 +191,7 @@ impl ResourceTimeline {
             return self.samples.clone();
         }
         let stride = self.samples.len().div_ceil(max_points);
-        let mut out: Vec<TimePoint> =
-            self.samples.iter().step_by(stride).copied().collect();
+        let mut out: Vec<TimePoint> = self.samples.iter().step_by(stride).copied().collect();
         let last = *self.samples.last().unwrap();
         if out.last().map(|p| p.at) != Some(last.at) {
             out.push(last);

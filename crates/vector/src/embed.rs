@@ -114,10 +114,7 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 
 /// Squared Euclidean distance between two equal-length vectors.
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 #[cfg(test)]

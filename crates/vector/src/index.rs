@@ -81,7 +81,11 @@ impl FlatIndex {
                 score: self.metric.score(query, v),
             })
             .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         hits.truncate(k);
         hits
     }
@@ -181,7 +185,10 @@ impl IvfIndex {
 
     /// Add a vector (the index must be trained).
     pub fn add(&mut self, id: u64, vector: Embedding) {
-        assert!(self.trained, "IVF index must be trained before adding vectors");
+        assert!(
+            self.trained,
+            "IVF index must be trained before adding vectors"
+        );
         let list = Self::nearest_centroid(&self.centroids, &vector, self.metric);
         self.lists[list].push((id, vector));
     }
@@ -208,7 +215,11 @@ impl IvfIndex {
                 });
             }
         }
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         hits.truncate(k);
         hits
     }

@@ -14,6 +14,4 @@ pub mod rag;
 
 pub use embed::{cosine, l2_sq, normalize, Embedder, Embedding, DEFAULT_DIM};
 pub use index::{FlatIndex, IvfIndex, Metric, SearchHit};
-pub use rag::{
-    chunk_document, Chunk, ChunkingConfig, Document, RagPipeline, RetrievedPassage,
-};
+pub use rag::{chunk_document, Chunk, ChunkingConfig, Document, RagPipeline, RetrievedPassage};

@@ -153,12 +153,10 @@ impl RagPipeline {
             .search(&q, k)
             .into_iter()
             .filter_map(|SearchHit { id, score }| {
-                self.chunks
-                    .get(id as usize)
-                    .map(|chunk| RetrievedPassage {
-                        chunk: chunk.clone(),
-                        score,
-                    })
+                self.chunks.get(id as usize).map(|chunk| RetrievedPassage {
+                    chunk: chunk.clone(),
+                    score,
+                })
             })
             .collect()
     }
@@ -218,8 +216,21 @@ mod tests {
 
     #[test]
     fn chunking_respects_window_and_overlap() {
-        let doc = Document::new("d", (0..500).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" "));
-        let chunks = chunk_document(&doc, ChunkingConfig { max_words: 100, overlap_words: 20 }, 0);
+        let doc = Document::new(
+            "d",
+            (0..500)
+                .map(|i| format!("w{i}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        let chunks = chunk_document(
+            &doc,
+            ChunkingConfig {
+                max_words: 100,
+                overlap_words: 20,
+            },
+            0,
+        );
         assert!(chunks.len() >= 5);
         for c in &chunks {
             assert!(c.text.split_whitespace().count() <= 100);

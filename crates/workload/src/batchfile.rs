@@ -139,8 +139,8 @@ impl BatchInputFile {
             if trimmed.is_empty() {
                 continue;
             }
-            let parsed: BatchLine = serde_json::from_str(trimmed)
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let parsed: BatchLine =
+                serde_json::from_str(trimmed).map_err(|e| format!("line {}: {e}", i + 1))?;
             lines.push(parsed);
         }
         Ok(BatchInputFile { lines })

@@ -60,11 +60,42 @@ pub struct ConversationSample {
 /// Vocabulary used for filler prompt text, loosely themed on the scientific
 /// use cases the paper motivates (genomics, climate, simulations).
 const VOCAB: &[&str] = &[
-    "analyze", "the", "genomic", "sequence", "variant", "cluster", "climate", "model",
-    "simulation", "parameter", "temperature", "particle", "collision", "dataset", "anomaly",
-    "pattern", "protein", "structure", "experiment", "observation", "sensor", "telescope",
-    "neutron", "diffraction", "catalyst", "reaction", "workflow", "pipeline", "summary",
-    "explain", "compare", "describe", "generate", "classify", "annotate", "predict",
+    "analyze",
+    "the",
+    "genomic",
+    "sequence",
+    "variant",
+    "cluster",
+    "climate",
+    "model",
+    "simulation",
+    "parameter",
+    "temperature",
+    "particle",
+    "collision",
+    "dataset",
+    "anomaly",
+    "pattern",
+    "protein",
+    "structure",
+    "experiment",
+    "observation",
+    "sensor",
+    "telescope",
+    "neutron",
+    "diffraction",
+    "catalyst",
+    "reaction",
+    "workflow",
+    "pipeline",
+    "summary",
+    "explain",
+    "compare",
+    "describe",
+    "generate",
+    "classify",
+    "annotate",
+    "predict",
 ];
 
 /// Generator for synthetic ShareGPT-like samples.
@@ -102,14 +133,17 @@ impl ShareGptGenerator {
     }
 
     fn clamp(&self, x: f64, max: u32) -> u32 {
-        (x.round() as i64)
-            .clamp(self.profile.min_tokens as i64, max as i64) as u32
+        (x.round() as i64).clamp(self.profile.min_tokens as i64, max as i64) as u32
     }
 
     /// Draw one sample.
     pub fn sample(&mut self) -> ConversationSample {
-        let p = self.rng.lognormal_mean_cv(self.profile.prompt_mean, self.profile.prompt_cv);
-        let o = self.rng.lognormal_mean_cv(self.profile.output_mean, self.profile.output_cv);
+        let p = self
+            .rng
+            .lognormal_mean_cv(self.profile.prompt_mean, self.profile.prompt_cv);
+        let o = self
+            .rng
+            .lognormal_mean_cv(self.profile.output_mean, self.profile.output_cv);
         let prompt_tokens = self.clamp(p, self.profile.max_prompt_tokens);
         let output_tokens = self.clamp(o, self.profile.max_output_tokens);
         let prompt_text = if self.with_text {
@@ -184,6 +218,9 @@ mod tests {
         let samples = g.samples(5000);
         let max = samples.iter().map(|s| s.prompt_tokens).max().unwrap();
         let min = samples.iter().map(|s| s.prompt_tokens).min().unwrap();
-        assert!(max > 4 * min.max(1), "expected a wide spread, got {min}..{max}");
+        assert!(
+            max > 4 * min.max(1),
+            "expected a wide spread, got {min}..{max}"
+        );
     }
 }

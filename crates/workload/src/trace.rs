@@ -192,7 +192,10 @@ mod tests {
             v.sort_unstable();
             v[38]
         };
-        assert!(max > 3 * median.max(1), "expected heavy users, max {max} median {median}");
+        assert!(
+            max > 3 * median.max(1),
+            "expected heavy users, max {max} median {median}"
+        );
     }
 
     #[test]
@@ -206,14 +209,18 @@ mod tests {
                 .collect();
             assert!(!members.is_empty());
             assert!(members.iter().all(|e| e.at == members[0].at));
-            assert!(members.iter().all(|e| e.model_index == members[0].model_index));
+            assert!(members
+                .iter()
+                .all(|e| e.model_index == members[0].model_index));
         }
     }
 
     #[test]
     fn scale_down_controls_size() {
-        let mut cfg = DeploymentTraceConfig::default();
-        cfg.scale_down = 100_000;
+        let mut cfg = DeploymentTraceConfig {
+            scale_down: 100_000,
+            ..DeploymentTraceConfig::default()
+        };
         let small = generate_trace(&cfg, 5);
         cfg.scale_down = 10_000;
         let big = generate_trace(&cfg, 5);

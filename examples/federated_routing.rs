@@ -11,13 +11,11 @@ use first::hpc::JobRequest;
 const MODEL: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
 
 fn drain(gateway: &mut first::core::Gateway, horizon: SimTime) {
-    let mut now = SimTime::ZERO;
     while let Some(t) = SimProcess::next_event_time(gateway) {
         if t > horizon {
             break;
         }
-        now = t;
-        gateway.advance(now);
+        gateway.advance(t);
         if gateway.is_drained() {
             break;
         }
@@ -66,7 +64,10 @@ fn main() {
     // nodes.
     let t3 = r2.finished_at + SimDuration::from_hours(3); // idle timeout released Sophia's node
     {
-        let sophia = gateway.service_mut().endpoint_mut("sophia-endpoint").unwrap();
+        let sophia = gateway
+            .service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap();
         let nodes = sophia.cluster_status().total_nodes;
         for _ in 0..nodes {
             sophia.scheduler_mut().submit(

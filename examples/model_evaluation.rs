@@ -45,7 +45,9 @@ fn main() {
             );
             let at = clock + first::desim::SimDuration::from_millis(200 * i as u64);
             // AuroraGPT is group-restricted: alice has access.
-            if let Ok(id) = gateway.chat_completions(&req, &tokens.alice, Some(sample.output_tokens), at) {
+            if let Ok(id) =
+                gateway.chat_completions(&req, &tokens.alice, Some(sample.output_tokens), at)
+            {
                 ids.push(id);
             }
         }

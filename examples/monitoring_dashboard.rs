@@ -21,8 +21,16 @@ fn main() {
     // A mixed interactive workload: two users, two chat models, a few
     // embedding calls, arriving over five simulated minutes.
     for i in 0..40u64 {
-        let (model, output) = if i % 3 == 0 { (SMALL_MODEL, 120) } else { (CHAT_MODEL, 200) };
-        let token = if i % 4 == 0 { &tokens.bob } else { &tokens.alice };
+        let (model, output) = if i % 3 == 0 {
+            (SMALL_MODEL, 120)
+        } else {
+            (CHAT_MODEL, 200)
+        };
+        let token = if i % 4 == 0 {
+            &tokens.bob
+        } else {
+            &tokens.alice
+        };
         let request = ChatCompletionRequest::simple(
             model,
             &format!("dashboard demo question number {i}"),
@@ -57,14 +65,22 @@ fn main() {
     println!(
         "success ratio {:.1}%, hot models: {}",
         snapshot.success_ratio() * 100.0,
-        snapshot.hot_models().map(|m| m.model.as_str()).collect::<Vec<_>>().join(", ")
+        snapshot
+            .hot_models()
+            .map(|m| m.model.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // 2. The Prometheus-style exposition the facility monitoring stack scrapes.
     let registry = gateway.export_metrics(now);
     let exposition = render_prometheus(&registry.snapshot());
     println!("\n== metrics exposition (excerpt) ==");
-    for line in exposition.lines().filter(|l| !l.contains("_bucket")).take(30) {
+    for line in exposition
+        .lines()
+        .filter(|l| !l.contains("_bucket"))
+        .take(30)
+    {
         println!("{line}");
     }
     println!("... ({} lines total)", exposition.lines().count());
@@ -74,10 +90,16 @@ fn main() {
     let fired = alerting.evaluate(&registry, now);
     println!("\n== alerts ==");
     if fired.is_empty() {
-        println!("all {} rules quiet — deployment healthy", alerting.rule_count());
+        println!(
+            "all {} rules quiet — deployment healthy",
+            alerting.rule_count()
+        );
     } else {
         for alert in fired {
-            println!("{:?}: {} (value {:.0})", alert.severity, alert.rule, alert.value);
+            println!(
+                "{:?}: {} (value {:.0})",
+                alert.severity, alert.rule, alert.value
+            );
         }
     }
 }

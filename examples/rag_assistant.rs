@@ -87,11 +87,8 @@ fn main() {
             println!("  retrieved [{}] (score {:.3})", p.chunk.source, p.score);
         }
         let prompt = rag.build_prompt(question, 2);
-        let request = ChatCompletionRequest::simple(
-            "meta-llama/Llama-3.3-70B-Instruct",
-            &prompt,
-            256,
-        );
+        let request =
+            ChatCompletionRequest::simple("meta-llama/Llama-3.3-70B-Instruct", &prompt, 256);
         let t = SimTime::from_secs(600 * (i as u64 + 1));
         gateway
             .chat_completions(&request, &tokens.alice, Some(180), t)

@@ -21,9 +21,18 @@ fn main() {
 
     let prompts = [
         ("Explain the PBS job lifecycle on Sophia.", 180),
-        ("Draft an abstract about federated inference on HPC clusters.", 260),
-        ("List three ways PagedAttention reduces KV-cache fragmentation.", 140),
-        ("What does a cold start involve for a 405B parameter model?", 220),
+        (
+            "Draft an abstract about federated inference on HPC clusters.",
+            260,
+        ),
+        (
+            "List three ways PagedAttention reduces KV-cache fragmentation.",
+            140,
+        ),
+        (
+            "What does a cold start involve for a 405B parameter model?",
+            220,
+        ),
         ("Compare batch mode and interactive mode in FIRST.", 200),
     ];
     for (i, (prompt, output_tokens)) in prompts.iter().enumerate() {

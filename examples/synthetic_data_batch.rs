@@ -31,7 +31,11 @@ fn main() {
     let (mut gateway, _tokens) = DeploymentBuilder::sophia_single_instance().build_with_tokens();
     let mut batches = BatchManager::new();
     let id = batches.submit(&mut gateway, "alice", MODEL, &parsed, SimTime::ZERO);
-    println!("\nsubmitted batch {:?}; initial state: {:?}", id, batches.job(id).unwrap().state);
+    println!(
+        "\nsubmitted batch {:?}; initial state: {:?}",
+        id,
+        batches.job(id).unwrap().state
+    );
 
     // 3. Poll the batch status as a user monitoring a long-running job would.
     for hours in [1u64, 2, 4, 8, 16, 24] {
@@ -48,10 +52,22 @@ fn main() {
     println!("\n== batch report ==");
     println!("requests:            {}", report.requests);
     println!("output tokens:       {}", report.output_tokens);
-    println!("model load time:     {:.1} s", report.load_time.as_secs_f64());
-    println!("total duration:      {:.1} h", report.total_duration.as_secs_f64() / 3600.0);
-    println!("overall throughput:  {:.0} tok/s", report.overall_tokens_per_sec);
-    println!("steady throughput:   {:.0} tok/s", report.steady_tokens_per_sec);
+    println!(
+        "model load time:     {:.1} s",
+        report.load_time.as_secs_f64()
+    );
+    println!(
+        "total duration:      {:.1} h",
+        report.total_duration.as_secs_f64() / 3600.0
+    );
+    println!(
+        "overall throughput:  {:.0} tok/s",
+        report.overall_tokens_per_sec
+    );
+    println!(
+        "steady throughput:   {:.0} tok/s",
+        report.steady_tokens_per_sec
+    );
     println!(
         "turnaround (submit → complete): {:.1} h",
         job.turnaround().unwrap().as_secs_f64() / 3600.0

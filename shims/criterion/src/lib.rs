@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the `first-bench` micro-benchmarks
+//! use — `criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`bench_with_input`, `BenchmarkId` and
+//! `Bencher::iter` — as a plain wall-clock timer. Each benchmark runs a short
+//! warmup followed by the configured number of timed samples and prints
+//! `name: median time/iter` to stdout. No statistics beyond min/median/max,
+//! no HTML reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifier for a parameterised benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Time `routine`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: one untimed call, then calibrate iterations per sample so
+        // a sample takes at least ~1ms (bounds timer noise for fast bodies).
+        let warm_start = Instant::now();
+        std_black_box(routine());
+        let once = warm_start.elapsed();
+        self.iters_per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)) as u64
+        } else {
+            1
+        }
+        .max(1);
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "bench {name}: median {median:?}/iter (min {:?}, max {:?}, {} samples x {} iters)",
+            sorted[0],
+            sorted[sorted.len() - 1],
+            sorted.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Run a benchmark without a parameter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Finish the group (no-op in the shim; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(10);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Collect benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,557 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate name. It intentionally implements only what the FIRST codebase
+//! uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs and enums
+//!   (named fields, newtype/tuple structs, unit/tuple/struct enum variants),
+//! * the `#[serde(default)]` and `#[serde(default = "path")]` field
+//!   attributes,
+//! * implicit `None` for missing `Option<T>` fields,
+//! * externally-tagged enum representation (the serde default).
+//!
+//! Unlike real serde there is no `Serializer`/`Deserializer` abstraction:
+//! values serialize into the [`Value`] tree, and `serde_json` (also
+//! vendored) renders that tree to and from JSON text.
+
+#![warn(missing_docs)]
+
+// Let the `::serde::...` paths the derive macros emit resolve when the
+// derives are used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// A self-describing value tree — the data model every `Serialize` impl
+/// produces and every `Deserialize` impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key/value map in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            // `u64::MAX as f64` rounds up to 2^64, which is out of range, so
+            // the bound must be strict.
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f < u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            // `i64::MIN as f64` is exactly -2^63 (in range) but `i64::MAX as
+            // f64` rounds up to 2^63 (out of range), hence `>=` vs `<`.
+            Value::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::I64(i) => Some(i as f64),
+            Value::U64(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Error produced when a [`Value`] cannot be converted into the requested
+/// Rust type (or, in `serde_json`, when the input text is not valid JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a field absent from the input.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` for {type_name}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert a value tree into `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let u = value.as_u64().ok_or_else(|| {
+                    Error::custom(concat!("expected unsigned integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let i = value.as_i64().ok_or_else(|| {
+                    Error::custom(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number for f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+/// Map key types, rendered as JSON object keys (strings).
+pub trait MapKey: Sized {
+    /// Render the key as a string.
+    fn to_key(&self) -> String;
+    /// Parse the key back from a string.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + Deserialize> MapKey for T {
+    fn to_key(&self) -> String {
+        match self.serialize() {
+            Value::Str(s) => s,
+            Value::U64(u) => u.to_string(),
+            Value::I64(i) => i.to_string(),
+            Value::F64(f) => f.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => panic!("map keys must serialize to strings or numbers, got {other:?}"),
+        }
+    }
+
+    fn from_key(key: &str) -> Result<Self, Error> {
+        if let Ok(v) = T::deserialize(&Value::Str(key.to_string())) {
+            return Ok(v);
+        }
+        if let Ok(u) = key.parse::<u64>() {
+            if let Ok(v) = T::deserialize(&Value::U64(u)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(i) = key.parse::<i64>() {
+            if let Ok(v) = T::deserialize(&Value::I64(i)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(f) = key.parse::<f64>() {
+            if let Ok(v) = T::deserialize(&Value::F64(f)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(b) = key.parse::<bool>() {
+            if let Ok(v) = T::deserialize(&Value::Bool(b)) {
+                return Ok(v);
+            }
+        }
+        Err(Error::custom(format!("cannot parse map key `{key}`")))
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::custom("expected array for tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom("tuple arity mismatch"));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u32).serialize(), Value::U64(3));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let v = (1u32, 2.5f64).serialize();
+        let back = <(u32, f64)>::deserialize(&v).unwrap();
+        assert_eq!(back, (1, 2.5));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(u32::deserialize(&Value::I64(7)).unwrap(), 7);
+        assert_eq!(f64::deserialize(&Value::U64(2)).unwrap(), 2.0);
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn float_boundary_values_do_not_saturate() {
+        // 2^64 and 2^63 are exactly representable floats but out of range for
+        // u64/i64; they must error rather than silently saturate to MAX.
+        assert!(u64::deserialize(&Value::F64(18_446_744_073_709_551_616.0)).is_err());
+        assert!(i64::deserialize(&Value::F64(9_223_372_036_854_775_808.0)).is_err());
+        // i64::MIN (-2^63) is exactly representable and in range.
+        assert_eq!(
+            i64::deserialize(&Value::F64(-9_223_372_036_854_775_808.0)).unwrap(),
+            i64::MIN
+        );
+    }
+
+    #[test]
+    fn qualified_option_field_defaults_to_none_when_missing() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct WithQualifiedOption {
+            present: u32,
+            bare: Option<u32>,
+            qualified: std::option::Option<u32>,
+        }
+
+        let v = Value::Object(vec![("present".to_string(), Value::U64(1))]);
+        let got = WithQualifiedOption::deserialize(&v).unwrap();
+        assert_eq!(
+            got,
+            WithQualifiedOption {
+                present: 1,
+                bare: None,
+                qualified: None
+            }
+        );
+    }
+}

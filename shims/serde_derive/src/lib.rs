@@ -1,0 +1,566 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` shim without depending on `syn`/`quote` (neither is
+//! available offline). The input item is parsed directly from the
+//! `proc_macro` token stream, which is sufficient because the FIRST
+//! codebase only derives on non-generic structs and enums.
+//!
+//! Supported surface:
+//! * named-field structs, tuple/newtype structs, unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * `#[serde(default)]` / `#[serde(default = "path")]` on fields,
+//! * missing `Option<T>` fields deserialize to `None`.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a field behaves when its key is absent from the input.
+#[derive(Clone, PartialEq)]
+enum MissingPolicy {
+    /// Hard error (serde's default for non-`Option` fields).
+    Error,
+    /// `Default::default()` from `#[serde(default)]`, or `None` for `Option`.
+    DefaultTrait,
+    /// Call a named function from `#[serde(default = "path")]`.
+    DefaultFn(String),
+}
+
+struct Field {
+    name: String,
+    missing: MissingPolicy,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde shim cannot derive for generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip any `#[...]` outer attributes, returning the token indices consumed.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Collect `#[...]` outer attributes as token groups (for `#[serde(...)]`
+/// inspection) and advance past them.
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<TokenStream> {
+    let mut attrs = Vec::new();
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push(g.stream());
+                *i += 2;
+            }
+            _ => break attrs,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Extract the missing-field policy from a field's attributes.
+fn missing_policy(attrs: &[TokenStream]) -> Result<Option<MissingPolicy>, String> {
+    for attr in attrs {
+        let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+        let is_serde =
+            matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = toks.get(1) else {
+            continue;
+        };
+        let arg_toks: Vec<TokenTree> = args.stream().into_iter().collect();
+        match arg_toks.first() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+                if let Some(TokenTree::Literal(lit)) = arg_toks.get(2) {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"').to_string();
+                    return Ok(Some(MissingPolicy::DefaultFn(path)));
+                }
+                return Ok(Some(MissingPolicy::DefaultTrait));
+            }
+            Some(other) => {
+                return Err(format!(
+                    "the vendored serde shim does not support #[serde({other})]"
+                ))
+            }
+            None => continue,
+        }
+    }
+    Ok(None)
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+
+        // Scan the type, tracking `<`/`>` depth so commas inside generic
+        // arguments do not end the field. The leading path segments (idents
+        // joined by `::`, up to the first `<`) identify `Option` whether it
+        // is written bare or as `std::option::Option`.
+        let mut depth = 0i32;
+        let mut leading_path: Vec<String> = Vec::new();
+        let mut in_leading_path = true;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    in_leading_path = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == ':' => {}
+                TokenTree::Ident(id) if in_leading_path => leading_path.push(id.to_string()),
+                _ => in_leading_path = false,
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        let is_option = leading_path.last().map(String::as_str) == Some("Option");
+
+        let missing = match missing_policy(&attrs)? {
+            Some(policy) => policy,
+            None if is_option => MissingPolicy::DefaultTrait,
+            None => MissingPolicy::Error,
+        };
+        fields.push(Field { name, missing });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = collect_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+
+        // Skip an explicit discriminant (`= expr`) up to the next top-level comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1; // past the comma
+
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `("key".to_string(), <value expr>)` pushes for a set of named fields whose
+/// values are reachable via `prefix` (`&self.` for structs, `` for bindings).
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "__entries.push(({:?}.to_string(), ::serde::Serialize::serialize({})));\n",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    out
+}
+
+/// Expression deserializing a set of named fields out of `__obj` (a
+/// `&serde::Value` known to be an object) into a `Name { ... }` literal body.
+fn de_named_fields(type_name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.missing {
+            MissingPolicy::Error => format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field({type_name:?}, {:?}))",
+                f.name
+            ),
+            MissingPolicy::DefaultTrait => "::std::default::Default::default()".to_string(),
+            MissingPolicy::DefaultFn(path) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{name}: match __obj.get({name_str:?}) {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+            name_str = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes = ser_named_fields(fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__entries)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__entries))])\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let body = de_named_fields(name, fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __obj = __value;\n\
+                 if __obj.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(concat!(\"expected object for \", {name:?})));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{body}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __value.as_array().ok_or_else(|| ::serde::Error::custom(concat!(\"expected array for \", {name:?})))?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"tuple struct arity mismatch\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name})\n\
+             }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__v)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?;\n\
+                                 if __items.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"variant arity mismatch\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("{vname:?} => {body},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let body = de_named_fields(&format!("{name}::{vname}"), fields);
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __obj = __v;\n\
+                             if __obj.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\"expected object payload\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{body}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::Str(__s) = __value {{\n\
+                 return match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(__entries) = __value.as_object() {{\n\
+                 if __entries.len() == 1 {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 return match __k.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }};\n\
+                 }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(concat!(\"unrecognised value for enum \", {name:?})))\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`telemetry`] — metric registry, dashboards, exposition and alerting.
 //! * [`core`] — the FIRST gateway itself plus the end-to-end system simulator.
 
+#![warn(missing_docs)]
+
 pub use first_auth as auth;
 pub use first_core as core;
 pub use first_desim as desim;

@@ -10,13 +10,11 @@ const MODEL_70B: &str = "meta-llama/Llama-3.3-70B-Instruct";
 const MODEL_8B: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
 
 fn drain(gateway: &mut first::core::Gateway, horizon: SimTime) {
-    let mut now = SimTime::ZERO;
     while let Some(t) = SimProcess::next_event_time(gateway) {
         if t > horizon {
             break;
         }
-        now = t;
-        gateway.advance(now);
+        gateway.advance(t);
         if gateway.is_drained() {
             break;
         }
@@ -100,7 +98,12 @@ fn authorization_failures_never_reach_the_cluster() {
     // Forged token.
     let req = ChatCompletionRequest::simple(MODEL_70B, "let me in", 32);
     let err = gateway
-        .chat_completions(&req, &first::auth::TokenString::new("forged"), None, SimTime::ZERO)
+        .chat_completions(
+            &req,
+            &first::auth::TokenString::new("forged"),
+            None,
+            SimTime::ZERO,
+        )
         .unwrap_err();
     assert!(matches!(err, GatewayError::Unauthorized(_)));
     // Restricted model for a non-member.

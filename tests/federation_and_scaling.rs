@@ -11,13 +11,11 @@ const MODEL_70B: &str = "meta-llama/Llama-3.3-70B-Instruct";
 const MODEL_8B: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
 
 fn drain(gateway: &mut first::core::Gateway, horizon: SimTime) {
-    let mut now = SimTime::ZERO;
     while let Some(t) = SimProcess::next_event_time(gateway) {
         if t > horizon {
             break;
         }
-        now = t;
-        gateway.advance(now);
+        gateway.advance(t);
         if gateway.is_drained() {
             break;
         }
@@ -30,7 +28,10 @@ fn federated_deployment_fails_over_when_primary_cluster_is_full() {
     let (mut gateway, tokens) = DeploymentBuilder::federated_sophia_polaris().build_with_tokens();
     // Saturate every Sophia node with long background jobs.
     {
-        let sophia = gateway.service_mut().endpoint_mut("sophia-endpoint").unwrap();
+        let sophia = gateway
+            .service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap();
         let nodes = sophia.cluster_status().total_nodes;
         for _ in 0..nodes {
             sophia.scheduler_mut().submit(
@@ -74,7 +75,10 @@ fn requests_stick_to_the_endpoint_where_the_model_is_hot() {
     drain(&mut gateway, SimTime::from_secs(600));
     let response = gateway.take_responses().pop().unwrap();
     assert_eq!(response.endpoint, "polaris-endpoint");
-    assert!(response.latency().as_secs_f64() < 20.0, "hot-routed latency");
+    assert!(
+        response.latency().as_secs_f64() < 20.0,
+        "hot-routed latency"
+    );
 }
 
 #[test]
@@ -90,7 +94,12 @@ fn sustained_load_triggers_auto_scaling_within_the_configured_ceiling() {
             &format!("burst request {i}"),
             sample.output_tokens.max(8),
         );
-        let _ = gateway.chat_completions(&req, &tokens.alice, Some(sample.output_tokens), SimTime::ZERO);
+        let _ = gateway.chat_completions(
+            &req,
+            &tokens.alice,
+            Some(sample.output_tokens),
+            SimTime::ZERO,
+        );
     }
     // Let the system react for a couple of minutes of virtual time.
     drain(&mut gateway, SimTime::from_secs(180));
@@ -100,7 +109,10 @@ fn sustained_load_triggers_auto_scaling_within_the_configured_ceiling() {
         .iter()
         .filter(|i| i.model == MODEL_70B && i.state != InstanceState::Released)
         .count();
-    assert!(active >= 2, "expected auto-scaling beyond one instance, got {active}");
+    assert!(
+        active >= 2,
+        "expected auto-scaling beyond one instance, got {active}"
+    );
     assert!(active <= 4, "auto-scaling must respect max_instances");
 }
 

@@ -13,13 +13,11 @@ use first::telemetry::{render_prometheus, LabelSet};
 const MODEL_70B: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
 fn drain(gateway: &mut Gateway, horizon: SimTime) {
-    let mut now = SimTime::ZERO;
     while let Some(t) = SimProcess::next_event_time(gateway) {
         if t > horizon {
             break;
         }
-        now = t;
-        gateway.advance(now);
+        gateway.advance(t);
         if gateway.is_drained() {
             break;
         }
@@ -130,7 +128,11 @@ fn instance_failure_is_restarted_and_requests_keep_completing() {
     assert_eq!(responses.len(), 1);
     assert!(responses[0].success);
     let ep = gateway.service().endpoint("sophia-endpoint").unwrap();
-    assert!(ep.stats().restarts >= 1, "restart counter: {}", ep.stats().restarts);
+    assert!(
+        ep.stats().restarts >= 1,
+        "restart counter: {}",
+        ep.stats().restarts
+    );
 }
 
 #[test]
@@ -142,17 +144,30 @@ fn dashboard_and_prometheus_export_agree_with_the_request_log() {
         let request =
             ChatCompletionRequest::simple(MODEL_70B, &format!("observability question {i}"), 256);
         gateway
-            .chat_completions(&request, &tokens.alice, Some(150), SimTime::from_secs(i * 5))
+            .chat_completions(
+                &request,
+                &tokens.alice,
+                Some(150),
+                SimTime::from_secs(i * 5),
+            )
             .unwrap();
     }
     drain(&mut gateway, SimTime::from_secs(3600));
-    let completed = gateway.take_responses().iter().filter(|r| r.success).count();
+    let completed = gateway
+        .take_responses()
+        .iter()
+        .filter(|r| r.success)
+        .count();
     assert_eq!(completed, 12);
 
     let snapshot = gateway.dashboard_snapshot(SimTime::from_secs(3600));
     assert_eq!(snapshot.total_completed, 12);
     assert_eq!(snapshot.distinct_users, 1);
-    let row = snapshot.models.iter().find(|m| m.model == MODEL_70B).unwrap();
+    let row = snapshot
+        .models
+        .iter()
+        .find(|m| m.model == MODEL_70B)
+        .unwrap();
     assert_eq!(row.requests, 12);
     assert_eq!(row.output_tokens, 12 * 150);
     assert!(row.median_latency_s > 0.0);
@@ -172,12 +187,16 @@ fn dashboard_and_prometheus_export_agree_with_the_request_log() {
         12
     );
     let text = render_prometheus(&reg_snapshot);
-    assert!(text.contains("first_request_latency_seconds_count{model=\"meta-llama/Llama-3.3-70B-Instruct\"} 12"));
+    assert!(text.contains(
+        "first_request_latency_seconds_count{model=\"meta-llama/Llama-3.3-70B-Instruct\"} 12"
+    ));
     assert!(text.contains("first_cluster_total_nodes{cluster=\"sophia\"} 24"));
 
     // The default alert pack stays quiet on this healthy run.
     let mut alerting = Gateway::default_alerting();
-    assert!(alerting.evaluate(&registry, SimTime::from_secs(3600)).is_empty());
+    assert!(alerting
+        .evaluate(&registry, SimTime::from_secs(3600))
+        .is_empty());
 }
 
 #[test]
@@ -188,7 +207,12 @@ fn streaming_reconstruction_is_consistent_with_end_to_end_results() {
     for i in 0..8u64 {
         let request = ChatCompletionRequest::simple(MODEL_70B, &format!("stream me {i}"), 512);
         gateway
-            .chat_completions(&request, &tokens.alice, Some(100 + i as u32 * 20), SimTime::from_secs(i * 2))
+            .chat_completions(
+                &request,
+                &tokens.alice,
+                Some(100 + i as u32 * 20),
+                SimTime::from_secs(i * 2),
+            )
             .unwrap();
     }
     drain(&mut gateway, SimTime::from_secs(1200));
