@@ -8,7 +8,10 @@
 //! reports throughput, median latency and how the load split across the two
 //! sites.
 
-use first_bench::{arrivals, benchmark_request_count, print_reports, sharegpt_samples};
+use first_bench::{
+    arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_reports,
+    sharegpt_samples,
+};
 use first_core::{run_gateway_openloop, DeploymentBuilder, RoutingPolicy, ScenarioReport};
 use first_desim::SimTime;
 use first_workload::ArrivalProcess;
@@ -22,8 +25,8 @@ struct PolicyOutcome {
 }
 
 fn run_policy(policy: RoutingPolicy, n: usize) -> PolicyOutcome {
-    let samples = sharegpt_samples(n, 42);
-    let arr = arrivals(ArrivalProcess::Infinite, n, 11);
+    let samples = sharegpt_samples(n, benchmark_seed());
+    let arr = arrivals(ArrivalProcess::Infinite, n, arrival_seed());
     // One warm instance per site so the ablation isolates routing (not cold
     // starts); both sites may auto-scale up to their configured ceilings.
     let (mut gateway, tokens) = DeploymentBuilder::federated_sophia_polaris()

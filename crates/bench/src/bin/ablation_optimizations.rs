@@ -4,7 +4,10 @@
 //! Artillery-style sustained load test (100 req/s for 300 s) that showed
 //! >8000 tasks queued at Globus once the API stopped being the bottleneck.
 
-use first_bench::{arrivals, print_comparisons, print_reports, sharegpt_samples, Comparison};
+use first_bench::{
+    arrival_seed, arrivals, benchmark_seed, print_comparisons, print_reports, sharegpt_samples,
+    Comparison,
+};
 use first_core::{
     run_gateway_openloop, DeploymentBuilder, GatewayConfig, ScenarioReport, WorkerPoolConfig,
 };
@@ -20,8 +23,8 @@ fn run_config(
     n: usize,
     rate: ArrivalProcess,
 ) -> ScenarioReport {
-    let samples = sharegpt_samples(n, 42);
-    let arr = arrivals(rate, n, 3);
+    let samples = sharegpt_samples(n, benchmark_seed());
+    let arr = arrivals(rate, n, arrival_seed());
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
         .prewarm(1)
         .gateway_config(config)
@@ -99,8 +102,12 @@ fn main() {
     // gateway; the Globus queue absorbs the backlog.
     let load = SustainedLoad::artillery();
     let total = load.total_requests();
-    let samples = sharegpt_samples(total, 9);
-    let arr = arrivals(ArrivalProcess::FixedRate(load.rate), total, 9);
+    let samples = sharegpt_samples(total, benchmark_seed().wrapping_add(9));
+    let arr = arrivals(
+        ArrivalProcess::FixedRate(load.rate),
+        total,
+        arrival_seed().wrapping_add(9),
+    );
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
         .prewarm(1)
         .build_with_tokens();

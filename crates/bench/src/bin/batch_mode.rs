@@ -8,7 +8,7 @@ use first_serving::{find_model, run_offline_batch, EngineConfig, InferenceReques
 use first_workload::ShareGptGenerator;
 
 fn requests(n: usize, model: &str) -> Vec<InferenceRequest> {
-    ShareGptGenerator::new(42)
+    ShareGptGenerator::new(first_bench::benchmark_seed())
         .samples(n)
         .into_iter()
         .enumerate()

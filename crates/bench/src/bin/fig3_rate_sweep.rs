@@ -5,8 +5,8 @@
 //! measured comparison for the headline numbers.
 
 use first_bench::{
-    arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples,
-    Comparison,
+    arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
+    print_reports, sharegpt_samples, Comparison,
 };
 use first_core::{run_direct_openloop, run_gateway_openloop, DeploymentBuilder, ScenarioReport};
 use first_desim::SimTime;
@@ -18,7 +18,7 @@ const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
 fn main() {
     let n = benchmark_request_count();
-    let samples = sharegpt_samples(n, 42);
+    let samples = sharegpt_samples(n, benchmark_seed());
     let horizon = SimTime::from_secs(24 * 3600);
     let rates = [
         ArrivalProcess::FixedRate(1.0),
@@ -32,7 +32,7 @@ fn main() {
     let mut direct_reports: Vec<ScenarioReport> = Vec::new();
 
     for rate in rates {
-        let arr = arrivals(rate, n, 7);
+        let arr = arrivals(rate, n, arrival_seed());
         // FIRST: gateway → Globus Compute → one hot 70B instance on Sophia.
         let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
             .prewarm(1)

@@ -2,8 +2,8 @@
 //! of Llama 3.3 70B on Sophia under maximum (infinite-rate) load.
 
 use first_bench::{
-    arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples,
-    Comparison,
+    arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
+    print_reports, sharegpt_samples, Comparison,
 };
 use first_core::{
     run_gateway_openloop, ClusterSite, DeploymentBuilder, HostedModel, ScenarioReport,
@@ -15,8 +15,8 @@ use first_workload::ArrivalProcess;
 const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
 fn run_with_instances(instances: u32, n: usize) -> ScenarioReport {
-    let samples = sharegpt_samples(n, 42);
-    let arr = arrivals(ArrivalProcess::Infinite, n, 11);
+    let samples = sharegpt_samples(n, benchmark_seed());
+    let arr = arrivals(ArrivalProcess::Infinite, n, arrival_seed());
     let builder = DeploymentBuilder::new(vec![ClusterSite {
         endpoint_name: "sophia-endpoint".to_string(),
         cluster: Cluster::sophia(),

@@ -2,8 +2,8 @@
 //! GPT-4o-mini, both driven with the ShareGPT workload at an infinite rate.
 
 use first_bench::{
-    arrivals, benchmark_request_count, print_comparisons, print_reports, sharegpt_samples,
-    Comparison,
+    arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
+    print_reports, sharegpt_samples, Comparison,
 };
 use first_core::{run_gateway_openloop, run_openai_openloop, DeploymentBuilder};
 use first_desim::SimTime;
@@ -14,8 +14,8 @@ const MODEL: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
 
 fn main() {
     let n = benchmark_request_count();
-    let samples = sharegpt_samples(n, 42);
-    let arr = arrivals(ArrivalProcess::Infinite, n, 5);
+    let samples = sharegpt_samples(n, benchmark_seed());
+    let arr = arrivals(ArrivalProcess::Infinite, n, arrival_seed());
     let horizon = SimTime::from_secs(24 * 3600);
 
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()

@@ -75,8 +75,18 @@ fn main() {
             .map(|(_, rows)| *rows)
             .unwrap_or(&[]);
         for (i, &conc) in concurrencies.iter().enumerate() {
-            let c60 = cell(model, conc, 60, 100 + i as u64);
-            let c120 = cell(model, conc, 120, 200 + i as u64);
+            let c60 = cell(
+                model,
+                conc,
+                60,
+                first_bench::benchmark_seed().wrapping_add(100 + i as u64),
+            );
+            let c120 = cell(
+                model,
+                conc,
+                120,
+                first_bench::benchmark_seed().wrapping_add(200 + i as u64),
+            );
             let paper = paper_rows.get(i);
             let (p60t, p60r, p120t, p120r) = paper
                 .map(|&(_, a, b, c, d)| (a, b, c, d))

@@ -232,6 +232,14 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Set the resilience profile (retries, failover, hedging, breaker).
+    /// Defaults to disabled — the paper's proof-of-concept behaviour; pass
+    /// [`first_chaos::ResilienceConfig::production`] to harden the gateway.
+    pub fn resilience(mut self, resilience: first_chaos::ResilienceConfig) -> Self {
+        self.gateway_config.resilience = resilience;
+        self
+    }
+
     /// Set the deployment RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;

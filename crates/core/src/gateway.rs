@@ -16,6 +16,7 @@ use crate::registry::{FederationRouter, ModelRegistry, RoutingDecision, RoutingP
 use crate::storage::{GatewayMetrics, RequestLog, RequestLogEntry};
 use crate::workers::{WorkerPool, WorkerPoolConfig};
 use first_auth::{AuthService, TokenString};
+use first_chaos::{HealthTracker, ResilienceConfig};
 use first_desim::{SimDuration, SimProcess, SimTime};
 use first_fabric::{ClientConfig, ComputeService, FunctionId, TaskId};
 use first_serving::InferenceRequest;
@@ -39,6 +40,11 @@ pub struct GatewayConfig {
     pub default_output_tokens: u32,
     /// CPU spent marshalling each response back to the client.
     pub response_cpu: SimDuration,
+    /// Resilience layer: failover-aware routing, retries, hedging and the
+    /// per-endpoint circuit breaker. Disabled by default (the paper's
+    /// proof-of-concept behaviour); [`first_chaos::ResilienceConfig::production`]
+    /// turns everything on.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for GatewayConfig {
@@ -51,6 +57,7 @@ impl Default for GatewayConfig {
             response_cache: true,
             default_output_tokens: 180,
             response_cpu: SimDuration::from_millis(5),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -113,6 +120,9 @@ pub struct JobsEntry {
     pub queued_instances: u32,
     /// Endpoints this model is registered on.
     pub endpoints: Vec<String>,
+    /// Health label per endpoint ("healthy", "degraded", "unavailable"),
+    /// aligned with [`JobsEntry::endpoints`].
+    pub endpoint_health: Vec<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -127,6 +137,8 @@ struct PendingDispatch {
     user: String,
     operation: &'static str,
     prompt_text_key: Option<u64>,
+    /// 0 for the first try; incremented per retry.
+    attempt: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -141,6 +153,11 @@ struct InFlight {
     operation: &'static str,
     prompt_tokens: u32,
     prompt_text_key: Option<u64>,
+    function: FunctionId,
+    inference: InferenceRequest,
+    attempt: u32,
+    /// Whether this copy already has (or is) a hedge sibling.
+    hedged: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -169,6 +186,17 @@ pub struct Gateway {
     awaiting: Vec<AwaitingDelivery>,
     responses: Vec<CompletedRequest>,
     connected_endpoints: HashSet<String>,
+    health: HealthTracker,
+    /// Request ids answered while sibling copies were still racing (guards
+    /// against a hedge sibling delivering twice). An id is dropped when its
+    /// last copy resolves, so the set stays bounded by concurrent hedges.
+    delivered: HashSet<u64>,
+    /// Outstanding copies (original + hedges + scheduled retries) per
+    /// still-unanswered request id.
+    outstanding: HashMap<u64, u32>,
+    /// Latest instant the gateway has been advanced to (used for health
+    /// staleness in `/jobs` and the dashboard).
+    last_advance: SimTime,
     next_request_id: u64,
     inference_fn: FunctionId,
     embedding_fn: FunctionId,
@@ -198,7 +226,9 @@ impl Gateway {
         } else {
             AuthMiddleware::without_cache()
         };
+        let health = HealthTracker::new(config.resilience.breaker.clone());
         Gateway {
+            health,
             rate_limiter: RateLimiter::per_minute(config.rate_limit_per_minute),
             response_cache: ResponseCache::new(SimDuration::from_mins(30), 4096),
             workers: WorkerPool::new(config.workers),
@@ -215,6 +245,9 @@ impl Gateway {
             awaiting: Vec::new(),
             responses: Vec::new(),
             connected_endpoints: HashSet::new(),
+            delivered: HashSet::new(),
+            outstanding: HashMap::new(),
+            last_advance: SimTime::ZERO,
             next_request_id: 1,
             inference_fn,
             embedding_fn,
@@ -262,6 +295,17 @@ impl Gateway {
         &mut self.registry
     }
 
+    /// The per-endpoint health tracker (breaker states, success/failure
+    /// counts) the failover-aware router consults.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Latest instant the gateway has been advanced to.
+    pub fn last_advance(&self) -> SimTime {
+        self.last_advance
+    }
+
     /// The request log.
     pub fn log(&self) -> &RequestLog {
         &self.log
@@ -303,13 +347,17 @@ impl Gateway {
         Ok((user.0, outcome.added_latency))
     }
 
-    fn route_model(&self, model: &str) -> Result<RoutingDecision, GatewayError> {
+    fn route_model(&self, model: &str, now: SimTime) -> Result<RoutingDecision, GatewayError> {
         if !self.registry.is_registered(model) {
             return Err(GatewayError::ModelNotFound(model.to_string()));
         }
-        self.router
-            .route(&self.registry, &self.service, model)
-            .ok_or_else(|| GatewayError::ModelNotFound(model.to_string()))
+        let decision = if self.config.resilience.enabled {
+            self.router
+                .route_with_health(&self.registry, &self.service, model, &self.health, now)
+        } else {
+            self.router.route(&self.registry, &self.service, model)
+        };
+        decision.ok_or_else(|| GatewayError::ModelNotFound(model.to_string()))
     }
 
     fn connection_overhead(&mut self, endpoint: &str) -> SimDuration {
@@ -336,6 +384,7 @@ impl Gateway {
         let admission = self.workers.admit(now);
         let connection = self.connection_overhead(&endpoint);
         let submit_at = admission.dispatch_ready_at + auth_latency + connection;
+        self.outstanding.insert(request_id, 1);
         self.pending.push(PendingDispatch {
             request_id,
             inference,
@@ -347,6 +396,7 @@ impl Gateway {
             user,
             operation,
             prompt_text_key,
+            attempt: 0,
         });
         request_id
     }
@@ -418,7 +468,7 @@ impl Gateway {
                 return Ok(request_id);
             }
         }
-        let decision = match self.route_model(&request.model) {
+        let decision = match self.route_model(&request.model, now) {
             Ok(d) => d,
             Err(e) => {
                 self.metrics.on_rejected();
@@ -460,7 +510,7 @@ impl Gateway {
                 return Err(e);
             }
         };
-        let decision = match self.route_model(&request.model) {
+        let decision = match self.route_model(&request.model, now) {
             Ok(d) => d,
             Err(e) => {
                 self.metrics.on_rejected();
@@ -511,6 +561,10 @@ impl Gateway {
                 } else {
                     "stopped"
                 };
+                let endpoint_health = endpoints
+                    .iter()
+                    .map(|e| self.health.state(e, self.last_advance).label().to_string())
+                    .collect();
                 JobsEntry {
                     model,
                     state: state.to_string(),
@@ -518,6 +572,7 @@ impl Gateway {
                     starting_instances: starting,
                     queued_instances: queued,
                     endpoints,
+                    endpoint_health,
                 }
             })
             .collect()
@@ -553,6 +608,7 @@ impl Gateway {
 
     fn submit_due(&mut self, now: SimTime) {
         let mut remaining = Vec::with_capacity(self.pending.len());
+        let mut retries: Vec<PendingDispatch> = Vec::new();
         for p in std::mem::take(&mut self.pending) {
             if p.submit_at <= now {
                 match self
@@ -573,10 +629,46 @@ impl Gateway {
                                 operation: p.operation,
                                 prompt_tokens: p.inference.prompt_tokens,
                                 prompt_text_key: p.prompt_text_key,
+                                function: p.function,
+                                inference: p.inference,
+                                attempt: p.attempt,
+                                hedged: false,
                             },
                         );
                     }
                     Err(e) => {
+                        // This copy is resolved; decide between retry and a
+                        // failed response.
+                        let copies_left = self.resolve_copy(p.request_id);
+                        if self.delivered.contains(&p.request_id) {
+                            if copies_left == 0 {
+                                self.delivered.remove(&p.request_id);
+                            }
+                            continue;
+                        }
+                        if copies_left > 0 {
+                            continue;
+                        }
+                        if self.config.resilience.enabled
+                            && p.attempt < self.config.resilience.retry.max_retries
+                        {
+                            if let Some(retry) = self.make_retry(
+                                p.request_id,
+                                &p.inference,
+                                p.function,
+                                &p.endpoint,
+                                p.worker,
+                                p.arrived_at,
+                                p.user.clone(),
+                                p.operation,
+                                p.prompt_text_key,
+                                p.attempt,
+                                now,
+                            ) {
+                                retries.push(retry);
+                                continue;
+                            }
+                        }
                         self.metrics.on_failed();
                         self.workers.release(p.worker, now);
                         self.responses.push(CompletedRequest {
@@ -598,6 +690,135 @@ impl Gateway {
             }
         }
         self.pending = remaining;
+        self.pending.extend(retries);
+    }
+
+    /// Mark one outstanding copy of `request_id` as resolved; returns how
+    /// many copies remain in flight or pending.
+    fn resolve_copy(&mut self, request_id: u64) -> u32 {
+        match self.outstanding.get_mut(&request_id) {
+            Some(count) => {
+                *count = count.saturating_sub(1);
+                let left = *count;
+                if left == 0 {
+                    self.outstanding.remove(&request_id);
+                }
+                left
+            }
+            None => 0,
+        }
+    }
+
+    /// Build the retry dispatch for a failed copy, routed away from the
+    /// endpoint that failed it and delayed by the exponential backoff.
+    #[allow(clippy::too_many_arguments)]
+    fn make_retry(
+        &mut self,
+        request_id: u64,
+        inference: &InferenceRequest,
+        function: FunctionId,
+        failed_endpoint: &str,
+        worker: usize,
+        arrived_at: SimTime,
+        user: String,
+        operation: &'static str,
+        prompt_text_key: Option<u64>,
+        attempt: u32,
+        now: SimTime,
+    ) -> Option<PendingDispatch> {
+        let decision = self.router.route_for_retry(
+            &self.registry,
+            &self.service,
+            &inference.model,
+            &self.health,
+            now,
+            failed_endpoint,
+        )?;
+        self.metrics.on_retry();
+        if decision.endpoint != failed_endpoint {
+            self.metrics.on_failover();
+        }
+        let backoff = self.config.resilience.retry.backoff(attempt);
+        *self.outstanding.entry(request_id).or_insert(0) += 1;
+        Some(PendingDispatch {
+            request_id,
+            inference: inference.clone(),
+            endpoint: decision.endpoint,
+            function,
+            submit_at: now + backoff,
+            worker,
+            arrived_at,
+            user,
+            operation,
+            prompt_text_key,
+            attempt: attempt + 1,
+        })
+    }
+
+    /// Hedge requests that have been in flight longer than the configured
+    /// deadline: submit a duplicate to a different allowed endpoint and let
+    /// the first response win. The duplicate rides the original's worker
+    /// slot, so no extra gateway-side admission cost is modelled.
+    fn hedge_due(&mut self, now: SimTime) {
+        if !self.config.resilience.enabled {
+            return;
+        }
+        let Some(hedge_after) = self.config.resilience.hedge_after else {
+            return;
+        };
+        let mut candidates: Vec<TaskId> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| !f.hedged && now.saturating_since(f.submitted_at) >= hedge_after)
+            .filter(|(_, f)| !self.delivered.contains(&f.request_id))
+            .map(|(t, _)| *t)
+            .collect();
+        candidates.sort();
+        for task in candidates {
+            let Some(f) = self.in_flight.get(&task) else {
+                continue;
+            };
+            let (request_id, model, endpoint) = (f.request_id, f.model.clone(), f.endpoint.clone());
+            // Whatever happens below, this copy's hedge decision is final:
+            // an unmarked candidate with an elapsed deadline would make
+            // `next_event_time` return the same past instant forever and
+            // livelock every event-loop driver.
+            if let Some(f) = self.in_flight.get_mut(&task) {
+                f.hedged = true;
+            }
+            let Some(decision) = self.router.route_for_retry(
+                &self.registry,
+                &self.service,
+                &model,
+                &self.health,
+                now,
+                &endpoint,
+            ) else {
+                continue;
+            };
+            if decision.endpoint == endpoint {
+                // No alternative site: duplicating onto the same stuck
+                // endpoint would only add load.
+                continue;
+            }
+            let f = self.in_flight.get(&task).expect("candidate exists").clone();
+            if let Ok(new_task) =
+                self.service
+                    .submit(f.function, &decision.endpoint, f.inference.clone(), now)
+            {
+                self.metrics.on_hedge();
+                *self.outstanding.entry(request_id).or_insert(0) += 1;
+                self.in_flight.insert(
+                    new_task,
+                    InFlight {
+                        submitted_at: now,
+                        endpoint: decision.endpoint,
+                        hedged: true,
+                        ..f
+                    },
+                );
+            }
+        }
     }
 
     fn collect_results(&mut self, now: SimTime) {
@@ -631,9 +852,54 @@ impl Gateway {
 
     fn deliver_due(&mut self, now: SimTime) {
         let mut remaining = Vec::with_capacity(self.awaiting.len());
+        let mut retries: Vec<PendingDispatch> = Vec::new();
         for a in std::mem::take(&mut self.awaiting) {
             if a.deliver_at <= now {
+                let request_id = a.in_flight.request_id;
+                let copies_left = self.resolve_copy(request_id);
+                // Every copy's outcome is real signal about its endpoint.
+                self.observe_outcome(&a.in_flight.endpoint, a.success, a.deliver_at);
+                // A hedge sibling already answered: swallow this copy. Once
+                // the last copy resolves, the id is no longer needed — the
+                // set stays bounded by the number of in-flight hedges rather
+                // than growing with the deployment's lifetime.
+                if self.delivered.contains(&request_id) {
+                    if copies_left == 0 {
+                        self.delivered.remove(&request_id);
+                    }
+                    continue;
+                }
+                if !a.success && self.config.resilience.enabled {
+                    // Another copy (hedge or retry) is still racing: let it
+                    // answer instead of reporting a failure.
+                    if copies_left > 0 {
+                        continue;
+                    }
+                    if a.in_flight.attempt < self.config.resilience.retry.max_retries {
+                        if let Some(retry) = self.make_retry(
+                            request_id,
+                            &a.in_flight.inference,
+                            a.in_flight.function,
+                            &a.in_flight.endpoint,
+                            a.in_flight.worker,
+                            a.in_flight.arrived_at,
+                            a.in_flight.user.clone(),
+                            a.in_flight.operation,
+                            a.in_flight.prompt_text_key,
+                            a.in_flight.attempt,
+                            a.deliver_at,
+                        ) {
+                            retries.push(retry);
+                            continue;
+                        }
+                    }
+                }
                 let usage = Usage::new(a.in_flight.prompt_tokens, a.completion_tokens);
+                if copies_left > 0 {
+                    // Sibling copies are still racing; remember the answer so
+                    // their eventual results are swallowed.
+                    self.delivered.insert(request_id);
+                }
                 self.workers.release(a.in_flight.worker, a.deliver_at);
                 if a.success {
                     self.metrics.on_completed(
@@ -681,6 +947,20 @@ impl Gateway {
             }
         }
         self.awaiting = remaining;
+        self.pending.extend(retries);
+    }
+
+    /// Feed one request outcome into the health tracker, counting breaker
+    /// trips in the gateway metrics.
+    fn observe_outcome(&mut self, endpoint: &str, success: bool, at: SimTime) {
+        if endpoint.is_empty() {
+            return;
+        }
+        if success {
+            self.health.on_success(endpoint, at);
+        } else if self.health.on_failure(endpoint, at) {
+            self.metrics.on_breaker_trip();
+        }
     }
 }
 
@@ -697,6 +977,19 @@ impl SimProcess for Gateway {
         consider(self.pending.iter().map(|p| p.submit_at).min());
         consider(self.awaiting.iter().map(|a| a.deliver_at).min());
         consider(SimProcess::next_event_time(&self.service));
+        if self.config.resilience.enabled {
+            if let Some(hedge_after) = self.config.resilience.hedge_after {
+                // A stuck request becomes an event when its hedge deadline
+                // expires, even if nothing else in the simulation moves.
+                consider(
+                    self.in_flight
+                        .values()
+                        .filter(|f| !f.hedged)
+                        .map(|f| f.submitted_at + hedge_after)
+                        .min(),
+                );
+            }
+        }
         next
     }
 
@@ -705,6 +998,8 @@ impl SimProcess for Gateway {
         self.service.advance(now);
         self.collect_results(now);
         self.deliver_due(now);
+        self.hedge_due(now);
+        self.last_advance = self.last_advance.max(now);
     }
 
     fn name(&self) -> &str {
@@ -716,6 +1011,7 @@ impl SimProcess for Gateway {
 mod tests {
     use super::*;
     use crate::deploy::{DeploymentBuilder, TestTokens};
+    use first_chaos::{HealthState, RetryPolicy};
 
     const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
@@ -915,5 +1211,141 @@ mod tests {
         let b = legacy.take_responses()[0].latency().as_secs_f64();
         // Polling + uncached introspection + uncached connections add ≈2–4 s.
         assert!(b > a + 1.5, "legacy {b} vs optimized {a}");
+    }
+
+    fn no_hedge_resilience() -> ResilienceConfig {
+        ResilienceConfig {
+            hedge_after: None,
+            ..ResilienceConfig::production()
+        }
+    }
+
+    #[test]
+    fn without_resilience_an_endpoint_failure_reaches_the_client() {
+        let (mut gw, tokens) = DeploymentBuilder::federated_sophia_polaris()
+            .prewarm(1)
+            .build_with_tokens();
+        gw.service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .set_offline_until(SimTime::from_secs(3600));
+        let req = ChatCompletionRequest::simple(MODEL, "no safety net", 100);
+        gw.chat_completions(&req, &tokens.alice, Some(100), SimTime::ZERO)
+            .unwrap();
+        drive(&mut gw, SimTime::from_secs(600));
+        let responses = gw.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(!responses[0].success);
+        assert_eq!(gw.metrics_mut().retries, 0);
+    }
+
+    #[test]
+    fn failed_requests_retry_and_fail_over_to_the_healthy_cluster() {
+        let (mut gw, tokens) = DeploymentBuilder::federated_sophia_polaris()
+            .prewarm(1)
+            .resilience(no_hedge_resilience())
+            .build_with_tokens();
+        // Sophia — the priority endpoint — goes dark before the request.
+        gw.service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .set_offline_until(SimTime::from_secs(3600));
+        let req = ChatCompletionRequest::simple(MODEL, "failover please", 100);
+        let id = gw
+            .chat_completions(&req, &tokens.alice, Some(100), SimTime::ZERO)
+            .unwrap();
+        drive(&mut gw, SimTime::from_secs(900));
+        let responses = gw.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].request_id, id);
+        assert!(responses[0].success, "retry should rescue the request");
+        assert_eq!(responses[0].endpoint, "polaris-endpoint");
+        assert!(gw.metrics_mut().retries >= 1);
+        assert!(gw.metrics_mut().failovers >= 1);
+        // The request log records the final (successful) outcome once.
+        assert_eq!(gw.log().len(), 1);
+        assert!(gw.log().entries()[0].success);
+    }
+
+    #[test]
+    fn sustained_failures_trip_the_breaker_and_reroute_fresh_requests() {
+        let (mut gw, tokens) = DeploymentBuilder::federated_sophia_polaris()
+            .prewarm(1)
+            .resilience(no_hedge_resilience())
+            .build_with_tokens();
+        gw.service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .set_offline_until(SimTime::from_secs(3600));
+        for i in 0..4u64 {
+            let req = ChatCompletionRequest::simple(MODEL, &format!("breaker {i}"), 80);
+            gw.chat_completions(&req, &tokens.alice, Some(80), SimTime::from_secs(i * 10))
+                .unwrap();
+        }
+        // Stop inside the breaker's open window (trips around t≈25, stays
+        // open 60 s) — long enough for all retried requests to finish on
+        // Polaris, short enough that the breaker has not aged out yet.
+        drive(&mut gw, SimTime::from_secs(75));
+        let responses = gw.take_responses();
+        assert_eq!(responses.len(), 4);
+        assert!(responses.iter().all(|r| r.success));
+        assert!(gw.metrics_mut().breaker_trips >= 1);
+        let now = gw.last_advance();
+        assert_eq!(
+            gw.health().state("sophia-endpoint", now),
+            HealthState::Unavailable
+        );
+        // `/jobs` surfaces the health next to the endpoint list.
+        let jobs = gw.jobs_status();
+        let entry = jobs.iter().find(|j| j.model == MODEL).unwrap();
+        let idx = entry
+            .endpoints
+            .iter()
+            .position(|e| e == "sophia-endpoint")
+            .unwrap();
+        assert_eq!(entry.endpoint_health[idx], "unavailable");
+        // Once the breaker is open, a fresh request routes straight to
+        // Polaris without burning a retry on Sophia.
+        let before = gw.metrics_mut().retries;
+        let req = ChatCompletionRequest::simple(MODEL, "post-trip request", 80);
+        gw.chat_completions(&req, &tokens.alice, Some(80), now)
+            .unwrap();
+        drive(&mut gw, now + SimDuration::from_secs(300));
+        let responses = gw.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].success);
+        assert_eq!(responses[0].endpoint, "polaris-endpoint");
+        assert_eq!(gw.metrics_mut().retries, before);
+    }
+
+    #[test]
+    fn stuck_requests_are_hedged_to_another_endpoint() {
+        let resilience = ResilienceConfig {
+            enabled: true,
+            retry: RetryPolicy::disabled(),
+            hedge_after: Some(SimDuration::from_secs(60)),
+            ..ResilienceConfig::production()
+        };
+        let (mut gw, tokens) = DeploymentBuilder::federated_sophia_polaris()
+            .prewarm(1)
+            .resilience(resilience)
+            .build_with_tokens();
+        // Sophia's engine hangs (NCCL stall) without failing: the request
+        // would sit for an hour if nothing intervened.
+        gw.service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .stall_engines(SimTime::from_secs(3600));
+        let req = ChatCompletionRequest::simple(MODEL, "hedge me", 100);
+        gw.chat_completions(&req, &tokens.alice, Some(100), SimTime::ZERO)
+            .unwrap();
+        drive(&mut gw, SimTime::from_secs(1200));
+        let responses = gw.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].success);
+        assert_eq!(responses[0].endpoint, "polaris-endpoint");
+        assert!(gw.metrics_mut().hedges >= 1);
+        // Well under the hour the stall would have cost.
+        assert!(responses[0].latency().as_secs_f64() < 120.0);
     }
 }

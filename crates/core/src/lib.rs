@@ -50,8 +50,8 @@ pub use registry::{
     FederationRouter, ModelRegistry, RoutingDecision, RoutingPolicy, RoutingReason,
 };
 pub use sim::{
-    run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_webui_closed_loop,
-    ScenarioReport, WebUiCell,
+    run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_resilience_openloop,
+    run_webui_closed_loop, ResilienceReport, ScenarioReport, WebUiCell,
 };
 pub use storage::{GatewayMetrics, RequestLog, RequestLogEntry, UsageSummary};
 pub use streaming::{stream_response, StreamChunk, StreamStats, StreamedResponse, StreamingConfig};

@@ -71,11 +71,13 @@ impl Gateway {
 
             let backlog: usize = ep.all_model_statuses().iter().map(|s| s.backlog).sum();
             let running: usize = ep.instances().iter().map(|i| i.in_flight()).sum();
+            let health = self.health().state(ep.name(), now).label().to_string();
             queues.push(QueueRow {
                 endpoint: ep.name().to_string(),
                 queued_tasks: backlog as u64,
                 running_tasks: running as u64,
                 completed_tasks: ep.stats().tasks_completed,
+                health,
             });
         }
 
@@ -90,6 +92,10 @@ impl Gateway {
             total_failed: metrics.failed + metrics.rejected,
             total_output_tokens: metrics.output_tokens,
             distinct_users,
+            total_retries: metrics.retries,
+            total_failovers: metrics.failovers,
+            breaker_trips: metrics.breaker_trips,
+            total_hedges: metrics.hedges,
         };
         snapshot.normalise();
         snapshot
@@ -139,6 +145,26 @@ impl Gateway {
                 "first_gateway_output_tokens_total",
                 LabelSet::empty(),
                 metrics.output_tokens,
+            );
+            registry.add_counter(
+                "first_gateway_retries_total",
+                LabelSet::empty(),
+                metrics.retries,
+            );
+            registry.add_counter(
+                "first_gateway_failovers_total",
+                LabelSet::empty(),
+                metrics.failovers,
+            );
+            registry.add_counter(
+                "first_gateway_breaker_trips_total",
+                LabelSet::empty(),
+                metrics.breaker_trips,
+            );
+            registry.add_counter(
+                "first_gateway_hedged_requests_total",
+                LabelSet::empty(),
+                metrics.hedges,
             );
         }
 
@@ -219,6 +245,11 @@ impl Gateway {
         // Per-endpoint and per-cluster resource gauges.
         for ep in self.service().endpoints() {
             let ep_labels = LabelSet::single("endpoint", ep.name().to_string());
+            registry.set_gauge(
+                "first_endpoint_health",
+                ep_labels.clone(),
+                self.health().state(ep.name(), now).severity(),
+            );
             let ep_stats = ep.stats();
             registry.add_counter(
                 "first_endpoint_tasks_completed_total",
@@ -305,6 +336,40 @@ impl Gateway {
     pub fn default_alerting() -> Alerting {
         let mut alerting = Alerting::new();
         for rule in Self::default_alert_rules() {
+            alerting.add_rule(rule);
+        }
+        alerting
+    }
+
+    /// Resilience alert rules for this deployment's endpoints: one
+    /// sustained-unavailability rule per endpoint, firing when the
+    /// `first_endpoint_health` gauge sits at "unavailable" (2) for 30 s —
+    /// i.e. the circuit breaker stayed open past a transient flap. Silent on
+    /// healthy deployments because the gauge only reaches 2 when a breaker
+    /// actually opens.
+    pub fn resilience_alert_rules(&self) -> Vec<AlertRule> {
+        use first_desim::SimDuration;
+        self.service()
+            .endpoint_names()
+            .into_iter()
+            .map(|name| {
+                AlertRule::above(
+                    format!("endpoint_unavailable_sustained:{name}"),
+                    "first_endpoint_health",
+                    LabelSet::single("endpoint", name),
+                    1.5,
+                    SimDuration::from_secs(30),
+                    AlertSeverity::Critical,
+                )
+            })
+            .collect()
+    }
+
+    /// Build an [`Alerting`] evaluator with the default pack plus the
+    /// per-endpoint resilience rules for this deployment.
+    pub fn alerting(&self) -> Alerting {
+        let mut alerting = Self::default_alerting();
+        for rule in self.resilience_alert_rules() {
             alerting.add_rule(rule);
         }
         alerting
@@ -410,5 +475,112 @@ mod tests {
         let fired = alerting.evaluate(&registry, SimTime::from_secs(700));
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].rule, "gateway_failures_present");
+    }
+
+    #[test]
+    fn dashboard_and_jobs_surface_resilience_counters() {
+        let resilience = first_chaos::ResilienceConfig {
+            hedge_after: None,
+            ..first_chaos::ResilienceConfig::production()
+        };
+        let (mut gw, tokens) = DeploymentBuilder::federated_sophia_polaris()
+            .prewarm(1)
+            .resilience(resilience)
+            .build_with_tokens();
+        gw.service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .set_offline_until(SimTime::from_secs(3600));
+        let req = ChatCompletionRequest::simple(MODEL, "resilient dashboard", 100);
+        gw.chat_completions(&req, &tokens.alice, Some(100), SimTime::ZERO)
+            .unwrap();
+        let mut now = SimTime::ZERO;
+        while let Some(t) = SimProcess::next_event_time(&gw) {
+            now = now.max(t);
+            gw.advance(now);
+            if gw.is_drained() {
+                break;
+            }
+        }
+        let snap = gw.dashboard_snapshot(now);
+        assert_eq!(snap.total_completed, 1);
+        assert!(snap.total_retries >= 1);
+        assert!(snap.total_failovers >= 1);
+        let sophia_row = snap
+            .queues
+            .iter()
+            .find(|q| q.endpoint == "sophia-endpoint")
+            .unwrap();
+        assert_eq!(sophia_row.health, "degraded");
+        let text = snap.render_text();
+        assert!(text.contains("-- resilience --"));
+    }
+
+    #[test]
+    fn sustained_unavailability_alert_fires_in_outages_and_stays_quiet_otherwise() {
+        // Healthy deployment: the resilience rules exist but never fire.
+        let mut gw = run_some_traffic();
+        let mut alerting = gw.alerting();
+        assert_eq!(
+            alerting.rule_count(),
+            Gateway::default_alert_rules().len() + 1,
+            "one sustained-unavailability rule per endpoint"
+        );
+        for t in [600u64, 700, 800] {
+            let registry = gw.export_metrics(SimTime::from_secs(t));
+            assert!(alerting
+                .evaluate(&registry, SimTime::from_secs(t))
+                .is_empty());
+        }
+
+        // Outage: Sophia dark, four requests trip the breaker (~t=25); the
+        // health gauge sits at 2 and the sustained rule fires after 30 s.
+        let resilience = first_chaos::ResilienceConfig {
+            hedge_after: None,
+            ..first_chaos::ResilienceConfig::production()
+        };
+        let (mut gw, tokens) = DeploymentBuilder::federated_sophia_polaris()
+            .prewarm(1)
+            .resilience(resilience)
+            .build_with_tokens();
+        gw.service_mut()
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .set_offline_until(SimTime::from_secs(3600));
+        for i in 0..4u64 {
+            let req = ChatCompletionRequest::simple(MODEL, &format!("outage {i}"), 80);
+            gw.chat_completions(&req, &tokens.alice, Some(80), SimTime::from_secs(i * 10))
+                .unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        while let Some(t) = SimProcess::next_event_time(&gw) {
+            if t > SimTime::from_secs(75) {
+                break;
+            }
+            now = now.max(t);
+            gw.advance(now);
+            if gw.is_drained() {
+                break;
+            }
+        }
+        let registry = gw.export_metrics(SimTime::from_secs(40));
+        let snapshot = registry.snapshot();
+        let health = snapshot.find(
+            "first_endpoint_health",
+            &LabelSet::single("endpoint", "sophia-endpoint".to_string()),
+        );
+        assert!(health.is_some(), "health gauge exported per endpoint");
+        let mut alerting = gw.alerting();
+        assert!(alerting
+            .evaluate(&registry, SimTime::from_secs(40))
+            .is_empty());
+        let registry = gw.export_metrics(SimTime::from_secs(72));
+        let fired = alerting.evaluate(&registry, SimTime::from_secs(72));
+        assert!(
+            fired
+                .iter()
+                .any(|a| a.rule == "endpoint_unavailable_sustained:sophia-endpoint"),
+            "expected sustained-unavailability alert, got {fired:?}"
+        );
     }
 }

@@ -12,6 +12,8 @@
 //! and most-idle-nodes alternatives, which the federation ablation benchmark
 //! compares against the paper's priority scheme.
 
+use first_chaos::{HealthState, HealthTracker};
+use first_desim::SimTime;
 use first_fabric::ComputeService;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -196,13 +198,82 @@ impl FederationRouter {
         if endpoints.is_empty() {
             return None;
         }
+        Some(self.route_over(endpoints, service, model))
+    }
+
+    /// Failover-aware routing: apply the configured policy over the subset of
+    /// endpoints the health tracker allows at `now`, preferring fully healthy
+    /// endpoints over degraded ones. When the breaker has every endpoint open
+    /// the full registration list is used as a last resort (a request that
+    /// will likely fail beats a request that cannot be routed at all).
+    pub fn route_with_health(
+        &self,
+        registry: &ModelRegistry,
+        service: &ComputeService,
+        model: &str,
+        health: &HealthTracker,
+        now: SimTime,
+    ) -> Option<RoutingDecision> {
+        let endpoints = registry.endpoints_for(model)?;
+        if endpoints.is_empty() {
+            return None;
+        }
+        let healthy: Vec<String> = endpoints
+            .iter()
+            .filter(|e| health.state(e, now) == HealthState::Healthy)
+            .cloned()
+            .collect();
+        let allowed: Vec<String> = endpoints
+            .iter()
+            .filter(|e| health.allows(e, now))
+            .cloned()
+            .collect();
+        let subset = if !healthy.is_empty() {
+            &healthy
+        } else if !allowed.is_empty() {
+            &allowed
+        } else {
+            return Some(self.route_over(endpoints, service, model));
+        };
+        Some(self.route_over(subset, service, model))
+    }
+
+    /// Routing for a retry of a request that just failed on `failed_endpoint`:
+    /// like [`FederationRouter::route_with_health`], but the failed endpoint
+    /// is excluded whenever any alternative is still allowed, so the retry
+    /// fails over instead of hammering the same site.
+    pub fn route_for_retry(
+        &self,
+        registry: &ModelRegistry,
+        service: &ComputeService,
+        model: &str,
+        health: &HealthTracker,
+        now: SimTime,
+        failed_endpoint: &str,
+    ) -> Option<RoutingDecision> {
+        let endpoints = registry.endpoints_for(model)?;
+        let alternatives: Vec<String> = endpoints
+            .iter()
+            .filter(|e| e.as_str() != failed_endpoint && health.allows(e, now))
+            .cloned()
+            .collect();
+        if alternatives.is_empty() {
+            return self.route_with_health(registry, service, model, health, now);
+        }
+        Some(self.route_over(&alternatives, service, model))
+    }
+
+    fn route_over(
+        &self,
+        endpoints: &[String],
+        service: &ComputeService,
+        model: &str,
+    ) -> RoutingDecision {
         match self.policy {
-            RoutingPolicy::PaperPriority => Some(Self::paper_priority(endpoints, service, model)),
-            RoutingPolicy::RoundRobin => Some(self.round_robin(endpoints)),
-            RoutingPolicy::LeastOutstanding => {
-                Some(Self::least_outstanding(endpoints, service, model))
-            }
-            RoutingPolicy::MostIdleNodes => Some(Self::most_idle_nodes(endpoints, service)),
+            RoutingPolicy::PaperPriority => Self::paper_priority(endpoints, service, model),
+            RoutingPolicy::RoundRobin => self.round_robin(endpoints),
+            RoutingPolicy::LeastOutstanding => Self::least_outstanding(endpoints, service, model),
+            RoutingPolicy::MostIdleNodes => Self::most_idle_nodes(endpoints, service),
         }
     }
 
@@ -497,6 +568,81 @@ mod tests {
         let d = router.route(&registry, &service, MODEL).unwrap();
         assert_eq!(d.endpoint, "polaris-endpoint");
         assert_eq!(d.reason, RoutingReason::MostIdleNodes);
+    }
+
+    #[test]
+    fn health_aware_routing_avoids_unavailable_endpoints() {
+        let (registry, mut service) = two_cluster_service();
+        // Sophia has the active instance, so the paper policy pins it there.
+        service
+            .endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .prewarm(MODEL, 1, SimTime::ZERO);
+        let router = FederationRouter::new();
+        let mut health = first_chaos::HealthTracker::default();
+        let now = SimTime::from_secs(10);
+        let d = router
+            .route_with_health(&registry, &service, MODEL, &health, now)
+            .unwrap();
+        assert_eq!(d.endpoint, "sophia-endpoint");
+
+        // Trip Sophia's breaker: routing fails over to Polaris.
+        for _ in 0..3 {
+            health.on_failure("sophia-endpoint", now);
+        }
+        let d = router
+            .route_with_health(&registry, &service, MODEL, &health, now)
+            .unwrap();
+        assert_eq!(d.endpoint, "polaris-endpoint");
+
+        // With every endpoint open the router still returns something.
+        for _ in 0..3 {
+            health.on_failure("polaris-endpoint", now);
+        }
+        assert!(router
+            .route_with_health(&registry, &service, MODEL, &health, now)
+            .is_some());
+    }
+
+    #[test]
+    fn degraded_endpoints_lose_to_healthy_ones_but_stay_routable() {
+        let (registry, service) = two_cluster_service();
+        let router = FederationRouter::new();
+        let mut health = first_chaos::HealthTracker::default();
+        let now = SimTime::from_secs(10);
+        // One failure on Sophia: degraded, so the healthy Polaris wins even
+        // though Sophia comes first in configuration order.
+        health.on_failure("sophia-endpoint", now);
+        let d = router
+            .route_with_health(&registry, &service, MODEL, &health, now)
+            .unwrap();
+        assert_eq!(d.endpoint, "polaris-endpoint");
+        // If Polaris is degraded too, the allowed set is used as configured.
+        health.on_failure("polaris-endpoint", now);
+        let d = router
+            .route_with_health(&registry, &service, MODEL, &health, now)
+            .unwrap();
+        assert_eq!(d.endpoint, "sophia-endpoint");
+    }
+
+    #[test]
+    fn retry_routing_excludes_the_endpoint_that_just_failed() {
+        let (registry, service) = two_cluster_service();
+        let router = FederationRouter::new();
+        let health = first_chaos::HealthTracker::default();
+        let now = SimTime::from_secs(5);
+        let d = router
+            .route_for_retry(&registry, &service, MODEL, &health, now, "sophia-endpoint")
+            .unwrap();
+        assert_eq!(d.endpoint, "polaris-endpoint");
+        // Single-endpoint registrations fall back to the failed endpoint
+        // rather than refusing to route.
+        let mut single = ModelRegistry::new();
+        single.register(MODEL, "sophia-endpoint");
+        let d = router
+            .route_for_retry(&single, &service, MODEL, &health, now, "sophia-endpoint")
+            .unwrap();
+        assert_eq!(d.endpoint, "sophia-endpoint");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::api::ChatCompletionRequest;
 use crate::gateway::Gateway;
 use first_auth::TokenString;
+use first_chaos::FaultInjector;
 use first_desim::{Histogram, SimDuration, SimProcess, SimTime};
 use first_serving::{
     CloudApi, CloudApiConfig, DirectServer, EngineConfig, FrontendConfig, InferenceRequest,
@@ -347,6 +348,195 @@ pub fn run_openai_openloop(
         output_tokens,
         duration,
     )
+}
+
+/// Availability and tail-latency metrics for one resilience scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Scenario label ("fault-free", "endpoint-flap", ...).
+    pub label: String,
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that ultimately failed (after any retries).
+    pub failed: usize,
+    /// `completed / offered`.
+    pub availability: f64,
+    /// Median end-to-end latency of successful requests, in seconds.
+    pub median_latency_s: f64,
+    /// 99th-percentile end-to-end latency of successful requests, in seconds.
+    pub p99_latency_s: f64,
+    /// Output tokens delivered to clients.
+    pub output_tokens: u64,
+    /// Output tokens per second over the run (the goodput measure).
+    pub goodput_tok_s: f64,
+    /// Run duration in seconds (first arrival → last delivery).
+    pub duration_s: f64,
+    /// Retries issued by the gateway.
+    pub retries: u64,
+    /// Failovers to a different endpoint.
+    pub failovers: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Hedged requests issued.
+    pub hedges: u64,
+    /// Faults the injector actually applied.
+    pub faults_injected: usize,
+}
+
+impl ResilienceReport {
+    /// Goodput retained versus a (fault-free) baseline, as a fraction.
+    pub fn goodput_retained(&self, baseline: &ResilienceReport) -> f64 {
+        if baseline.goodput_tok_s <= 0.0 {
+            0.0
+        } else {
+            self.goodput_tok_s / baseline.goodput_tok_s
+        }
+    }
+
+    /// One formatted table row (used by `resilience_sweep`).
+    pub fn table_row(&self, baseline: &ResilienceReport) -> String {
+        format!(
+            "{:<18} {:>7} {:>6} {:>6} {:>7.2}% {:>9.1} {:>9.1} {:>10.1} {:>8.1}% {:>7} {:>9} {:>6} {:>6} {:>6}",
+            self.label,
+            self.offered,
+            self.completed,
+            self.failed,
+            self.availability * 100.0,
+            self.median_latency_s,
+            self.p99_latency_s,
+            self.goodput_tok_s,
+            self.goodput_retained(baseline) * 100.0,
+            self.retries,
+            self.failovers,
+            self.breaker_trips,
+            self.hedges,
+            self.faults_injected,
+        )
+    }
+
+    /// The table header matching [`ResilienceReport::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<18} {:>7} {:>6} {:>6} {:>8} {:>9} {:>9} {:>10} {:>9} {:>7} {:>9} {:>6} {:>6} {:>6}",
+            "scenario",
+            "offered",
+            "done",
+            "fail",
+            "avail",
+            "med (s)",
+            "p99 (s)",
+            "tok/s",
+            "goodput",
+            "retries",
+            "failovers",
+            "trips",
+            "hedges",
+            "faults"
+        )
+    }
+}
+
+/// Replay `samples` against the gateway while the injector perturbs the
+/// deployment according to its fault plan. The chaos companion of
+/// [`run_gateway_openloop`]: identical open-loop methodology, but fault and
+/// recovery instants participate in event selection, failures are counted,
+/// and the report adds availability, p99 and the resilience counters.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilience_openloop(
+    gateway: &mut Gateway,
+    injector: &mut FaultInjector,
+    token: &TokenString,
+    model: &str,
+    samples: &[ConversationSample],
+    arrivals: &[SimTime],
+    label: &str,
+    horizon: SimTime,
+) -> ResilienceReport {
+    assert_eq!(samples.len(), arrivals.len());
+    let mut latencies = Histogram::with_capacity(samples.len());
+    let mut output_tokens = 0u64;
+    let mut failed = 0usize;
+    let mut rejected = 0usize;
+    let mut next = 0usize;
+    let mut last_delivery = SimTime::ZERO;
+    let first_arrival = arrivals.first().copied().unwrap_or(SimTime::ZERO);
+
+    loop {
+        let next_arrival = arrivals.get(next).copied();
+        let step = match (next_arrival, injector.next_event_merged(gateway)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        let Some(step) = step else {
+            break;
+        };
+        if step > horizon {
+            break;
+        }
+        injector.apply_due(gateway.service_mut(), step);
+        gateway.advance(step);
+        while next < arrivals.len() && arrivals[next] <= step {
+            let req = synthetic_chat_request(model, next, &samples[next]);
+            if gateway
+                .chat_completions(
+                    &req,
+                    token,
+                    Some(samples[next].output_tokens),
+                    arrivals[next],
+                )
+                .is_err()
+            {
+                rejected += 1;
+            }
+            next += 1;
+        }
+        for r in gateway.take_responses() {
+            last_delivery = last_delivery.max(r.finished_at);
+            if r.success {
+                latencies.record(r.latency().as_secs_f64());
+                output_tokens += r.usage.completion_tokens as u64;
+            } else {
+                failed += 1;
+            }
+        }
+        if next >= arrivals.len() && gateway.is_drained() {
+            break;
+        }
+    }
+    for r in gateway.take_responses() {
+        last_delivery = last_delivery.max(r.finished_at);
+        if r.success {
+            latencies.record(r.latency().as_secs_f64());
+            output_tokens += r.usage.completion_tokens as u64;
+        } else {
+            failed += 1;
+        }
+    }
+
+    let offered = samples.len();
+    let completed = latencies.count();
+    let duration = (last_delivery - first_arrival).as_secs_f64().max(1e-9);
+    let metrics = gateway.metrics_mut();
+    ResilienceReport {
+        label: label.to_string(),
+        offered,
+        completed,
+        failed: failed + rejected,
+        availability: completed as f64 / offered.max(1) as f64,
+        median_latency_s: latencies.median(),
+        p99_latency_s: latencies.p99(),
+        output_tokens,
+        goodput_tok_s: output_tokens as f64 / duration,
+        duration_s: duration,
+        retries: metrics.retries,
+        failovers: metrics.failovers,
+        breaker_trips: metrics.breaker_trips,
+        hedges: metrics.hedges,
+        faults_injected: injector.applied().len(),
+    }
 }
 
 /// One Table 1 cell: throughput measured over a fixed window of concurrent

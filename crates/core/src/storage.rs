@@ -160,6 +160,15 @@ pub struct GatewayMetrics {
     pub rejected: u64,
     /// Output tokens returned to users.
     pub output_tokens: u64,
+    /// Retries of failed idempotent requests (resilience layer).
+    pub retries: u64,
+    /// Requests failed over to a different endpoint than the one that
+    /// originally failed them.
+    pub failovers: u64,
+    /// Circuit-breaker trips observed across all endpoints.
+    pub breaker_trips: u64,
+    /// Hedged (duplicated) requests issued for slow in-flight calls.
+    pub hedges: u64,
     /// End-to-end latency histogram (seconds), per model.
     pub latency_by_model: BTreeMap<String, Histogram>,
 }
@@ -193,6 +202,26 @@ impl GatewayMetrics {
     /// Count a failure.
     pub fn on_failed(&mut self) {
         self.failed += 1;
+    }
+
+    /// Count a retry of a failed idempotent request.
+    pub fn on_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Count a failover to a different endpoint.
+    pub fn on_failover(&mut self) {
+        self.failovers += 1;
+    }
+
+    /// Count a circuit-breaker trip.
+    pub fn on_breaker_trip(&mut self) {
+        self.breaker_trips += 1;
+    }
+
+    /// Count a hedged (duplicated) request.
+    pub fn on_hedge(&mut self) {
+        self.hedges += 1;
     }
 
     /// Total requests received across operations.

@@ -10,7 +10,9 @@
 use crate::config::{EndpointConfig, ModelHostingConfig};
 use crate::task::{TaskId, TaskResult};
 use first_desim::{SimProcess, SimTime};
-use first_hpc::{BatchScheduler, Cluster, ClusterStatus, JobId, JobPriority, JobRequest, JobState};
+use first_hpc::{
+    BatchScheduler, Cluster, ClusterStatus, JobId, JobPriority, JobRequest, JobState, NodeId,
+};
 use first_serving::{EmbeddingConfig, EmbeddingEngine, EngineState, InferenceRequest, VllmEngine};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -127,6 +129,7 @@ pub struct ComputeEndpoint {
     task_of_request: HashMap<u64, TaskId>,
     results: Vec<TaskResult>,
     next_instance_id: u32,
+    offline_until: Option<SimTime>,
     stats: EndpointStats,
 }
 
@@ -141,6 +144,7 @@ impl ComputeEndpoint {
             task_of_request: HashMap::new(),
             results: Vec::new(),
             next_instance_id: 0,
+            offline_until: None,
             stats: EndpointStats::default(),
         }
     }
@@ -231,6 +235,19 @@ impl ComputeEndpoint {
     /// produced in that case).
     pub fn receive_task(&mut self, task: TaskId, request: InferenceRequest, now: SimTime) -> bool {
         self.stats.tasks_received += 1;
+        if self.is_offline(now) {
+            // Network partition / endpoint flap: deliveries fail fast with a
+            // retryable error instead of vanishing into a dead process.
+            self.stats.tasks_failed += 1;
+            self.results.push(TaskResult {
+                task,
+                success: false,
+                completion: None,
+                error: Some(format!("endpoint {} unreachable", self.config.name)),
+                finished_at: now,
+            });
+            return false;
+        }
         if !self.config.hosts(&request.model) {
             self.stats.tasks_failed += 1;
             self.results.push(TaskResult {
@@ -324,6 +341,7 @@ impl ComputeEndpoint {
         // the gateway retries idempotent requests.
         for task in in_flight {
             self.stats.tasks_failed += 1;
+            self.task_of_request.retain(|_, t| *t != task);
             self.results.push(TaskResult {
                 task,
                 success: false,
@@ -340,6 +358,115 @@ impl ComputeEndpoint {
             }
         }
         true
+    }
+
+    /// Take the endpoint off the network until `until` (fault injection:
+    /// process flap or partition). Task deliveries inside the window fail
+    /// fast; an already-set later recovery instant is kept.
+    pub fn set_offline_until(&mut self, until: SimTime) {
+        self.offline_until = Some(self.offline_until.map_or(until, |t| t.max(until)));
+    }
+
+    /// Whether the endpoint is unreachable at `now`.
+    pub fn is_offline(&self, now: SimTime) -> bool {
+        self.offline_until.map(|t| now < t).unwrap_or(false)
+    }
+
+    /// The instant the current (or last) offline window ends, if one was set.
+    pub fn offline_until(&self) -> Option<SimTime> {
+        self.offline_until
+    }
+
+    /// Crash the compute node backing the first hot instance (fault
+    /// injection): the instance fails as in
+    /// [`ComputeEndpoint::inject_instance_failure`] and the node goes offline
+    /// until restored via [`ComputeEndpoint::restore_node`]. Returns the
+    /// crashed node, or `None` when nothing is running.
+    pub fn inject_node_crash(&mut self, now: SimTime) -> Option<NodeId> {
+        let idx = self.instances.iter().position(|i| i.is_ready())?;
+        let model = self.instances[idx].model.clone();
+        let job = self.instances[idx].job;
+        let node = self
+            .scheduler
+            .job(job)
+            .and_then(|j| j.allocation.nodes().first().copied());
+        // Take the node offline before failing the instance so any automatic
+        // restart is placed on surviving hardware.
+        if let Some(id) = node {
+            if let Some(n) = self.scheduler.cluster_mut().node_mut(id) {
+                n.offline = true;
+            }
+        }
+        self.inject_instance_failure(&model, now);
+        node
+    }
+
+    /// Bring a crashed node back online. Returns `false` for unknown nodes.
+    pub fn restore_node(&mut self, node: NodeId) -> bool {
+        match self.scheduler.cluster_mut().node_mut(node) {
+            Some(n) => {
+                n.offline = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// PBS-preempt the batch job backing the first active instance (fault
+    /// injection). The scheduler cancels the job; the instance is released
+    /// and its in-flight tasks fail with a retryable error. Returns `false`
+    /// when no instance was active.
+    pub fn preempt_instance(&mut self, now: SimTime) -> bool {
+        let Some(idx) = self.instances.iter().position(|i| {
+            matches!(
+                i.state,
+                InstanceState::PendingJob | InstanceState::Loading | InstanceState::Ready
+            )
+        }) else {
+            return false;
+        };
+        let job = self.instances[idx].job;
+        self.scheduler.cancel(job, now);
+        self.assign_and_scale(now);
+        true
+    }
+
+    /// Preempt every active instance at once (a full cluster outage).
+    /// Returns the number of instances killed.
+    pub fn preempt_all_instances(&mut self, now: SimTime) -> usize {
+        let jobs: Vec<JobId> = self
+            .instances
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.state,
+                    InstanceState::PendingJob | InstanceState::Loading | InstanceState::Ready
+                )
+            })
+            .map(|i| i.job)
+            .collect();
+        for &job in &jobs {
+            self.scheduler.cancel(job, now);
+        }
+        if !jobs.is_empty() {
+            self.assign_and_scale(now);
+        }
+        jobs.len()
+    }
+
+    /// Stall every autoregressive (vLLM) serving engine on the endpoint
+    /// until `until` (fault injection). Embedding backends are unaffected —
+    /// the modelled failure is a decode-loop hang. Returns the number of
+    /// engines affected.
+    pub fn stall_engines(&mut self, until: SimTime) -> usize {
+        let mut stalled = 0;
+        for inst in self.instances.iter_mut() {
+            if let Some(InstanceBackend::Vllm(engine)) = inst.backend.as_mut() {
+                engine.stall(until);
+                stalled += 1;
+            }
+        }
+        stalled
     }
 
     /// Whether this cluster can ever satisfy one instance of the hosting
@@ -463,11 +590,27 @@ impl ComputeEndpoint {
                     }
                 }
                 K::TimedOut | K::Cancelled => {
-                    if let Some(inst) = self.instances.iter_mut().find(|i| i.job == ev.job) {
-                        if inst.state != InstanceState::Released {
+                    let in_flight = match self.instances.iter_mut().find(|i| i.job == ev.job) {
+                        Some(inst) if inst.state != InstanceState::Released => {
                             inst.state = InstanceState::Released;
                             inst.backend = None;
+                            std::mem::take(&mut inst.in_flight)
                         }
+                        _ => Vec::new(),
+                    };
+                    // The batch job died under the instance; its in-flight
+                    // tasks can never complete, so fail them with a retryable
+                    // error instead of leaving the client hanging.
+                    for task in in_flight {
+                        self.stats.tasks_failed += 1;
+                        self.task_of_request.retain(|_, t| *t != task);
+                        self.results.push(TaskResult {
+                            task,
+                            success: false,
+                            completion: None,
+                            error: Some("instance job preempted".to_string()),
+                            finished_at: ev.time,
+                        });
                     }
                 }
                 K::Completed => {}
@@ -894,6 +1037,100 @@ mod tests {
         assert!(
             status.queued >= 1,
             "second instance should wait for nodes: {status:?}"
+        );
+    }
+
+    #[test]
+    fn offline_endpoint_fails_deliveries_until_recovery() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        ep.set_offline_until(SimTime::from_secs(60));
+        assert!(ep.is_offline(SimTime::from_secs(30)));
+        assert!(!ep.receive_task(TaskId(1), chat_req(1), SimTime::from_secs(30)));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].success);
+        assert!(results[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unreachable"));
+        // After the window the endpoint serves again.
+        assert!(!ep.is_offline(SimTime::from_secs(60)));
+        assert!(ep.receive_task(TaskId(2), chat_req(2), SimTime::from_secs(60)));
+        drive(&mut ep, SimTime::from_secs(300));
+        assert!(ep.take_results().iter().any(|r| r.success));
+        // An earlier recovery instant never shortens an existing window.
+        ep.set_offline_until(SimTime::from_secs(500));
+        ep.set_offline_until(SimTime::from_secs(400));
+        assert!(ep.is_offline(SimTime::from_secs(450)));
+    }
+
+    #[test]
+    fn preemption_fails_in_flight_tasks_instead_of_hanging_them() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        ep.receive_task(TaskId(1), chat_req(1), SimTime::ZERO);
+        ep.advance(SimTime::from_millis(100));
+        assert!(ep.take_results().is_empty(), "task still running");
+        assert!(ep.preempt_instance(SimTime::from_secs(1)));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].success);
+        assert!(results[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("preempted"));
+        // Preempting an idle endpoint with no instances reports false.
+        let mut empty = endpoint();
+        assert!(!empty.preempt_instance(SimTime::ZERO));
+    }
+
+    #[test]
+    fn preempt_all_kills_every_active_instance() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 2, SimTime::ZERO);
+        assert_eq!(ep.preempt_all_instances(SimTime::from_secs(1)), 2);
+        assert!(!ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
+    }
+
+    #[test]
+    fn node_crash_takes_the_node_offline_and_restarts_elsewhere() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        let total = ep.cluster_status().total_nodes;
+        let node = ep
+            .inject_node_crash(SimTime::from_secs(5))
+            .expect("a hot instance was running");
+        let status = ep.cluster_status();
+        assert_eq!(status.offline_nodes, 1);
+        assert_eq!(status.total_nodes, total - 1);
+        assert!(ep.stats().restarts >= 1, "auto-restart should fire");
+        // The replacement becomes hot on surviving hardware, and the node
+        // eventually rejoins.
+        drive(&mut ep, SimTime::from_secs(600));
+        assert!(ep.has_hot_instance("meta-llama/Llama-3.3-70B-Instruct"));
+        assert!(ep.restore_node(node));
+        assert_eq!(ep.cluster_status().offline_nodes, 0);
+        assert!(!ep.restore_node(NodeId(9999)));
+    }
+
+    #[test]
+    fn engine_stall_delays_completions() {
+        let mut ep = endpoint();
+        ep.prewarm("meta-llama/Llama-3.3-70B-Instruct", 1, SimTime::ZERO);
+        ep.receive_task(TaskId(1), chat_req(1), SimTime::ZERO);
+        ep.advance(SimTime::from_millis(100));
+        assert_eq!(ep.stall_engines(SimTime::from_secs(200)), 1);
+        drive(&mut ep, SimTime::from_secs(600));
+        let results = ep.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].success);
+        assert!(
+            results[0].finished_at > SimTime::from_secs(200),
+            "completion at {:?} should wait out the stall",
+            results[0].finished_at
         );
     }
 }

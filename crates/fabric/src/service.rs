@@ -11,7 +11,7 @@
 use crate::config::FabricLatencyModel;
 use crate::endpoint::ComputeEndpoint;
 use crate::task::{FunctionId, FunctionRegistry, TaskId, TaskRecord, TaskResult, TaskState};
-use first_desim::{SimProcess, SimTime};
+use first_desim::{SimDuration, SimProcess, SimTime};
 use first_serving::InferenceRequest;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -70,6 +70,8 @@ pub struct ComputeService {
     /// reached (a driver that never polls would otherwise spin forever on
     /// the same timestamp).
     last_advanced: SimTime,
+    /// Active network degradation `(extra one-way latency, spike end)`.
+    latency_spike: Option<(SimDuration, SimTime)>,
     next_task_id: u64,
     stats: ServiceStats,
 }
@@ -87,6 +89,7 @@ impl ComputeService {
             in_transit: Vec::new(),
             ready_results: Vec::new(),
             last_advanced: SimTime::ZERO,
+            latency_spike: None,
             next_task_id: 1,
             stats: ServiceStats::default(),
         }
@@ -146,6 +149,32 @@ impl ComputeService {
         self.dispatch_queue.len()
     }
 
+    /// Degrade the fabric network until `until` (fault injection): every
+    /// submission and result relay pays `extra` on top of the latency model.
+    /// Overlapping spikes keep the larger penalty and the later end.
+    pub fn inject_latency_spike(&mut self, extra: SimDuration, until: SimTime) {
+        self.latency_spike = Some(match self.latency_spike {
+            Some((e, u)) => {
+                let worst = if extra.as_micros() > e.as_micros() {
+                    extra
+                } else {
+                    e
+                };
+                (worst, u.max(until))
+            }
+            None => (extra, until),
+        });
+    }
+
+    /// Extra latency a network hop starting at `at` pays under the active
+    /// spike, if any.
+    fn spike_extra(&self, at: SimTime) -> SimDuration {
+        match self.latency_spike {
+            Some((extra, until)) if at < until => extra,
+            _ => SimDuration::ZERO,
+        }
+    }
+
     /// Submit a task invoking `function` on `endpoint` at `now` (the time the
     /// client issued the call; service receipt adds the client→service hop).
     pub fn submit(
@@ -163,7 +192,7 @@ impl ComputeService {
         };
         let id = TaskId(self.next_task_id);
         self.next_task_id += 1;
-        let arrival = now + self.latency.client_to_service;
+        let arrival = now + self.latency.client_to_service + self.spike_extra(now);
         self.tasks.insert(
             id,
             TaskRecord {
@@ -232,28 +261,48 @@ impl ComputeService {
     }
 
     fn deliver_due(&mut self, now: SimTime) {
+        // Split off everything due, then deliver in (time, task) order: a
+        // coarse advance can make several deliveries due at once, and the
+        // endpoint (whose scheduler asserts monotone time) must observe them
+        // in chronological order.
+        let mut due = Vec::new();
         let mut i = 0;
         while i < self.in_transit.len() {
             if self.in_transit[i].0 <= now {
-                let (deliver_at, id, request, ep_idx) = self.in_transit.swap_remove(i);
-                if let Some(rec) = self.tasks.get_mut(&id) {
-                    rec.state = TaskState::Running;
-                }
-                self.endpoints[ep_idx].receive_task(id, request, deliver_at);
+                due.push(self.in_transit.swap_remove(i));
             } else {
                 i += 1;
             }
+        }
+        due.sort_by_key(|t| (t.0, t.1));
+        for (deliver_at, id, request, ep_idx) in due {
+            if let Some(rec) = self.tasks.get_mut(&id) {
+                rec.state = TaskState::Running;
+            }
+            self.endpoints[ep_idx].receive_task(id, request, deliver_at);
         }
     }
 
     fn collect_results(&mut self, _now: SimTime) {
         let return_latency = self.latency.endpoint_to_service + self.latency.service_to_client;
-        let mut collected: Vec<TaskResult> = Vec::new();
+        let mut collected: Vec<(SimTime, TaskResult)> = Vec::new();
         for ep in self.endpoints.iter_mut() {
-            collected.extend(ep.take_results());
+            let offline_until = ep.offline_until();
+            for result in ep.take_results() {
+                // A success computed inside a network partition cannot leave
+                // the endpoint until the partition heals; its relay starts at
+                // the end of the offline window. Delivery *failures* pass
+                // through — the cloud service sits outside the partition and
+                // observes the broken connection itself.
+                let relay_start = match offline_until {
+                    Some(until) if result.success && result.finished_at < until => until,
+                    _ => result.finished_at,
+                };
+                collected.push((relay_start, result));
+            }
         }
-        for result in collected {
-            let available = result.finished_at + return_latency;
+        for (relay_start, result) in collected {
+            let available = relay_start + return_latency + self.spike_extra(relay_start);
             if let Some(rec) = self.tasks.get_mut(&result.task) {
                 rec.state = if result.success {
                     TaskState::Completed
@@ -480,5 +529,66 @@ mod tests {
         // Polling before availability returns nothing.
         assert!(svc.poll_results(finished).is_empty());
         assert_eq!(svc.poll_results(available).len(), 1);
+    }
+
+    #[test]
+    fn partition_holds_back_successes_until_it_heals() {
+        let mut svc = service_with_endpoint(1);
+        let f = inference_fn(&svc);
+        // A long generation (~90 s of decode) so the task is still running
+        // when the partition starts.
+        svc.submit(
+            f,
+            "sophia-endpoint",
+            InferenceRequest::chat(1, MODEL, 100, 2000),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Let the task reach the engine, then partition the endpoint until
+        // long after the decode will have finished.
+        drive(&mut svc, SimTime::from_secs(4));
+        let heal_at = SimTime::from_secs(120);
+        svc.endpoint_mut("sophia-endpoint")
+            .unwrap()
+            .set_offline_until(heal_at);
+        drive(&mut svc, SimTime::from_secs(300));
+        let rec = svc.task(TaskId(1)).unwrap();
+        let result = rec.result.as_ref().unwrap();
+        assert!(result.success);
+        assert!(
+            result.finished_at < heal_at,
+            "decode finished inside the partition"
+        );
+        // The success only reaches the client after the partition heals plus
+        // the normal relay latency.
+        assert!(rec.result_available_at.unwrap() > heal_at);
+    }
+
+    #[test]
+    fn latency_spike_slows_submissions_inside_the_window() {
+        let run = |spike: Option<(SimDuration, SimTime)>| {
+            let mut svc = service_with_endpoint(1);
+            if let Some((extra, until)) = spike {
+                svc.inject_latency_spike(extra, until);
+            }
+            let f = inference_fn(&svc);
+            svc.submit(
+                f,
+                "sophia-endpoint",
+                InferenceRequest::chat(1, MODEL, 100, 50),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            drive(&mut svc, SimTime::from_secs(600));
+            svc.task(TaskId(1)).unwrap().result_available_at.unwrap()
+        };
+        let clean = run(None);
+        let spiked = run(Some((SimDuration::from_secs(2), SimTime::from_secs(300))));
+        // Both the submit hop and the result relay pay the extra 2 s.
+        let delta = (spiked - clean).as_secs_f64();
+        assert!(delta > 3.9, "spike added only {delta}s");
+        // A spike that already ended adds nothing.
+        let expired = run(Some((SimDuration::from_secs(2), SimTime::ZERO)));
+        assert_eq!(expired, clean);
     }
 }

@@ -124,6 +124,7 @@ pub struct VllmEngine {
     waiting: VecDeque<WaitingRequest>,
     running: Vec<RunningSeq>,
     next_step_at: Option<SimTime>,
+    stalled_until: Option<SimTime>,
     completions: Vec<InferenceCompletion>,
     stats: EngineStats,
 }
@@ -141,6 +142,7 @@ impl VllmEngine {
             waiting: VecDeque::new(),
             running: Vec::new(),
             next_step_at: None,
+            stalled_until: None,
             completions: Vec::new(),
             stats: EngineStats::default(),
         }
@@ -173,6 +175,35 @@ impl VllmEngine {
     pub fn is_ready(&self, now: SimTime) -> bool {
         self.state == EngineState::Ready
             || (self.state == EngineState::Loading && now >= self.ready_at)
+    }
+
+    /// Stall the engine until `until` (fault injection: NCCL hang, storage
+    /// stall). No decode step executes inside the window; queued and running
+    /// work resumes afterwards from where it stopped.
+    pub fn stall(&mut self, until: SimTime) {
+        if self
+            .stalled_until
+            .map(|current| until > current)
+            .unwrap_or(true)
+        {
+            self.stalled_until = Some(until);
+        }
+        if let Some(t) = self.next_step_at {
+            self.next_step_at = Some(t.max(until));
+        }
+    }
+
+    /// Instant the current stall ends, if one is active at `now`.
+    pub fn stalled_until(&self, now: SimTime) -> Option<SimTime> {
+        self.stalled_until.filter(|&t| t > now)
+    }
+
+    /// Clamp a prospective step instant to the end of any active stall.
+    fn not_before_stall(&self, t: SimTime) -> SimTime {
+        match self.stalled_until {
+            Some(s) => t.max(s),
+            None => t,
+        }
     }
 
     /// Stop the engine (hot-node release). Outstanding work is dropped.
@@ -232,7 +263,7 @@ impl VllmEngine {
             enqueued_at: now,
         });
         if self.state == EngineState::Ready && self.next_step_at.is_none() {
-            self.next_step_at = Some(now.max(self.ready_at));
+            self.next_step_at = Some(self.not_before_stall(now.max(self.ready_at)));
         }
         true
     }
@@ -327,7 +358,7 @@ impl VllmEngine {
         self.next_step_at = if self.running.is_empty() && self.waiting.is_empty() {
             None
         } else {
-            Some(step_end)
+            Some(self.not_before_stall(step_end))
         };
     }
 
@@ -361,7 +392,7 @@ impl SimProcess for VllmEngine {
                     if now >= self.ready_at {
                         self.state = EngineState::Ready;
                         if !self.waiting.is_empty() || !self.running.is_empty() {
-                            self.next_step_at = Some(self.ready_at);
+                            self.next_step_at = Some(self.not_before_stall(self.ready_at));
                         }
                     } else {
                         return;
@@ -581,5 +612,42 @@ mod tests {
         // A new request wakes it up again.
         engine.enqueue(InferenceRequest::chat(2, "llama-8b", 100, 20), now);
         assert!(SimProcess::next_event_time(&engine).is_some());
+    }
+
+    #[test]
+    fn stall_pauses_decode_and_resumes_afterwards() {
+        let mut engine = VllmEngine::hot(config8(), SimTime::ZERO);
+        engine.enqueue(
+            InferenceRequest::chat(1, "llama-8b", 100, 50),
+            SimTime::ZERO,
+        );
+        let stall_end = SimTime::from_secs(120);
+        engine.stall(stall_end);
+        assert_eq!(engine.stalled_until(SimTime::ZERO), Some(stall_end));
+        // No decode step is scheduled before the stall ends.
+        assert_eq!(SimProcess::next_event_time(&engine), Some(stall_end));
+        engine.advance(SimTime::from_secs(60));
+        assert!(engine.take_completions().is_empty());
+        // After the stall the request completes normally.
+        let mut now = stall_end;
+        while let Some(t) = SimProcess::next_event_time(&engine) {
+            now = t;
+            engine.advance(now);
+            if engine.is_idle() {
+                break;
+            }
+        }
+        let done = engine.take_completions();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].finished_at > stall_end);
+        assert_eq!(engine.stalled_until(now), None);
+        // A request enqueued during a stall also waits for it.
+        let mut engine = VllmEngine::hot(config8(), SimTime::ZERO);
+        engine.stall(stall_end);
+        engine.enqueue(
+            InferenceRequest::chat(2, "llama-8b", 100, 20),
+            SimTime::from_secs(10),
+        );
+        assert_eq!(SimProcess::next_event_time(&engine), Some(stall_end));
     }
 }

@@ -65,6 +65,9 @@ pub struct QueueRow {
     pub running_tasks: u64,
     /// Tasks completed so far.
     pub completed_tasks: u64,
+    /// Endpoint health ("healthy", "degraded", "unavailable"; empty when the
+    /// deployment does not track health).
+    pub health: String,
 }
 
 /// A complete dashboard snapshot.
@@ -88,6 +91,14 @@ pub struct DashboardSnapshot {
     pub total_output_tokens: u64,
     /// Distinct users seen so far.
     pub distinct_users: u64,
+    /// Retries of failed idempotent requests (resilience layer).
+    pub total_retries: u64,
+    /// Requests failed over to a different endpoint.
+    pub total_failovers: u64,
+    /// Circuit-breaker trips across all endpoints.
+    pub breaker_trips: u64,
+    /// Hedged (duplicated) requests issued for slow in-flight calls.
+    pub total_hedges: u64,
 }
 
 impl DashboardSnapshot {
@@ -166,16 +177,21 @@ impl DashboardSnapshot {
         let _ = writeln!(out, "-- queues --");
         let _ = writeln!(
             out,
-            "{:<24} {:>8} {:>8} {:>10}",
-            "endpoint", "queued", "running", "completed"
+            "{:<24} {:>8} {:>8} {:>10} {:>12}",
+            "endpoint", "queued", "running", "completed", "health"
         );
         for q in &self.queues {
             let _ = writeln!(
                 out,
-                "{:<24} {:>8} {:>8} {:>10}",
-                q.endpoint, q.queued_tasks, q.running_tasks, q.completed_tasks
+                "{:<24} {:>8} {:>8} {:>10} {:>12}",
+                q.endpoint, q.queued_tasks, q.running_tasks, q.completed_tasks, q.health
             );
         }
+        let _ = writeln!(
+            out,
+            "-- resilience -- retries={} failovers={} breaker_trips={} hedges={}",
+            self.total_retries, self.total_failovers, self.breaker_trips, self.total_hedges
+        );
         out
     }
 }
@@ -215,12 +231,17 @@ mod tests {
                 queued_tasks: 8000,
                 running_tasks: 12,
                 completed_tasks: 42_000,
+                health: "degraded".into(),
             }],
             total_requests: 1000,
             total_completed: 950,
             total_failed: 50,
             total_output_tokens: 90_000,
             distinct_users: 76,
+            total_retries: 40,
+            total_failovers: 12,
+            breaker_trips: 2,
+            total_hedges: 5,
         }
     }
 
@@ -255,5 +276,7 @@ mod tests {
         assert!(text.contains("8000"));
         assert!(text.contains("users=76"));
         assert!(text.contains("25.0%"));
+        assert!(text.contains("degraded"));
+        assert!(text.contains("retries=40 failovers=12 breaker_trips=2 hedges=5"));
     }
 }

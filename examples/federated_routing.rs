@@ -62,7 +62,12 @@ fn main() {
     // Scenario 3: Sophia is fully occupied by other jobs and the model went
     // cold there — the federation layer fails over to Polaris, which has idle
     // nodes.
-    let t3 = r2.finished_at + SimDuration::from_hours(3); // idle timeout released Sophia's node
+    // Three hours later the idle timeout has released Sophia's node. Bring
+    // the deployment up to t3 first so the release has actually happened by
+    // the time the router inspects Sophia (otherwise it still sees the stale
+    // hot instance and pins the request to a cluster about to be saturated).
+    let t3 = r2.finished_at + SimDuration::from_hours(3);
+    gateway.advance(t3);
     {
         let sophia = gateway
             .service_mut()

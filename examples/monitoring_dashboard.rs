@@ -1,25 +1,54 @@
 //! Monitoring dashboard (§3.1.1, §7): run a burst of traffic through a
 //! federated deployment, then render the operations dashboard, export the
-//! metric registry in Prometheus text format, and evaluate the default alert
-//! pack — the view an administrator has of a live FIRST installation.
+//! metric registry in Prometheus text format, and evaluate the alert pack —
+//! the view an administrator has of a live FIRST installation.
 //!
 //! Run with: `cargo run --release --example monitoring_dashboard`
+//!
+//! Set `FIRST_DEMO_FAULTS=1` to activate a fault plan (a Sophia endpoint
+//! outage mid-run): the health column degrades, the resilience counters move,
+//! and the sustained-unavailability alert fires. Without the variable the
+//! same rules stay silent.
 
-use first::core::{ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest, Gateway};
-use first::desim::{SimProcess, SimTime};
+use first::chaos::{FaultInjector, FaultKind, FaultPlan, ResilienceConfig};
+use first::core::{ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest};
+use first::desim::{SimDuration, SimProcess, SimTime};
 use first::telemetry::render_prometheus;
 
 const CHAT_MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 const SMALL_MODEL: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
 
 fn main() {
-    // The paper's federated proof of concept: Sophia plus Polaris.
+    let chaos_active = std::env::var("FIRST_DEMO_FAULTS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+
+    // The paper's federated proof of concept: Sophia plus Polaris, hardened
+    // with the production resilience profile.
     let (mut gateway, tokens) = DeploymentBuilder::federated_sophia_polaris()
         .prewarm(1)
+        .resilience(ResilienceConfig::production())
         .build_with_tokens();
 
+    // With FIRST_DEMO_FAULTS set, the Sophia endpoint drops off the network
+    // for 90 s in the middle of the run.
+    let plan = if chaos_active {
+        FaultPlan::none().with(
+            SimTime::from_secs(60),
+            FaultKind::EndpointFlap {
+                endpoint: "sophia-endpoint".to_string(),
+                down_for: SimDuration::from_secs(90),
+            },
+        )
+    } else {
+        FaultPlan::none()
+    };
+    let mut injector = FaultInjector::new(plan);
+
     // A mixed interactive workload: two users, two chat models, a few
-    // embedding calls, arriving over five simulated minutes.
+    // embedding calls, arriving over five simulated minutes. The embedding
+    // model is hosted on Sophia only, so during the outage those calls have
+    // nowhere to fail over to.
     for i in 0..40u64 {
         let (model, output) = if i % 3 == 0 {
             (SMALL_MODEL, 120)
@@ -45,15 +74,25 @@ fn main() {
             model: "nvidia/NV-Embed-v2".to_string(),
             input: vec![format!("hpc manual chunk {i}")],
         };
-        // The embedding model is hosted on the Sophia endpoint only.
-        let _ = gateway.embeddings(&request, &tokens.alice, SimTime::from_secs(30 + i * 11));
+        let _ = gateway.embeddings(&request, &tokens.alice, SimTime::from_secs(70 + i * 11));
     }
 
-    // Drive the deployment until everything has been answered.
+    // Drive the deployment until everything has been answered, scraping the
+    // metric registry and evaluating the alert pack every ~10 s as the
+    // facility monitoring stack would.
+    let mut alerting = gateway.alerting();
+    let mut fired = Vec::new();
     let mut now = SimTime::ZERO;
-    while let Some(t) = SimProcess::next_event_time(&gateway) {
-        now = t.max(now);
+    let mut next_scrape = SimTime::ZERO;
+    while let Some(step) = injector.next_event_merged(&gateway) {
+        now = now.max(step);
+        injector.apply_due(gateway.service_mut(), now);
         gateway.advance(now);
+        if now >= next_scrape {
+            let registry = gateway.export_metrics(now);
+            fired.extend(alerting.evaluate(&registry, now));
+            next_scrape = now + SimDuration::from_secs(10);
+        }
         if gateway.is_drained() {
             break;
         }
@@ -85,21 +124,34 @@ fn main() {
     }
     println!("... ({} lines total)", exposition.lines().count());
 
-    // 3. The default alert pack.
-    let mut alerting = Gateway::default_alerting();
-    let fired = alerting.evaluate(&registry, now);
+    // 3. The alert pack: the default rules plus one sustained-unavailability
+    // rule per endpoint. Quiet on a healthy run; the endpoint rule fires when
+    // the fault plan is active.
     println!("\n== alerts ==");
     if fired.is_empty() {
         println!(
-            "all {} rules quiet — deployment healthy",
-            alerting.rule_count()
+            "all {} rules quiet — deployment healthy{}",
+            alerting.rule_count(),
+            if chaos_active {
+                " (unexpected with FIRST_DEMO_FAULTS set)"
+            } else {
+                " (set FIRST_DEMO_FAULTS=1 to watch the outage alert fire)"
+            }
         );
     } else {
-        for alert in fired {
+        for alert in &fired {
             println!(
-                "{:?}: {} (value {:.0})",
-                alert.severity, alert.rule, alert.value
+                "t={:>5.1}s  {:?}: {} (value {:.0})",
+                alert.fired_at.as_secs_f64(),
+                alert.severity,
+                alert.rule,
+                alert.value
             );
         }
     }
+    assert_eq!(
+        chaos_active,
+        !fired.is_empty(),
+        "alerts fire exactly when the fault plan is active"
+    );
 }

@@ -6,6 +6,8 @@
 //!
 //! * [`desim`] — deterministic discrete-event simulation kernel.
 //! * [`auth`] — Globus-Auth-style identity, token, group and policy service.
+//! * [`chaos`] — deterministic fault injection and resilience primitives
+//!   (fault plans, health tracking, retries, circuit breaker).
 //! * [`hpc`] — GPU cluster substrate with a PBS-like batch scheduler.
 //! * [`serving`] — model catalog, performance model, continuous-batching
 //!   engine, frontends, offline batch runner and the OpenAI-cloud comparator.
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub use first_auth as auth;
+pub use first_chaos as chaos;
 pub use first_core as core;
 pub use first_desim as desim;
 pub use first_fabric as fabric;
