@@ -10,10 +10,10 @@
 
 use first_bench::{
     arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_reports,
-    sharegpt_samples,
+    print_sim_stats, sharegpt_samples, BenchArtifact, GateMetric,
 };
 use first_core::{run_gateway_openloop, DeploymentBuilder, RoutingPolicy, ScenarioReport};
-use first_desim::SimTime;
+use first_desim::{SimMeter, SimTime};
 use first_workload::ArrivalProcess;
 use std::collections::BTreeMap;
 
@@ -58,12 +58,16 @@ fn run_policy(policy: RoutingPolicy, n: usize) -> PolicyOutcome {
 
 fn main() {
     let n = benchmark_request_count();
+    let meter = SimMeter::start();
     let outcomes: Vec<(RoutingPolicy, PolicyOutcome)> = RoutingPolicy::all()
         .into_iter()
         .map(|p| (p, run_policy(p, n)))
         .collect();
 
     let reports: Vec<ScenarioReport> = outcomes.iter().map(|(_, o)| o.report.clone()).collect();
+    let sim = meter.finish(SimTime::from_secs_f64(
+        reports.iter().map(|r| r.duration_s).sum(),
+    ));
     print_reports(
         "Federation-policy ablation — Llama 3.3 70B, Sophia+Polaris, infinite rate",
         &reports,
@@ -93,4 +97,20 @@ fn main() {
          load-aware policies spread the same workload across both clusters, which is the\n\
          behaviour §7's \"improve scheduling for resource optimization\" asks for."
     );
+
+    let mut artifact = BenchArtifact::new("ablation_federation")
+        .with_scenarios(&reports)
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    for (policy, outcome) in &outcomes {
+        for (endpoint, count) in &outcome.per_endpoint {
+            artifact = artifact.with_metric(GateMetric::higher(
+                &format!("requests_{}_{}", policy.label(), endpoint),
+                *count as f64,
+                0.02,
+            ));
+        }
+    }
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -5,13 +5,13 @@
 //! >8000 tasks queued at Globus once the API stopped being the bottleneck.
 
 use first_bench::{
-    arrival_seed, arrivals, benchmark_seed, print_comparisons, print_reports, sharegpt_samples,
-    Comparison,
+    arrival_seed, arrivals, benchmark_seed, print_comparisons, print_reports, print_sim_stats,
+    sharegpt_samples, BenchArtifact, Comparison, GateMetric,
 };
 use first_core::{
     run_gateway_openloop, DeploymentBuilder, GatewayConfig, ScenarioReport, WorkerPoolConfig,
 };
-use first_desim::SimTime;
+use first_desim::{SimMeter, SimTime};
 use first_fabric::ClientConfig;
 use first_workload::{ArrivalProcess, SustainedLoad};
 
@@ -44,6 +44,7 @@ fn run_config(
 
 fn main() {
     let n = 400;
+    let meter = SimMeter::start();
 
     // Optimization 1: polling vs futures result retrieval.
     let futures_cfg = GatewayConfig::default();
@@ -111,8 +112,9 @@ fn main() {
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
         .prewarm(1)
         .build_with_tokens();
-    // Only drive the 300 s injection window: we care about queueing, not drain.
-    let horizon = SimTime::from_secs(310);
+    // Only drive the 300 s injection window (plus drain slack): we care
+    // about queueing, not drain.
+    let artillery_horizon = SimTime::from_secs(310);
     let _ = run_gateway_openloop(
         &mut gateway,
         &tokens.alice,
@@ -120,7 +122,7 @@ fn main() {
         &samples,
         &arr,
         "100",
-        horizon,
+        artillery_horizon,
     );
     let peak_queue = gateway.service().stats().peak_queue_depth;
     println!("\n== Artillery sustained load (100 req/s x 300 s) ==");
@@ -134,4 +136,34 @@ fn main() {
             peak_queue as f64,
         )],
     );
+
+    let all_reports: Vec<ScenarioReport> = reports_low
+        .iter()
+        .chain(reports_sat.iter())
+        .cloned()
+        .collect();
+    let sim = meter.finish(SimTime::from_secs_f64(
+        all_reports.iter().map(|r| r.duration_s).sum::<f64>() + artillery_horizon.as_secs_f64(),
+    ));
+    // This binary pins its own request counts (the paper's ablation sizes),
+    // so record the saturation count rather than the FIRST_BENCH_REQUESTS
+    // default BenchArtifact::new would stamp.
+    let mut artifact = BenchArtifact::new("ablation_optimizations");
+    artifact.requests = n;
+    let artifact = artifact
+        .with_scenarios(&all_reports)
+        .with_metric(GateMetric::higher(
+            "async_vs_sync_throughput_x",
+            reports_sat[0].request_throughput / reports_sat[1].request_throughput.max(1e-9),
+            0.02,
+        ))
+        .with_metric(GateMetric::higher(
+            "artillery_peak_queue_depth",
+            peak_queue as f64,
+            0.02,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

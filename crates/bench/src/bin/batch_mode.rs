@@ -2,7 +2,11 @@
 //! as a dedicated offline job (paper: ≈2117 tok/s, ≈409 s), plus the
 //! amortisation study showing cold-start cost fading for larger batches.
 
-use first_bench::{benchmark_request_count, print_comparisons, Comparison};
+use first_bench::{
+    benchmark_request_count, print_comparisons, print_sim_stats, BenchArtifact, Comparison,
+    GateMetric,
+};
+use first_desim::{SimMeter, SimTime};
 use first_hpc::GpuModel;
 use first_serving::{find_model, run_offline_batch, EngineConfig, InferenceRequest};
 use first_workload::ShareGptGenerator;
@@ -21,6 +25,7 @@ fn main() {
     let cfg = EngineConfig::for_model(model.clone(), GpuModel::A100_40);
 
     let n = benchmark_request_count();
+    let meter = SimMeter::start();
     let report = run_offline_batch(cfg.clone(), requests(n, &model.name));
     println!(
         "== Batch mode — {} requests, Llama 3.3 70B ==",
@@ -55,8 +60,10 @@ fn main() {
         "{:>9} {:>12} {:>14} {:>16}",
         "requests", "total (s)", "overall tok/s", "load fraction %"
     );
+    let mut sim_secs = report.total_duration.as_secs_f64();
     for size in [100usize, 500, 1000, 5000, 10_000] {
         let r = run_offline_batch(cfg.clone(), requests(size, &model.name));
+        sim_secs += r.total_duration.as_secs_f64();
         println!(
             "{:>9} {:>12.1} {:>14.1} {:>16.1}",
             size,
@@ -69,4 +76,24 @@ fn main() {
         "\nShape check: for batches beyond ~10 000 requests the model-load cost is\n\
          amortised away and overall throughput approaches the steady-state rate (§5.3.1)."
     );
+
+    let sim = meter.finish(SimTime::from_secs_f64(sim_secs));
+    let artifact = BenchArtifact::new("batch_mode")
+        .with_comparisons(&[
+            Comparison::new("overall_tok_per_s", 2117.0, report.overall_tokens_per_sec),
+            Comparison::new(
+                "total_duration_s",
+                409.0,
+                report.total_duration.as_secs_f64(),
+            ),
+        ])
+        .with_metric(GateMetric::higher(
+            "overall_tok_per_s",
+            report.overall_tokens_per_sec,
+            0.02,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -1,12 +1,15 @@
 //! Cold start and model availability (§4.3): queue wait + weight-load time by
 //! model size, and the `/jobs` states a user observes while a model spins up.
 
+use first_bench::{print_sim_stats, BenchArtifact, GateMetric};
 use first_core::{ChatCompletionRequest, DeploymentBuilder};
-use first_desim::{SimProcess, SimTime};
+use first_desim::{SimMeter, SimProcess, SimTime};
 use first_hpc::GpuModel;
 use first_serving::{find_model, EngineConfig};
 
 fn main() {
+    let meter = SimMeter::start();
+    let mut artifact = BenchArtifact::new("cold_start");
     println!("== Cold-start model: weight load + engine start by model size ==");
     println!(
         "{:<44} {:>8} {:>6} {:>14}",
@@ -23,13 +26,17 @@ fn main() {
     ] {
         let spec = find_model(name).expect("catalog model");
         let cfg = EngineConfig::for_model(spec.clone(), GpuModel::A100_40);
+        let cold = cfg.cold_start_time().as_secs_f64();
         println!(
             "{:<44} {:>8} {:>6} {:>14.1}",
-            spec.name,
-            cfg.gpus_total,
-            cfg.nodes,
-            cfg.cold_start_time().as_secs_f64()
+            spec.name, cfg.gpus_total, cfg.nodes, cold
         );
+        let short = name.rsplit('/').next().unwrap_or(name);
+        artifact = artifact.with_metric(GateMetric::lower(
+            &format!("cold_start_s_{short}"),
+            cold,
+            0.02,
+        ));
     }
     println!(
         "\nShape check: an 8B model loads in well under two minutes while the 405B\n\
@@ -49,8 +56,10 @@ fn main() {
         "t (s)", "state", "running", "starting", "queued"
     );
     let mut printed_done = false;
+    let mut driven_to = SimTime::ZERO;
     for t in [1u64, 10, 30, 60, 90, 120, 150, 200, 300, 600] {
         gateway.advance(SimTime::from_secs(t));
+        driven_to = SimTime::from_secs(t);
         let jobs = gateway.jobs_status();
         let entry = jobs.iter().find(|j| j.model == model).expect("registered");
         println!(
@@ -71,5 +80,18 @@ fn main() {
             "\nfirst response returned after {:.1} s (cold start dominated)",
             r.latency().as_secs_f64()
         );
+        artifact = artifact.with_metric(GateMetric::lower(
+            "cold_first_response_s",
+            r.latency().as_secs_f64(),
+            0.02,
+        ));
     }
+
+    // The /jobs lifecycle drive is the only simulated span in this binary.
+    let sim = meter.finish(driven_to);
+    let artifact = artifact
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -3,15 +3,16 @@
 //! played through the gateway's accounting layer to reproduce the dashboard
 //! aggregates the paper reports.
 
-use first_bench::{print_comparisons, Comparison};
+use first_bench::{print_comparisons, print_sim_stats, BenchArtifact, Comparison, GateMetric};
 use first_core::{RequestLog, RequestLogEntry, Usage};
-use first_desim::SimDuration;
+use first_desim::{SimDuration, SimMeter, SimTime};
 use first_serving::catalog;
 use first_workload::{generate_trace, DeploymentTraceConfig, TraceEntryKind};
 
 fn main() {
     let config = DeploymentTraceConfig::default();
     let scale = config.scale_down as f64;
+    let meter = SimMeter::start();
     let trace = generate_trace(&config, 2024);
     println!(
         "replaying a 1/{} scale trace: {} requests ({} interactive, {} batch members)",
@@ -45,34 +46,37 @@ fn main() {
     let (interactive, batch) = log.interactive_batch_split();
     let users = log.distinct_users();
     let tokens = log.entries().iter().map(|e| e.total_tokens()).sum::<u64>();
+    let trace_span = trace
+        .entries
+        .last()
+        .map(|e| e.at.as_secs_f64())
+        .unwrap_or(0.0);
     println!("\n== dashboard aggregates (scaled back up by {scale}) ==");
-    print_comparisons(
-        "Deployment totals",
-        &[
-            Comparison::new(
-                "inference tasks (millions)",
-                8.7,
-                (log.len() as f64 * scale) / 1e6,
-            ),
-            Comparison::new(
-                "interactive tasks (millions)",
-                4.1,
-                (interactive as f64 * scale) / 1e6,
-            ),
-            Comparison::new(
-                "batched tasks (millions)",
-                4.6,
-                (batch as f64 * scale) / 1e6,
-            ),
-            Comparison::new("distinct users", 76.0, users as f64),
-            Comparison::new(
-                "total tokens (billions)",
-                10.0,
-                (tokens as f64 * scale) / 1e9,
-            ),
-            Comparison::new("batch jobs", 49.0, trace.batch_jobs as f64),
-        ],
-    );
+    let totals = vec![
+        Comparison::new(
+            "inference tasks (millions)",
+            8.7,
+            (log.len() as f64 * scale) / 1e6,
+        ),
+        Comparison::new(
+            "interactive tasks (millions)",
+            4.1,
+            (interactive as f64 * scale) / 1e6,
+        ),
+        Comparison::new(
+            "batched tasks (millions)",
+            4.6,
+            (batch as f64 * scale) / 1e6,
+        ),
+        Comparison::new("distinct users", 76.0, users as f64),
+        Comparison::new(
+            "total tokens (billions)",
+            10.0,
+            (tokens as f64 * scale) / 1e9,
+        ),
+        Comparison::new("batch jobs", 49.0, trace.batch_jobs as f64),
+    ];
+    print_comparisons("Deployment totals", &totals);
 
     println!("\ntop models by requests:");
     let mut by_model: Vec<_> = log.usage_by_model().into_iter().collect();
@@ -89,4 +93,17 @@ fn main() {
     for (user, summary) in by_user.into_iter().take(5) {
         println!("  {:<12} {:>8} requests", user, summary.requests);
     }
+
+    let sim = meter.finish(SimTime::from_secs_f64(trace_span));
+    let artifact = BenchArtifact::new("deployment_replay")
+        .with_comparisons(&totals)
+        .with_metric(GateMetric::higher(
+            "trace_requests",
+            log.len() as f64,
+            0.001,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -6,10 +6,10 @@
 
 use first_bench::{
     arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
-    print_reports, sharegpt_samples, Comparison,
+    print_reports, print_sim_stats, sharegpt_samples, BenchArtifact, Comparison, GateMetric,
 };
 use first_core::{run_direct_openloop, run_gateway_openloop, DeploymentBuilder, ScenarioReport};
-use first_desim::SimTime;
+use first_desim::{SimMeter, SimTime};
 use first_hpc::GpuModel;
 use first_serving::{find_model, EngineConfig};
 use first_workload::ArrivalProcess;
@@ -20,6 +20,7 @@ fn main() {
     let n = benchmark_request_count();
     let samples = sharegpt_samples(n, benchmark_seed());
     let horizon = SimTime::from_secs(24 * 3600);
+    let meter = SimMeter::start();
     let rates = [
         ArrivalProcess::FixedRate(1.0),
         ArrivalProcess::FixedRate(5.0),
@@ -59,6 +60,13 @@ fn main() {
             horizon,
         ));
     }
+
+    let sim_secs: f64 = first_reports
+        .iter()
+        .chain(direct_reports.iter())
+        .map(|r| r.duration_s)
+        .sum();
+    let sim = meter.finish(SimTime::from_secs_f64(sim_secs));
 
     print_reports(
         "Figure 3 — FIRST (Llama 3.3 70B, 1 instance)",
@@ -107,4 +115,41 @@ fn main() {
             ),
         ],
     );
+
+    let comparisons = vec![
+        Comparison::new(
+            "first_median_latency_at_1_s",
+            9.2,
+            first_low.median_latency_s,
+        ),
+        Comparison::new("first_req_per_s_at_inf", 9.2, first_inf.request_throughput),
+        Comparison::new(
+            "first_tok_per_s_at_inf",
+            1677.0,
+            first_inf.output_token_throughput,
+        ),
+    ];
+    let artifact = BenchArtifact::new("fig3_rate_sweep")
+        .with_scenarios(&first_reports)
+        .with_scenarios(&direct_reports)
+        .with_comparisons(&comparisons)
+        .with_metric(GateMetric::higher(
+            "first_req_per_s_at_inf",
+            first_inf.request_throughput,
+            0.02,
+        ))
+        .with_metric(GateMetric::lower(
+            "first_median_latency_at_inf_s",
+            first_inf.median_latency_s,
+            0.02,
+        ))
+        .with_metric(GateMetric::lower(
+            "sim_events_processed",
+            sim.events_processed as f64,
+            0.10,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

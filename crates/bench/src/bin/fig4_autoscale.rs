@@ -3,12 +3,12 @@
 
 use first_bench::{
     arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
-    print_reports, sharegpt_samples, Comparison,
+    print_reports, print_sim_stats, sharegpt_samples, BenchArtifact, Comparison, GateMetric,
 };
 use first_core::{
     run_gateway_openloop, ClusterSite, DeploymentBuilder, HostedModel, ScenarioReport,
 };
-use first_desim::SimTime;
+use first_desim::{SimMeter, SimTime};
 use first_hpc::{Cluster, GpuModel};
 use first_workload::ArrivalProcess;
 
@@ -40,7 +40,11 @@ fn run_with_instances(instances: u32, n: usize) -> ScenarioReport {
 
 fn main() {
     let n = benchmark_request_count();
+    let meter = SimMeter::start();
     let reports: Vec<ScenarioReport> = (1..=4).map(|i| run_with_instances(i, n)).collect();
+    let sim = meter.finish(SimTime::from_secs_f64(
+        reports.iter().map(|r| r.duration_s).sum(),
+    ));
     print_reports(
         "Figure 4 — auto-scaling, Llama 3.3 70B, infinite rate",
         &reports,
@@ -89,4 +93,17 @@ fn main() {
         reports[3].output_token_throughput / base,
     ));
     print_comparisons("Figure 4 headline points", &rows);
+
+    let artifact = BenchArtifact::new("fig4_autoscale")
+        .with_scenarios(&reports)
+        .with_comparisons(&rows)
+        .with_metric(GateMetric::higher(
+            "scaling_at_4_instances_x",
+            reports[3].output_token_throughput / base,
+            0.02,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -3,10 +3,10 @@
 
 use first_bench::{
     arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
-    print_reports, sharegpt_samples, Comparison,
+    print_reports, print_sim_stats, sharegpt_samples, BenchArtifact, Comparison, GateMetric,
 };
 use first_core::{run_gateway_openloop, run_openai_openloop, DeploymentBuilder};
-use first_desim::SimTime;
+use first_desim::{SimMeter, SimTime};
 use first_serving::CloudApiConfig;
 use first_workload::ArrivalProcess;
 
@@ -17,6 +17,7 @@ fn main() {
     let samples = sharegpt_samples(n, benchmark_seed());
     let arr = arrivals(ArrivalProcess::Infinite, n, arrival_seed());
     let horizon = SimTime::from_secs(24 * 3600);
+    let meter = SimMeter::start();
 
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
         .prewarm(1)
@@ -34,6 +35,7 @@ fn main() {
 
     let mut openai = run_openai_openloop(CloudApiConfig::default(), &samples, &arr, "inf", horizon);
     openai.label = "OpenAI (GPT-4o-mini)".to_string();
+    let sim = meter.finish(SimTime::from_secs_f64(first.duration_s + openai.duration_s));
 
     print_reports(
         "Figure 5 — FIRST vs OpenAI API",
@@ -50,4 +52,16 @@ fn main() {
             Comparison::new("OpenAI median latency (s)", 2.0, openai.median_latency_s),
         ],
     );
+
+    let artifact = BenchArtifact::new("fig5_openai_compare")
+        .with_scenarios(&[first.clone(), openai.clone()])
+        .with_metric(GateMetric::higher(
+            "first_req_per_s",
+            first.request_throughput,
+            0.02,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -11,10 +11,13 @@
 //! function of `FIRST_BENCH_SEED`, so the same seed reproduces identical
 //! numbers across runs.
 
-use first_bench::{arrival_seed, arrivals, benchmark_request_count, benchmark_seed};
+use first_bench::{
+    arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_sim_stats,
+    BenchArtifact, GateMetric,
+};
 use first_chaos::{FaultInjector, FaultKind, FaultPlan, ResilienceConfig};
 use first_core::{run_resilience_openloop, DeploymentBuilder, ResilienceReport};
-use first_desim::{SimDuration, SimTime};
+use first_desim::{SimDuration, SimMeter, SimTime};
 use first_workload::ArrivalProcess;
 
 const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
@@ -105,6 +108,7 @@ fn main() {
     let n = benchmark_request_count();
     let seed = benchmark_seed();
     let run_secs = n as f64 / RATE;
+    let meter = SimMeter::start();
 
     let mut reports: Vec<ResilienceReport> = Vec::new();
     for (label, plan) in scenarios(seed, run_secs) {
@@ -153,4 +157,25 @@ fn main() {
         }
     );
     assert!(identical, "same seed must reproduce identical numbers");
+
+    let sim = meter.finish(SimTime::from_secs_f64(
+        reports.iter().map(|r| r.duration_s).sum::<f64>() + again.duration_s,
+    ));
+    let outage = &reports[reports.len() - 1];
+    let artifact = BenchArtifact::new("resilience_sweep")
+        .with_resilience(&reports)
+        .with_metric(GateMetric::higher(
+            "outage_availability",
+            outage.availability,
+            0.02,
+        ))
+        .with_metric(GateMetric::higher(
+            "outage_goodput_retained",
+            outage.goodput_retained(&baseline),
+            0.02,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -1,7 +1,9 @@
 //! Table 1: WebUI benchmark — token and request throughput per model at
 //! concurrency levels {50, 100, 300, 500, 700} over 60 s and 120 s windows.
 
+use first_bench::{print_sim_stats, BenchArtifact, GateMetric};
 use first_core::{run_webui_closed_loop, DeploymentBuilder, WebUiCell, DEFAULT_WEBUI_OVERHEAD};
+use first_desim::{SimMeter, SimTime};
 use first_workload::SessionWorkloadConfig;
 
 const MODELS: [(&str, &str); 3] = [
@@ -63,6 +65,8 @@ fn cell(model: &str, concurrency: usize, duration: u64, seed: u64) -> WebUiCell 
 
 fn main() {
     let concurrencies = [50usize, 100, 300, 500, 700];
+    let meter = SimMeter::start();
+    let mut cells: Vec<WebUiCell> = Vec::new();
     println!("== Table 1 — WebUI benchmark results per model ==");
     println!(
         "{:<16} {:>6} | {:>10} {:>8} | {:>10} {:>8} || paper 60s TP/s, Req/s | paper 120s TP/s, Req/s",
@@ -104,6 +108,8 @@ fn main() {
                 p120t,
                 p120r
             );
+            cells.push(c60);
+            cells.push(c120);
         }
     }
     println!(
@@ -111,4 +117,19 @@ fn main() {
          backend saturation point; 60 s windows yield somewhat higher throughput than\n\
          120 s windows (§5.3.4)."
     );
+
+    let sim = meter.finish(SimTime::from_secs_f64(
+        cells.iter().map(|c| c.duration_s).sum(),
+    ));
+    let top = cells
+        .iter()
+        .map(|c| c.token_throughput)
+        .fold(0.0f64, f64::max);
+    let artifact = BenchArtifact::new("table1_webui")
+        .with_webui(&cells)
+        .with_metric(GateMetric::higher("peak_webui_tok_per_s", top, 0.02))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
 }

@@ -4,13 +4,26 @@
 //! `cargo run -p first-bench --release --bin <name>`), plus shared helpers
 //! for building workloads and printing paper-vs-measured comparisons. The
 //! Criterion micro-benchmarks live in `benches/`.
+//!
+//! Every binary also emits a schema-versioned `BENCH_<name>.json` artifact
+//! (see [`report`]) recording its tables plus the kernel measurement of the
+//! run (wall-clock time, events processed, peak queue depth); the `perf_gate`
+//! binary replays a fast scenario subset and fails when those numbers regress
+//! against the baselines committed under `bench/baselines/`.
 
 #![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{
+    artifact_out_dir, baseline_dir, gate_compare, print_sim_stats, BenchArtifact, GateCheck,
+    GateMetric, GateResult, SCHEMA_VERSION,
+};
 
 use first_core::ScenarioReport;
 use first_desim::{SimRng, SimTime};
 use first_workload::{ArrivalProcess, ConversationSample, ShareGptGenerator};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Number of requests used by the open-loop benchmarks (the paper uses 1000;
 /// override with the `FIRST_BENCH_REQUESTS` environment variable).
@@ -51,7 +64,7 @@ pub fn arrivals(process: ArrivalProcess, n: usize, seed: u64) -> Vec<SimTime> {
 }
 
 /// A paper-vs-measured comparison row printed by every harness binary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Comparison {
     /// Metric name.
     pub metric: String,

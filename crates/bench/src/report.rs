@@ -1,0 +1,506 @@
+//! Machine-readable benchmark artifacts and the perf-regression gate logic.
+//!
+//! Every bench binary serializes its results into a schema-versioned
+//! `BENCH_<name>.json` artifact (see [`BenchArtifact`]): the scenario /
+//! resilience / WebUI tables it already prints, the paper-vs-measured
+//! comparisons, a flat list of [`GateMetric`]s, and the kernel measurement of
+//! the run itself ([`SimRunStats`]: wall-clock time, events processed, peak
+//! queue depth). CI uploads the artifacts and the `perf_gate` binary compares
+//! a fast scenario subset against the baselines committed under
+//! `bench/baselines/`, failing the build on regression.
+
+use crate::Comparison;
+use first_core::{ResilienceReport, ScenarioReport, WebUiCell};
+use first_desim::SimRunStats;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version stamp written into every artifact. Bump when a field changes
+/// meaning or is removed; adding fields is backward compatible.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One gated metric: a named scalar plus the tolerance band the perf gate
+/// applies when comparing a fresh run against the committed baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateMetric {
+    /// Metric name, unique within an artifact.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Fractional tolerance band: the gate fails when the current value is
+    /// worse than `baseline * (1 ± tolerance)` in the bad direction.
+    /// Deterministic simulation metrics carry tight bands (~2%); wall-clock
+    /// metrics carry wide ones so machine-to-machine noise passes while a
+    /// genuine blow-up still trips.
+    pub tolerance: f64,
+    /// Whether larger values are better (throughput) or worse (latency,
+    /// wall-clock time, event counts).
+    pub higher_is_better: bool,
+    /// Absolute no-fail floor for lower-is-better metrics: a current value
+    /// at or below the floor never regresses, whatever the ratio says.
+    /// Committed wall-clock baselines are few-millisecond readings from one
+    /// machine — scheduling noise on a shared CI runner can multiply such a
+    /// section several-fold, so the floor (e.g. 0.25 s) keeps the gate quiet
+    /// until a slowdown is large in absolute terms too. 0 disables it.
+    pub floor: f64,
+}
+
+impl GateMetric {
+    /// A metric where **higher** values are better (throughput).
+    pub fn higher(name: &str, value: f64, tolerance: f64) -> Self {
+        GateMetric {
+            name: name.to_string(),
+            value,
+            tolerance,
+            higher_is_better: true,
+            floor: 0.0,
+        }
+    }
+
+    /// A metric where **lower** values are better (latency, wall time).
+    pub fn lower(name: &str, value: f64, tolerance: f64) -> Self {
+        GateMetric {
+            name: name.to_string(),
+            value,
+            tolerance,
+            higher_is_better: false,
+            floor: 0.0,
+        }
+    }
+
+    /// Set the absolute no-fail floor (lower-is-better metrics only).
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Whether `current` regresses against this baseline value beyond the
+    /// baseline's tolerance band (and, for lower-is-better metrics, above
+    /// the baseline's absolute floor).
+    pub fn regressed_by(&self, current: f64) -> bool {
+        if self.higher_is_better {
+            current < self.value * (1.0 - self.tolerance)
+        } else {
+            current > self.value * (1.0 + self.tolerance) && current > self.floor
+        }
+    }
+}
+
+/// The schema-versioned content of one `BENCH_<name>.json` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Benchmark name (the binary name; the file is `BENCH_<name>.json`).
+    pub name: String,
+    /// Base RNG seed the run used (`FIRST_BENCH_SEED`).
+    pub seed: u64,
+    /// Request count the run used (`FIRST_BENCH_REQUESTS`).
+    pub requests: usize,
+    /// Kernel measurement of the whole run: wall-clock seconds, virtual
+    /// seconds covered, events processed, peak queue depth.
+    pub sim: SimRunStats,
+    /// Open-loop scenario reports (empty when not applicable).
+    pub scenarios: Vec<ScenarioReport>,
+    /// Resilience-sweep reports (empty when not applicable).
+    pub resilience: Vec<ResilienceReport>,
+    /// WebUI closed-loop cells (empty when not applicable).
+    pub webui: Vec<WebUiCell>,
+    /// Paper-vs-measured comparison rows (empty when not applicable).
+    pub comparisons: Vec<Comparison>,
+    /// Flat gate metrics derived from the run (what `perf_gate` compares).
+    pub metrics: Vec<GateMetric>,
+}
+
+impl BenchArtifact {
+    /// Start an artifact for the named benchmark, stamped with the active
+    /// seed and request count.
+    pub fn new(name: &str) -> Self {
+        BenchArtifact {
+            schema_version: SCHEMA_VERSION,
+            name: name.to_string(),
+            seed: crate::benchmark_seed(),
+            requests: crate::benchmark_request_count(),
+            sim: SimRunStats {
+                wall_time_s: 0.0,
+                sim_time_s: 0.0,
+                events_processed: 0,
+                peak_queue_depth: 0,
+            },
+            scenarios: Vec::new(),
+            resilience: Vec::new(),
+            webui: Vec::new(),
+            comparisons: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach the kernel measurement of the run.
+    pub fn with_sim(mut self, sim: SimRunStats) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Attach scenario reports.
+    pub fn with_scenarios(mut self, scenarios: &[ScenarioReport]) -> Self {
+        self.scenarios.extend_from_slice(scenarios);
+        self
+    }
+
+    /// Attach resilience reports.
+    pub fn with_resilience(mut self, reports: &[ResilienceReport]) -> Self {
+        self.resilience.extend_from_slice(reports);
+        self
+    }
+
+    /// Attach WebUI cells.
+    pub fn with_webui(mut self, cells: &[WebUiCell]) -> Self {
+        self.webui.extend_from_slice(cells);
+        self
+    }
+
+    /// Attach paper-vs-measured comparisons.
+    pub fn with_comparisons(mut self, rows: &[Comparison]) -> Self {
+        self.comparisons.extend_from_slice(rows);
+        self
+    }
+
+    /// Attach one gate metric.
+    pub fn with_metric(mut self, metric: GateMetric) -> Self {
+        self.metrics.push(metric);
+        self
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serializes")
+    }
+
+    /// Parse an artifact back from JSON, rejecting unknown schema versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let artifact: BenchArtifact =
+            serde_json::from_str(text).map_err(|e| format!("invalid artifact JSON: {e:?}"))?;
+        if artifact.schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "artifact schema v{} is newer than this binary understands (v{})",
+                artifact.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(artifact)
+    }
+
+    /// Look up a gate metric by name.
+    pub fn metric(&self, name: &str) -> Option<&GateMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The file name this artifact is written under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Write the artifact into `dir` (created if missing); returns the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Write the artifact into the standard output directory
+    /// (`FIRST_BENCH_OUT_DIR`, default `bench/out`) and print where it went.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.write_to(&artifact_out_dir())?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+
+    /// Read an artifact from `dir/BENCH_<name>.json`.
+    pub fn read_from(dir: &Path, name: &str) -> Result<Self, String> {
+        let path = dir.join(format!("BENCH_{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// Directory benchmark artifacts are written to (`FIRST_BENCH_OUT_DIR`,
+/// default `bench/out`).
+pub fn artifact_out_dir() -> PathBuf {
+    std::env::var("FIRST_BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench/out"))
+}
+
+/// Directory the perf gate reads committed baselines from
+/// (`FIRST_BENCH_BASELINE_DIR`, default `bench/baselines`).
+pub fn baseline_dir() -> PathBuf {
+    std::env::var("FIRST_BENCH_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench/baselines"))
+}
+
+/// One per-metric comparison the gate performed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateCheck {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline` (0 when the baseline is 0).
+    pub ratio: f64,
+    /// Tolerance band applied (from the baseline artifact).
+    pub tolerance: f64,
+    /// Whether the metric regressed beyond the band.
+    pub regressed: bool,
+}
+
+/// Outcome of gating one artifact against its baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateResult {
+    /// Per-metric checks, in baseline order.
+    pub checks: Vec<GateCheck>,
+    /// Baseline metrics absent from the current run (a hard failure: a
+    /// silently dropped metric must not weaken the gate).
+    pub missing: Vec<String>,
+    /// Current metrics absent from the baseline (informational; they start
+    /// being gated once the baseline is refreshed).
+    pub ungated: Vec<String>,
+}
+
+impl GateResult {
+    /// Whether any metric regressed or disappeared.
+    pub fn failed(&self) -> bool {
+        !self.missing.is_empty() || self.checks.iter().any(|c| c.regressed)
+    }
+
+    /// Render the human-readable verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>7} {:>6} {:>8}",
+            "metric", "baseline", "current", "ratio", "band", "verdict"
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12.3} {:>12.3} {:>6.2}x {:>5.0}% {:>8}",
+                c.name,
+                c.baseline,
+                c.current,
+                c.ratio,
+                c.tolerance * 100.0,
+                if c.regressed { "REGRESS" } else { "ok" }
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "{name:<44} missing from current run: FAIL");
+        }
+        for name in &self.ungated {
+            let _ = writeln!(out, "{name:<44} not in baseline yet (ungated)");
+        }
+        out
+    }
+}
+
+/// Compare a fresh artifact against the committed baseline.
+///
+/// The tolerance band of each metric comes from the **baseline** artifact, so
+/// loosening a band requires touching the committed file in review. Seed or
+/// request-count drift is a hard error: comparing runs of different workloads
+/// would make every band meaningless — refresh the baseline instead
+/// (`perf_gate --write-baseline`).
+pub fn gate_compare(
+    current: &BenchArtifact,
+    baseline: &BenchArtifact,
+) -> Result<GateResult, String> {
+    if current.seed != baseline.seed || current.requests != baseline.requests {
+        return Err(format!(
+            "workload mismatch: current (seed={}, requests={}) vs baseline (seed={}, requests={}); \
+             re-run with the baseline's FIRST_BENCH_SEED/FIRST_BENCH_REQUESTS or refresh the \
+             baseline with `perf_gate --write-baseline`",
+            current.seed, current.requests, baseline.seed, baseline.requests
+        ));
+    }
+    let mut checks = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.metrics {
+        match current.metric(&base.name) {
+            Some(cur) => {
+                let ratio = if base.value.abs() < 1e-12 {
+                    0.0
+                } else {
+                    cur.value / base.value
+                };
+                checks.push(GateCheck {
+                    name: base.name.clone(),
+                    baseline: base.value,
+                    current: cur.value,
+                    ratio,
+                    tolerance: base.tolerance,
+                    regressed: base.regressed_by(cur.value),
+                });
+            }
+            None => missing.push(base.name.clone()),
+        }
+    }
+    let ungated = current
+        .metrics
+        .iter()
+        .filter(|m| baseline.metric(&m.name).is_none())
+        .map(|m| m.name.clone())
+        .collect();
+    Ok(GateResult {
+        checks,
+        missing,
+        ungated,
+    })
+}
+
+/// Print the standard harness-health footer every bench binary emits.
+pub fn print_sim_stats(sim: &SimRunStats) {
+    println!(
+        "\nharness: wall {:.3}s, sim {:.0}s ({:.0}x real time), {} events ({:.0} events/s), peak queue {}",
+        sim.wall_time_s,
+        sim.sim_time_s,
+        sim.speedup(),
+        sim.events_processed,
+        sim.events_per_sec(),
+        sim.peak_queue_depth
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(metrics: Vec<GateMetric>) -> BenchArtifact {
+        BenchArtifact {
+            schema_version: SCHEMA_VERSION,
+            name: "unit".to_string(),
+            seed: 42,
+            requests: 100,
+            sim: SimRunStats {
+                wall_time_s: 0.5,
+                sim_time_s: 100.0,
+                events_processed: 1234,
+                peak_queue_depth: 17,
+            },
+            scenarios: Vec::new(),
+            resilience: Vec::new(),
+            webui: Vec::new(),
+            comparisons: Vec::new(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let a = artifact(vec![
+            GateMetric::higher("req_per_s", 9.5, 0.02),
+            GateMetric::lower("wall_time_s", 0.5, 2.0),
+        ])
+        .with_comparisons(&[Comparison::new("tok/s", 1677.0, 1650.0)]);
+        let json = a.to_json();
+        let b = BenchArtifact::from_json(&json).expect("parses");
+        assert_eq!(a, b);
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let mut a = artifact(vec![]);
+        a.schema_version = SCHEMA_VERSION + 1;
+        assert!(BenchArtifact::from_json(&a.to_json()).is_err());
+    }
+
+    #[test]
+    fn synthetic_two_x_regression_trips_the_gate() {
+        let baseline = artifact(vec![
+            GateMetric::lower("wall_time_s", 1.0, 0.5),
+            GateMetric::higher("req_per_s", 10.0, 0.05),
+        ]);
+        // 2x slower wall time and halved throughput: both regress.
+        let current = artifact(vec![
+            GateMetric::lower("wall_time_s", 2.0, 0.5),
+            GateMetric::higher("req_per_s", 5.0, 0.05),
+        ]);
+        let result = gate_compare(&current, &baseline).expect("comparable");
+        assert!(result.failed());
+        assert!(result.checks.iter().all(|c| c.regressed));
+    }
+
+    #[test]
+    fn in_tolerance_noise_passes_the_gate() {
+        let baseline = artifact(vec![
+            GateMetric::lower("wall_time_s", 1.0, 0.5),
+            GateMetric::higher("req_per_s", 10.0, 0.05),
+        ]);
+        // +20% wall (inside the 50% band), -2% throughput (inside 5%).
+        let current = artifact(vec![
+            GateMetric::lower("wall_time_s", 1.2, 0.5),
+            GateMetric::higher("req_per_s", 9.8, 0.05),
+        ]);
+        let result = gate_compare(&current, &baseline).expect("comparable");
+        assert!(!result.failed(), "{}", result.render());
+        // Improvements never fail either.
+        let faster = artifact(vec![
+            GateMetric::lower("wall_time_s", 0.3, 0.5),
+            GateMetric::higher("req_per_s", 14.0, 0.05),
+        ]);
+        assert!(!gate_compare(&faster, &baseline).unwrap().failed());
+    }
+
+    #[test]
+    fn dropped_metric_fails_and_new_metric_is_reported_ungated() {
+        let baseline = artifact(vec![GateMetric::higher("req_per_s", 10.0, 0.05)]);
+        let current = artifact(vec![GateMetric::lower("wall_time_s", 1.0, 0.5)]);
+        let result = gate_compare(&current, &baseline).expect("comparable");
+        assert!(result.failed());
+        assert_eq!(result.missing, vec!["req_per_s".to_string()]);
+        assert_eq!(result.ungated, vec!["wall_time_s".to_string()]);
+        let text = result.render();
+        assert!(text.contains("missing from current run"));
+    }
+
+    #[test]
+    fn wall_floor_suppresses_ratio_failures_below_the_floor() {
+        let baseline = artifact(vec![
+            GateMetric::lower("wall_time_s", 0.002, 4.0).with_floor(0.25)
+        ]);
+        // 50x the baseline but still under the 0.25 s floor: noise, not a
+        // regression.
+        let noisy = artifact(vec![
+            GateMetric::lower("wall_time_s", 0.1, 4.0).with_floor(0.25)
+        ]);
+        assert!(!gate_compare(&noisy, &baseline).unwrap().failed());
+        // Past the floor AND past the band: regression.
+        let blown = artifact(vec![
+            GateMetric::lower("wall_time_s", 0.5, 4.0).with_floor(0.25)
+        ]);
+        assert!(gate_compare(&blown, &baseline).unwrap().failed());
+    }
+
+    #[test]
+    fn workload_mismatch_is_a_hard_error() {
+        let baseline = artifact(vec![]);
+        let mut current = artifact(vec![]);
+        current.requests = 999;
+        assert!(gate_compare(&current, &baseline).is_err());
+    }
+
+    #[test]
+    fn write_and_read_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("first-bench-report-{}", std::process::id()));
+        let a = artifact(vec![GateMetric::higher("req_per_s", 10.0, 0.05)]);
+        let path = a.write_to(&dir).expect("writes");
+        assert!(path.ends_with("BENCH_unit.json"));
+        let b = BenchArtifact::read_from(&dir, "unit").expect("reads");
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

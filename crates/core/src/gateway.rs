@@ -197,6 +197,13 @@ pub struct Gateway {
     /// Latest instant the gateway has been advanced to (used for health
     /// staleness in `/jobs` and the dashboard).
     last_advance: SimTime,
+    /// Host wall-clock instant the gateway was built — the denominator of the
+    /// harness-health metrics (sim wall-clock, events/sec) on the dashboard.
+    started_wall: std::time::Instant,
+    /// Thread-local kernel event count at construction: `harness_health`
+    /// reports the delta, so a binary that builds several gateways in
+    /// sequence does not attribute earlier deployments' events to this one.
+    events_at_start: u64,
     next_request_id: u64,
     inference_fn: FunctionId,
     embedding_fn: FunctionId,
@@ -248,6 +255,8 @@ impl Gateway {
             delivered: HashSet::new(),
             outstanding: HashMap::new(),
             last_advance: SimTime::ZERO,
+            started_wall: std::time::Instant::now(),
+            events_at_start: first_desim::stats::kernel::events_processed(),
             next_request_id: 1,
             inference_fn,
             embedding_fn,
@@ -304,6 +313,24 @@ impl Gateway {
     /// Latest instant the gateway has been advanced to.
     pub fn last_advance(&self) -> SimTime {
         self.last_advance
+    }
+
+    /// Harness health: `(wall-clock seconds since construction, simulation
+    /// events processed on this thread, events per wall second)`. The event
+    /// count comes from the desim kernel hook, so it covers every substrate
+    /// the deployment drives, not just the gateway.
+    pub fn harness_health(&self) -> (f64, u64, f64) {
+        let wall = self.started_wall.elapsed().as_secs_f64();
+        // Delta since construction; saturating because a `SimMeter::start`
+        // after construction resets the thread counter below our snapshot.
+        let events =
+            first_desim::stats::kernel::events_processed().saturating_sub(self.events_at_start);
+        let rate = if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        };
+        (wall, events, rate)
     }
 
     /// The request log.
@@ -607,6 +634,11 @@ impl Gateway {
     }
 
     fn submit_due(&mut self, now: SimTime) {
+        // Most advances have nothing to submit; skip the take-and-rebuild
+        // (and its allocation) entirely unless some dispatch is due.
+        if !self.pending.iter().any(|p| p.submit_at <= now) {
+            return;
+        }
         let mut remaining = Vec::with_capacity(self.pending.len());
         let mut retries: Vec<PendingDispatch> = Vec::new();
         for p in std::mem::take(&mut self.pending) {
@@ -851,6 +883,11 @@ impl Gateway {
     }
 
     fn deliver_due(&mut self, now: SimTime) {
+        // Same early-out as submit_due: deliveries are sparse relative to
+        // simulation events, so don't rebuild the buffer when nothing is due.
+        if !self.awaiting.iter().any(|a| a.deliver_at <= now) {
+            return;
+        }
         let mut remaining = Vec::with_capacity(self.awaiting.len());
         let mut retries: Vec<PendingDispatch> = Vec::new();
         for a in std::mem::take(&mut self.awaiting) {
@@ -1000,6 +1037,12 @@ impl SimProcess for Gateway {
         self.deliver_due(now);
         self.hedge_due(now);
         self.last_advance = self.last_advance.max(now);
+        // Kernel instrumentation: every advance is one simulation event, and
+        // the service dispatch queue is the depth the artifacts track. Doing
+        // it here (not in each driver loop) means hand-rolled drivers — the
+        // examples, tests, and the monitoring scrape loop — are measured too.
+        first_desim::stats::kernel::record_event();
+        first_desim::stats::kernel::record_queue_depth(self.service.queue_depth());
     }
 
     fn name(&self) -> &str {

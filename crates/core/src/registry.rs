@@ -28,6 +28,12 @@ pub struct ModelRegistration {
 }
 
 /// The deployment's model registry.
+///
+/// Registrations are kept sorted by model name (an invariant `register`
+/// maintains), so every per-request lookup is a binary search instead of the
+/// linear scan the router used to pay on each routing decision. Endpoint
+/// order *within* a registration stays configuration order — that order is
+/// the §4.5 priority list.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ModelRegistry {
     registrations: Vec<ModelRegistration>,
@@ -42,31 +48,46 @@ impl ModelRegistry {
     /// Register a model on an endpoint (appended in configuration order).
     /// Registering the same pair twice is a no-op.
     pub fn register(&mut self, model: &str, endpoint: &str) {
-        if let Some(reg) = self.registrations.iter_mut().find(|r| r.model == model) {
-            if !reg.endpoints.iter().any(|e| e == endpoint) {
-                reg.endpoints.push(endpoint.to_string());
+        match self
+            .registrations
+            .binary_search_by(|r| r.model.as_str().cmp(model))
+        {
+            Ok(i) => {
+                let reg = &mut self.registrations[i];
+                if !reg.endpoints.iter().any(|e| e == endpoint) {
+                    reg.endpoints.push(endpoint.to_string());
+                }
             }
-        } else {
-            self.registrations.push(ModelRegistration {
-                model: model.to_string(),
-                endpoints: vec![endpoint.to_string()],
-            });
+            Err(i) => self.registrations.insert(
+                i,
+                ModelRegistration {
+                    model: model.to_string(),
+                    endpoints: vec![endpoint.to_string()],
+                },
+            ),
         }
     }
 
     /// Remove a model entirely (dashboard "deregister" action).
     pub fn deregister_model(&mut self, model: &str) -> bool {
-        let before = self.registrations.len();
-        self.registrations.retain(|r| r.model != model);
-        before != self.registrations.len()
+        match self
+            .registrations
+            .binary_search_by(|r| r.model.as_str().cmp(model))
+        {
+            Ok(i) => {
+                self.registrations.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Endpoints registered for a model, in configuration order.
     pub fn endpoints_for(&self, model: &str) -> Option<&[String]> {
         self.registrations
-            .iter()
-            .find(|r| r.model == model)
-            .map(|r| r.endpoints.as_slice())
+            .binary_search_by(|r| r.model.as_str().cmp(model))
+            .ok()
+            .map(|i| self.registrations[i].endpoints.as_slice())
     }
 
     /// All registered model names.
@@ -206,6 +227,10 @@ impl FederationRouter {
     /// endpoints over degraded ones. When the breaker has every endpoint open
     /// the full registration list is used as a last resort (a request that
     /// will likely fail beats a request that cannot be routed at all).
+    ///
+    /// The candidate subsets are borrowed from the registry's per-model
+    /// candidate list in a single pass — no endpoint names are cloned on this
+    /// per-request path.
     pub fn route_with_health(
         &self,
         registry: &ModelRegistry,
@@ -218,17 +243,19 @@ impl FederationRouter {
         if endpoints.is_empty() {
             return None;
         }
-        let healthy: Vec<String> = endpoints
-            .iter()
-            .filter(|e| health.state(e, now) == HealthState::Healthy)
-            .cloned()
-            .collect();
-        let allowed: Vec<String> = endpoints
-            .iter()
-            .filter(|e| health.allows(e, now))
-            .cloned()
-            .collect();
-        let subset = if !healthy.is_empty() {
+        let mut healthy: Vec<&str> = Vec::with_capacity(endpoints.len());
+        let mut allowed: Vec<&str> = Vec::with_capacity(endpoints.len());
+        for e in endpoints {
+            match health.state(e, now) {
+                HealthState::Healthy => {
+                    healthy.push(e);
+                    allowed.push(e);
+                }
+                _ if health.allows(e, now) => allowed.push(e),
+                _ => {}
+            }
+        }
+        let subset: &[&str] = if !healthy.is_empty() {
             &healthy
         } else if !allowed.is_empty() {
             &allowed
@@ -252,10 +279,10 @@ impl FederationRouter {
         failed_endpoint: &str,
     ) -> Option<RoutingDecision> {
         let endpoints = registry.endpoints_for(model)?;
-        let alternatives: Vec<String> = endpoints
+        let alternatives: Vec<&str> = endpoints
             .iter()
-            .filter(|e| e.as_str() != failed_endpoint && health.allows(e, now))
-            .cloned()
+            .map(String::as_str)
+            .filter(|e| *e != failed_endpoint && health.allows(e, now))
             .collect();
         if alternatives.is_empty() {
             return self.route_with_health(registry, service, model, health, now);
@@ -263,9 +290,9 @@ impl FederationRouter {
         Some(self.route_over(&alternatives, service, model))
     }
 
-    fn route_over(
+    fn route_over<S: AsRef<str>>(
         &self,
-        endpoints: &[String],
+        endpoints: &[S],
         service: &ComputeService,
         model: &str,
     ) -> RoutingDecision {
@@ -278,18 +305,18 @@ impl FederationRouter {
     }
 
     /// The §4.5 priority algorithm.
-    fn paper_priority(
-        endpoints: &[String],
+    fn paper_priority<S: AsRef<str>>(
+        endpoints: &[S],
         service: &ComputeService,
         model: &str,
     ) -> RoutingDecision {
         // 1. Prefer an endpoint where the model is already running or queued.
         for name in endpoints {
-            if let Some(ep) = service.endpoint(name) {
-                let status = ep.model_status(model);
-                if status.running > 0 || status.starting > 0 || status.queued > 0 {
+            if let Some(ep) = service.endpoint(name.as_ref()) {
+                let activity = ep.model_activity(model);
+                if activity.running > 0 || activity.starting > 0 || activity.queued > 0 {
                     return RoutingDecision {
-                        endpoint: name.clone(),
+                        endpoint: name.as_ref().to_string(),
                         reason: RoutingReason::ActiveInstance,
                     };
                 }
@@ -298,10 +325,10 @@ impl FederationRouter {
 
         // 2. Otherwise an endpoint whose cluster has idle nodes.
         for name in endpoints {
-            if let Some(ep) = service.endpoint(name) {
+            if let Some(ep) = service.endpoint(name.as_ref()) {
                 if ep.cluster_status().idle_nodes > 0 {
                     return RoutingDecision {
-                        endpoint: name.clone(),
+                        endpoint: name.as_ref().to_string(),
                         reason: RoutingReason::FreeCapacity,
                     };
                 }
@@ -310,38 +337,38 @@ impl FederationRouter {
 
         // 3. Fall back to the first configured endpoint.
         RoutingDecision {
-            endpoint: endpoints[0].clone(),
+            endpoint: endpoints[0].as_ref().to_string(),
             reason: RoutingReason::ConfigurationOrder,
         }
     }
 
-    fn round_robin(&self, endpoints: &[String]) -> RoutingDecision {
+    fn round_robin<S: AsRef<str>>(&self, endpoints: &[S]) -> RoutingDecision {
         let idx = self.rotation.get() % endpoints.len();
         self.rotation.set(self.rotation.get().wrapping_add(1));
         RoutingDecision {
-            endpoint: endpoints[idx].clone(),
+            endpoint: endpoints[idx].as_ref().to_string(),
             reason: RoutingReason::RoundRobinRotation,
         }
     }
 
-    fn least_outstanding(
-        endpoints: &[String],
+    fn least_outstanding<S: AsRef<str>>(
+        endpoints: &[S],
         service: &ComputeService,
         model: &str,
     ) -> RoutingDecision {
-        let mut best: Option<(&String, usize, u32)> = None;
+        let mut best: Option<(&str, usize, u32)> = None;
         for name in endpoints {
-            let Some(ep) = service.endpoint(name) else {
+            let Some(ep) = service.endpoint(name.as_ref()) else {
                 continue;
             };
-            let status = ep.model_status(model);
+            let activity = ep.model_activity(model);
             let in_flight: usize = ep
                 .instances()
                 .iter()
                 .filter(|i| i.model == model)
                 .map(|i| i.in_flight())
                 .sum();
-            let outstanding = status.backlog + in_flight;
+            let outstanding = activity.backlog + in_flight;
             let idle = ep.cluster_status().idle_nodes;
             let better = match best {
                 None => true,
@@ -350,39 +377,42 @@ impl FederationRouter {
                 }
             };
             if better {
-                best = Some((name, outstanding, idle));
+                best = Some((name.as_ref(), outstanding, idle));
             }
         }
         match best {
             Some((name, _, _)) => RoutingDecision {
-                endpoint: name.clone(),
+                endpoint: name.to_string(),
                 reason: RoutingReason::LeastOutstanding,
             },
             None => RoutingDecision {
-                endpoint: endpoints[0].clone(),
+                endpoint: endpoints[0].as_ref().to_string(),
                 reason: RoutingReason::ConfigurationOrder,
             },
         }
     }
 
-    fn most_idle_nodes(endpoints: &[String], service: &ComputeService) -> RoutingDecision {
-        let mut best: Option<(&String, u32)> = None;
+    fn most_idle_nodes<S: AsRef<str>>(
+        endpoints: &[S],
+        service: &ComputeService,
+    ) -> RoutingDecision {
+        let mut best: Option<(&str, u32)> = None;
         for name in endpoints {
-            let Some(ep) = service.endpoint(name) else {
+            let Some(ep) = service.endpoint(name.as_ref()) else {
                 continue;
             };
             let idle = ep.cluster_status().idle_nodes;
             if best.map(|(_, b)| idle > b).unwrap_or(true) {
-                best = Some((name, idle));
+                best = Some((name.as_ref(), idle));
             }
         }
         match best {
             Some((name, _)) => RoutingDecision {
-                endpoint: name.clone(),
+                endpoint: name.to_string(),
                 reason: RoutingReason::MostIdleNodes,
             },
             None => RoutingDecision {
-                endpoint: endpoints[0].clone(),
+                endpoint: endpoints[0].as_ref().to_string(),
                 reason: RoutingReason::ConfigurationOrder,
             },
         }

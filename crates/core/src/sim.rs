@@ -247,6 +247,8 @@ pub fn run_direct_openloop(
             break;
         }
         server.advance(step);
+        first_desim::stats::kernel::record_event();
+        first_desim::stats::kernel::record_queue_depth(server.frontend_backlog());
         while next < arrivals.len() && arrivals[next] <= step {
             server.submit(
                 InferenceRequest::chat(
@@ -313,6 +315,7 @@ pub fn run_openai_openloop(
             break;
         }
         api.advance(step);
+        first_desim::stats::kernel::record_event();
         while next < arrivals.len() && arrivals[next] <= step {
             api.submit(
                 InferenceRequest::chat(

@@ -180,8 +180,16 @@ impl GatewayMetrics {
     }
 
     /// Count a received request for an operation.
+    ///
+    /// Runs once per request on the gateway's hottest path: the existing-key
+    /// fast path avoids allocating the operation name (the map only ever
+    /// holds a handful of operations, all inserted on their first request).
     pub fn on_received(&mut self, operation: &str) {
-        *self.received.entry(operation.to_string()).or_insert(0) += 1;
+        if let Some(count) = self.received.get_mut(operation) {
+            *count += 1;
+        } else {
+            self.received.insert(operation.to_string(), 1);
+        }
     }
 
     /// Count a rejection.
@@ -190,13 +198,19 @@ impl GatewayMetrics {
     }
 
     /// Count a completion and record its latency.
+    ///
+    /// Same fast-path shape as [`GatewayMetrics::on_received`]: the model
+    /// name is only allocated the first time a model completes a request.
     pub fn on_completed(&mut self, model: &str, latency: SimDuration, output_tokens: u32) {
         self.completed += 1;
         self.output_tokens += output_tokens as u64;
-        self.latency_by_model
-            .entry(model.to_string())
-            .or_default()
-            .record(latency.as_secs_f64());
+        if let Some(h) = self.latency_by_model.get_mut(model) {
+            h.record(latency.as_secs_f64());
+        } else {
+            let mut h = Histogram::new();
+            h.record(latency.as_secs_f64());
+            self.latency_by_model.insert(model.to_string(), h);
+        }
     }
 
     /// Count a failure.

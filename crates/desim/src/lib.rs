@@ -20,9 +20,9 @@ pub mod stats;
 pub mod time;
 
 pub use process::{Driver, RunOutcome, SimProcess};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{DrainDue, EventQueue, ScheduledEvent};
 pub use rng::SimRng;
-pub use stats::{CounterSet, Histogram, OnlineStats};
+pub use stats::{CounterSet, Histogram, OnlineStats, SimMeter, SimRunStats};
 pub use time::{SimDuration, SimTime};
 
 /// Commonly used items, re-exported for glob import.
@@ -30,6 +30,6 @@ pub mod prelude {
     pub use crate::process::{Driver, RunOutcome, SimProcess};
     pub use crate::queue::EventQueue;
     pub use crate::rng::SimRng;
-    pub use crate::stats::{CounterSet, Histogram, OnlineStats};
+    pub use crate::stats::{CounterSet, Histogram, OnlineStats, SimMeter, SimRunStats};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -108,6 +108,7 @@ impl<'a> Driver<'a> {
             for p in self.processes.iter_mut() {
                 p.advance(self.now);
             }
+            crate::stats::kernel::record_event();
             steps += 1;
             if steps >= self.max_steps {
                 return RunOutcome::StepLimit(self.now);

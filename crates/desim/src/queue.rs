@@ -87,6 +87,7 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { time, seq, payload });
+        crate::stats::kernel::record_queue_depth(self.heap.len());
     }
 
     /// Firing time of the earliest pending event, if any.
@@ -96,30 +97,80 @@ impl<T> EventQueue<T> {
 
     /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
-        self.heap.pop()
+        let ev = self.heap.pop();
+        if ev.is_some() {
+            crate::stats::kernel::record_event();
+        }
+        ev
     }
 
     /// Remove and return the earliest event only if it fires at or before `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<ScheduledEvent<T>> {
         if self.peek_time().map(|t| t <= now).unwrap_or(false) {
-            self.heap.pop()
+            let ev = self.heap.pop();
+            if ev.is_some() {
+                crate::stats::kernel::record_event();
+            }
+            ev
         } else {
             None
         }
     }
 
     /// Drain every event due at or before `now`, in firing order.
-    pub fn drain_due(&mut self, now: SimTime) -> Vec<ScheduledEvent<T>> {
-        let mut out = Vec::new();
+    ///
+    /// Returns a lazy iterator that pops events as it is consumed, so the
+    /// per-tick call is allocation-free — in particular the common case
+    /// where nothing is due costs one heap peek and no allocation. Dropping
+    /// the iterator early leaves the remaining due events in the queue.
+    pub fn drain_due(&mut self, now: SimTime) -> DrainDue<'_, T> {
+        DrainDue { queue: self, now }
+    }
+
+    /// Drain every event due at or before `now` into `out` (cleared first),
+    /// reusing its allocation — the buffer-reuse alternative to the
+    /// [`EventQueue::drain_due`] iterator for callers that need the whole
+    /// batch materialized (e.g. to sort or index it).
+    pub fn drain_due_into(&mut self, now: SimTime, out: &mut Vec<ScheduledEvent<T>>) {
+        out.clear();
         while let Some(ev) = self.pop_due(now) {
             out.push(ev);
         }
-        out
     }
 
     /// Remove all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+}
+
+/// Draining iterator over the events due at or before a cut-off time; see
+/// [`EventQueue::drain_due`].
+#[derive(Debug)]
+pub struct DrainDue<'a, T> {
+    queue: &'a mut EventQueue<T>,
+    now: SimTime,
+}
+
+impl<T> Iterator for DrainDue<'_, T> {
+    type Item = ScheduledEvent<T>;
+
+    fn next(&mut self) -> Option<ScheduledEvent<T>> {
+        self.queue.pop_due(self.now)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // At most everything still queued; exactly zero when nothing is due.
+        if self
+            .queue
+            .peek_time()
+            .map(|t| t <= self.now)
+            .unwrap_or(false)
+        {
+            (1, Some(self.queue.len()))
+        } else {
+            (0, Some(0))
+        }
     }
 }
 
@@ -167,12 +218,53 @@ mod tests {
         for s in [1u64, 2, 3, 4, 5] {
             q.push(SimTime::from_secs(s), s);
         }
-        let due = q.drain_due(SimTime::from_secs(3));
-        assert_eq!(
-            due.iter().map(|e| e.payload).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        let due: Vec<u64> = q
+            .drain_due(SimTime::from_secs(3))
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(due, vec![1, 2, 3]);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_due_iterator_dropped_early_keeps_remaining_events() {
+        let mut q = EventQueue::new();
+        for s in [1u64, 2, 3] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        let first = q.drain_due(SimTime::from_secs(3)).next();
+        assert_eq!(first.unwrap().payload, 1);
+        assert_eq!(q.len(), 2, "undrained due events stay queued");
+        assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn drain_due_into_reuses_the_buffer() {
+        let mut q = EventQueue::new();
+        let mut buf = Vec::with_capacity(8);
+        for s in [1u64, 2, 3] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        q.drain_due_into(SimTime::from_secs(2), &mut buf);
+        assert_eq!(
+            buf.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let cap = buf.capacity();
+        q.drain_due_into(SimTime::from_secs(5), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap, "buffer allocation is reused");
+    }
+
+    #[test]
+    fn drain_due_size_hint_is_exact_for_the_empty_case() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(SimTime::from_secs(10), ());
+        assert_eq!(q.drain_due(SimTime::from_secs(5)).size_hint(), (0, Some(0)));
+        assert_eq!(
+            q.drain_due(SimTime::from_secs(10)).size_hint(),
+            (1, Some(1))
+        );
     }
 
     #[test]

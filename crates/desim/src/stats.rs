@@ -1,6 +1,137 @@
-//! Online statistics and latency histograms used by every benchmark harness.
+//! Online statistics and latency histograms used by every benchmark harness,
+//! plus the kernel instrumentation hook ([`kernel`], [`SimMeter`]) that turns
+//! a simulation run into machine-readable wall-clock/event-rate numbers.
 
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Kernel-level run counters.
+///
+/// The simulation kernel is distributed across components (each substrate
+/// drives its own event logic), so the counters live here as thread-local
+/// cells: any event loop — [`crate::EventQueue`] pops, the generic
+/// [`crate::Driver`], or the scenario runners in `first-core` — reports into
+/// the same per-thread tally with a single `Cell` increment, cheap enough for
+/// the hottest path. Thread-locals keep parallel test threads from polluting
+/// each other; benchmark binaries are single-threaded, so their readings are
+/// exact.
+pub mod kernel {
+    use std::cell::Cell;
+
+    thread_local! {
+        static EVENTS_PROCESSED: Cell<u64> = const { Cell::new(0) };
+        static PEAK_QUEUE_DEPTH: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Record one processed simulation event.
+    #[inline]
+    pub fn record_event() {
+        EVENTS_PROCESSED.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Record an observed queue depth; the running peak keeps the maximum.
+    #[inline]
+    pub fn record_queue_depth(depth: usize) {
+        PEAK_QUEUE_DEPTH.with(|c| {
+            if depth > c.get() {
+                c.set(depth);
+            }
+        });
+    }
+
+    /// Events processed on this thread since the last [`reset`].
+    pub fn events_processed() -> u64 {
+        EVENTS_PROCESSED.with(|c| c.get())
+    }
+
+    /// Largest queue depth observed on this thread since the last [`reset`].
+    pub fn peak_queue_depth() -> usize {
+        PEAK_QUEUE_DEPTH.with(|c| c.get())
+    }
+
+    /// Reset both counters (called by [`super::SimMeter::start`]).
+    pub fn reset() {
+        EVENTS_PROCESSED.with(|c| c.set(0));
+        PEAK_QUEUE_DEPTH.with(|c| c.set(0));
+    }
+}
+
+/// Wall-clock + kernel-counter measurement of one simulation run: the numbers
+/// every `BENCH_<name>.json` artifact records and the perf-regression gate
+/// compares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRunStats {
+    /// Host wall-clock time the run took, in seconds.
+    pub wall_time_s: f64,
+    /// Virtual time the simulation covered, in seconds.
+    pub sim_time_s: f64,
+    /// Simulation events processed (deterministic for a fixed seed).
+    pub events_processed: u64,
+    /// Largest event/task queue depth observed during the run.
+    pub peak_queue_depth: usize,
+}
+
+impl SimRunStats {
+    /// Events processed per wall-clock second (0 for an instantaneous run).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_time_s <= 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / self.wall_time_s
+        }
+    }
+
+    /// How much faster than real time the simulation ran
+    /// (virtual seconds per wall second; 0 for an instantaneous run).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_time_s <= 0.0 {
+            0.0
+        } else {
+            self.sim_time_s / self.wall_time_s
+        }
+    }
+
+    /// Fold another run's measurement into this one: times add, the peak
+    /// queue depth keeps the maximum. Lets a harness that meters several
+    /// sub-runs separately (meters must not be nested) report one total.
+    pub fn merge(&mut self, other: &SimRunStats) {
+        self.wall_time_s += other.wall_time_s;
+        self.sim_time_s += other.sim_time_s;
+        self.events_processed += other.events_processed;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
+}
+
+/// Measures a simulation run: wall-clock time plus the [`kernel`] counters.
+///
+/// `start` resets the thread's kernel counters, so meters must not be nested
+/// on one thread; every benchmark binary wraps its whole measurement section
+/// in a single meter.
+#[derive(Debug)]
+pub struct SimMeter {
+    started: Instant,
+}
+
+impl SimMeter {
+    /// Start measuring: resets the kernel counters and the wall clock.
+    pub fn start() -> Self {
+        kernel::reset();
+        SimMeter {
+            started: Instant::now(),
+        }
+    }
+
+    /// Finish measuring a run that covered `sim_elapsed` of virtual time.
+    pub fn finish(self, sim_elapsed: SimTime) -> SimRunStats {
+        SimRunStats {
+            wall_time_s: self.started.elapsed().as_secs_f64(),
+            sim_time_s: sim_elapsed.as_secs_f64(),
+            events_processed: kernel::events_processed(),
+            peak_queue_depth: kernel::peak_queue_depth(),
+        }
+    }
+}
 
 /// Streaming mean / variance / min / max accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]

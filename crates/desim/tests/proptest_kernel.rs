@@ -2,6 +2,36 @@
 
 use first_desim::prelude::*;
 use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counting allocator: lets the drain-due property assert its empty case is
+/// allocation-free (the per-tick hot path of every event loop). The count is
+/// per-thread — libtest runs sibling tests on parallel threads, and their
+/// allocations must not race this thread's assertion window.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: allocations during TLS teardown must not panic.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
 
 proptest! {
     /// Popping the event queue always yields non-decreasing timestamps, and
@@ -41,7 +71,7 @@ proptest! {
             q.push(SimTime::from_micros(t), t);
         }
         let now = SimTime::from_micros(cut);
-        let due = q.drain_due(now);
+        let due: Vec<_> = q.drain_due(now).collect();
         for ev in &due {
             prop_assert!(ev.time <= now);
         }
@@ -49,6 +79,12 @@ proptest! {
         if let Some(t) = q.peek_time() {
             prop_assert!(t > now);
         }
+        // Micro-assertion: draining when nothing is due must not allocate —
+        // this is the per-tick fast path of every event loop.
+        let before = allocation_count();
+        let drained_empty = q.drain_due(now).count();
+        prop_assert_eq!(drained_empty, 0);
+        prop_assert_eq!(allocation_count(), before);
     }
 
     /// Histogram percentiles are bounded by min and max and are monotone in p.
@@ -119,7 +155,7 @@ proptest! {
         for i in 0..count {
             q.push(t, i);
         }
-        let drained = q.drain_due(t);
+        let drained: Vec<_> = q.drain_due(t).collect();
         prop_assert_eq!(drained.len(), count);
         for (expected, ev) in drained.iter().enumerate() {
             prop_assert_eq!(ev.payload, expected);

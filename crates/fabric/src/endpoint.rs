@@ -88,6 +88,21 @@ pub struct EndpointStats {
     pub output_tokens: u64,
 }
 
+/// Per-model instance/backlog counts, without the owned model name: the
+/// `Copy` payload of [`ComputeEndpoint::model_activity`], cheap enough for
+/// the router to probe on every request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelActivity {
+    /// Instances hot and serving.
+    pub running: u32,
+    /// Instances loading weights.
+    pub starting: u32,
+    /// Instances waiting for node allocation.
+    pub queued: u32,
+    /// Tasks waiting at the endpoint for a free slot.
+    pub backlog: usize,
+}
+
 /// Hosted-model status summary exposed to the gateway's `/jobs` endpoint
 /// (§4.3: "running", "starting" or "queued").
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -194,10 +209,12 @@ impl ComputeEndpoint {
         std::mem::take(&mut self.results)
     }
 
-    /// Per-model status for the `/jobs` endpoint.
-    pub fn model_status(&self, model: &str) -> ModelStatus {
-        let mut status = ModelStatus {
-            model: model.to_string(),
+    /// Per-model instance/backlog counts without the owned model name — the
+    /// allocation-free query the federation router probes on every routing
+    /// decision (use [`ComputeEndpoint::model_status`] when the name is
+    /// wanted too, e.g. for `/jobs`).
+    pub fn model_activity(&self, model: &str) -> ModelActivity {
+        let mut activity = ModelActivity {
             running: 0,
             starting: 0,
             queued: 0,
@@ -205,13 +222,25 @@ impl ComputeEndpoint {
         };
         for inst in self.instances.iter().filter(|i| i.model == model) {
             match inst.state {
-                InstanceState::Ready => status.running += 1,
-                InstanceState::Loading => status.starting += 1,
-                InstanceState::PendingJob => status.queued += 1,
+                InstanceState::Ready => activity.running += 1,
+                InstanceState::Loading => activity.starting += 1,
+                InstanceState::PendingJob => activity.queued += 1,
                 _ => {}
             }
         }
-        status
+        activity
+    }
+
+    /// Per-model status for the `/jobs` endpoint.
+    pub fn model_status(&self, model: &str) -> ModelStatus {
+        let activity = self.model_activity(model);
+        ModelStatus {
+            model: model.to_string(),
+            running: activity.running,
+            starting: activity.starting,
+            queued: activity.queued,
+            backlog: activity.backlog,
+        }
     }
 
     /// Status of every hosted model.
@@ -556,19 +585,25 @@ impl ComputeEndpoint {
 
     /// Core per-advance work: react to scheduler events, drive backends,
     /// collect completions, hand out waiting tasks, auto-scale and enforce the
-    /// idle timeout. Two passes so that work enabled by this pass (an instance
-    /// launched or becoming ready) is picked up immediately rather than on the
-    /// next advance.
+    /// idle timeout. A second pass runs only when the first made progress
+    /// (instance launched, became ready, completions collected, tasks
+    /// assigned), so work enabled within one advance is picked up immediately
+    /// without paying the full walk twice on the — far more common — quiet
+    /// events.
     fn assign_and_scale(&mut self, now: SimTime) {
-        self.assign_and_scale_pass(now);
-        self.assign_and_scale_pass(now);
+        if self.assign_and_scale_pass(now) {
+            self.assign_and_scale_pass(now);
+        }
     }
 
-    fn assign_and_scale_pass(&mut self, now: SimTime) {
+    /// One pass; returns whether any state changed (see `assign_and_scale`).
+    fn assign_and_scale_pass(&mut self, now: SimTime) -> bool {
+        let mut progress = false;
         // 1. Scheduler events → instance state transitions.
         self.scheduler.advance(now);
         for ev in self.scheduler.take_events() {
             use first_hpc::SchedulerEventKind as K;
+            progress = true;
             match ev.kind {
                 K::Started => {
                     if let Some(pos) = self
@@ -629,8 +664,10 @@ impl ComputeEndpoint {
                     {
                         inst.state = InstanceState::Ready;
                         inst.last_active = engine.ready_at();
+                        progress = true;
                     }
                     for c in engine.take_completions() {
+                        progress = true;
                         if let Some(task) = self.task_of_request.remove(&c.id.0) {
                             inst.in_flight.retain(|t| *t != task);
                             inst.last_active = c.finished_at;
@@ -649,6 +686,7 @@ impl ComputeEndpoint {
                 InstanceBackend::Embedding(engine) => {
                     engine.advance(now);
                     for c in engine.take_completions() {
+                        progress = true;
                         if let Some(task) = self.task_of_request.remove(&c.id.0) {
                             inst.in_flight.retain(|t| *t != task);
                             inst.last_active = c.finished_at;
@@ -666,11 +704,13 @@ impl ComputeEndpoint {
             }
         }
 
-        // 3. Assign waiting tasks to instances with free parallel slots.
-        let hostings: Vec<ModelHostingConfig> = self.config.models.clone();
-        for hosting in &hostings {
-            let model = hosting.model.name.clone();
-            let Some(queue) = self.waiting.get_mut(&model) else {
+        // 3. Assign waiting tasks to instances with free parallel slots. The
+        //    hosting configs are read in place (split field borrows) — this
+        //    runs twice per advance, so cloning the config list here used to
+        //    be the endpoint's single largest allocation source.
+        for hosting in &self.config.models {
+            let model = hosting.model.name.as_str();
+            let Some(queue) = self.waiting.get_mut(model) else {
                 continue;
             };
             if queue.is_empty() {
@@ -699,6 +739,7 @@ impl ComputeEndpoint {
                     }
                     inst.in_flight.push(task);
                     inst.last_active = now;
+                    progress = true;
                 }
                 if queue.is_empty() {
                     break;
@@ -707,8 +748,10 @@ impl ComputeEndpoint {
         }
 
         // 4. Auto-scaling: launch instances when the backlog exceeds what the
-        //    active instances can absorb.
-        for hosting in &hostings {
+        //    active instances can absorb. The scan borrows the configs in
+        //    place; only an actual launch (rare) clones its hosting entry.
+        for idx in 0..self.config.models.len() {
+            let hosting = &self.config.models[idx];
             let model = &hosting.model.name;
             let backlog = self.waiting.get(model).map(|q| q.len()).unwrap_or(0);
             let in_flight: usize = self
@@ -723,7 +766,9 @@ impl ComputeEndpoint {
             let saturated =
                 active > 0 && demand > hosting.scale_up_threshold * active && backlog > 0;
             if (need_first || saturated) && active < hosting.max_instances as usize {
-                self.launch_instance(hosting, now, false);
+                let hosting = self.config.models[idx].clone();
+                self.launch_instance(&hosting, now, false);
+                progress = true;
             }
         }
 
@@ -753,8 +798,10 @@ impl ComputeEndpoint {
                 inst.backend = None;
                 self.scheduler.complete(job, now);
                 self.stats.instances_released += 1;
+                progress = true;
             }
         }
+        progress
     }
 
     fn idle_release_deadline(&self) -> Option<SimTime> {

@@ -19,7 +19,9 @@ pub mod task;
 
 pub use client::{ClientConfig, ResultMode};
 pub use config::{EndpointConfig, FabricLatencyModel, ModelHostingConfig};
-pub use endpoint::{ComputeEndpoint, EndpointStats, InstanceState, ModelInstance, ModelStatus};
+pub use endpoint::{
+    ComputeEndpoint, EndpointStats, InstanceState, ModelActivity, ModelInstance, ModelStatus,
+};
 pub use service::{ComputeService, FabricError, ServiceStats};
 pub use task::{
     FunctionId, FunctionRegistry, RegisteredFunction, TaskId, TaskPayload, TaskRecord, TaskResult,

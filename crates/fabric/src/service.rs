@@ -14,7 +14,7 @@ use crate::task::{FunctionId, FunctionRegistry, TaskId, TaskRecord, TaskResult, 
 use first_desim::{SimDuration, SimProcess, SimTime};
 use first_serving::InferenceRequest;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Errors returned when a submission is rejected outright.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,6 +57,10 @@ pub struct ComputeService {
     registry: FunctionRegistry,
     latency: FabricLatencyModel,
     endpoints: Vec<ComputeEndpoint>,
+    /// Endpoint name → index into `endpoints`, maintained on registration.
+    /// Routing resolves endpoints by name on every request, so the lookup
+    /// must not rescan the endpoint list.
+    endpoint_index: HashMap<String, usize>,
     tasks: BTreeMap<TaskId, TaskRecord>,
     /// Tasks accepted, waiting for the serial dispatcher: `(arrival, task, request, endpoint idx)`.
     dispatch_queue: VecDeque<(SimTime, TaskId, InferenceRequest, usize)>,
@@ -73,6 +77,10 @@ pub struct ComputeService {
     /// Active network degradation `(extra one-way latency, spike end)`.
     latency_spike: Option<(SimDuration, SimTime)>,
     next_task_id: u64,
+    /// Tasks submitted but not yet resolved (completed or failed). Kept as a
+    /// counter so `is_drained` stays O(1) instead of walking the ever-growing
+    /// task map once per event-loop iteration.
+    unresolved_tasks: usize,
     stats: ServiceStats,
 }
 
@@ -83,6 +91,7 @@ impl ComputeService {
             registry: FunctionRegistry::standard(),
             latency,
             endpoints: Vec::new(),
+            endpoint_index: HashMap::new(),
             tasks: BTreeMap::new(),
             dispatch_queue: VecDeque::new(),
             dispatcher_free_at: SimTime::ZERO,
@@ -91,6 +100,7 @@ impl ComputeService {
             last_advanced: SimTime::ZERO,
             latency_spike: None,
             next_task_id: 1,
+            unresolved_tasks: 0,
             stats: ServiceStats::default(),
         }
     }
@@ -112,8 +122,10 @@ impl ComputeService {
 
     /// Register an endpoint; returns its index.
     pub fn add_endpoint(&mut self, endpoint: ComputeEndpoint) -> usize {
+        let idx = self.endpoints.len();
+        self.endpoint_index.insert(endpoint.name().to_string(), idx);
         self.endpoints.push(endpoint);
-        self.endpoints.len() - 1
+        idx
     }
 
     /// Endpoint names, in registration order (the federation registry order).
@@ -124,14 +136,16 @@ impl ComputeService {
             .collect()
     }
 
-    /// Borrow an endpoint by name.
+    /// Borrow an endpoint by name (indexed: O(1), not a list scan).
     pub fn endpoint(&self, name: &str) -> Option<&ComputeEndpoint> {
-        self.endpoints.iter().find(|e| e.name() == name)
+        self.endpoint_index.get(name).map(|&i| &self.endpoints[i])
     }
 
-    /// Mutably borrow an endpoint by name.
+    /// Mutably borrow an endpoint by name (indexed: O(1), not a list scan).
     pub fn endpoint_mut(&mut self, name: &str) -> Option<&mut ComputeEndpoint> {
-        self.endpoints.iter_mut().find(|e| e.name() == name)
+        self.endpoint_index
+            .get(name)
+            .map(|&i| &mut self.endpoints[i])
     }
 
     /// All endpoints.
@@ -187,7 +201,7 @@ impl ComputeService {
         if !self.registry.is_registered(function) {
             return Err(FabricError::UnregisteredFunction);
         }
-        let Some(ep_idx) = self.endpoints.iter().position(|e| e.name() == endpoint) else {
+        let Some(&ep_idx) = self.endpoint_index.get(endpoint) else {
             return Err(FabricError::UnknownEndpoint(endpoint.to_string()));
         };
         let id = TaskId(self.next_task_id);
@@ -207,6 +221,7 @@ impl ComputeService {
         );
         self.dispatch_queue
             .push_back((arrival, id, request, ep_idx));
+        self.unresolved_tasks += 1;
         self.stats.submitted += 1;
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.dispatch_queue.len());
         Ok(id)
@@ -228,12 +243,7 @@ impl ComputeService {
 
     /// Whether every submitted task has had its result made available.
     pub fn is_drained(&self) -> bool {
-        self.dispatch_queue.is_empty()
-            && self.in_transit.is_empty()
-            && self
-                .tasks
-                .values()
-                .all(|t| matches!(t.state, TaskState::Completed | TaskState::Failed))
+        self.dispatch_queue.is_empty() && self.in_transit.is_empty() && self.unresolved_tasks == 0
     }
 
     fn pump_dispatcher(&mut self, now: SimTime) {
@@ -304,6 +314,9 @@ impl ComputeService {
         for (relay_start, result) in collected {
             let available = relay_start + return_latency + self.spike_extra(relay_start);
             if let Some(rec) = self.tasks.get_mut(&result.task) {
+                if !matches!(rec.state, TaskState::Completed | TaskState::Failed) {
+                    self.unresolved_tasks = self.unresolved_tasks.saturating_sub(1);
+                }
                 rec.state = if result.success {
                     TaskState::Completed
                 } else {

@@ -99,6 +99,10 @@ pub struct DashboardSnapshot {
     pub breaker_trips: u64,
     /// Hedged (duplicated) requests issued for slow in-flight calls.
     pub total_hedges: u64,
+    /// Harness health: wall-clock seconds the simulation has been running.
+    pub harness_wall_s: f64,
+    /// Harness health: simulation events processed per wall-clock second.
+    pub harness_events_per_sec: f64,
 }
 
 impl DashboardSnapshot {
@@ -192,6 +196,11 @@ impl DashboardSnapshot {
             "-- resilience -- retries={} failovers={} breaker_trips={} hedges={}",
             self.total_retries, self.total_failovers, self.breaker_trips, self.total_hedges
         );
+        let _ = writeln!(
+            out,
+            "-- harness -- wall={:.3}s events_per_sec={:.0}",
+            self.harness_wall_s, self.harness_events_per_sec
+        );
         out
     }
 }
@@ -242,6 +251,8 @@ mod tests {
             total_failovers: 12,
             breaker_trips: 2,
             total_hedges: 5,
+            harness_wall_s: 0.25,
+            harness_events_per_sec: 120_000.0,
         }
     }
 
@@ -278,5 +289,6 @@ mod tests {
         assert!(text.contains("25.0%"));
         assert!(text.contains("degraded"));
         assert!(text.contains("retries=40 failovers=12 breaker_trips=2 hedges=5"));
+        assert!(text.contains("-- harness -- wall=0.250s events_per_sec=120000"));
     }
 }

@@ -124,6 +124,13 @@ fn main() {
     }
     println!("... ({} lines total)", exposition.lines().count());
 
+    // The harness-health gauges the bench artifacts also record: how fast
+    // the simulation itself ran while producing everything above.
+    let (wall_s, events, events_per_sec) = gateway.harness_health();
+    println!(
+        "\nharness health: wall {wall_s:.3}s, {events} sim events ({events_per_sec:.0} events/s)"
+    );
+
     // 3. The alert pack: the default rules plus one sustained-unavailability
     // rule per endpoint. Quiet on a healthy run; the endpoint rule fires when
     // the fault plan is active.
