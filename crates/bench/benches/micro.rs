@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use first_core::{ChatCompletionRequest, DeploymentBuilder};
-use first_desim::{SimDuration, SimProcess, SimTime};
+use first_desim::{EventQueue, Interner, SimDuration, SimProcess, SimTime, SymbolId};
 use first_hpc::{BatchScheduler, Cluster, GpuModel, JobRequest};
 use first_serving::{find_model, run_to_completion, EngineConfig, InferenceRequest};
 use first_telemetry::{BucketHistogram, LabelSet, MetricRegistry};
@@ -125,12 +125,64 @@ fn bench_telemetry(c: &mut Criterion) {
     });
 }
 
+fn bench_interner(c: &mut Criterion) {
+    // The boundary costs of the interned-id architecture: one `get` per
+    // request at the API edge, one `resolve` per report/telemetry line.
+    let names: Vec<String> = (0..64)
+        .map(|i| format!("meta-llama/Llama-3.3-70B-Instruct-shard-{i}"))
+        .collect();
+    let mut interner = Interner::new();
+    for n in &names {
+        interner.intern(n);
+    }
+    c.bench_function("interner_lookup_64_models", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            interner.get(&names[i]).unwrap()
+        });
+    });
+    c.bench_function("interner_resolve", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            interner.resolve(SymbolId(i)).len()
+        });
+    });
+}
+
+fn bench_event_queue_100k(c: &mut Criterion) {
+    // Push/pop churn at 1e5 events: the desim future-event list under the
+    // load profile the scale sweep produces.
+    const N: u64 = 100_000;
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(10);
+    group.bench_function("push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(N as usize);
+            // Interleaved times (reversed halves) so the heap actually works.
+            for i in 0..N {
+                let t = if i % 2 == 0 { i } else { N - i };
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut sum = 0u64;
+            while let Some(ev) = q.pop() {
+                sum = sum.wrapping_add(ev.payload);
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_decode,
     bench_scheduler,
     bench_gateway_request_path,
     bench_vector_index,
-    bench_telemetry
+    bench_telemetry,
+    bench_interner,
+    bench_event_queue_100k
 );
 criterion_main!(benches);

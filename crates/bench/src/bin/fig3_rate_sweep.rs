@@ -2,25 +2,35 @@
 //! swept over offered request rates {1, 5, 10, 20, inf} req/s.
 //!
 //! Reports the four §5.1 metrics per (system, rate) cell and the paper-vs-
-//! measured comparison for the headline numbers.
+//! measured comparison for the headline numbers. The ten sweep points are
+//! independent deployments, so they run through the [`ScenarioExecutor`]
+//! (`FIRST_BENCH_THREADS` workers, default = available cores); the reported
+//! simulation metrics are bit-identical whatever the thread count.
 
 use first_bench::{
-    arrival_seed, arrivals, benchmark_request_count, benchmark_seed, print_comparisons,
-    print_reports, print_sim_stats, sharegpt_samples, BenchArtifact, Comparison, GateMetric,
+    aggregate_stats, arrival_seed, arrivals, benchmark_request_count, benchmark_seed,
+    print_comparisons, print_reports, print_sim_stats, sharegpt_samples, BenchArtifact, Comparison,
+    GateMetric, ScenarioExecutor,
 };
 use first_core::{run_direct_openloop, run_gateway_openloop, DeploymentBuilder, ScenarioReport};
-use first_desim::{SimMeter, SimTime};
+use first_desim::SimTime;
 use first_hpc::GpuModel;
 use first_serving::{find_model, EngineConfig};
 use first_workload::ArrivalProcess;
 
 const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
+/// One sweep cell: the FIRST stack or the direct-vLLM baseline at one rate.
+#[derive(Debug, Clone, Copy)]
+enum Point {
+    First(ArrivalProcess),
+    Direct(ArrivalProcess),
+}
+
 fn main() {
     let n = benchmark_request_count();
     let samples = sharegpt_samples(n, benchmark_seed());
     let horizon = SimTime::from_secs(24 * 3600);
-    let meter = SimMeter::start();
     let rates = [
         ArrivalProcess::FixedRate(1.0),
         ArrivalProcess::FixedRate(5.0),
@@ -28,51 +38,56 @@ fn main() {
         ArrivalProcess::FixedRate(20.0),
         ArrivalProcess::Infinite,
     ];
-
-    let mut first_reports: Vec<ScenarioReport> = Vec::new();
-    let mut direct_reports: Vec<ScenarioReport> = Vec::new();
-
-    for rate in rates {
-        let arr = arrivals(rate, n, arrival_seed());
-        // FIRST: gateway → Globus Compute → one hot 70B instance on Sophia.
-        let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
-            .prewarm(1)
-            .build_with_tokens();
-        let mut report = run_gateway_openloop(
-            &mut gateway,
-            &tokens.alice,
-            MODEL,
-            &samples,
-            &arr,
-            &rate.label(),
-            horizon,
-        );
-        report.label = "FIRST".to_string();
-        first_reports.push(report);
-
-        // vLLM Direct: the same engine behind the single-threaded API server.
-        let cfg = EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
-        direct_reports.push(run_direct_openloop(
-            cfg,
-            &samples,
-            &arr,
-            &rate.label(),
-            horizon,
-        ));
-    }
-
-    let sim_secs: f64 = first_reports
+    let points: Vec<Point> = rates
         .iter()
-        .chain(direct_reports.iter())
-        .map(|r| r.duration_s)
-        .sum();
-    let sim = meter.finish(SimTime::from_secs_f64(sim_secs));
+        .map(|&r| Point::First(r))
+        .chain(rates.iter().map(|&r| Point::Direct(r)))
+        .collect();
+
+    let executor = ScenarioExecutor::from_env();
+    let harness = std::time::Instant::now();
+    let runs = executor.run(points, |_, point| match point {
+        Point::First(rate) => {
+            let arr = arrivals(rate, n, arrival_seed());
+            // FIRST: gateway → Globus Compute → one hot 70B instance on Sophia.
+            let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
+                .prewarm(1)
+                .build_with_tokens();
+            let mut report = run_gateway_openloop(
+                &mut gateway,
+                &tokens.alice,
+                MODEL,
+                &samples,
+                &arr,
+                &rate.label(),
+                horizon,
+            );
+            report.label = "FIRST".to_string();
+            report
+        }
+        Point::Direct(rate) => {
+            let arr = arrivals(rate, n, arrival_seed());
+            // vLLM Direct: the same engine behind the single-threaded server.
+            let cfg = EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
+            run_direct_openloop(cfg, &samples, &arr, &rate.label(), horizon)
+        }
+    });
+
+    let stats: Vec<_> = runs.iter().map(|r| r.stats).collect();
+    let reports: Vec<ScenarioReport> = runs.into_iter().map(|r| r.result).collect();
+    let (first_reports, direct_reports) = reports.split_at(rates.len());
+
+    let sim_secs: f64 = reports.iter().map(|r| r.duration_s).sum();
+    // Round-trip through integer-microsecond SimTime, exactly as a
+    // single-threaded SimMeter::finish would have.
+    let sim_secs = SimTime::from_secs_f64(sim_secs).as_secs_f64();
+    let sim = aggregate_stats(stats, harness.elapsed().as_secs_f64(), sim_secs);
 
     print_reports(
         "Figure 3 — FIRST (Llama 3.3 70B, 1 instance)",
-        &first_reports,
+        first_reports,
     );
-    print_reports("Figure 3 — vLLM Direct (Llama 3.3 70B)", &direct_reports);
+    print_reports("Figure 3 — vLLM Direct (Llama 3.3 70B)", direct_reports);
 
     let first_low = &first_reports[0];
     let direct_low = &direct_reports[0];
@@ -130,8 +145,8 @@ fn main() {
         ),
     ];
     let artifact = BenchArtifact::new("fig3_rate_sweep")
-        .with_scenarios(&first_reports)
-        .with_scenarios(&direct_reports)
+        .with_scenarios(first_reports)
+        .with_scenarios(direct_reports)
         .with_comparisons(&comparisons)
         .with_metric(GateMetric::higher(
             "first_req_per_s_at_inf",

@@ -118,6 +118,52 @@ fn federated_inf(n: usize) -> (ScenarioReport, SimRunStats, Vec<GateMetric>) {
     (report, sim, metrics)
 }
 
+/// Fast subset of the `scale_sweep` workload: one infinite-rate point on the
+/// single-instance Sophia deployment — the deep-queue regime where the
+/// interned-id hot paths and the response-cache eviction index carry the
+/// load. Gating its event count and peak queue depth keeps the scale story
+/// honest at smoke size.
+fn scale_inf(n: usize) -> (ScenarioReport, SimRunStats, Vec<GateMetric>) {
+    let seed = first_bench::benchmark_seed().wrapping_add(1);
+    let samples = sharegpt_samples(n, seed);
+    let arr = arrivals(
+        ArrivalProcess::Infinite,
+        n,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(7),
+    );
+    let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
+        .prewarm(1)
+        .build_with_tokens();
+    let meter = SimMeter::start();
+    let mut report = run_gateway_openloop(
+        &mut gateway,
+        &tokens.alice,
+        MODEL,
+        &samples,
+        &arr,
+        "inf",
+        SimTime::from_secs(24 * 3600),
+    );
+    let sim = meter.finish(SimTime::from_secs_f64(report.duration_s));
+    report.label = "gate: scale@inf".to_string();
+    let metrics = vec![
+        GateMetric::higher("scale_inf/completed", report.completed as f64, 0.001),
+        GateMetric::higher("scale_inf/req_per_s", report.request_throughput, DET),
+        GateMetric::lower(
+            "scale_inf/events_processed",
+            sim.events_processed as f64,
+            0.10,
+        ),
+        GateMetric::lower(
+            "scale_inf/peak_queue_depth",
+            sim.peak_queue_depth as f64,
+            0.10,
+        ),
+        GateMetric::lower("scale_inf/wall_time_s", sim.wall_time_s, WALL).with_floor(WALL_FLOOR),
+    ];
+    (report, sim, metrics)
+}
+
 /// Event-queue micro-benchmark: schedule-then-drain churn on the desim
 /// kernel's future-event list (the `drain_due` hot path).
 fn queue_drain_micro() -> (SimRunStats, Vec<GateMetric>) {
@@ -176,15 +222,17 @@ fn main() {
     let n = benchmark_request_count();
     let (r1, s1, m1) = gateway_rate5(n);
     let (r2, s2, m2) = federated_inf(n);
-    let (s3, m3) = queue_drain_micro();
+    let (r3, s3, m3) = scale_inf(n);
+    let (s4, m4) = queue_drain_micro();
     let mut sim = s1;
     sim.merge(&s2);
     sim.merge(&s3);
+    sim.merge(&s4);
 
     let mut artifact = BenchArtifact::new("perf_gate")
-        .with_scenarios(&[r1, r2])
+        .with_scenarios(&[r1, r2, r3])
         .with_sim(sim);
-    for mut m in m1.into_iter().chain(m2).chain(m3) {
+    for mut m in m1.into_iter().chain(m2).chain(m3).chain(m4) {
         if inject_regression {
             // Synthetic 2x regression in the bad direction of every metric:
             // the gate must fail, proving the comparison still bites.

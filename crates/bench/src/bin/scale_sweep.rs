@@ -1,0 +1,139 @@
+//! Million-request scale sweep: drives the gateway at n = 100k–1M requests
+//! per point and emits `BENCH_scale_sweep.json` (wall clock, events/s, and
+//! the peak-queue-depth memory proxy per point).
+//!
+//! Points are (arrival rate × seed) combinations over independent
+//! deployments, so the sweep fans out across `FIRST_BENCH_THREADS` workers
+//! (default = available cores; 1 = sequential). The reported simulation
+//! metrics are bit-identical whatever the thread count — only the wall
+//! clock changes.
+//!
+//! Request count: `FIRST_BENCH_REQUESTS` when set, otherwise 100 000 (this
+//! binary exists to prove the scale story, so its default is 100x the other
+//! binaries'; CI smoke runs it at 2000). Aim it at a million with
+//! `FIRST_BENCH_REQUESTS=1000000`.
+
+use first_bench::{
+    aggregate_stats, arrivals, benchmark_seed, print_reports, print_sim_stats, sharegpt_samples,
+    BenchArtifact, GateMetric, PointStats, ScenarioExecutor,
+};
+use first_core::{run_gateway_openloop, DeploymentBuilder, ScenarioReport};
+use first_desim::SimTime;
+use first_workload::ArrivalProcess;
+
+const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
+
+/// Default request count (overridden by `FIRST_BENCH_REQUESTS`).
+const DEFAULT_REQUESTS: usize = 100_000;
+
+fn request_count() -> usize {
+    std::env::var("FIRST_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_REQUESTS)
+}
+
+fn main() {
+    let n = request_count();
+    let base_seed = benchmark_seed();
+    // Long horizon: a million requests at the dispatcher's ~25 req/s ceiling
+    // covers ~11 virtual hours; give the drain comfortable headroom.
+    let horizon = SimTime::from_secs(14 * 24 * 3600);
+    // Multi-point sweep: two independent seeds per rate, so the executor has
+    // parallel work and the artifact shows seed sensitivity at scale.
+    let rates = [
+        ArrivalProcess::FixedRate(10.0),
+        ArrivalProcess::FixedRate(20.0),
+        ArrivalProcess::Infinite,
+    ];
+    let seeds = [base_seed, base_seed.wrapping_add(1)];
+    let points: Vec<(ArrivalProcess, u64)> = rates
+        .iter()
+        .flat_map(|&r| seeds.iter().map(move |&s| (r, s)))
+        .collect();
+
+    let executor = ScenarioExecutor::from_env();
+    println!(
+        "scale sweep: {} requests x {} points ({} threads)",
+        n,
+        points.len(),
+        executor.threads()
+    );
+    let harness = std::time::Instant::now();
+    let runs = executor.run(points, |_, (rate, seed)| {
+        let samples = sharegpt_samples(n, seed);
+        let arr = arrivals(rate, n, seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
+            .prewarm(1)
+            .build_with_tokens();
+        let mut report = run_gateway_openloop(
+            &mut gateway,
+            &tokens.alice,
+            MODEL,
+            &samples,
+            &arr,
+            &rate.label(),
+            horizon,
+        );
+        report.label = format!("scale seed={seed}");
+        report
+    });
+
+    let stats: Vec<PointStats> = runs.iter().map(|r| r.stats).collect();
+    let reports: Vec<ScenarioReport> = runs.into_iter().map(|r| r.result).collect();
+    let wall = harness.elapsed().as_secs_f64();
+    let sim_secs: f64 = reports.iter().map(|r| r.duration_s).sum();
+    // Round-trip through integer-microsecond SimTime, exactly as a
+    // single-threaded SimMeter::finish would have.
+    let sim_secs = SimTime::from_secs_f64(sim_secs).as_secs_f64();
+    let sim = aggregate_stats(stats.iter().copied(), wall, sim_secs);
+
+    print_reports(&format!("Scale sweep — {n} requests/point"), &reports);
+
+    let completed: usize = reports.iter().map(|r| r.completed).sum();
+    let offered: usize = reports.iter().map(|r| r.offered).sum();
+    let slowest_point_wall = stats.iter().map(|s| s.wall_time_s).fold(0.0, f64::max);
+    let events_per_sec = sim.events_per_sec();
+
+    let mut artifact = BenchArtifact::new("scale_sweep")
+        .with_scenarios(&reports)
+        .with_metric(GateMetric::higher(
+            "scale/completed",
+            completed as f64,
+            0.001,
+        ))
+        .with_metric(GateMetric::lower(
+            "scale/events_processed",
+            sim.events_processed as f64,
+            0.10,
+        ))
+        .with_metric(GateMetric::lower(
+            "scale/peak_queue_depth",
+            sim.peak_queue_depth as f64,
+            0.10,
+        ))
+        .with_metric(GateMetric::lower("scale/wall_time_s", sim.wall_time_s, 4.0).with_floor(0.25));
+    // Per-point wall + events/s rows make the sweep's parallel behaviour
+    // visible in the artifact (the deterministic rows above gate it).
+    for (report, stat) in reports.iter().zip(&stats) {
+        artifact = artifact.with_metric(GateMetric::lower(
+            &format!(
+                "scale/point_wall_s/{}@{}",
+                report.label.replace(' ', "_"),
+                report.offered_rate
+            ),
+            stat.wall_time_s,
+            8.0,
+        ));
+    }
+    // The artifact's `requests` field records the *per-point* request count
+    // (this binary's own default differs from the shared helper's 1000).
+    artifact.requests = n;
+    let artifact = artifact.with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    println!(
+        "scale: {completed}/{offered} completed, {:.0} events/s, slowest point {slowest_point_wall:.3}s wall",
+        events_per_sec
+    );
+    artifact.write().expect("artifact written");
+}

@@ -13,8 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod report;
 
+pub use executor::{aggregate_stats, PointRun, PointStats, ScenarioExecutor};
 pub use report::{
     artifact_out_dir, baseline_dir, gate_compare, print_sim_stats, BenchArtifact, GateCheck,
     GateMetric, GateResult, SCHEMA_VERSION,

@@ -202,7 +202,7 @@ impl BenchArtifact {
 
     /// Write the artifact into `dir` (created if missing); returns the path.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
+        ensure_out_dir(dir)?;
         let path = dir.join(self.file_name());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
@@ -222,6 +222,16 @@ impl BenchArtifact {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         Self::from_json(&text)
+    }
+}
+
+/// Create the artifact directory, tolerating a concurrent bench binary (or
+/// sweep worker) racing the same `mkdir`: a create error is only fatal when
+/// the directory genuinely does not exist afterwards.
+fn ensure_out_dir(dir: &Path) -> std::io::Result<()> {
+    match std::fs::create_dir_all(dir) {
+        Err(e) if !dir.is_dir() => Err(e),
+        _ => Ok(()),
     }
 }
 

@@ -12,16 +12,17 @@ use crate::api::{
     GatewayError, Usage,
 };
 use crate::middleware::{AuthMiddleware, CachedResponse, RateLimiter, ResponseCache};
-use crate::registry::{FederationRouter, ModelRegistry, RoutingDecision, RoutingPolicy};
+use crate::registry::{FederationRouter, ModelId, ModelRegistry, RoutedTarget, RoutingPolicy};
 use crate::storage::{GatewayMetrics, RequestLog, RequestLogEntry};
 use crate::workers::{WorkerPool, WorkerPoolConfig};
 use first_auth::{AuthService, TokenString};
 use first_chaos::{HealthTracker, ResilienceConfig};
-use first_desim::{SimDuration, SimProcess, SimTime};
-use first_fabric::{ClientConfig, ComputeService, FunctionId, TaskId};
+use first_desim::{IdHashBuilder, SimDuration, SimProcess, SimTime};
+use first_fabric::{ClientConfig, ComputeService, EndpointId, FunctionId, TaskId};
 use first_serving::InferenceRequest;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Gateway configuration: the knobs the paper's optimization study varies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -128,8 +129,15 @@ pub struct JobsEntry {
 #[derive(Debug, Clone)]
 struct PendingDispatch {
     request_id: u64,
+    /// Interned model id (resolved once at the API boundary).
+    model: ModelId,
     inference: InferenceRequest,
-    endpoint: String,
+    /// Configured endpoint name (shared with the routing candidate list, so
+    /// carrying it costs an `Arc` bump, not an allocation).
+    endpoint_name: Arc<str>,
+    /// Dense endpoint id; `None` when the registry named an endpoint the
+    /// service does not know (submission then fails, as the string path did).
+    endpoint: Option<EndpointId>,
     function: FunctionId,
     submit_at: SimTime,
     worker: usize,
@@ -147,8 +155,10 @@ struct InFlight {
     arrived_at: SimTime,
     submitted_at: SimTime,
     user: String,
-    model: String,
-    endpoint: String,
+    /// Interned model id; the name lives in `inference.model` for boundary
+    /// output (responses, logs, metrics keys).
+    model: ModelId,
+    endpoint_name: Arc<str>,
     worker: usize,
     operation: &'static str,
     prompt_tokens: u32,
@@ -182,18 +192,44 @@ pub struct Gateway {
     log: RequestLog,
     metrics: GatewayMetrics,
     pending: Vec<PendingDispatch>,
-    in_flight: HashMap<TaskId, InFlight>,
+    /// Earliest `submit_at` across `pending` (cached so the per-event checks
+    /// are O(1) instead of scanning a queue that holds every not-yet-due
+    /// dispatch — at million-request scale that scan dominated the run).
+    next_submit_at: Option<SimTime>,
+    /// Earliest `deliver_at` across `awaiting` (same caching).
+    next_deliver_at: Option<SimTime>,
+    /// In-flight tasks, indexed by `TaskId - 1` (the service assigns task ids
+    /// densely from 1, and this gateway is the service's only client). A slab
+    /// instead of a hash map: insertion and removal are a bounds-checked
+    /// index, and the hedge scan walks memory in task order. Entries are
+    /// boxed so a resolved slot costs one pointer, not an inline `InFlight`,
+    /// over the run's whole task history.
+    in_flight: Vec<Option<Box<InFlight>>>,
+    in_flight_count: usize,
+    /// Index of the first possibly-live slab slot: tasks resolve roughly in
+    /// task order, so advancing this watermark keeps the hedge scans O(live)
+    /// instead of O(tasks ever issued).
+    in_flight_first_live: usize,
     awaiting: Vec<AwaitingDelivery>,
     responses: Vec<CompletedRequest>,
-    connected_endpoints: HashSet<String>,
+    /// Whether the endpoint (by dense id) has been connected to before —
+    /// replaces a name-keyed `HashSet` that hashed an endpoint name per
+    /// request.
+    connected_endpoints: Vec<bool>,
+    /// First-connection tracking for endpoints the service does not know
+    /// (requests to them fail at submission, but the connection-overhead
+    /// model still distinguishes first contact per configured name, exactly
+    /// as the name-keyed path did). Touched only in misconfigured
+    /// deployments.
+    connected_unresolved: HashSet<Arc<str>>,
     health: HealthTracker,
     /// Request ids answered while sibling copies were still racing (guards
     /// against a hedge sibling delivering twice). An id is dropped when its
     /// last copy resolves, so the set stays bounded by concurrent hedges.
-    delivered: HashSet<u64>,
+    delivered: HashSet<u64, IdHashBuilder>,
     /// Outstanding copies (original + hedges + scheduled retries) per
-    /// still-unanswered request id.
-    outstanding: HashMap<u64, u32>,
+    /// still-unanswered request id, indexed by `request_id` (dense from 1).
+    outstanding: Vec<u32>,
     /// Latest instant the gateway has been advanced to (used for health
     /// staleness in `/jobs` and the dashboard).
     last_advance: SimTime,
@@ -248,12 +284,17 @@ impl Gateway {
             log: RequestLog::new(),
             metrics: GatewayMetrics::new(),
             pending: Vec::new(),
-            in_flight: HashMap::new(),
+            next_submit_at: None,
+            next_deliver_at: None,
+            in_flight: Vec::new(),
+            in_flight_count: 0,
+            in_flight_first_live: 0,
             awaiting: Vec::new(),
             responses: Vec::new(),
-            connected_endpoints: HashSet::new(),
-            delivered: HashSet::new(),
-            outstanding: HashMap::new(),
+            connected_endpoints: Vec::new(),
+            connected_unresolved: HashSet::new(),
+            delivered: HashSet::default(),
+            outstanding: Vec::new(),
             last_advance: SimTime::ZERO,
             started_wall: std::time::Instant::now(),
             events_at_start: first_desim::stats::kernel::events_processed(),
@@ -351,9 +392,63 @@ impl Gateway {
     /// Whether all accepted requests have been answered.
     pub fn is_drained(&self) -> bool {
         self.pending.is_empty()
-            && self.in_flight.is_empty()
+            && self.in_flight_count == 0
             && self.awaiting.is_empty()
             && self.service.is_drained()
+    }
+
+    #[inline]
+    fn in_flight_insert(&mut self, task: TaskId, entry: InFlight) {
+        let idx = (task.0 as usize).saturating_sub(1);
+        if idx >= self.in_flight.len() {
+            self.in_flight.resize_with(idx + 1, || None);
+        }
+        if self.in_flight[idx].replace(Box::new(entry)).is_none() {
+            self.in_flight_count += 1;
+        }
+    }
+
+    #[inline]
+    fn in_flight_remove(&mut self, task: TaskId) -> Option<Box<InFlight>> {
+        let idx = (task.0 as usize).wrapping_sub(1);
+        let entry = self.in_flight.get_mut(idx).and_then(Option::take);
+        if entry.is_some() {
+            self.in_flight_count -= 1;
+            // Advance the live watermark past the resolved prefix (amortized
+            // O(1): each slot is skipped once over the gateway's lifetime).
+            if idx == self.in_flight_first_live {
+                while self
+                    .in_flight
+                    .get(self.in_flight_first_live)
+                    .is_some_and(Option::is_none)
+                {
+                    self.in_flight_first_live += 1;
+                }
+            }
+        }
+        entry
+    }
+
+    /// Iterate live in-flight entries with their task ids, in task order,
+    /// skipping the fully resolved prefix.
+    fn in_flight_iter(&self) -> impl Iterator<Item = (TaskId, &InFlight)> {
+        self.in_flight[self.in_flight_first_live..]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, f)| {
+                f.as_deref()
+                    .map(|f| (TaskId((self.in_flight_first_live + i) as u64 + 1), f))
+            })
+    }
+
+    /// One outstanding-copy counter slot per request id (dense from 1).
+    #[inline]
+    fn outstanding_slot(&mut self, request_id: u64) -> &mut u32 {
+        let idx = (request_id as usize).saturating_sub(1);
+        if idx >= self.outstanding.len() {
+            self.outstanding.resize(idx + 1, 0);
+        }
+        &mut self.outstanding[idx]
     }
 
     fn authorize(
@@ -374,31 +469,53 @@ impl Gateway {
         Ok((user.0, outcome.added_latency))
     }
 
-    fn route_model(&self, model: &str, now: SimTime) -> Result<RoutingDecision, GatewayError> {
-        if !self.registry.is_registered(model) {
+    /// Resolve a model name to its id and routing target — the API-boundary
+    /// step; everything downstream carries ids.
+    fn route_model(
+        &self,
+        model: &str,
+        now: SimTime,
+    ) -> Result<(ModelId, RoutedTarget), GatewayError> {
+        let Some(id) = self.registry.model_id(model) else {
             return Err(GatewayError::ModelNotFound(model.to_string()));
-        }
-        let decision = if self.config.resilience.enabled {
-            self.router
-                .route_with_health(&self.registry, &self.service, model, &self.health, now)
-        } else {
-            self.router.route(&self.registry, &self.service, model)
         };
-        decision.ok_or_else(|| GatewayError::ModelNotFound(model.to_string()))
+        let target = if self.config.resilience.enabled {
+            self.router.route_target_with_health(
+                &self.registry,
+                &self.service,
+                id,
+                &self.health,
+                now,
+            )
+        } else {
+            self.router.route_target(&self.registry, &self.service, id)
+        };
+        match target {
+            Some(target) => Ok((id, target)),
+            None => Err(GatewayError::ModelNotFound(model.to_string())),
+        }
     }
 
-    fn connection_overhead(&mut self, endpoint: &str) -> SimDuration {
-        let first = !self.connected_endpoints.contains(endpoint);
-        let overhead = self.config.client.submit_overhead(first);
-        self.connected_endpoints.insert(endpoint.to_string());
-        overhead
+    fn connection_overhead(&mut self, target: &RoutedTarget) -> SimDuration {
+        let connected = match target.endpoint {
+            Some(id) => {
+                let idx = id.index();
+                if idx >= self.connected_endpoints.len() {
+                    self.connected_endpoints.resize(idx + 1, false);
+                }
+                std::mem::replace(&mut self.connected_endpoints[idx], true)
+            }
+            None => !self.connected_unresolved.insert(Arc::clone(&target.name)),
+        };
+        self.config.client.submit_overhead(!connected)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn accept(
         &mut self,
+        model: ModelId,
         inference: InferenceRequest,
-        endpoint: String,
+        target: RoutedTarget,
         function: FunctionId,
         user: String,
         operation: &'static str,
@@ -409,13 +526,16 @@ impl Gateway {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         let admission = self.workers.admit(now);
-        let connection = self.connection_overhead(&endpoint);
+        let connection = self.connection_overhead(&target);
         let submit_at = admission.dispatch_ready_at + auth_latency + connection;
-        self.outstanding.insert(request_id, 1);
+        *self.outstanding_slot(request_id) = 1;
+        self.next_submit_at = Some(self.next_submit_at.map_or(submit_at, |t| t.min(submit_at)));
         self.pending.push(PendingDispatch {
             request_id,
+            model,
             inference,
-            endpoint,
+            endpoint_name: target.name,
+            endpoint: target.endpoint,
             function,
             submit_at,
             worker: admission.worker,
@@ -495,7 +615,7 @@ impl Gateway {
                 return Ok(request_id);
             }
         }
-        let decision = match self.route_model(&request.model, now) {
+        let (model, target) = match self.route_model(&request.model, now) {
             Ok(d) => d,
             Err(e) => {
                 self.metrics.on_rejected();
@@ -505,8 +625,9 @@ impl Gateway {
         let output = expected_output_tokens.unwrap_or(self.config.default_output_tokens);
         let inference = chat_to_inference(self.next_request_id, request, &user, output);
         Ok(self.accept(
+            model,
             inference,
-            decision.endpoint,
+            target,
             self.inference_fn,
             user,
             "chat_completions",
@@ -537,7 +658,7 @@ impl Gateway {
                 return Err(e);
             }
         };
-        let decision = match self.route_model(&request.model, now) {
+        let (model, target) = match self.route_model(&request.model, now) {
             Ok(d) => d,
             Err(e) => {
                 self.metrics.on_rejected();
@@ -546,8 +667,9 @@ impl Gateway {
         };
         let inference = embedding_to_inference(self.next_request_id, request, &user);
         Ok(self.accept(
+            model,
             inference,
-            decision.endpoint,
+            target,
             self.embedding_fn,
             user,
             "embeddings",
@@ -634,29 +756,37 @@ impl Gateway {
     }
 
     fn submit_due(&mut self, now: SimTime) {
-        // Most advances have nothing to submit; skip the take-and-rebuild
-        // (and its allocation) entirely unless some dispatch is due.
-        if !self.pending.iter().any(|p| p.submit_at <= now) {
+        // Most advances have nothing to submit; the cached earliest deadline
+        // makes that check O(1) (no scan of the undue backlog).
+        if self.next_submit_at.is_none_or(|t| t > now) {
             return;
         }
         let mut remaining = Vec::with_capacity(self.pending.len());
         let mut retries: Vec<PendingDispatch> = Vec::new();
         for p in std::mem::take(&mut self.pending) {
             if p.submit_at <= now {
-                match self
-                    .service
-                    .submit(p.function, &p.endpoint, p.inference.clone(), p.submit_at)
-                {
+                let submitted = match p.endpoint {
+                    Some(endpoint) => self.service.submit_to(
+                        p.function,
+                        endpoint,
+                        p.inference.clone(),
+                        p.submit_at,
+                    ),
+                    None => Err(first_fabric::FabricError::UnknownEndpoint(
+                        p.endpoint_name.to_string(),
+                    )),
+                };
+                match submitted {
                     Ok(task) => {
-                        self.in_flight.insert(
+                        self.in_flight_insert(
                             task,
                             InFlight {
                                 request_id: p.request_id,
                                 arrived_at: p.arrived_at,
                                 submitted_at: p.submit_at,
                                 user: p.user,
-                                model: p.inference.model.clone(),
-                                endpoint: p.endpoint,
+                                model: p.model,
+                                endpoint_name: p.endpoint_name,
                                 worker: p.worker,
                                 operation: p.operation,
                                 prompt_tokens: p.inference.prompt_tokens,
@@ -686,9 +816,10 @@ impl Gateway {
                         {
                             if let Some(retry) = self.make_retry(
                                 p.request_id,
+                                p.model,
                                 &p.inference,
                                 p.function,
-                                &p.endpoint,
+                                &p.endpoint_name,
                                 p.worker,
                                 p.arrived_at,
                                 p.user.clone(),
@@ -707,7 +838,7 @@ impl Gateway {
                             request_id: p.request_id,
                             user: p.user,
                             model: p.inference.model.clone(),
-                            endpoint: p.endpoint,
+                            endpoint: p.endpoint_name.to_string(),
                             arrived_at: p.arrived_at,
                             finished_at: now,
                             usage: Usage::default(),
@@ -723,19 +854,19 @@ impl Gateway {
         }
         self.pending = remaining;
         self.pending.extend(retries);
+        self.next_submit_at = self.pending.iter().map(|p| p.submit_at).min();
     }
 
     /// Mark one outstanding copy of `request_id` as resolved; returns how
     /// many copies remain in flight or pending.
     fn resolve_copy(&mut self, request_id: u64) -> u32 {
-        match self.outstanding.get_mut(&request_id) {
+        match self
+            .outstanding
+            .get_mut((request_id as usize).wrapping_sub(1))
+        {
             Some(count) => {
                 *count = count.saturating_sub(1);
-                let left = *count;
-                if left == 0 {
-                    self.outstanding.remove(&request_id);
-                }
-                left
+                *count
             }
             None => 0,
         }
@@ -747,6 +878,7 @@ impl Gateway {
     fn make_retry(
         &mut self,
         request_id: u64,
+        model: ModelId,
         inference: &InferenceRequest,
         function: FunctionId,
         failed_endpoint: &str,
@@ -758,24 +890,26 @@ impl Gateway {
         attempt: u32,
         now: SimTime,
     ) -> Option<PendingDispatch> {
-        let decision = self.router.route_for_retry(
+        let target = self.router.route_target_for_retry(
             &self.registry,
             &self.service,
-            &inference.model,
+            model,
             &self.health,
             now,
             failed_endpoint,
         )?;
         self.metrics.on_retry();
-        if decision.endpoint != failed_endpoint {
+        if target.name.as_ref() != failed_endpoint {
             self.metrics.on_failover();
         }
         let backoff = self.config.resilience.retry.backoff(attempt);
-        *self.outstanding.entry(request_id).or_insert(0) += 1;
+        *self.outstanding_slot(request_id) += 1;
         Some(PendingDispatch {
             request_id,
+            model,
             inference: inference.clone(),
-            endpoint: decision.endpoint,
+            endpoint_name: target.name,
+            endpoint: target.endpoint,
             function,
             submit_at: now + backoff,
             worker,
@@ -798,53 +932,66 @@ impl Gateway {
         let Some(hedge_after) = self.config.resilience.hedge_after else {
             return;
         };
-        let mut candidates: Vec<TaskId> = self
-            .in_flight
-            .iter()
+        // Slab order is task order, so no sort is needed to keep hedging
+        // deterministic.
+        let candidates: Vec<TaskId> = self
+            .in_flight_iter()
             .filter(|(_, f)| !f.hedged && now.saturating_since(f.submitted_at) >= hedge_after)
             .filter(|(_, f)| !self.delivered.contains(&f.request_id))
-            .map(|(t, _)| *t)
+            .map(|(t, _)| t)
             .collect();
-        candidates.sort();
         for task in candidates {
-            let Some(f) = self.in_flight.get(&task) else {
+            let idx = (task.0 as usize).wrapping_sub(1);
+            let Some(f) = self.in_flight.get(idx).and_then(Option::as_deref) else {
                 continue;
             };
-            let (request_id, model, endpoint) = (f.request_id, f.model.clone(), f.endpoint.clone());
+            let (request_id, model, endpoint_name) =
+                (f.request_id, f.model, Arc::clone(&f.endpoint_name));
             // Whatever happens below, this copy's hedge decision is final:
             // an unmarked candidate with an elapsed deadline would make
             // `next_event_time` return the same past instant forever and
             // livelock every event-loop driver.
-            if let Some(f) = self.in_flight.get_mut(&task) {
+            if let Some(f) = self.in_flight.get_mut(idx).and_then(|s| s.as_deref_mut()) {
                 f.hedged = true;
             }
-            let Some(decision) = self.router.route_for_retry(
+            let Some(target) = self.router.route_target_for_retry(
                 &self.registry,
                 &self.service,
-                &model,
+                model,
                 &self.health,
                 now,
-                &endpoint,
+                &endpoint_name,
             ) else {
                 continue;
             };
-            if decision.endpoint == endpoint {
+            if target.name == endpoint_name {
                 // No alternative site: duplicating onto the same stuck
                 // endpoint would only add load.
                 continue;
             }
-            let f = self.in_flight.get(&task).expect("candidate exists").clone();
-            if let Ok(new_task) =
-                self.service
-                    .submit(f.function, &decision.endpoint, f.inference.clone(), now)
-            {
+            let f = self
+                .in_flight
+                .get(idx)
+                .and_then(Option::as_deref)
+                .expect("candidate exists")
+                .clone();
+            let submitted = match target.endpoint {
+                Some(endpoint) => {
+                    self.service
+                        .submit_to(f.function, endpoint, f.inference.clone(), now)
+                }
+                None => Err(first_fabric::FabricError::UnknownEndpoint(
+                    target.name.to_string(),
+                )),
+            };
+            if let Ok(new_task) = submitted {
                 self.metrics.on_hedge();
-                *self.outstanding.entry(request_id).or_insert(0) += 1;
-                self.in_flight.insert(
+                *self.outstanding_slot(request_id) += 1;
+                self.in_flight_insert(
                     new_task,
                     InFlight {
                         submitted_at: now,
-                        endpoint: decision.endpoint,
+                        endpoint_name: target.name,
                         hedged: true,
                         ..f
                     },
@@ -855,9 +1002,10 @@ impl Gateway {
 
     fn collect_results(&mut self, now: SimTime) {
         for result in self.service.poll_results(now) {
-            let Some(in_flight) = self.in_flight.remove(&result.task) else {
+            let Some(in_flight) = self.in_flight_remove(result.task) else {
                 continue;
             };
+            let in_flight = *in_flight;
             let available = self
                 .service
                 .task(result.task)
@@ -873,6 +1021,10 @@ impl Gateway {
                 .as_ref()
                 .map(|c| c.output_tokens)
                 .unwrap_or(0);
+            self.next_deliver_at = Some(
+                self.next_deliver_at
+                    .map_or(deliver_at, |t| t.min(deliver_at)),
+            );
             self.awaiting.push(AwaitingDelivery {
                 in_flight,
                 deliver_at,
@@ -885,7 +1037,7 @@ impl Gateway {
     fn deliver_due(&mut self, now: SimTime) {
         // Same early-out as submit_due: deliveries are sparse relative to
         // simulation events, so don't rebuild the buffer when nothing is due.
-        if !self.awaiting.iter().any(|a| a.deliver_at <= now) {
+        if self.next_deliver_at.is_none_or(|t| t > now) {
             return;
         }
         let mut remaining = Vec::with_capacity(self.awaiting.len());
@@ -895,7 +1047,8 @@ impl Gateway {
                 let request_id = a.in_flight.request_id;
                 let copies_left = self.resolve_copy(request_id);
                 // Every copy's outcome is real signal about its endpoint.
-                self.observe_outcome(&a.in_flight.endpoint, a.success, a.deliver_at);
+                let endpoint_name = Arc::clone(&a.in_flight.endpoint_name);
+                self.observe_outcome(&endpoint_name, a.success, a.deliver_at);
                 // A hedge sibling already answered: swallow this copy. Once
                 // the last copy resolves, the id is no longer needed — the
                 // set stays bounded by the number of in-flight hedges rather
@@ -915,9 +1068,10 @@ impl Gateway {
                     if a.in_flight.attempt < self.config.resilience.retry.max_retries {
                         if let Some(retry) = self.make_retry(
                             request_id,
+                            a.in_flight.model,
                             &a.in_flight.inference,
                             a.in_flight.function,
-                            &a.in_flight.endpoint,
+                            &endpoint_name,
                             a.in_flight.worker,
                             a.in_flight.arrived_at,
                             a.in_flight.user.clone(),
@@ -940,7 +1094,7 @@ impl Gateway {
                 self.workers.release(a.in_flight.worker, a.deliver_at);
                 if a.success {
                     self.metrics.on_completed(
-                        &a.in_flight.model,
+                        &a.in_flight.inference.model,
                         a.deliver_at - a.in_flight.arrived_at,
                         a.completion_tokens,
                     );
@@ -960,8 +1114,8 @@ impl Gateway {
                 self.record_log(
                     a.in_flight.request_id,
                     &a.in_flight.user,
-                    &a.in_flight.model,
-                    &a.in_flight.endpoint,
+                    &a.in_flight.inference.model,
+                    &endpoint_name,
                     a.in_flight.operation,
                     a.in_flight.arrived_at,
                     a.deliver_at,
@@ -971,8 +1125,8 @@ impl Gateway {
                 self.responses.push(CompletedRequest {
                     request_id: a.in_flight.request_id,
                     user: a.in_flight.user,
-                    model: a.in_flight.model,
-                    endpoint: a.in_flight.endpoint,
+                    model: a.in_flight.inference.model,
+                    endpoint: endpoint_name.to_string(),
                     arrived_at: a.in_flight.arrived_at,
                     finished_at: a.deliver_at,
                     usage,
@@ -984,6 +1138,13 @@ impl Gateway {
             }
         }
         self.awaiting = remaining;
+        self.next_deliver_at = self.awaiting.iter().map(|a| a.deliver_at).min();
+        if let Some(first_retry) = retries.iter().map(|r| r.submit_at).min() {
+            self.next_submit_at = Some(
+                self.next_submit_at
+                    .map_or(first_retry, |t| t.min(first_retry)),
+            );
+        }
         self.pending.extend(retries);
     }
 
@@ -1011,16 +1172,17 @@ impl SimProcess for Gateway {
                 (None, b) => b,
             };
         };
-        consider(self.pending.iter().map(|p| p.submit_at).min());
-        consider(self.awaiting.iter().map(|a| a.deliver_at).min());
+        consider(self.next_submit_at);
+        consider(self.next_deliver_at);
         consider(SimProcess::next_event_time(&self.service));
         if self.config.resilience.enabled {
             if let Some(hedge_after) = self.config.resilience.hedge_after {
                 // A stuck request becomes an event when its hedge deadline
                 // expires, even if nothing else in the simulation moves.
                 consider(
-                    self.in_flight
-                        .values()
+                    self.in_flight[self.in_flight_first_live..]
+                        .iter()
+                        .flatten()
                         .filter(|f| !f.hedged)
                         .map(|f| f.submitted_at + hedge_after)
                         .min(),

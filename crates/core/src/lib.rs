@@ -47,7 +47,8 @@ pub use deploy::{enroll_standard_users, ClusterSite, DeploymentBuilder, HostedMo
 pub use gateway::{CompletedRequest, Gateway, GatewayConfig, JobsEntry};
 pub use middleware::{AuthMiddleware, RateLimiter, ResponseCache};
 pub use registry::{
-    FederationRouter, ModelRegistry, RoutingDecision, RoutingPolicy, RoutingReason,
+    FederationRouter, ModelId, ModelRegistry, RouteCandidate, RoutedTarget, RoutingDecision,
+    RoutingPolicy, RoutingReason,
 };
 pub use sim::{
     run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_resilience_openloop,

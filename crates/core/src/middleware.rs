@@ -189,6 +189,15 @@ pub struct CachedResponse {
 }
 
 /// Response cache keyed by (model, prompt) for idempotent repeated requests.
+///
+/// Eviction keeps the entry set identical to a scan-the-map-for-the-oldest
+/// implementation, but resolves the victim through an ordered `(time, key)`
+/// index: the full-cache `put` — every delivery once a deployment has served
+/// `capacity` distinct prompts — costs two tree operations instead of an
+/// O(capacity) scan of the map (the single largest per-delivery cost in the
+/// rate-sweep benchmarks before it was indexed). Ties on the insertion time
+/// break deterministically by key, where the scan inherited `HashMap`
+/// iteration order.
 #[derive(Debug)]
 pub struct ResponseCache {
     /// Entry time-to-live.
@@ -196,6 +205,9 @@ pub struct ResponseCache {
     /// Maximum entries retained.
     pub capacity: usize,
     entries: HashMap<u64, (SimTime, CachedResponse)>,
+    /// Ordered eviction index over `(inserted_at, key)`; always in sync with
+    /// `entries`.
+    by_age: std::collections::BTreeSet<(SimTime, u64)>,
     hits: u64,
     misses: u64,
 }
@@ -207,6 +219,7 @@ impl ResponseCache {
             ttl,
             capacity,
             entries: HashMap::new(),
+            by_age: std::collections::BTreeSet::new(),
             hits: 0,
             misses: 0,
         }
@@ -243,12 +256,16 @@ impl ResponseCache {
     /// Insert a response.
     pub fn put(&mut self, key: u64, response: CachedResponse, now: SimTime) {
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            // Evict the oldest entry.
-            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (t, _))| *t) {
+            // Evict the oldest entry (smallest insertion time, then key).
+            if let Some(&(t, oldest)) = self.by_age.iter().next() {
+                self.by_age.remove(&(t, oldest));
                 self.entries.remove(&oldest);
             }
         }
-        self.entries.insert(key, (now, response));
+        if let Some((previous, _)) = self.entries.insert(key, (now, response)) {
+            self.by_age.remove(&(previous, key));
+        }
+        self.by_age.insert((now, key));
     }
 }
 

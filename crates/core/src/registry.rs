@@ -13,10 +13,65 @@
 //! compares against the paper's priority scheme.
 
 use first_chaos::{HealthState, HealthTracker};
-use first_desim::SimTime;
-use first_fabric::ComputeService;
+use first_desim::{Interner, SimTime, SymbolId};
+use first_fabric::{ComputeEndpoint, ComputeService, EndpointId};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// Dense model identifier assigned by the registry's interner, in
+/// first-registration order. The gateway resolves a request's model name to
+/// its `ModelId` once at the API boundary; every hot-path map and routing
+/// probe downstream carries the id.
+pub type ModelId = SymbolId;
+
+/// One routing candidate for a model, resolved against the compute service:
+/// the endpoint's dense id (or `None` when the registry names an endpoint the
+/// service does not know — the request then fails at submission exactly as
+/// the string-keyed path did) plus the hosting-entry index of the model on
+/// that endpoint. The configured name rides along as a shared `Arc<str>` for
+/// health lookups and reports — cloning it is an atomic bump, not an
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct RouteCandidate {
+    /// Configured endpoint name.
+    pub name: Arc<str>,
+    /// Dense id in the compute service, when the endpoint exists there.
+    pub endpoint: Option<EndpointId>,
+    /// Hosting-entry index of the model on that endpoint, when hosted.
+    pub hosting: Option<u32>,
+}
+
+/// An id-based routing decision — the per-request form of
+/// [`RoutingDecision`], with the endpoint name as a shared `Arc<str>` and the
+/// dense id the gateway submits to.
+#[derive(Debug, Clone)]
+pub struct RoutedTarget {
+    /// Configured endpoint name (shared, not reallocated per request).
+    pub name: Arc<str>,
+    /// Dense endpoint id, `None` when the configured endpoint is unknown to
+    /// the service (submission will fail with `UnknownEndpoint`, matching the
+    /// string-keyed behaviour).
+    pub endpoint: Option<EndpointId>,
+    /// Why it was chosen.
+    pub reason: RoutingReason,
+}
+
+/// Cached per-model candidate lists, resolved against a compute service.
+/// Rebuilt whenever the registry changes (version bump) or the service
+/// identity/topology stamp changes; hosting sets are fixed once an endpoint
+/// is built, so they need no stamp of their own.
+#[derive(Debug, Clone, Default)]
+struct RouteBinding {
+    registry_version: u64,
+    /// The service's [`ComputeService::topology_stamp`] the binding was
+    /// resolved against — `(instance id, topology version)`, so routing the
+    /// same registry against a *different* service (or one that grew an
+    /// endpoint) rebuilds instead of reusing stale ids.
+    service_stamp: (u64, u64),
+    /// Candidate list per [`ModelId`] index.
+    per_model: Vec<Vec<RouteCandidate>>,
+}
 
 /// A model's registration: the endpoints able to host it, in priority order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,9 +89,47 @@ pub struct ModelRegistration {
 /// linear scan the router used to pay on each routing decision. Endpoint
 /// order *within* a registration stays configuration order — that order is
 /// the §4.5 priority list.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ModelRegistry {
     registrations: Vec<ModelRegistration>,
+    /// Model name → dense [`ModelId`], append-only in first-registration
+    /// order. Deregistered models keep their id (their candidate list just
+    /// becomes empty), so ids held by in-flight requests never dangle.
+    models: Interner,
+    /// Bumped on every mutation; invalidates the route binding.
+    version: u64,
+    binding: RefCell<RouteBinding>,
+}
+
+impl serde::Serialize for ModelRegistry {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "registrations".to_string(),
+            self.registrations.serialize(),
+        )])
+    }
+}
+
+impl serde::Deserialize for ModelRegistry {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("ModelRegistry expects an object"))?;
+        let regs = entries
+            .iter()
+            .find(|(k, _)| k == "registrations")
+            .map(|(_, v)| Vec::<ModelRegistration>::deserialize(v))
+            .transpose()?
+            .unwrap_or_default();
+        // Rebuild the interner from the registrations (ids are assigned in
+        // the stored — sorted — order; only internal consistency matters).
+        let mut registry = ModelRegistry::new();
+        for reg in &regs {
+            registry.models.intern(&reg.model);
+        }
+        registry.registrations = regs;
+        Ok(registry)
+    }
 }
 
 impl ModelRegistry {
@@ -48,6 +141,8 @@ impl ModelRegistry {
     /// Register a model on an endpoint (appended in configuration order).
     /// Registering the same pair twice is a no-op.
     pub fn register(&mut self, model: &str, endpoint: &str) {
+        self.models.intern(model);
+        self.version += 1;
         match self
             .registrations
             .binary_search_by(|r| r.model.as_str().cmp(model))
@@ -70,6 +165,7 @@ impl ModelRegistry {
 
     /// Remove a model entirely (dashboard "deregister" action).
     pub fn deregister_model(&mut self, model: &str) -> bool {
+        self.version += 1;
         match self
             .registrations
             .binary_search_by(|r| r.model.as_str().cmp(model))
@@ -98,6 +194,71 @@ impl ModelRegistry {
     /// Whether the model is registered anywhere.
     pub fn is_registered(&self, model: &str) -> bool {
         self.endpoints_for(model).is_some()
+    }
+
+    /// Resolve a model name to its dense id — the API-boundary step. Returns
+    /// ids for deregistered models too (their candidate lists are empty);
+    /// `None` means the name was never registered.
+    #[inline]
+    pub fn model_id(&self, model: &str) -> Option<ModelId> {
+        self.models.get(model)
+    }
+
+    /// Resolve a model id back to its name (reports, telemetry, logs).
+    #[inline]
+    pub fn model_name(&self, id: ModelId) -> &str {
+        self.models.resolve(id)
+    }
+
+    /// Run `f` over the model's routing candidates resolved against
+    /// `service`, rebuilding the cached binding when the registry or the
+    /// service's endpoint set changed. Returns `None` when the model has no
+    /// candidates (never registered, or deregistered).
+    fn with_candidates<R>(
+        &self,
+        service: &ComputeService,
+        model: ModelId,
+        f: impl FnOnce(&[RouteCandidate]) -> R,
+    ) -> Option<R> {
+        let mut binding = self.binding.borrow_mut();
+        if binding.registry_version != self.version
+            || binding.service_stamp != service.topology_stamp()
+            || binding.per_model.len() != self.models.len()
+        {
+            self.rebuild_binding(&mut binding, service);
+        }
+        let candidates = binding.per_model.get(model.index())?;
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(f(candidates))
+    }
+
+    fn rebuild_binding(&self, binding: &mut RouteBinding, service: &ComputeService) {
+        binding.registry_version = self.version;
+        binding.service_stamp = service.topology_stamp();
+        binding.per_model = vec![Vec::new(); self.models.len()];
+        for reg in &self.registrations {
+            let Some(id) = self.models.get(&reg.model) else {
+                continue;
+            };
+            binding.per_model[id.index()] = reg
+                .endpoints
+                .iter()
+                .map(|name| {
+                    let endpoint = service.endpoint_id(name);
+                    let hosting = endpoint
+                        .and_then(|e| service.endpoint_by_id(e))
+                        .and_then(|ep| ep.config().hosting_index(&reg.model))
+                        .map(|h| h as u32);
+                    RouteCandidate {
+                        name: Arc::from(name.as_str()),
+                        endpoint,
+                        hosting,
+                    }
+                })
+                .collect();
+        }
     }
 
     /// Number of registered models.
@@ -215,11 +376,9 @@ impl FederationRouter {
         service: &ComputeService,
         model: &str,
     ) -> Option<RoutingDecision> {
-        let endpoints = registry.endpoints_for(model)?;
-        if endpoints.is_empty() {
-            return None;
-        }
-        Some(self.route_over(endpoints, service, model))
+        let id = registry.model_id(model)?;
+        self.route_target(registry, service, id)
+            .map(RoutedTarget::into_decision)
     }
 
     /// Failover-aware routing: apply the configured policy over the subset of
@@ -227,10 +386,6 @@ impl FederationRouter {
     /// endpoints over degraded ones. When the breaker has every endpoint open
     /// the full registration list is used as a last resort (a request that
     /// will likely fail beats a request that cannot be routed at all).
-    ///
-    /// The candidate subsets are borrowed from the registry's per-model
-    /// candidate list in a single pass — no endpoint names are cloned on this
-    /// per-request path.
     pub fn route_with_health(
         &self,
         registry: &ModelRegistry,
@@ -239,30 +394,9 @@ impl FederationRouter {
         health: &HealthTracker,
         now: SimTime,
     ) -> Option<RoutingDecision> {
-        let endpoints = registry.endpoints_for(model)?;
-        if endpoints.is_empty() {
-            return None;
-        }
-        let mut healthy: Vec<&str> = Vec::with_capacity(endpoints.len());
-        let mut allowed: Vec<&str> = Vec::with_capacity(endpoints.len());
-        for e in endpoints {
-            match health.state(e, now) {
-                HealthState::Healthy => {
-                    healthy.push(e);
-                    allowed.push(e);
-                }
-                _ if health.allows(e, now) => allowed.push(e),
-                _ => {}
-            }
-        }
-        let subset: &[&str] = if !healthy.is_empty() {
-            &healthy
-        } else if !allowed.is_empty() {
-            &allowed
-        } else {
-            return Some(self.route_over(endpoints, service, model));
-        };
-        Some(self.route_over(subset, service, model))
+        let id = registry.model_id(model)?;
+        self.route_target_with_health(registry, service, id, health, now)
+            .map(RoutedTarget::into_decision)
     }
 
     /// Routing for a retry of a request that just failed on `failed_endpoint`:
@@ -278,143 +412,199 @@ impl FederationRouter {
         now: SimTime,
         failed_endpoint: &str,
     ) -> Option<RoutingDecision> {
-        let endpoints = registry.endpoints_for(model)?;
-        let alternatives: Vec<&str> = endpoints
-            .iter()
-            .map(String::as_str)
-            .filter(|e| *e != failed_endpoint && health.allows(e, now))
-            .collect();
-        if alternatives.is_empty() {
-            return self.route_with_health(registry, service, model, health, now);
-        }
-        Some(self.route_over(&alternatives, service, model))
+        let id = registry.model_id(model)?;
+        self.route_target_for_retry(registry, service, id, health, now, failed_endpoint)
+            .map(RoutedTarget::into_decision)
     }
 
-    fn route_over<S: AsRef<str>>(
+    /// Id-based form of [`FederationRouter::route`]: the per-request path the
+    /// gateway uses. The candidate list comes from the registry's cached
+    /// binding, so no endpoint name is hashed, compared or cloned here.
+    pub fn route_target(
         &self,
-        endpoints: &[S],
+        registry: &ModelRegistry,
         service: &ComputeService,
-        model: &str,
-    ) -> RoutingDecision {
-        match self.policy {
-            RoutingPolicy::PaperPriority => Self::paper_priority(endpoints, service, model),
-            RoutingPolicy::RoundRobin => self.round_robin(endpoints),
-            RoutingPolicy::LeastOutstanding => Self::least_outstanding(endpoints, service, model),
-            RoutingPolicy::MostIdleNodes => Self::most_idle_nodes(endpoints, service),
-        }
+        model: ModelId,
+    ) -> Option<RoutedTarget> {
+        registry.with_candidates(service, model, |cands| {
+            self.route_over_filtered(cands, None, service)
+        })
     }
 
-    /// The §4.5 priority algorithm.
-    fn paper_priority<S: AsRef<str>>(
-        endpoints: &[S],
+    /// Id-based form of [`FederationRouter::route_with_health`].
+    pub fn route_target_with_health(
+        &self,
+        registry: &ModelRegistry,
         service: &ComputeService,
-        model: &str,
-    ) -> RoutingDecision {
-        // 1. Prefer an endpoint where the model is already running or queued.
-        for name in endpoints {
-            if let Some(ep) = service.endpoint(name.as_ref()) {
-                let activity = ep.model_activity(model);
-                if activity.running > 0 || activity.starting > 0 || activity.queued > 0 {
-                    return RoutingDecision {
-                        endpoint: name.as_ref().to_string(),
-                        reason: RoutingReason::ActiveInstance,
-                    };
+        model: ModelId,
+        health: &HealthTracker,
+        now: SimTime,
+    ) -> Option<RoutedTarget> {
+        registry.with_candidates(service, model, |cands| {
+            let mut healthy: Vec<usize> = Vec::with_capacity(cands.len());
+            let mut allowed: Vec<usize> = Vec::with_capacity(cands.len());
+            for (i, c) in cands.iter().enumerate() {
+                match health.state(&c.name, now) {
+                    HealthState::Healthy => {
+                        healthy.push(i);
+                        allowed.push(i);
+                    }
+                    _ if health.allows(&c.name, now) => allowed.push(i),
+                    _ => {}
                 }
             }
-        }
-
-        // 2. Otherwise an endpoint whose cluster has idle nodes.
-        for name in endpoints {
-            if let Some(ep) = service.endpoint(name.as_ref()) {
-                if ep.cluster_status().idle_nodes > 0 {
-                    return RoutingDecision {
-                        endpoint: name.as_ref().to_string(),
-                        reason: RoutingReason::FreeCapacity,
-                    };
-                }
+            if !healthy.is_empty() {
+                self.route_over_filtered(cands, Some(&healthy), service)
+            } else if !allowed.is_empty() {
+                self.route_over_filtered(cands, Some(&allowed), service)
+            } else {
+                self.route_over_filtered(cands, None, service)
             }
-        }
-
-        // 3. Fall back to the first configured endpoint.
-        RoutingDecision {
-            endpoint: endpoints[0].as_ref().to_string(),
-            reason: RoutingReason::ConfigurationOrder,
-        }
+        })
     }
 
-    fn round_robin<S: AsRef<str>>(&self, endpoints: &[S]) -> RoutingDecision {
-        let idx = self.rotation.get() % endpoints.len();
-        self.rotation.set(self.rotation.get().wrapping_add(1));
-        RoutingDecision {
-            endpoint: endpoints[idx].as_ref().to_string(),
-            reason: RoutingReason::RoundRobinRotation,
-        }
-    }
-
-    fn least_outstanding<S: AsRef<str>>(
-        endpoints: &[S],
+    /// Id-based form of [`FederationRouter::route_for_retry`].
+    pub fn route_target_for_retry(
+        &self,
+        registry: &ModelRegistry,
         service: &ComputeService,
-        model: &str,
-    ) -> RoutingDecision {
-        let mut best: Option<(&str, usize, u32)> = None;
-        for name in endpoints {
-            let Some(ep) = service.endpoint(name.as_ref()) else {
-                continue;
-            };
-            let activity = ep.model_activity(model);
-            let in_flight: usize = ep
-                .instances()
+        model: ModelId,
+        health: &HealthTracker,
+        now: SimTime,
+        failed_endpoint: &str,
+    ) -> Option<RoutedTarget> {
+        let routed = registry.with_candidates(service, model, |cands| {
+            let alternatives: Vec<usize> = cands
                 .iter()
-                .filter(|i| i.model == model)
-                .map(|i| i.in_flight())
-                .sum();
-            let outstanding = activity.backlog + in_flight;
-            let idle = ep.cluster_status().idle_nodes;
-            let better = match best {
-                None => true,
-                Some((_, best_out, best_idle)) => {
-                    outstanding < best_out || (outstanding == best_out && idle > best_idle)
-                }
-            };
-            if better {
-                best = Some((name.as_ref(), outstanding, idle));
+                .enumerate()
+                .filter(|(_, c)| c.name.as_ref() != failed_endpoint && health.allows(&c.name, now))
+                .map(|(i, _)| i)
+                .collect();
+            if alternatives.is_empty() {
+                None
+            } else {
+                Some(self.route_over_filtered(cands, Some(&alternatives), service))
             }
-        }
-        match best {
-            Some((name, _, _)) => RoutingDecision {
-                endpoint: name.to_string(),
-                reason: RoutingReason::LeastOutstanding,
-            },
-            None => RoutingDecision {
-                endpoint: endpoints[0].as_ref().to_string(),
-                reason: RoutingReason::ConfigurationOrder,
-            },
+        })?;
+        match routed {
+            Some(target) => Some(target),
+            None => self.route_target_with_health(registry, service, model, health, now),
         }
     }
 
-    fn most_idle_nodes<S: AsRef<str>>(
-        endpoints: &[S],
+    /// Apply the configured policy over `cands`, optionally restricted to a
+    /// `subset` of candidate indices. All probes are id-based: instance
+    /// activity via the hosting-entry index, endpoints via their dense id.
+    fn route_over_filtered(
+        &self,
+        cands: &[RouteCandidate],
+        subset: Option<&[usize]>,
         service: &ComputeService,
-    ) -> RoutingDecision {
-        let mut best: Option<(&str, u32)> = None;
-        for name in endpoints {
-            let Some(ep) = service.endpoint(name.as_ref()) else {
-                continue;
-            };
-            let idle = ep.cluster_status().idle_nodes;
-            if best.map(|(_, b)| idle > b).unwrap_or(true) {
-                best = Some((name.as_ref(), idle));
+    ) -> RoutedTarget {
+        let n = subset.map_or(cands.len(), <[usize]>::len);
+        debug_assert!(n > 0, "route_over_filtered requires candidates");
+        let cand = |k: usize| -> &RouteCandidate {
+            match subset {
+                Some(s) => &cands[s[k]],
+                None => &cands[k],
             }
+        };
+        let resolve = |c: &RouteCandidate| -> Option<&ComputeEndpoint> {
+            c.endpoint.and_then(|e| service.endpoint_by_id(e))
+        };
+        let activity = |c: &RouteCandidate| -> first_fabric::ModelActivity {
+            resolve(c)
+                .zip(c.hosting)
+                .map(|(ep, h)| ep.model_activity_at(h as usize))
+                .unwrap_or_default()
+        };
+        let (winner, reason) = match self.policy {
+            RoutingPolicy::PaperPriority => 'paper: {
+                // 1. Prefer an endpoint where the model is already running or
+                //    queued.
+                for k in 0..n {
+                    let a = activity(cand(k));
+                    if a.running > 0 || a.starting > 0 || a.queued > 0 {
+                        break 'paper (k, RoutingReason::ActiveInstance);
+                    }
+                }
+                // 2. Otherwise an endpoint whose cluster has idle nodes.
+                for k in 0..n {
+                    if let Some(ep) = resolve(cand(k)) {
+                        if ep.cluster_status().idle_nodes > 0 {
+                            break 'paper (k, RoutingReason::FreeCapacity);
+                        }
+                    }
+                }
+                // 3. Fall back to the first configured endpoint.
+                (0, RoutingReason::ConfigurationOrder)
+            }
+            RoutingPolicy::RoundRobin => {
+                let idx = self.rotation.get() % n;
+                self.rotation.set(self.rotation.get().wrapping_add(1));
+                (idx, RoutingReason::RoundRobinRotation)
+            }
+            RoutingPolicy::LeastOutstanding => {
+                let mut best: Option<(usize, usize, u32)> = None;
+                for k in 0..n {
+                    let c = cand(k);
+                    let Some(ep) = resolve(c) else {
+                        continue;
+                    };
+                    let in_flight = c
+                        .hosting
+                        .map(|h| ep.model_in_flight_at(h as usize))
+                        .unwrap_or(0);
+                    let outstanding = activity(c).backlog + in_flight;
+                    let idle = ep.cluster_status().idle_nodes;
+                    let better = match best {
+                        None => true,
+                        Some((_, best_out, best_idle)) => {
+                            outstanding < best_out || (outstanding == best_out && idle > best_idle)
+                        }
+                    };
+                    if better {
+                        best = Some((k, outstanding, idle));
+                    }
+                }
+                match best {
+                    Some((k, _, _)) => (k, RoutingReason::LeastOutstanding),
+                    None => (0, RoutingReason::ConfigurationOrder),
+                }
+            }
+            RoutingPolicy::MostIdleNodes => {
+                let mut best: Option<(usize, u32)> = None;
+                for k in 0..n {
+                    let Some(ep) = resolve(cand(k)) else {
+                        continue;
+                    };
+                    let idle = ep.cluster_status().idle_nodes;
+                    if best.map(|(_, b)| idle > b).unwrap_or(true) {
+                        best = Some((k, idle));
+                    }
+                }
+                match best {
+                    Some((k, _)) => (k, RoutingReason::MostIdleNodes),
+                    None => (0, RoutingReason::ConfigurationOrder),
+                }
+            }
+        };
+        let c = cand(winner);
+        RoutedTarget {
+            name: Arc::clone(&c.name),
+            endpoint: c.endpoint,
+            reason,
         }
-        match best {
-            Some((name, _)) => RoutingDecision {
-                endpoint: name.to_string(),
-                reason: RoutingReason::MostIdleNodes,
-            },
-            None => RoutingDecision {
-                endpoint: endpoints[0].as_ref().to_string(),
-                reason: RoutingReason::ConfigurationOrder,
-            },
+    }
+}
+
+impl RoutedTarget {
+    /// The string-API form of this decision (allocates the endpoint name, as
+    /// the boundary requires an owned `String`).
+    pub fn into_decision(self) -> RoutingDecision {
+        RoutingDecision {
+            endpoint: self.name.to_string(),
+            reason: self.reason,
         }
     }
 }

@@ -64,6 +64,13 @@ impl WorkerPoolConfig {
 pub struct WorkerPool {
     config: WorkerPoolConfig,
     free_at: Vec<SimTime>,
+    /// Async-mode accelerator: `(free_at, worker)` min-heap so admission is
+    /// O(log workers) instead of scanning all 260 production slots per
+    /// request. Ties pop in worker-index order, matching the scan's
+    /// first-minimum choice. Sync mode keeps the scan (slots parked at
+    /// `SimTime::MAX` until released make heap bookkeeping messier than the
+    /// nine-slot walk it would replace).
+    free_heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
     admitted: u64,
     peak_wait_secs: f64,
 }
@@ -82,8 +89,17 @@ pub struct Admission {
 impl WorkerPool {
     /// Create a pool with all workers free at time zero.
     pub fn new(config: WorkerPoolConfig) -> Self {
+        let workers = config.workers.max(1);
+        let free_heap = if config.mode == WorkerMode::Async {
+            (0..workers)
+                .map(|w| std::cmp::Reverse((SimTime::ZERO, w)))
+                .collect()
+        } else {
+            std::collections::BinaryHeap::new()
+        };
         WorkerPool {
-            free_at: vec![SimTime::ZERO; config.workers.max(1)],
+            free_at: vec![SimTime::ZERO; workers],
+            free_heap,
             config,
             admitted: 0,
             peak_wait_secs: 0.0,
@@ -109,17 +125,31 @@ impl WorkerPool {
     /// spend the per-request CPU, and (for async mode) release the slot at
     /// dispatch time. Sync-mode slots stay held until [`WorkerPool::release`].
     pub fn admit(&mut self, now: SimTime) -> Admission {
-        let (worker, &slot_free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("pool has at least one worker");
+        let (worker, slot_free) = match self.config.mode {
+            WorkerMode::Async => {
+                let std::cmp::Reverse((t, w)) =
+                    self.free_heap.pop().expect("pool has at least one worker");
+                (w, t)
+            }
+            WorkerMode::Sync => {
+                let (worker, &slot_free) = self
+                    .free_at
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .expect("pool has at least one worker");
+                (worker, slot_free)
+            }
+        };
         let started_at = now.max(slot_free);
         let dispatch_ready_at = started_at + self.config.per_request_cpu;
         self.free_at[worker] = match self.config.mode {
             // Async workers free up as soon as the CPU slice is done.
-            WorkerMode::Async => dispatch_ready_at,
+            WorkerMode::Async => {
+                self.free_heap
+                    .push(std::cmp::Reverse((dispatch_ready_at, worker)));
+                dispatch_ready_at
+            }
             // Sync workers stay busy until release() is called; park them far
             // in the future so they are not picked again.
             WorkerMode::Sync => SimTime::MAX,

@@ -1,0 +1,250 @@
+//! String interning for simulation hot paths.
+//!
+//! Every per-request hot path in the deployment used to key its maps on
+//! heap-allocated `String`s (model names, endpoint names). The [`Interner`]
+//! maps each distinct name to a dense [`SymbolId`] (`u32`) exactly once — in
+//! deterministic first-intern order, so two runs that intern the same names in
+//! the same order assign the same ids — and the rest of the system carries the
+//! id. Strings reappear only at the API boundary (request parsing, reports,
+//! telemetry output), resolved through [`Interner::resolve`] or a read-only
+//! [`InternerSnapshot`] that can be handed to worker threads.
+//!
+//! The module also provides [`IdHashBuilder`], a no-op hasher for maps keyed
+//! by ids that are already well-distributed (task ids, request ids): SipHash
+//! on a `u64` costs more than the lookup it guards.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// A dense interned-name identifier. Ids are assigned sequentially from 0 in
+/// first-intern order, so they double as `Vec` indices for per-name state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sym-{}", self.0)
+    }
+}
+
+/// A deterministic string interner: name → dense [`SymbolId`].
+///
+/// Interning the same sequence of names always yields the same ids, which is
+/// what keeps id-keyed simulation state bit-identical with its string-keyed
+/// reference behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, SymbolId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a name, returning its id. Re-interning an existing name is a
+    /// lookup, not a new id.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SymbolId(self.names.len() as u32);
+        let owned: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&owned));
+        self.index.insert(owned, id);
+        id
+    }
+
+    /// Look up a name without interning it.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<SymbolId> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolve an id back to its name.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Resolve an id, returning `None` for foreign ids.
+    #[inline]
+    pub fn try_resolve(&self, id: SymbolId) -> Option<&str> {
+        self.names.get(id.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), n.as_ref()))
+    }
+
+    /// A cheap read-only snapshot of the current id → name table. The
+    /// snapshot shares the underlying name storage (`Arc<str>`), so taking
+    /// one is O(n) pointer clones and resolving through it allocates nothing.
+    /// Names interned after the snapshot are not visible to it.
+    pub fn snapshot(&self) -> InternerSnapshot {
+        InternerSnapshot {
+            names: Arc::from(self.names.as_slice()),
+        }
+    }
+}
+
+/// Read-only id → name table captured from an [`Interner`]; `Send + Sync`,
+/// so consumers on other threads can resolve ids without sharing the
+/// mutable interner.
+#[derive(Debug, Clone)]
+pub struct InternerSnapshot {
+    names: Arc<[Arc<str>]>,
+}
+
+impl InternerSnapshot {
+    /// Resolve an id, returning `None` for ids interned after the snapshot.
+    #[inline]
+    pub fn resolve(&self, id: SymbolId) -> Option<&str> {
+        self.names.get(id.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of names visible to this snapshot.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A pass-through hasher for keys that are already uniformly distributed
+/// (dense ids, sequence numbers). Writing a single integer sets the hash to
+/// that integer; SipHash's mixing adds nothing but latency on these keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for composite keys: FNV-1a, still allocation-free.
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.0 = n as u64;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.0 = n as u64;
+    }
+}
+
+/// `BuildHasher` for [`IdHasher`]; use as the third type parameter of
+/// `HashMap`/`HashSet` keyed by dense integer ids.
+pub type IdHashBuilder = BuildHasherDefault<IdHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_deterministic_and_dense() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for name in ["sophia-endpoint", "polaris-endpoint", "sophia-endpoint"] {
+            assert_eq!(a.intern(name), b.intern(name));
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.intern("sophia-endpoint"), SymbolId(0));
+        assert_eq!(a.intern("polaris-endpoint"), SymbolId(1));
+        assert_eq!(a.resolve(SymbolId(0)), "sophia-endpoint");
+        assert_eq!(a.get("polaris-endpoint"), Some(SymbolId(1)));
+        assert_eq!(a.get("missing"), None);
+        assert!(a.try_resolve(SymbolId(99)).is_none());
+    }
+
+    #[test]
+    fn snapshot_resolves_without_the_interner() {
+        let mut interner = Interner::new();
+        let id = interner.intern("meta-llama/Llama-3.3-70B-Instruct");
+        let snap = interner.snapshot();
+        let later = interner.intern("later-model");
+        assert_eq!(snap.resolve(id), Some("meta-llama/Llama-3.3-70B-Instruct"));
+        assert_eq!(snap.resolve(later), None, "post-snapshot ids are invisible");
+        assert_eq!(snap.len(), 1);
+        // Snapshots cross threads.
+        let handle = std::thread::spawn(move || snap.resolve(id).map(str::to_string));
+        assert_eq!(
+            handle.join().unwrap().as_deref(),
+            Some("meta-llama/Llama-3.3-70B-Instruct")
+        );
+    }
+
+    #[test]
+    fn iter_walks_ids_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let pairs: Vec<(SymbolId, String)> = i.iter().map(|(id, n)| (id, n.to_string())).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (SymbolId(0), "a".to_string()),
+                (SymbolId(1), "b".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn id_hash_map_behaves_like_a_map() {
+        let mut m: HashMap<u64, &str, IdHashBuilder> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&"x"));
+        m.remove(&500);
+        assert!(!m.contains_key(&500));
+    }
+}

@@ -10,15 +10,19 @@
 //!   performance models need (exponential, log-normal, Zipf, weighted choice).
 //! * [`OnlineStats`] / [`Histogram`] / [`CounterSet`] — the measurement
 //!   primitives behind every table and figure reproduction.
+//! * [`Interner`] / [`SymbolId`] — deterministic name → dense-id mapping so
+//!   per-request state is keyed by `u32` ids instead of heap `String`s.
 
 #![warn(missing_docs)]
 
+pub mod intern;
 pub mod process;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use intern::{IdHashBuilder, Interner, InternerSnapshot, SymbolId};
 pub use process::{Driver, RunOutcome, SimProcess};
 pub use queue::{DrainDue, EventQueue, ScheduledEvent};
 pub use rng::SimRng;

@@ -188,6 +188,13 @@ impl EndpointConfig {
         self.models.iter().find(|m| m.model.name == model)
     }
 
+    /// Resolve a model name to its hosting-entry index — the endpoint-local
+    /// interned id the hot paths carry instead of the name. Stable for the
+    /// lifetime of the endpoint (hosting sets are fixed at deployment build).
+    pub fn hosting_index(&self, model: &str) -> Option<usize> {
+        self.models.iter().position(|m| m.model.name == model)
+    }
+
     /// Whether the endpoint hosts the named model.
     pub fn hosts(&self, model: &str) -> bool {
         self.hosting_for(model).is_some()

@@ -9,19 +9,21 @@
 
 use crate::config::{EndpointConfig, ModelHostingConfig};
 use crate::task::{TaskId, TaskResult};
-use first_desim::{SimProcess, SimTime};
+use first_desim::{IdHashBuilder, SimProcess, SimTime};
 use first_hpc::{
     BatchScheduler, Cluster, ClusterStatus, JobId, JobPriority, JobRequest, JobState, NodeId,
 };
 use first_serving::{EmbeddingConfig, EmbeddingEngine, EngineState, InferenceRequest, VllmEngine};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Serving backend held by an instance.
 #[derive(Debug, Clone)]
 enum InstanceBackend {
-    /// Autoregressive LLM served by the vLLM-style engine.
-    Vllm(VllmEngine),
+    /// Autoregressive LLM served by the vLLM-style engine (boxed: the engine
+    /// carries its KV pool and batch state, far larger than the embedding
+    /// variant, and instances are scanned densely every advance).
+    Vllm(Box<VllmEngine>),
     /// Embedding model served by the Infinity-style engine.
     Embedding(EmbeddingEngine),
 }
@@ -52,6 +54,9 @@ pub struct ModelInstance {
     pub job: JobId,
     /// Current lifecycle state.
     pub state: InstanceState,
+    /// Index of the hosting entry in the endpoint config — the interned form
+    /// of `model`, so the per-advance scans compare integers, not strings.
+    hosting: usize,
     backend: Option<InstanceBackend>,
     in_flight: Vec<TaskId>,
     last_active: SimTime,
@@ -140,8 +145,11 @@ pub struct ComputeEndpoint {
     config: EndpointConfig,
     scheduler: BatchScheduler,
     instances: Vec<ModelInstance>,
-    waiting: BTreeMap<String, VecDeque<(TaskId, InferenceRequest)>>,
-    task_of_request: HashMap<u64, TaskId>,
+    /// Per-hosting-entry backlog, indexed like `config.models` (the endpoint's
+    /// local model-id space). Replaces a `BTreeMap<String, _>` whose 40-byte
+    /// model-name comparisons sat on every advance.
+    waiting: Vec<VecDeque<(TaskId, InferenceRequest)>>,
+    task_of_request: HashMap<u64, TaskId, IdHashBuilder>,
     results: Vec<TaskResult>,
     next_instance_id: u32,
     offline_until: Option<SimTime>,
@@ -152,11 +160,11 @@ impl ComputeEndpoint {
     /// Create an endpoint managing the given cluster.
     pub fn new(config: EndpointConfig, cluster: Cluster) -> Self {
         ComputeEndpoint {
+            waiting: vec![VecDeque::new(); config.models.len()],
             config,
             scheduler: BatchScheduler::new(cluster),
             instances: Vec::new(),
-            waiting: BTreeMap::new(),
-            task_of_request: HashMap::new(),
+            task_of_request: HashMap::default(),
             results: Vec::new(),
             next_instance_id: 0,
             offline_until: None,
@@ -214,13 +222,22 @@ impl ComputeEndpoint {
     /// decision (use [`ComputeEndpoint::model_status`] when the name is
     /// wanted too, e.g. for `/jobs`).
     pub fn model_activity(&self, model: &str) -> ModelActivity {
+        match self.config.hosting_index(model) {
+            Some(idx) => self.model_activity_at(idx),
+            None => ModelActivity::default(),
+        }
+    }
+
+    /// [`ComputeEndpoint::model_activity`] for a hosting entry already
+    /// resolved to its index — the id-based probe the router uses per request.
+    pub fn model_activity_at(&self, hosting: usize) -> ModelActivity {
         let mut activity = ModelActivity {
             running: 0,
             starting: 0,
             queued: 0,
-            backlog: self.waiting.get(model).map(|q| q.len()).unwrap_or(0),
+            backlog: self.waiting.get(hosting).map(|q| q.len()).unwrap_or(0),
         };
-        for inst in self.instances.iter().filter(|i| i.model == model) {
+        for inst in self.instances.iter().filter(|i| i.hosting == hosting) {
             match inst.state {
                 InstanceState::Ready => activity.running += 1,
                 InstanceState::Loading => activity.starting += 1,
@@ -229,6 +246,16 @@ impl ComputeEndpoint {
             }
         }
         activity
+    }
+
+    /// In-flight tasks across this endpoint's instances of one hosting entry
+    /// (the least-outstanding router policy's probe).
+    pub fn model_in_flight_at(&self, hosting: usize) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.hosting == hosting)
+            .map(|i| i.in_flight())
+            .sum()
     }
 
     /// Per-model status for the `/jobs` endpoint.
@@ -277,7 +304,7 @@ impl ComputeEndpoint {
             });
             return false;
         }
-        if !self.config.hosts(&request.model) {
+        let Some(hosting_idx) = self.config.hosting_index(&request.model) else {
             self.stats.tasks_failed += 1;
             self.results.push(TaskResult {
                 task,
@@ -290,34 +317,30 @@ impl ComputeEndpoint {
                 finished_at: now,
             });
             return false;
-        }
+        };
         // Fail fast on misconfiguration: a hosting entry whose per-instance
         // allocation can never be satisfied by this cluster would otherwise
         // leave the task queued forever with no event to wake it.
-        if let Some(hosting) = self.config.hosting_for(&request.model) {
-            if !self.hosting_is_schedulable(hosting) {
-                self.stats.tasks_failed += 1;
-                self.results.push(TaskResult {
-                    task,
-                    success: false,
-                    completion: None,
-                    error: Some(format!(
-                        "model {} requires {} nodes x {} GPUs, which cluster {} cannot provide",
-                        request.model,
-                        hosting.nodes_per_instance,
-                        hosting.gpus_per_instance,
-                        self.config.cluster
-                    )),
-                    finished_at: now,
-                });
-                return false;
-            }
+        let hosting = &self.config.models[hosting_idx];
+        if !self.hosting_is_schedulable(hosting) {
+            self.stats.tasks_failed += 1;
+            self.results.push(TaskResult {
+                task,
+                success: false,
+                completion: None,
+                error: Some(format!(
+                    "model {} requires {} nodes x {} GPUs, which cluster {} cannot provide",
+                    request.model,
+                    hosting.nodes_per_instance,
+                    hosting.gpus_per_instance,
+                    self.config.cluster
+                )),
+                finished_at: now,
+            });
+            return false;
         }
         self.task_of_request.insert(request.id.0, task);
-        self.waiting
-            .entry(request.model.clone())
-            .or_default()
-            .push_back((task, request));
+        self.waiting[hosting_idx].push_back((task, request));
         // React immediately: launch or assign without waiting for the next
         // global advance round.
         self.assign_and_scale(now);
@@ -328,18 +351,19 @@ impl ComputeEndpoint {
     /// steady-state multi-instance throughput, and by administrators who pin
     /// popular models hot).
     pub fn prewarm(&mut self, model: &str, count: u32, now: SimTime) -> u32 {
-        let Some(hosting) = self.config.hosting_for(model).cloned() else {
+        let Some(hosting_idx) = self.config.hosting_index(model) else {
             return 0;
         };
+        let hosting = self.config.models[hosting_idx].clone();
         if !self.hosting_is_schedulable(&hosting) {
             return 0;
         }
         let mut launched = 0;
         for _ in 0..count {
-            if self.active_instances(model) >= hosting.max_instances as usize {
+            if self.active_instances_at(hosting_idx) >= hosting.max_instances as usize {
                 break;
             }
-            if self.launch_instance(&hosting, now, true) {
+            if self.launch_instance(hosting_idx, &hosting, now, true) {
                 launched += 1;
             }
         }
@@ -363,7 +387,7 @@ impl ComputeEndpoint {
         inst.backend = None;
         let in_flight = std::mem::take(&mut inst.in_flight);
         let job = inst.job;
-        let model_name = inst.model.clone();
+        let hosting_idx = inst.hosting;
         // The instance's tasks are retried from the endpoint queue. Their
         // request payloads were consumed by the engine, so synthesise retries
         // is not possible here; instead we fail them and count the restarts —
@@ -381,10 +405,9 @@ impl ComputeEndpoint {
         }
         self.scheduler.complete(job, now);
         if self.config.auto_restart {
-            if let Some(hosting) = self.config.hosting_for(&model_name).cloned() {
-                self.launch_instance(&hosting, now, false);
-                self.stats.restarts += 1;
-            }
+            let hosting = self.config.models[hosting_idx].clone();
+            self.launch_instance(hosting_idx, &hosting, now, false);
+            self.stats.restarts += 1;
         }
         true
     }
@@ -506,11 +529,11 @@ impl ComputeEndpoint {
             && hosting.nodes_per_instance <= cluster.node_count()
     }
 
-    fn active_instances(&self, model: &str) -> usize {
+    fn active_instances_at(&self, hosting: usize) -> usize {
         self.instances
             .iter()
             .filter(|i| {
-                i.model == model
+                i.hosting == hosting
                     && matches!(
                         i.state,
                         InstanceState::PendingJob | InstanceState::Loading | InstanceState::Ready
@@ -519,7 +542,13 @@ impl ComputeEndpoint {
             .count()
     }
 
-    fn launch_instance(&mut self, hosting: &ModelHostingConfig, now: SimTime, hot: bool) -> bool {
+    fn launch_instance(
+        &mut self,
+        hosting_idx: usize,
+        hosting: &ModelHostingConfig,
+        now: SimTime,
+        hot: bool,
+    ) -> bool {
         let request = JobRequest {
             nodes: hosting.nodes_per_instance,
             gpus_per_node: hosting.gpus_per_instance,
@@ -543,6 +572,7 @@ impl ComputeEndpoint {
             model: hosting.model.name.clone(),
             job,
             state: InstanceState::PendingJob,
+            hosting: hosting_idx,
             backend: None,
             in_flight: Vec::new(),
             last_active: now,
@@ -568,11 +598,11 @@ impl ComputeEndpoint {
             instance.state = InstanceState::Ready;
         } else {
             let engine_config = hosting.engine_config(config.gpu);
-            let engine = if hot {
+            let engine = Box::new(if hot {
                 VllmEngine::hot(engine_config, start)
             } else {
                 VllmEngine::cold(engine_config, start)
-            };
+            });
             instance.state = if hot {
                 InstanceState::Ready
             } else {
@@ -611,8 +641,9 @@ impl ComputeEndpoint {
                         .iter()
                         .position(|i| i.job == ev.job && i.state == InstanceState::PendingJob)
                     {
-                        let model = self.instances[pos].model.clone();
-                        if let Some(hosting) = self.config.hosting_for(&model).cloned() {
+                        if let Some(hosting) =
+                            self.config.models.get(self.instances[pos].hosting).cloned()
+                        {
                             let config = self.config.clone();
                             Self::attach_backend(
                                 &config,
@@ -708,11 +739,8 @@ impl ComputeEndpoint {
         //    hosting configs are read in place (split field borrows) — this
         //    runs twice per advance, so cloning the config list here used to
         //    be the endpoint's single largest allocation source.
-        for hosting in &self.config.models {
-            let model = hosting.model.name.as_str();
-            let Some(queue) = self.waiting.get_mut(model) else {
-                continue;
-            };
+        for (hosting_idx, hosting) in self.config.models.iter().enumerate() {
+            let queue = &mut self.waiting[hosting_idx];
             if queue.is_empty() {
                 continue;
             }
@@ -722,7 +750,7 @@ impl ComputeEndpoint {
             for inst in self
                 .instances
                 .iter_mut()
-                .filter(|i| i.model == model && i.backend.is_some())
+                .filter(|i| i.hosting == hosting_idx && i.backend.is_some())
                 .filter(|i| i.state == InstanceState::Ready)
             {
                 while inst.in_flight.len() < hosting.max_parallel_tasks {
@@ -752,22 +780,16 @@ impl ComputeEndpoint {
         //    place; only an actual launch (rare) clones its hosting entry.
         for idx in 0..self.config.models.len() {
             let hosting = &self.config.models[idx];
-            let model = &hosting.model.name;
-            let backlog = self.waiting.get(model).map(|q| q.len()).unwrap_or(0);
-            let in_flight: usize = self
-                .instances
-                .iter()
-                .filter(|i| &i.model == model)
-                .map(|i| i.in_flight())
-                .sum();
-            let active = self.active_instances(model);
+            let backlog = self.waiting[idx].len();
+            let in_flight = self.model_in_flight_at(idx);
+            let active = self.active_instances_at(idx);
             let demand = backlog + in_flight;
             let need_first = active == 0 && demand > 0;
             let saturated =
                 active > 0 && demand > hosting.scale_up_threshold * active && backlog > 0;
             if (need_first || saturated) && active < hosting.max_instances as usize {
                 let hosting = self.config.models[idx].clone();
-                self.launch_instance(&hosting, now, false);
+                self.launch_instance(idx, &hosting, now, false);
                 progress = true;
             }
         }
@@ -779,13 +801,13 @@ impl ComputeEndpoint {
                 if inst.state != InstanceState::Ready || !inst.in_flight.is_empty() {
                     (false, inst.job)
                 } else {
-                    let hosting = self.config.hosting_for(&inst.model);
-                    let timeout = hosting.map(|h| h.idle_timeout).unwrap_or_default();
-                    let backlog = self
-                        .waiting
-                        .get(&inst.model)
-                        .map(|q| !q.is_empty())
-                        .unwrap_or(false);
+                    let timeout = self
+                        .config
+                        .models
+                        .get(inst.hosting)
+                        .map(|h| h.idle_timeout)
+                        .unwrap_or_default();
+                    let backlog = !self.waiting[inst.hosting].is_empty();
                     (
                         !backlog && now.saturating_since(inst.last_active) >= timeout,
                         inst.job,
@@ -810,7 +832,8 @@ impl ComputeEndpoint {
             .filter(|i| i.state == InstanceState::Ready && i.in_flight.is_empty())
             .filter_map(|i| {
                 self.config
-                    .hosting_for(&i.model)
+                    .models
+                    .get(i.hosting)
                     .map(|h| i.last_active + h.idle_timeout)
             })
             .min()
@@ -822,7 +845,7 @@ impl SimProcess for ComputeEndpoint {
         let mut next: Option<SimTime> = SimProcess::next_event_time(&self.scheduler);
         for inst in &self.instances {
             let t = match &inst.backend {
-                Some(InstanceBackend::Vllm(e)) => SimProcess::next_event_time(e),
+                Some(InstanceBackend::Vllm(e)) => SimProcess::next_event_time(e.as_ref()),
                 Some(InstanceBackend::Embedding(e)) => SimProcess::next_event_time(e),
                 None => None,
             };

@@ -10,11 +10,13 @@
 
 use crate::config::FabricLatencyModel;
 use crate::endpoint::ComputeEndpoint;
-use crate::task::{FunctionId, FunctionRegistry, TaskId, TaskRecord, TaskResult, TaskState};
+use crate::task::{
+    EndpointId, FunctionId, FunctionRegistry, TaskId, TaskRecord, TaskResult, TaskState,
+};
 use first_desim::{SimDuration, SimProcess, SimTime};
 use first_serving::InferenceRequest;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Errors returned when a submission is rejected outright.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,16 +54,25 @@ pub struct ServiceStats {
 }
 
 /// The cloud service plus the endpoints it manages.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ComputeService {
     registry: FunctionRegistry,
     latency: FabricLatencyModel,
     endpoints: Vec<ComputeEndpoint>,
     /// Endpoint name → index into `endpoints`, maintained on registration.
-    /// Routing resolves endpoints by name on every request, so the lookup
-    /// must not rescan the endpoint list.
+    /// The boundary lookup behind [`ComputeService::endpoint_id`]; the hot
+    /// paths carry the resulting dense [`EndpointId`] instead of the name.
     endpoint_index: HashMap<String, usize>,
-    tasks: BTreeMap<TaskId, TaskRecord>,
+    /// Task records, indexed by `TaskId - 1`: ids are assigned sequentially
+    /// from 1 by `submit`, so the slab lookup is a bounds check instead of
+    /// the tree walk a map would pay on every dispatch/result transition.
+    tasks: Vec<TaskRecord>,
+    /// Process-unique instance id plus a counter bumped on every endpoint
+    /// registration; together the [`ComputeService::topology_stamp`] consumers
+    /// cache routing state against. Clones share the id (their topology is
+    /// identical by construction).
+    instance_id: u64,
+    topology_version: u64,
     /// Tasks accepted, waiting for the serial dispatcher: `(arrival, task, request, endpoint idx)`.
     dispatch_queue: VecDeque<(SimTime, TaskId, InferenceRequest, usize)>,
     dispatcher_free_at: SimTime,
@@ -88,11 +99,13 @@ impl ComputeService {
     /// Create a service with the standard function registry.
     pub fn new(latency: FabricLatencyModel) -> Self {
         ComputeService {
+            instance_id: next_instance_id(),
+            topology_version: 0,
             registry: FunctionRegistry::standard(),
             latency,
             endpoints: Vec::new(),
             endpoint_index: HashMap::new(),
-            tasks: BTreeMap::new(),
+            tasks: Vec::new(),
             dispatch_queue: VecDeque::new(),
             dispatcher_free_at: SimTime::ZERO,
             in_transit: Vec::new(),
@@ -125,7 +138,16 @@ impl ComputeService {
         let idx = self.endpoints.len();
         self.endpoint_index.insert(endpoint.name().to_string(), idx);
         self.endpoints.push(endpoint);
+        self.topology_version += 1;
         idx
+    }
+
+    /// An identity stamp for cached routing state: changes whenever the
+    /// endpoint set changes, and differs between any two distinct service
+    /// values — clones get a fresh instance id, so a clone that later
+    /// diverges can never alias the original's stamp.
+    pub fn topology_stamp(&self) -> (u64, u64) {
+        (self.instance_id, self.topology_version)
     }
 
     /// Endpoint names, in registration order (the federation registry order).
@@ -148,14 +170,38 @@ impl ComputeService {
             .map(|&i| &mut self.endpoints[i])
     }
 
+    /// Resolve an endpoint name to its dense id (the boundary step; the hot
+    /// paths carry the id from then on).
+    pub fn endpoint_id(&self, name: &str) -> Option<EndpointId> {
+        self.endpoint_index.get(name).map(|&i| EndpointId(i as u32))
+    }
+
+    /// Borrow an endpoint by id.
+    #[inline]
+    pub fn endpoint_by_id(&self, id: EndpointId) -> Option<&ComputeEndpoint> {
+        self.endpoints.get(id.index())
+    }
+
+    /// Resolve an endpoint id back to its name (reports, telemetry).
+    #[inline]
+    pub fn endpoint_name(&self, id: EndpointId) -> Option<&str> {
+        self.endpoints.get(id.index()).map(|e| e.name())
+    }
+
     /// All endpoints.
     pub fn endpoints(&self) -> &[ComputeEndpoint] {
         &self.endpoints
     }
 
     /// Look up a task record.
+    #[inline]
     pub fn task(&self, id: TaskId) -> Option<&TaskRecord> {
-        self.tasks.get(&id)
+        self.tasks.get((id.0 as usize).wrapping_sub(1))
+    }
+
+    #[inline]
+    fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskRecord> {
+        self.tasks.get_mut((id.0 as usize).wrapping_sub(1))
     }
 
     /// Number of tasks currently queued at the service (not yet dispatched).
@@ -198,27 +244,43 @@ impl ComputeService {
         request: InferenceRequest,
         now: SimTime,
     ) -> Result<TaskId, FabricError> {
+        let Some(id) = self.endpoint_id(endpoint) else {
+            if !self.registry.is_registered(function) {
+                return Err(FabricError::UnregisteredFunction);
+            }
+            return Err(FabricError::UnknownEndpoint(endpoint.to_string()));
+        };
+        self.submit_to(function, id, request, now)
+    }
+
+    /// Submit a task to an endpoint already resolved to its dense id — the
+    /// per-request path the gateway uses (no name lookup, no name allocation).
+    pub fn submit_to(
+        &mut self,
+        function: FunctionId,
+        endpoint: EndpointId,
+        request: InferenceRequest,
+        now: SimTime,
+    ) -> Result<TaskId, FabricError> {
         if !self.registry.is_registered(function) {
             return Err(FabricError::UnregisteredFunction);
         }
-        let Some(&ep_idx) = self.endpoint_index.get(endpoint) else {
-            return Err(FabricError::UnknownEndpoint(endpoint.to_string()));
-        };
+        let ep_idx = endpoint.index();
+        if ep_idx >= self.endpoints.len() {
+            return Err(FabricError::UnknownEndpoint(format!("#{}", endpoint.0)));
+        }
         let id = TaskId(self.next_task_id);
         self.next_task_id += 1;
         let arrival = now + self.latency.client_to_service + self.spike_extra(now);
-        self.tasks.insert(
+        self.tasks.push(TaskRecord {
             id,
-            TaskRecord {
-                id,
-                function,
-                endpoint: endpoint.to_string(),
-                submitted_at: now,
-                state: TaskState::QueuedAtService,
-                result: None,
-                result_available_at: None,
-            },
-        );
+            function,
+            endpoint: self.endpoints[ep_idx].name().to_string(),
+            submitted_at: now,
+            state: TaskState::QueuedAtService,
+            result: None,
+            result_available_at: None,
+        });
         self.dispatch_queue
             .push_back((arrival, id, request, ep_idx));
         self.unresolved_tasks += 1;
@@ -262,7 +324,7 @@ impl ComputeService {
             let (_, id, request, ep_idx) = self.dispatch_queue.pop_front().expect("front exists");
             self.dispatcher_free_at = done;
             let deliver_at = done + self.latency.service_to_endpoint;
-            if let Some(rec) = self.tasks.get_mut(&id) {
+            if let Some(rec) = self.task_mut(id) {
                 rec.state = TaskState::AtEndpoint;
             }
             self.in_transit.push((deliver_at, id, request, ep_idx));
@@ -286,7 +348,7 @@ impl ComputeService {
         }
         due.sort_by_key(|t| (t.0, t.1));
         for (deliver_at, id, request, ep_idx) in due {
-            if let Some(rec) = self.tasks.get_mut(&id) {
+            if let Some(rec) = self.task_mut(id) {
                 rec.state = TaskState::Running;
             }
             self.endpoints[ep_idx].receive_task(id, request, deliver_at);
@@ -313,7 +375,7 @@ impl ComputeService {
         }
         for (relay_start, result) in collected {
             let available = relay_start + return_latency + self.spike_extra(relay_start);
-            if let Some(rec) = self.tasks.get_mut(&result.task) {
+            if let Some(rec) = self.tasks.get_mut((result.task.0 as usize).wrapping_sub(1)) {
                 if !matches!(rec.state, TaskState::Completed | TaskState::Failed) {
                     self.unresolved_tasks = self.unresolved_tasks.saturating_sub(1);
                 }
@@ -338,6 +400,39 @@ impl ComputeService {
         self.dispatch_queue.front().map(|&(arrival, _, _, _)| {
             arrival.max(self.dispatcher_free_at) + self.latency.service_dispatch_cost
         })
+    }
+}
+
+fn next_instance_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for ComputeService {
+    /// Clones carry a fresh instance id: a clone that later diverges (each
+    /// side adding its own endpoints) must never alias the original's
+    /// [`ComputeService::topology_stamp`], or cached routing state resolved
+    /// against one would be reused against the other.
+    fn clone(&self) -> Self {
+        ComputeService {
+            instance_id: next_instance_id(),
+            topology_version: self.topology_version,
+            registry: self.registry.clone(),
+            latency: self.latency.clone(),
+            endpoints: self.endpoints.clone(),
+            endpoint_index: self.endpoint_index.clone(),
+            tasks: self.tasks.clone(),
+            dispatch_queue: self.dispatch_queue.clone(),
+            dispatcher_free_at: self.dispatcher_free_at,
+            in_transit: self.in_transit.clone(),
+            ready_results: self.ready_results.clone(),
+            last_advanced: self.last_advanced,
+            latency_spike: self.latency_spike,
+            next_task_id: self.next_task_id,
+            unresolved_tasks: self.unresolved_tasks,
+            stats: self.stats.clone(),
+        }
     }
 }
 

@@ -85,6 +85,21 @@ impl FunctionRegistry {
     }
 }
 
+/// Dense identifier of an endpoint registered with the compute service: the
+/// registration index, assigned by [`crate::ComputeService::add_endpoint`].
+/// The per-request hot paths (routing, dispatch, delivery) carry this id;
+/// endpoint *names* appear only at the API boundary and in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EndpointId(pub u32);
+
+impl EndpointId {
+    /// The id as a `usize` index into the service's endpoint table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Identifier of a task submitted to the compute service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u64);

@@ -111,7 +111,16 @@ struct RunningSeq {
     req: InferenceRequest,
     accepted_at: SimTime,
     first_token_at: Option<SimTime>,
+}
+
+/// Per-sequence decode counters, kept in a dense parallel array so the
+/// per-token hot loop touches 8 bytes per sequence instead of walking the
+/// string-bearing [`RunningSeq`] structs (a full 256-sequence batch fits in
+/// a few cache lines). Index-synchronized with `running`.
+#[derive(Debug, Clone, Copy)]
+struct SeqProgress {
     generated: u32,
+    target: u32,
 }
 
 /// A single serving-engine instance.
@@ -123,6 +132,7 @@ pub struct VllmEngine {
     kv: BlockPool,
     waiting: VecDeque<WaitingRequest>,
     running: Vec<RunningSeq>,
+    progress: Vec<SeqProgress>,
     next_step_at: Option<SimTime>,
     stalled_until: Option<SimTime>,
     completions: Vec<InferenceCompletion>,
@@ -141,6 +151,7 @@ impl VllmEngine {
             kv,
             waiting: VecDeque::new(),
             running: Vec::new(),
+            progress: Vec::new(),
             next_step_at: None,
             stalled_until: None,
             completions: Vec::new(),
@@ -211,6 +222,7 @@ impl VllmEngine {
         self.state = EngineState::Stopped;
         self.waiting.clear();
         self.running.clear();
+        self.progress.clear();
         self.next_step_at = None;
     }
 
@@ -288,10 +300,13 @@ impl VllmEngine {
                 w.req.prompt_tokens,
             );
             self.stats.prompt_tokens += w.req.prompt_tokens as u64;
+            self.progress.push(SeqProgress {
+                generated: 0,
+                target: w.req.output_tokens.max(1),
+            });
             self.running.push(RunningSeq {
                 accepted_at: w.enqueued_at,
                 first_token_at: None,
-                generated: 0,
                 req: w.req,
             });
         }
@@ -301,6 +316,7 @@ impl VllmEngine {
 
     /// Execute one continuous-batching step starting at `step_start`.
     fn execute_step(&mut self, step_start: SimTime) {
+        let admitted_from = self.running.len();
         let prefill_time = self.admit(step_start);
         if self.running.is_empty() {
             // Nothing admitted (queue empty, or head larger than free KV while
@@ -328,20 +344,26 @@ impl VllmEngine {
         self.stats.decode_steps += 1;
         self.stats.busy_secs += step_time.as_secs_f64();
 
+        // First token of every sequence admitted this step lands at this
+        // step's end; every earlier sequence got its first token at the end
+        // of the step that admitted it, so only the new tail needs touching.
+        for seq in &mut self.running[admitted_from..] {
+            seq.first_token_at = Some(step_end);
+        }
+        // Per-token hot loop over the dense counters only; the heavy request
+        // structs are touched exclusively on completion.
         let mut finished: Vec<usize> = Vec::new();
-        for (i, seq) in self.running.iter_mut().enumerate() {
-            seq.generated += 1;
-            if seq.first_token_at.is_none() {
-                seq.first_token_at = Some(step_end);
-            }
-            self.stats.output_tokens += 1;
-            if seq.generated >= seq.req.output_tokens.max(1) {
+        for (i, p) in self.progress.iter_mut().enumerate() {
+            p.generated += 1;
+            if p.generated >= p.target {
                 finished.push(i);
             }
         }
+        self.stats.output_tokens += batch as u64;
         // Remove finished sequences (highest index first to keep indices valid).
         for &i in finished.iter().rev() {
             let seq = self.running.swap_remove(i);
+            self.progress.swap_remove(i);
             self.kv.release(seq.req.id.0);
             self.stats.completed += 1;
             self.completions.push(InferenceCompletion {
