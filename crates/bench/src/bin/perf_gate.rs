@@ -22,7 +22,9 @@ use first_bench::{
     arrival_seed, arrivals, benchmark_request_count, gate_compare, print_sim_stats,
     sharegpt_samples, BenchArtifact, GateMetric,
 };
-use first_core::{run_gateway_openloop, DeploymentBuilder, ScenarioReport};
+use first_core::{
+    run_gateway_openloop, run_scenario, DeploymentBuilder, GatewayReport, ScenarioReport,
+};
 use first_desim::{EventQueue, SimMeter, SimRunStats, SimTime};
 use first_workload::ArrivalProcess;
 
@@ -164,6 +166,55 @@ fn scale_inf(n: usize) -> (ScenarioReport, SimRunStats, Vec<GateMetric>) {
     (report, sim, metrics)
 }
 
+/// Scenario-matrix subset: two catalog scenarios through the declarative
+/// `run_scenario` path — `steady` (single tenant, the runner's base cost)
+/// and `multi-tenant-contention` (three tenant classes, per-tenant metric
+/// partitions and SLO accounting). Gating their completions, SLO attainment
+/// and tail latency keeps the scenario subsystem's behaviour pinned, and
+/// the shared wall/events metrics catch a runner-level slowdown.
+fn scenario_subset(n: usize) -> (Vec<GatewayReport>, SimRunStats, Vec<GateMetric>) {
+    let specs = first_workload::catalog(n);
+    let pick = |name: &str| {
+        specs
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("catalog scenario '{name}' missing"))
+            .clone()
+    };
+    let seed = first_bench::benchmark_seed();
+    let meter = SimMeter::start();
+    let steady = run_scenario(&pick("steady"), seed);
+    let contention = run_scenario(&pick("multi-tenant-contention"), seed);
+    let sim = meter.finish(SimTime::from_secs_f64(
+        steady.duration_s + contention.duration_s,
+    ));
+    let metrics = vec![
+        GateMetric::higher("scenario/steady/completed", steady.completed as f64, 0.001),
+        GateMetric::lower(
+            "scenario/steady/p95_latency_s",
+            steady.tenants[0].p95_latency_s,
+            DET,
+        ),
+        GateMetric::higher(
+            "scenario/contention/completed",
+            contention.completed as f64,
+            0.001,
+        ),
+        GateMetric::higher(
+            "scenario/contention/slo_attained_tenants",
+            contention.slo_attained_tenants as f64,
+            0.001,
+        ),
+        GateMetric::lower(
+            "scenario/events_processed",
+            sim.events_processed as f64,
+            0.10,
+        ),
+        GateMetric::lower("scenario/wall_time_s", sim.wall_time_s, WALL).with_floor(WALL_FLOOR),
+    ];
+    (vec![steady, contention], sim, metrics)
+}
+
 /// Event-queue micro-benchmark: schedule-then-drain churn on the desim
 /// kernel's future-event list (the `drain_due` hot path).
 fn queue_drain_micro() -> (SimRunStats, Vec<GateMetric>) {
@@ -224,15 +275,18 @@ fn main() {
     let (r2, s2, m2) = federated_inf(n);
     let (r3, s3, m3) = scale_inf(n);
     let (s4, m4) = queue_drain_micro();
+    let (scenario_runs, s5, m5) = scenario_subset(n);
     let mut sim = s1;
     sim.merge(&s2);
     sim.merge(&s3);
     sim.merge(&s4);
+    sim.merge(&s5);
 
     let mut artifact = BenchArtifact::new("perf_gate")
         .with_scenarios(&[r1, r2, r3])
+        .with_scenario_runs(&scenario_runs)
         .with_sim(sim);
-    for mut m in m1.into_iter().chain(m2).chain(m3).chain(m4) {
+    for mut m in m1.into_iter().chain(m2).chain(m3).chain(m4).chain(m5) {
         if inject_regression {
             // Synthetic 2x regression in the bad direction of every metric:
             // the gate must fail, proving the comparison still bites.

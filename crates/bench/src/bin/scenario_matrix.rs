@@ -1,0 +1,114 @@
+//! Scenario matrix: sweep the committed multi-tenant scenario catalog
+//! (`first_workload::catalog`) through the parallel [`ScenarioExecutor`] and
+//! emit the schema-v1 `BENCH_scenario_matrix.json` artifact with one
+//! [`GatewayReport`] — per-tenant metric partitions and SLO attainment —
+//! per scenario.
+//!
+//! The catalog covers the matrix the ROADMAP asks for: steady load, on/off
+//! bursts, diurnal load, multi-tenant contention, production trace replay,
+//! chaos under load, priority inversion, cold start and closed-loop WebUI
+//! sessions. `FIRST_BENCH_REQUESTS` scales every scenario's request budget,
+//! `FIRST_BENCH_SEED` re-randomises the whole matrix, and
+//! `FIRST_BENCH_THREADS` picks the worker count — reports carry no
+//! wall-clock measurement, so the artifact is byte-identical across thread
+//! counts (the `sim.wall_time_s` harness reading aside), which CI enforces.
+
+use first_bench::{
+    aggregate_stats, benchmark_request_count, benchmark_seed, print_sim_stats, BenchArtifact,
+    GateMetric, ScenarioExecutor,
+};
+use first_core::{run_scenario, GatewayReport};
+use first_desim::SimTime;
+use first_workload::catalog;
+
+fn main() {
+    let n = benchmark_request_count();
+    let seed = benchmark_seed();
+    let specs = catalog(n);
+
+    let executor = ScenarioExecutor::from_env();
+    println!(
+        "scenario matrix: {} scenarios, budget {} requests, seed {}, {} thread(s)",
+        specs.len(),
+        n,
+        seed,
+        executor.threads()
+    );
+
+    let harness = std::time::Instant::now();
+    let runs = executor.run(specs, |_, spec| run_scenario(&spec, seed));
+    let stats: Vec<_> = runs.iter().map(|r| r.stats).collect();
+    let reports: Vec<GatewayReport> = runs.into_iter().map(|r| r.result).collect();
+
+    for report in &reports {
+        println!("\n== {} ==", report.scenario);
+        print!("{}", report.render_text());
+    }
+
+    println!("\n== SLO attainment matrix ==");
+    println!(
+        "{:<26} {:>8} {:>8} {:>6} {:>6} {:>8} {:>10}",
+        "scenario", "offered", "done", "fail", "rej", "faults", "slo"
+    );
+    for r in &reports {
+        println!(
+            "{:<26} {:>8} {:>8} {:>6} {:>6} {:>8} {:>6}/{:<3}",
+            r.scenario,
+            r.offered,
+            r.completed,
+            r.failed,
+            r.rejected,
+            r.faults_injected,
+            r.slo_attained_tenants,
+            r.tenants.len()
+        );
+    }
+
+    // Round-trip through integer-microsecond SimTime, exactly as a
+    // single-threaded SimMeter::finish would have.
+    let sim_secs: f64 = reports.iter().map(|r| r.duration_s).sum();
+    let sim_secs = SimTime::from_secs_f64(sim_secs).as_secs_f64();
+    let sim = aggregate_stats(stats, harness.elapsed().as_secs_f64(), sim_secs);
+
+    let mut artifact = BenchArtifact::new("scenario_matrix").with_scenario_runs(&reports);
+    for r in &reports {
+        artifact = artifact
+            .with_metric(GateMetric::higher(
+                &format!("scenario/{}/completed", r.scenario),
+                r.completed as f64,
+                0.001,
+            ))
+            .with_metric(GateMetric::lower(
+                &format!("scenario/{}/failed", r.scenario),
+                r.failed as f64,
+                0.001,
+            ))
+            .with_metric(GateMetric::higher(
+                &format!("scenario/{}/slo_attained_tenants", r.scenario),
+                r.slo_attained_tenants as f64,
+                0.001,
+            ));
+        if let Some(worst_p95) = r
+            .tenants
+            .iter()
+            .map(|t| t.p95_latency_s)
+            .fold(None::<f64>, |acc, p| Some(acc.map_or(p, |a| a.max(p))))
+        {
+            artifact = artifact.with_metric(GateMetric::lower(
+                &format!("scenario/{}/worst_p95_s", r.scenario),
+                worst_p95,
+                0.02,
+            ));
+        }
+    }
+    artifact = artifact
+        .with_metric(GateMetric::lower(
+            "sim_events_processed",
+            sim.events_processed as f64,
+            0.10,
+        ))
+        .with_metric(GateMetric::lower("sim_wall_time_s", sim.wall_time_s, 2.0))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
+}

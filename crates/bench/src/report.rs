@@ -10,7 +10,7 @@
 //! `bench/baselines/`, failing the build on regression.
 
 use crate::Comparison;
-use first_core::{ResilienceReport, ScenarioReport, WebUiCell};
+use first_core::{GatewayReport, ResilienceReport, ScenarioReport, WebUiCell};
 use first_desim::SimRunStats;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -107,6 +107,10 @@ pub struct BenchArtifact {
     pub resilience: Vec<ResilienceReport>,
     /// WebUI closed-loop cells (empty when not applicable).
     pub webui: Vec<WebUiCell>,
+    /// Scenario-matrix runs with per-tenant SLO partitions (empty when not
+    /// applicable; `default` so pre-scenario artifacts still parse).
+    #[serde(default)]
+    pub scenario_runs: Vec<GatewayReport>,
     /// Paper-vs-measured comparison rows (empty when not applicable).
     pub comparisons: Vec<Comparison>,
     /// Flat gate metrics derived from the run (what `perf_gate` compares).
@@ -131,6 +135,7 @@ impl BenchArtifact {
             scenarios: Vec::new(),
             resilience: Vec::new(),
             webui: Vec::new(),
+            scenario_runs: Vec::new(),
             comparisons: Vec::new(),
             metrics: Vec::new(),
         }
@@ -157,6 +162,12 @@ impl BenchArtifact {
     /// Attach WebUI cells.
     pub fn with_webui(mut self, cells: &[WebUiCell]) -> Self {
         self.webui.extend_from_slice(cells);
+        self
+    }
+
+    /// Attach scenario-matrix runs.
+    pub fn with_scenario_runs(mut self, runs: &[GatewayReport]) -> Self {
+        self.scenario_runs.extend_from_slice(runs);
         self
     }
 
@@ -403,6 +414,7 @@ mod tests {
             scenarios: Vec::new(),
             resilience: Vec::new(),
             webui: Vec::new(),
+            scenario_runs: Vec::new(),
             comparisons: Vec::new(),
             metrics,
         }
@@ -419,6 +431,17 @@ mod tests {
         let b = BenchArtifact::from_json(&json).expect("parses");
         assert_eq!(a, b);
         assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn artifact_without_scenario_runs_still_parses() {
+        // Pre-scenario-matrix artifacts (and committed baselines) lack the
+        // `scenario_runs` field; `#[serde(default)]` keeps them readable.
+        let a = artifact(vec![GateMetric::higher("req_per_s", 9.5, 0.02)]);
+        let json = a.to_json().replace("\"scenario_runs\": [],\n  ", "");
+        assert!(!json.contains("scenario_runs"));
+        let b = BenchArtifact::from_json(&json).expect("legacy artifact parses");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden-artifact regression tests for the scenario matrix.
+//!
+//! Three small catalog scenarios run at a pinned seed and request budget;
+//! their `GatewayReport`s must serialize **byte-identically** to the JSON
+//! committed under `bench/golden/`. A diff here means the simulation's
+//! observable behaviour changed — per-tenant latencies, SLO attainment,
+//! conservation counts — which must be an intentional, reviewed change.
+//!
+//! Refresh path (mirror of the perf-gate baseline convention in CHANGES.md):
+//!
+//! ```text
+//! FIRST_GOLDEN_WRITE=1 cargo test -p first-bench --test golden_scenarios
+//! ```
+//!
+//! then commit the regenerated `bench/golden/GOLDEN_*.json` files and
+//! justify the new numbers in the PR / CHANGES.md entry.
+
+use first_core::run_scenario;
+use first_workload::catalog;
+use std::path::PathBuf;
+
+/// Seed and budget are pinned: goldens are not reruns of the live bench
+/// configuration, they are fixed probes of simulator behaviour.
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_BUDGET: usize = 120;
+
+/// The three pinned scenarios: the runner's base case, the multi-tenant
+/// SLO-partition case, and the priority/tie-break merge case.
+const GOLDEN_SCENARIOS: &[&str] = &["steady", "multi-tenant-contention", "priority-inversion"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/golden")
+}
+
+#[test]
+fn golden_catalog_scenarios_reproduce_byte_identically() {
+    let write = std::env::var("FIRST_GOLDEN_WRITE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let specs = catalog(GOLDEN_BUDGET);
+    for name in GOLDEN_SCENARIOS {
+        let spec = specs
+            .iter()
+            .find(|s| s.name == *name)
+            .unwrap_or_else(|| panic!("catalog scenario '{name}' missing"));
+        let report = run_scenario(spec, GOLDEN_SEED);
+        let rendered = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+        let path = golden_dir().join(format!("GOLDEN_{name}.json"));
+        if write {
+            std::fs::create_dir_all(golden_dir()).expect("golden dir");
+            std::fs::write(&path, &rendered).expect("golden written");
+            println!("refreshed {}", path.display());
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {} ({e}); bootstrap with \
+                 `FIRST_GOLDEN_WRITE=1 cargo test -p first-bench --test golden_scenarios`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            committed,
+            "scenario '{name}' diverged from its golden artifact {}.\n\
+             If the behaviour change is intentional, refresh with\n\
+             `FIRST_GOLDEN_WRITE=1 cargo test -p first-bench --test golden_scenarios`\n\
+             and justify the new numbers in the PR.",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_scenarios_exist_in_the_catalog_at_any_budget() {
+    // Guard against a catalog refactor silently dropping a pinned scenario.
+    for budget in [16, 120, 1000] {
+        let specs = catalog(budget);
+        for name in GOLDEN_SCENARIOS {
+            assert!(
+                specs.iter().any(|s| s.name == *name),
+                "catalog({budget}) lost pinned scenario '{name}'"
+            );
+        }
+    }
+}

@@ -126,6 +126,24 @@ pub struct JobsEntry {
     pub endpoint_health: Vec<String>,
 }
 
+/// Counts of the gateway's internal queues and slabs, as reported by
+/// [`Gateway::queue_snapshot`]. Purely diagnostic: the invariant checker
+/// asserts everything except `buffered_responses` is zero once a run drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayQueueSnapshot {
+    /// Accepted dispatches not yet submitted to the fabric.
+    pub pending_dispatches: usize,
+    /// Tasks submitted and not yet resolved (live slab entries).
+    pub in_flight_tasks: usize,
+    /// Results collected and waiting for client delivery.
+    pub awaiting_delivery: usize,
+    /// Total outstanding copies (originals + hedges + scheduled retries)
+    /// across all unanswered request ids.
+    pub outstanding_copies: u64,
+    /// Completed responses buffered for `take_responses`.
+    pub buffered_responses: usize,
+}
+
 #[derive(Debug, Clone)]
 struct PendingDispatch {
     request_id: u64,
@@ -395,6 +413,20 @@ impl Gateway {
             && self.in_flight_count == 0
             && self.awaiting.is_empty()
             && self.service.is_drained()
+    }
+
+    /// Diagnostic counts of the gateway's internal queues and slabs — what
+    /// the invariant checker inspects after a run ([`crate::invariants`]).
+    /// On a drained gateway every count must be zero except
+    /// `buffered_responses` (whatever the driver has not collected yet).
+    pub fn queue_snapshot(&self) -> GatewayQueueSnapshot {
+        GatewayQueueSnapshot {
+            pending_dispatches: self.pending.len(),
+            in_flight_tasks: self.in_flight_count,
+            awaiting_delivery: self.awaiting.len(),
+            outstanding_copies: self.outstanding.iter().map(|&c| c as u64).sum(),
+            buffered_responses: self.responses.len(),
+        }
     }
 
     #[inline]

@@ -1,0 +1,258 @@
+//! Post-run invariant checking for simulation drivers.
+//!
+//! Every scenario runner moves requests through the same lifecycle:
+//! offered → accepted (or rejected at the API boundary) → completed or
+//! failed. A [`RunLedger`] records what the driver observed on the way;
+//! [`check_run_invariants`] then cross-checks the ledger against the
+//! gateway's internal queues and asserts the three properties every correct
+//! run must satisfy:
+//!
+//! 1. **Request conservation** — `offered == accepted + rejected`, and once
+//!    the run drains, `accepted == completed + failed`: no request may
+//!    vanish or be answered twice.
+//! 2. **Monotone simulation clock** — the driver never advanced the gateway
+//!    backwards.
+//! 3. **No leaked tasks** — a drained gateway holds nothing in its pending,
+//!    in-flight, awaiting-delivery or outstanding-copy slabs.
+//!
+//! [`crate::run_scenario`] runs the check automatically in debug builds
+//! (`#[cfg(debug_assertions)]`), which covers every `cargo test` run;
+//! integration tests call it directly on their own drivers.
+
+use crate::gateway::Gateway;
+use first_desim::SimTime;
+
+/// Watches a driver's advance instants for monotonicity.
+#[derive(Debug, Clone, Default)]
+pub struct ClockMonitor {
+    last: SimTime,
+    violations: u64,
+}
+
+impl ClockMonitor {
+    /// A monitor starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one advance instant; returns `false` (and counts a violation)
+    /// when the clock moved backwards.
+    pub fn observe(&mut self, now: SimTime) -> bool {
+        if now < self.last {
+            self.violations += 1;
+            false
+        } else {
+            self.last = now;
+            true
+        }
+    }
+
+    /// Latest instant observed.
+    pub fn last(&self) -> SimTime {
+        self.last
+    }
+
+    /// Number of backwards steps observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+/// What one driver observed over a run: the request-lifecycle counts and the
+/// clock trace the invariant checker validates.
+#[derive(Debug, Clone, Default)]
+pub struct RunLedger {
+    /// Requests the driver tried to submit.
+    pub offered: usize,
+    /// Requests the gateway accepted.
+    pub accepted: usize,
+    /// Requests rejected at the API boundary (auth, rate limit, validation,
+    /// no route).
+    pub rejected: usize,
+    /// Successful responses collected.
+    pub completed: usize,
+    /// Failed responses collected.
+    pub failed: usize,
+    /// The driver's clock trace.
+    pub clock: ClockMonitor,
+    /// Whether the run ended with the gateway drained (as opposed to being
+    /// cut off by the horizon with work still in flight).
+    pub drained: bool,
+}
+
+impl RunLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one submission attempt.
+    pub fn on_submission(&mut self, accepted: bool) {
+        self.offered += 1;
+        if accepted {
+            self.accepted += 1;
+        } else {
+            self.rejected += 1;
+        }
+    }
+
+    /// Record one collected response.
+    pub fn on_response(&mut self, success: bool) {
+        if success {
+            self.completed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+}
+
+/// Cross-check a finished run's ledger against the gateway's internal state.
+/// Returns every violated invariant (empty = all hold).
+pub fn check_run_invariants(gateway: &Gateway, ledger: &RunLedger) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    if ledger.clock.violations() > 0 {
+        violations.push(format!(
+            "sim clock moved backwards {} time(s)",
+            ledger.clock.violations()
+        ));
+    }
+    if ledger.offered != ledger.accepted + ledger.rejected {
+        violations.push(format!(
+            "offered {} != accepted {} + rejected {}",
+            ledger.offered, ledger.accepted, ledger.rejected
+        ));
+    }
+    if ledger.completed + ledger.failed > ledger.accepted {
+        violations.push(format!(
+            "more responses ({} completed + {} failed) than accepted requests ({})",
+            ledger.completed, ledger.failed, ledger.accepted
+        ));
+    }
+    if ledger.drained {
+        if ledger.completed + ledger.failed != ledger.accepted {
+            violations.push(format!(
+                "drained run lost requests: accepted {} != completed {} + failed {}",
+                ledger.accepted, ledger.completed, ledger.failed
+            ));
+        }
+        if !gateway.is_drained() {
+            violations.push("ledger says drained but the gateway disagrees".to_string());
+        }
+        let queues = gateway.queue_snapshot();
+        if queues.pending_dispatches != 0
+            || queues.in_flight_tasks != 0
+            || queues.awaiting_delivery != 0
+        {
+            violations.push(format!("drained gateway leaks tasks: {queues:?}"));
+        }
+        if queues.outstanding_copies != 0 {
+            violations.push(format!(
+                "drained gateway leaks {} outstanding copies",
+                queues.outstanding_copies
+            ));
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ChatCompletionRequest;
+    use crate::deploy::DeploymentBuilder;
+    use first_desim::SimProcess;
+
+    const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
+
+    #[test]
+    fn clock_monitor_counts_backward_steps() {
+        let mut clock = ClockMonitor::new();
+        assert!(clock.observe(SimTime::from_secs(1)));
+        assert!(clock.observe(SimTime::from_secs(1)), "equal times are fine");
+        assert!(clock.observe(SimTime::from_secs(5)));
+        assert!(!clock.observe(SimTime::from_secs(2)));
+        assert_eq!(clock.violations(), 1);
+        assert_eq!(clock.last(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn clean_run_passes_all_invariants() {
+        let (mut gw, tokens) = DeploymentBuilder::single_cluster_test()
+            .prewarm(1)
+            .build_with_tokens();
+        let mut ledger = RunLedger::new();
+        for i in 0..5u64 {
+            let req = ChatCompletionRequest::simple(MODEL, &format!("inv {i}"), 100);
+            let ok = gw
+                .chat_completions(&req, &tokens.alice, Some(80), SimTime::from_secs(i))
+                .is_ok();
+            ledger.on_submission(ok);
+        }
+        let mut now = SimTime::ZERO;
+        while let Some(t) = SimProcess::next_event_time(&gw) {
+            now = now.max(t);
+            ledger.clock.observe(now);
+            gw.advance(now);
+            for r in gw.take_responses() {
+                ledger.on_response(r.success);
+            }
+            if gw.is_drained() {
+                break;
+            }
+        }
+        ledger.drained = gw.is_drained();
+        assert!(ledger.drained);
+        check_run_invariants(&gw, &ledger).expect("clean run holds all invariants");
+    }
+
+    #[test]
+    fn lost_response_is_reported_as_conservation_violation() {
+        let (gw, _tokens) = DeploymentBuilder::single_cluster_test()
+            .prewarm(1)
+            .build_with_tokens();
+        let ledger = RunLedger {
+            offered: 3,
+            accepted: 3,
+            rejected: 0,
+            completed: 2,
+            failed: 0,
+            clock: ClockMonitor::new(),
+            drained: true,
+        };
+        let violations = check_run_invariants(&gw, &ledger).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("lost requests")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn undrained_run_only_requires_weak_conservation() {
+        let (gw, _tokens) = DeploymentBuilder::single_cluster_test()
+            .prewarm(1)
+            .build_with_tokens();
+        // Horizon cut the run short: 1 of 3 accepted still in flight — fine
+        // while not drained, but responses may never exceed acceptances.
+        let ledger = RunLedger {
+            offered: 4,
+            accepted: 3,
+            rejected: 1,
+            completed: 2,
+            failed: 0,
+            clock: ClockMonitor::new(),
+            drained: false,
+        };
+        check_run_invariants(&gw, &ledger).expect("weak conservation holds");
+        let bad = RunLedger {
+            completed: 5,
+            ..ledger
+        };
+        assert!(check_run_invariants(&gw, &bad).is_err());
+    }
+}

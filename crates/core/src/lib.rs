@@ -22,6 +22,11 @@
 //! * [`deploy`] — deployment assembly (single-cluster test, Sophia, federated).
 //! * [`sim`] — open-loop and closed-loop scenario runners used by every
 //!   benchmark in `first-bench`.
+//! * [`scenario`] — the declarative scenario runner: compiles a
+//!   `first-workload` [`ScenarioSpec`](first_workload::ScenarioSpec) and
+//!   reports per-tenant SLO attainment.
+//! * [`invariants`] — post-run invariant checking (request conservation,
+//!   monotone clock, no leaked tasks) shared by the runners and tests.
 
 #![warn(missing_docs)]
 
@@ -29,9 +34,11 @@ pub mod api;
 pub mod batch;
 pub mod deploy;
 pub mod gateway;
+pub mod invariants;
 pub mod middleware;
 pub mod monitoring;
 pub mod registry;
+pub mod scenario;
 pub mod sim;
 pub mod storage;
 pub mod streaming;
@@ -44,12 +51,14 @@ pub use api::{
 };
 pub use batch::{BatchId, BatchJob, BatchManager, BatchState};
 pub use deploy::{enroll_standard_users, ClusterSite, DeploymentBuilder, HostedModel, TestTokens};
-pub use gateway::{CompletedRequest, Gateway, GatewayConfig, JobsEntry};
+pub use gateway::{CompletedRequest, Gateway, GatewayConfig, GatewayQueueSnapshot, JobsEntry};
+pub use invariants::{check_run_invariants, ClockMonitor, RunLedger};
 pub use middleware::{AuthMiddleware, RateLimiter, ResponseCache};
 pub use registry::{
     FederationRouter, ModelId, ModelRegistry, RouteCandidate, RoutedTarget, RoutingDecision,
     RoutingPolicy, RoutingReason,
 };
+pub use scenario::{run_scenario, GatewayReport, TenantReport};
 pub use sim::{
     run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_resilience_openloop,
     run_webui_closed_loop, ResilienceReport, ScenarioReport, WebUiCell,

@@ -12,7 +12,7 @@ use crate::gateway::Gateway;
 use first_desim::SimTime;
 use first_telemetry::{
     AlertRule, AlertSeverity, Alerting, ClusterRow, DashboardSnapshot, LabelSet, MetricRegistry,
-    ModelRow, QueueRow,
+    ModelRow, QueueRow, TenantRow,
 };
 use std::collections::BTreeMap;
 
@@ -81,6 +81,22 @@ impl Gateway {
             });
         }
 
+        // Tenant rows: the per-user partition of the request log. Scenario
+        // runs enroll one auth user per tenant class, so this is exactly the
+        // per-tenant view the scenario matrix reports on.
+        let tenants: Vec<TenantRow> = self
+            .log()
+            .usage_by_user()
+            .into_iter()
+            .map(|(tenant, usage)| TenantRow {
+                tenant,
+                requests: usage.requests,
+                failures: usage.failures,
+                output_tokens: usage.completion_tokens,
+                total_tokens: usage.total_tokens,
+            })
+            .collect();
+
         let (harness_wall_s, _, harness_events_per_sec) = self.harness_health();
         let metrics = self.metrics_mut();
         let mut snapshot = DashboardSnapshot {
@@ -88,6 +104,7 @@ impl Gateway {
             models,
             clusters: clusters.into_values().collect(),
             queues,
+            tenants,
             total_requests: metrics.total_received(),
             total_completed: metrics.completed,
             total_failed: metrics.failed + metrics.rejected,
@@ -194,6 +211,23 @@ impl Gateway {
                     ("kind", "prompt".to_string()),
                 ]),
                 entry.prompt_tokens as u64,
+            );
+        }
+
+        // Per-tenant (auth-user) partitions of the request log, the labelled
+        // counters the scenario-matrix dashboards consume.
+        for (tenant, usage) in self.log().usage_by_user() {
+            let labels = LabelSet::single("tenant", tenant);
+            registry.add_counter(
+                "first_tenant_requests_total",
+                labels.clone(),
+                usage.requests,
+            );
+            registry.add_counter("first_tenant_failed_total", labels.clone(), usage.failures);
+            registry.add_counter(
+                "first_tenant_output_tokens_total",
+                labels,
+                usage.completion_tokens,
             );
         }
 
@@ -439,9 +473,17 @@ mod tests {
         assert!(row.median_latency_s > 0.0);
         assert!(!snap.clusters.is_empty());
         assert!(snap.clusters[0].total_nodes > 0);
+        // The per-tenant partition mirrors the request log's user view.
+        assert_eq!(snap.tenants.len(), 1);
+        assert_eq!(snap.tenants[0].tenant, "alice");
+        assert_eq!(snap.tenants[0].requests, 5);
+        assert_eq!(snap.tenants[0].failures, 0);
+        assert!(snap.tenants[0].output_tokens >= 5 * 120);
         let text = snap.render_text();
         assert!(text.contains(MODEL));
         assert!(text.contains("-- clusters --"));
+        assert!(text.contains("-- tenants --"));
+        assert!(text.contains("alice"));
     }
 
     #[test]
@@ -465,9 +507,17 @@ mod tests {
                 .map(|e| e.total_tokens())
                 .sum::<u64>()
         );
+        assert_eq!(
+            snap.counter_value(
+                "first_tenant_requests_total",
+                &LabelSet::single("tenant", "alice".to_string())
+            ),
+            5
+        );
         let text = render_prometheus(&snap);
         assert!(text.contains("first_request_latency_seconds_bucket"));
         assert!(text.contains("first_cluster_total_nodes"));
+        assert!(text.contains("first_tenant_requests_total"));
         // Exporting twice yields identical totals (no double counting).
         let again = gw.export_metrics(SimTime::from_secs(601));
         assert_eq!(

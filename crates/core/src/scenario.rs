@@ -1,0 +1,527 @@
+//! The scenario runner: compiles a declarative [`ScenarioSpec`] into a
+//! request stream and replays it against a live deployment.
+//!
+//! [`run_scenario`] is the single seam every scenario-matrix consumer shares:
+//! it resolves the spec's deployment reference, enrolls one auth user per
+//! tenant class (so the request log, dashboard and metric export partition
+//! per tenant for free), replays the merged stream open-loop with the spec's
+//! embedded fault plan applied along the way, and reports per-tenant metric
+//! partitions and SLO attainment in a [`GatewayReport`]. In debug builds the
+//! run finishes with the [`crate::invariants`] check, so every `cargo test`
+//! that touches a scenario also proves request conservation and task-slab
+//! hygiene.
+
+use crate::deploy::DeploymentBuilder;
+use crate::gateway::Gateway;
+use crate::invariants::{check_run_invariants, RunLedger};
+use crate::sim::{run_webui_closed_loop, synthetic_chat_request, WebUiCell};
+use first_auth::{Identity, Scope, TokenString, UserId};
+use first_chaos::{FaultInjector, ResilienceConfig};
+use first_desim::{Histogram, SimDuration, SimProcess, SimTime};
+use first_workload::{ConversationSample, DeploymentRef, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-tenant metric partition of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant-class name.
+    pub tenant: String,
+    /// Tenant priority (from the spec).
+    pub priority: u8,
+    /// Requests the tenant offered.
+    pub offered: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that failed after acceptance.
+    pub failed: usize,
+    /// Requests rejected at the API boundary.
+    pub rejected: usize,
+    /// `completed / offered`.
+    pub availability: f64,
+    /// Median end-to-end latency of successful requests, seconds.
+    pub median_latency_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_latency_s: f64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+    /// Output tokens delivered to this tenant.
+    pub output_tokens: u64,
+    /// Output tokens per second over the run.
+    pub output_tok_per_s: f64,
+    /// SLO target: 95th-percentile latency, seconds.
+    pub slo_p95_target_s: f64,
+    /// SLO target: availability.
+    pub slo_availability_target: f64,
+    /// Fraction of completed requests inside the latency target.
+    pub slo_latency_attainment: f64,
+    /// Whether the tenant's measured p95 and availability met the target.
+    pub slo_met: bool,
+}
+
+impl TenantReport {
+    /// One formatted table row (used by `scenario_matrix` and the dashboard
+    /// example).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<18} {:>4} {:>7} {:>7} {:>5} {:>5} {:>7.2}% {:>9.1} {:>9.1} {:>10} {:>8.1}% {:>5}",
+            self.tenant,
+            self.priority,
+            self.offered,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.availability * 100.0,
+            self.median_latency_s,
+            self.p95_latency_s,
+            self.output_tokens,
+            self.slo_latency_attainment * 100.0,
+            if self.slo_met { "met" } else { "MISS" },
+        )
+    }
+
+    /// The table header matching [`TenantReport::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<18} {:>4} {:>7} {:>7} {:>5} {:>5} {:>8} {:>9} {:>9} {:>10} {:>9} {:>5}",
+            "tenant",
+            "prio",
+            "offered",
+            "done",
+            "fail",
+            "rej",
+            "avail",
+            "med (s)",
+            "p95 (s)",
+            "out_tok",
+            "slo_att",
+            "slo"
+        )
+    }
+}
+
+/// The full result of one scenario run: whole-run totals plus the per-tenant
+/// partitions. Contains no wall-clock measurement, so two runs of the same
+/// spec and seed serialize byte-identically — the property the golden tests
+/// and the CI thread-count diff pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Requests offered across all tenants.
+    pub offered: usize,
+    /// Requests accepted by the gateway.
+    pub accepted: usize,
+    /// Requests rejected at the API boundary.
+    pub rejected: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests failed after acceptance.
+    pub failed: usize,
+    /// Run duration in seconds (first arrival → last delivery).
+    pub duration_s: f64,
+    /// Completed requests per second.
+    pub request_throughput: f64,
+    /// Output tokens per second.
+    pub output_token_throughput: f64,
+    /// Faults the injector actually applied.
+    pub faults_injected: usize,
+    /// Gateway retries issued.
+    pub retries: u64,
+    /// Failovers to a different endpoint.
+    pub failovers: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Hedged requests issued.
+    pub hedges: u64,
+    /// Per-tenant partitions, in spec order.
+    pub tenants: Vec<TenantReport>,
+    /// Tenants whose SLO was met.
+    pub slo_attained_tenants: usize,
+    /// Closed-loop session cell, when the spec carried a session rider.
+    pub webui: Option<WebUiCell>,
+}
+
+impl GatewayReport {
+    /// Look up a tenant partition by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
+
+    /// Render the whole report as the table the bench binaries print.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario '{}' (seed {}): offered={} accepted={} rejected={} completed={} failed={} \
+             in {:.1}s ({:.2} req/s, {:.1} tok/s), faults={} retries={} failovers={} trips={} hedges={}",
+            self.scenario,
+            self.seed,
+            self.offered,
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.duration_s,
+            self.request_throughput,
+            self.output_token_throughput,
+            self.faults_injected,
+            self.retries,
+            self.failovers,
+            self.breaker_trips,
+            self.hedges,
+        );
+        if !self.tenants.is_empty() {
+            let _ = writeln!(out, "{}", TenantReport::table_header());
+            for t in &self.tenants {
+                let _ = writeln!(out, "{}", t.table_row());
+            }
+        }
+        if let Some(cell) = &self.webui {
+            let _ = writeln!(
+                out,
+                "webui sessions: {} concurrent, {} turns in {:.0}s ({:.2} req/s, {:.1} tok/s)",
+                cell.concurrency,
+                cell.completed,
+                cell.duration_s,
+                cell.request_throughput,
+                cell.token_throughput,
+            );
+        }
+        out
+    }
+}
+
+/// Resolve a [`DeploymentRef`] to its concrete builder.
+fn builder_for(deployment: DeploymentRef) -> DeploymentBuilder {
+    match deployment {
+        DeploymentRef::SingleClusterTest => DeploymentBuilder::single_cluster_test(),
+        DeploymentRef::SophiaSingleInstance => DeploymentBuilder::sophia_single_instance(),
+        DeploymentRef::Sophia => DeploymentBuilder::sophia(),
+        DeploymentRef::FederatedSophiaPolaris => DeploymentBuilder::federated_sophia_polaris(),
+    }
+}
+
+/// Enroll one auth user for `name` and return their bearer token.
+fn enroll_tenant_user(gateway: &mut Gateway, name: &str) -> TokenString {
+    let auth = gateway.auth_mut();
+    auth.enroll_user(&UserId::new(name));
+    let (token, _) = auth
+        .login(
+            &Identity::new(name, "anl.gov").with_project("scenario-matrix"),
+            &[Scope::InferenceApi],
+            SimTime::ZERO,
+        )
+        .unwrap_or_else(|e| panic!("tenant '{name}' login failed: {e:?}"));
+    token.token
+}
+
+/// Compile `spec` at `seed`, replay it against the spec's deployment and
+/// report per-tenant metrics and SLO attainment.
+///
+/// The run is deterministic for a fixed `(spec, seed)` pair: the report
+/// carries no wall-clock measurement and every random draw derives from the
+/// seed. Debug builds finish with the [`crate::invariants`] check.
+///
+/// A spec may carry either open-loop tenants or a closed-loop session rider,
+/// not both (the two drivers would fight over the same simulation clock).
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
+    assert!(
+        spec.tenants.is_empty() || spec.sessions.is_none(),
+        "scenario '{}': open-loop tenants and a session rider are mutually exclusive",
+        spec.name
+    );
+
+    let mut builder = builder_for(spec.deployment).prewarm(spec.prewarm);
+    if spec.resilience {
+        builder = builder.resilience(ResilienceConfig::production());
+    }
+    let mut gateway = builder.build();
+
+    let tokens: Vec<TokenString> = spec
+        .tenants
+        .iter()
+        .map(|t| enroll_tenant_user(&mut gateway, &t.name))
+        .collect();
+    let tenant_by_user: HashMap<String, usize> = spec
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.clone(), i))
+        .collect();
+
+    let compiled = spec.compile(seed);
+    let horizon = compiled.horizon;
+    let mut injector = FaultInjector::new(spec.faults.clone());
+    let mut ledger = RunLedger::new();
+
+    // Per-tenant accumulators.
+    let n_tenants = spec.tenants.len();
+    let mut offered = vec![0usize; n_tenants];
+    let mut rejected = vec![0usize; n_tenants];
+    let mut failed = vec![0usize; n_tenants];
+    let mut output_tokens = vec![0u64; n_tenants];
+    let mut latencies: Vec<Histogram> = (0..n_tenants).map(|_| Histogram::new()).collect();
+
+    let mut next = 0usize;
+    let mut last_delivery = SimTime::ZERO;
+    let first_arrival = compiled
+        .requests
+        .first()
+        .map(|r| r.at)
+        .unwrap_or(SimTime::ZERO);
+
+    let mut collect =
+        |gateway: &mut Gateway, ledger: &mut RunLedger, last_delivery: &mut SimTime| {
+            for r in gateway.take_responses() {
+                ledger.on_response(r.success);
+                *last_delivery = (*last_delivery).max(r.finished_at);
+                let Some(&tenant) = tenant_by_user.get(&r.user) else {
+                    continue;
+                };
+                if r.success {
+                    latencies[tenant].record(r.latency().as_secs_f64());
+                    output_tokens[tenant] += r.usage.completion_tokens as u64;
+                } else {
+                    failed[tenant] += 1;
+                }
+            }
+        };
+
+    // Pure closed-loop specs skip the open-loop drive entirely: advancing
+    // the gateway through its prewarm events here would fast-forward the
+    // clock past the session window before the session driver starts.
+    while !compiled.requests.is_empty() || injector.is_active() {
+        let next_arrival = compiled.requests.get(next).map(|r| r.at);
+        let step = match (next_arrival, injector.next_event_merged(&gateway)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        let Some(step) = step else {
+            break;
+        };
+        if step > horizon {
+            break;
+        }
+        ledger.clock.observe(step);
+        injector.apply_due(gateway.service_mut(), step);
+        gateway.advance(step);
+        while next < compiled.requests.len() && compiled.requests[next].at <= step {
+            let request = &compiled.requests[next];
+            let tenant = request.tenant as usize;
+            let sample = ConversationSample {
+                prompt_tokens: request.prompt_tokens,
+                output_tokens: request.output_tokens,
+                prompt_text: String::new(),
+            };
+            // The global stream index keeps every prompt unique, so the
+            // response cache cannot collapse tenants into each other.
+            let body = synthetic_chat_request(&request.model, next, &sample);
+            let accepted = gateway
+                .chat_completions(
+                    &body,
+                    &tokens[tenant],
+                    Some(request.output_tokens),
+                    request.at,
+                )
+                .is_ok();
+            ledger.on_submission(accepted);
+            offered[tenant] += 1;
+            if !accepted {
+                rejected[tenant] += 1;
+            }
+            next += 1;
+        }
+        collect(&mut gateway, &mut ledger, &mut last_delivery);
+        if next >= compiled.requests.len() && gateway.is_drained() && injector.is_exhausted() {
+            break;
+        }
+    }
+    collect(&mut gateway, &mut ledger, &mut last_delivery);
+    ledger.drained = next >= compiled.requests.len() && gateway.is_drained();
+
+    // Closed-loop session rider (pure closed-loop specs only; the gateway is
+    // untouched at this point, so the session window starts at t=0).
+    let webui = spec.sessions.as_ref().map(|rider| {
+        let token = enroll_tenant_user(&mut gateway, "webui-sessions");
+        run_webui_closed_loop(
+            &mut gateway,
+            &token,
+            &rider.config,
+            SimDuration::from_millis(rider.webui_overhead_ms),
+            seed ^ 0x5E55_10A5,
+        )
+    });
+
+    #[cfg(debug_assertions)]
+    if spec.sessions.is_none() {
+        if let Err(violations) = check_run_invariants(&gateway, &ledger) {
+            panic!(
+                "scenario '{}' violated run invariants:\n  {}",
+                spec.name,
+                violations.join("\n  ")
+            );
+        }
+    }
+
+    let duration_s = if let Some(cell) = &webui {
+        cell.duration_s
+    } else {
+        (last_delivery.saturating_since(first_arrival))
+            .as_secs_f64()
+            .max(1e-9)
+    };
+
+    let tenants: Vec<TenantReport> = spec
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let completed = latencies[i].count();
+            let availability = completed as f64 / offered[i].max(1) as f64;
+            let within_target = latencies[i]
+                .samples()
+                .iter()
+                .filter(|&&l| l <= t.slo.p95_latency_s)
+                .count();
+            let p95 = latencies[i].p95();
+            TenantReport {
+                tenant: t.name.clone(),
+                priority: t.priority,
+                offered: offered[i],
+                completed,
+                failed: failed[i],
+                rejected: rejected[i],
+                availability,
+                median_latency_s: latencies[i].median(),
+                p95_latency_s: p95,
+                mean_latency_s: latencies[i].mean(),
+                output_tokens: output_tokens[i],
+                output_tok_per_s: output_tokens[i] as f64 / duration_s,
+                slo_p95_target_s: t.slo.p95_latency_s,
+                slo_availability_target: t.slo.availability,
+                slo_latency_attainment: within_target as f64 / completed.max(1) as f64,
+                slo_met: t.slo.met(p95, availability),
+            }
+        })
+        .collect();
+    let slo_attained_tenants = tenants.iter().filter(|t| t.slo_met).count();
+
+    let metrics = gateway.metrics_mut();
+    let completed_total = ledger.completed + webui.as_ref().map_or(0, |c| c.completed);
+    GatewayReport {
+        scenario: spec.name.clone(),
+        seed,
+        offered: ledger.offered + webui.as_ref().map_or(0, |c| c.completed),
+        accepted: ledger.accepted + webui.as_ref().map_or(0, |c| c.completed),
+        rejected: ledger.rejected,
+        completed: completed_total,
+        failed: ledger.failed,
+        duration_s,
+        request_throughput: completed_total as f64 / duration_s,
+        output_token_throughput: (output_tokens.iter().sum::<u64>() as f64
+            + webui
+                .as_ref()
+                .map_or(0.0, |c| c.token_throughput * c.duration_s))
+            / duration_s,
+        faults_injected: injector.applied().len(),
+        retries: metrics.retries,
+        failovers: metrics.failovers,
+        breaker_trips: metrics.breaker_trips,
+        hedges: metrics.hedges,
+        tenants,
+        slo_attained_tenants,
+        webui,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use first_workload::{
+        scenario::models, ArrivalProcess, DeploymentRef, ScenarioSpec, SloTarget, TenantClass,
+    };
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "unit-steady",
+            "unit-test steady load",
+            DeploymentRef::SingleClusterTest,
+            vec![TenantClass::synthetic(
+                "unit-tenant",
+                25,
+                ArrivalProcess::Poisson(2.0),
+                models::LLAMA_70B,
+            )],
+        )
+    }
+
+    #[test]
+    fn steady_scenario_completes_everything_and_partitions_by_tenant() {
+        let report = run_scenario(&small_spec(), 42);
+        assert_eq!(report.offered, 25);
+        assert_eq!(report.accepted, 25);
+        assert_eq!(report.completed, 25);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.tenants.len(), 1);
+        let t = report.tenant("unit-tenant").unwrap();
+        assert_eq!(t.completed, 25);
+        assert!((t.availability - 1.0).abs() < 1e-9);
+        assert!(t.p95_latency_s > 0.0);
+        assert!(t.output_tokens > 0);
+        let text = report.render_text();
+        assert!(text.contains("unit-tenant"));
+        assert!(text.contains("unit-steady"));
+    }
+
+    #[test]
+    fn reports_are_seed_deterministic_and_seed_sensitive() {
+        let spec = small_spec();
+        let a = run_scenario(&spec, 7);
+        let b = run_scenario(&spec, 7);
+        assert_eq!(a, b);
+        let c = run_scenario(&spec, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn multi_tenant_runs_keep_per_tenant_slo_accounting() {
+        let spec = ScenarioSpec::new(
+            "unit-two-tenants",
+            "",
+            DeploymentRef::SingleClusterTest,
+            vec![
+                TenantClass::synthetic(
+                    "interactive",
+                    15,
+                    ArrivalProcess::Poisson(1.0),
+                    models::LLAMA_70B,
+                )
+                .with_priority(200)
+                .with_slo(SloTarget {
+                    p95_latency_s: 300.0,
+                    availability: 0.9,
+                }),
+                TenantClass::synthetic("flood", 20, ArrivalProcess::Infinite, models::LLAMA_8B)
+                    .with_priority(10)
+                    .with_slo(SloTarget::batch()),
+            ],
+        );
+        let report = run_scenario(&spec, 42);
+        assert_eq!(report.offered, 35);
+        assert_eq!(report.completed, 35);
+        let interactive = report.tenant("interactive").unwrap();
+        let flood = report.tenant("flood").unwrap();
+        assert_eq!(interactive.offered, 15);
+        assert_eq!(flood.offered, 20);
+        assert!(interactive.slo_met, "generous SLO is met");
+        assert_eq!(
+            report.slo_attained_tenants,
+            report.tenants.iter().filter(|t| t.slo_met).count()
+        );
+    }
+}

@@ -94,7 +94,7 @@ impl ScenarioReport {
 }
 
 /// Build a unique synthetic chat request body for one workload sample.
-fn synthetic_chat_request(
+pub(crate) fn synthetic_chat_request(
     model: &str,
     index: usize,
     sample: &ConversationSample,

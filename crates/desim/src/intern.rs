@@ -142,6 +142,19 @@ impl InternerSnapshot {
     }
 }
 
+/// Standard 64-bit FNV-1a. The workspace's stable string hash: independent
+/// of the std hasher (so values never change across Rust releases), cheap,
+/// and shared by the vector embedder's feature hashing and the workload
+/// compiler's per-tenant seed derivation.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// A pass-through hasher for keys that are already uniformly distributed
 /// (dense ids, sequence numbers). Writing a single integer sets the hash to
 /// that integer; SipHash's mixing adds nothing but latency on these keys.

@@ -22,7 +22,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use intern::{IdHashBuilder, Interner, InternerSnapshot, SymbolId};
+pub use intern::{fnv1a_64, IdHashBuilder, Interner, InternerSnapshot, SymbolId};
 pub use process::{Driver, RunOutcome, SimProcess};
 pub use queue::{DrainDue, EventQueue, ScheduledEvent};
 pub use rng::SimRng;

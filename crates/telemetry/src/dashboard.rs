@@ -70,6 +70,23 @@ pub struct QueueRow {
     pub health: String,
 }
 
+/// One tenant (auth user) row on the dashboard. Scenario runs enroll one
+/// user per tenant class, so this is the per-tenant partition of the
+/// request log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantRow {
+    /// Tenant / user name.
+    pub tenant: String,
+    /// Requests logged for this tenant.
+    pub requests: u64,
+    /// Failed requests.
+    pub failures: u64,
+    /// Output tokens delivered.
+    pub output_tokens: u64,
+    /// Prompt + completion tokens processed.
+    pub total_tokens: u64,
+}
+
 /// A complete dashboard snapshot.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DashboardSnapshot {
@@ -81,6 +98,10 @@ pub struct DashboardSnapshot {
     pub clusters: Vec<ClusterRow>,
     /// Per-endpoint queue rows, sorted by endpoint name.
     pub queues: Vec<QueueRow>,
+    /// Per-tenant rows, sorted by tenant name (empty when no requests have
+    /// been logged yet).
+    #[serde(default)]
+    pub tenants: Vec<TenantRow>,
     /// Total requests received by the gateway.
     pub total_requests: u64,
     /// Total requests completed successfully.
@@ -111,6 +132,7 @@ impl DashboardSnapshot {
         self.models.sort_by(|a, b| a.model.cmp(&b.model));
         self.clusters.sort_by(|a, b| a.cluster.cmp(&b.cluster));
         self.queues.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+        self.tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     }
 
     /// Overall success ratio (1.0 when nothing has completed or failed yet).
@@ -191,6 +213,21 @@ impl DashboardSnapshot {
                 q.endpoint, q.queued_tasks, q.running_tasks, q.completed_tasks, q.health
             );
         }
+        if !self.tenants.is_empty() {
+            let _ = writeln!(out, "-- tenants --");
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>8} {:>12} {:>12}",
+                "tenant", "reqs", "fail", "out_tokens", "tot_tokens"
+            );
+            for t in &self.tenants {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>8} {:>8} {:>12} {:>12}",
+                    t.tenant, t.requests, t.failures, t.output_tokens, t.total_tokens
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "-- resilience -- retries={} failovers={} breaker_trips={} hedges={}",
@@ -242,6 +279,22 @@ mod tests {
                 completed_tasks: 42_000,
                 health: "degraded".into(),
             }],
+            tenants: vec![
+                TenantRow {
+                    tenant: "chat".into(),
+                    requests: 700,
+                    failures: 10,
+                    output_tokens: 60_000,
+                    total_tokens: 150_000,
+                },
+                TenantRow {
+                    tenant: "batch-synth".into(),
+                    requests: 300,
+                    failures: 40,
+                    output_tokens: 30_000,
+                    total_tokens: 80_000,
+                },
+            ],
             total_requests: 1000,
             total_completed: 950,
             total_failed: 50,
@@ -273,6 +326,7 @@ mod tests {
         snap.models.reverse();
         snap.normalise();
         assert!(snap.models[0].model < snap.models[1].model);
+        assert!(snap.tenants[0].tenant < snap.tenants[1].tenant);
     }
 
     #[test]
@@ -288,6 +342,8 @@ mod tests {
         assert!(text.contains("users=76"));
         assert!(text.contains("25.0%"));
         assert!(text.contains("degraded"));
+        assert!(text.contains("-- tenants --"));
+        assert!(text.contains("batch-synth"));
         assert!(text.contains("retries=40 failovers=12 breaker_trips=2 hedges=5"));
         assert!(text.contains("-- harness -- wall=0.250s events_per_sec=120000"));
     }

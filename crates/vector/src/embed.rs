@@ -5,6 +5,7 @@
 //! similar texts (shared vocabulary) land near each other while the whole
 //! pipeline stays dependency-free and reproducible.
 
+use first_desim::fnv1a_64 as fnv1a;
 use serde::{Deserialize, Serialize};
 
 /// Default embedding dimensionality (NV-Embed-v2 produces 4096-d vectors;
@@ -30,15 +31,6 @@ impl Default for Embedder {
             ngram: 3,
         }
     }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
 }
 
 impl Embedder {

@@ -3,6 +3,9 @@
 //! The paper's benchmarks offer requests at fixed rates (1, 5, 10, 20 req/s),
 //! at an "infinite" rate (everything sent up front to saturate the server),
 //! or as a sustained load-test stream (Artillery: 100 req/s for 300 s).
+//! The scenario-matrix workloads add three non-stationary shapes on top:
+//! on/off bursts, a diurnal sinusoid and a two-state Markov-modulated
+//! Poisson process (MMPP).
 
 use first_desim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -16,10 +19,55 @@ pub enum ArrivalProcess {
     FixedRate(f64),
     /// Poisson arrivals with the given mean requests/second.
     Poisson(f64),
+    /// On/off bursts on a deterministic cadence: each `period_s` window opens
+    /// with `burst_s` seconds of Poisson arrivals at `burst_rate` req/s and
+    /// then relaxes to `base_rate` for the remainder (the "everyone hits
+    /// submit after the seminar" shape).
+    Bursty {
+        /// Steady background rate between bursts, req/s.
+        base_rate: f64,
+        /// Rate during the burst window, req/s.
+        burst_rate: f64,
+        /// Full cycle length in seconds.
+        period_s: f64,
+        /// Burst length at the start of each cycle, in seconds.
+        burst_s: f64,
+    },
+    /// Non-homogeneous Poisson with a sinusoidal day/night rate:
+    /// `rate(t) = mean_rate * (1 + amplitude * sin(2πt / period_s))`,
+    /// sampled by Lewis–Shedler thinning.
+    Diurnal {
+        /// Time-average rate, req/s.
+        mean_rate: f64,
+        /// Relative swing in `[0, 1]`: 0 is flat, 1 swings to zero at night.
+        amplitude: f64,
+        /// Cycle length in seconds (86 400 for a literal day).
+        period_s: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: exponentially-distributed
+    /// dwell times alternate between a calm and a surge state, each with its
+    /// own Poisson rate — the classic model for flash-crowd traffic.
+    Mmpp {
+        /// Arrival rate in the calm state, req/s.
+        calm_rate: f64,
+        /// Arrival rate in the surge state, req/s.
+        surge_rate: f64,
+        /// Mean dwell time in the calm state, seconds.
+        mean_calm_s: f64,
+        /// Mean dwell time in the surge state, seconds.
+        mean_surge_s: f64,
+    },
 }
 
 impl ArrivalProcess {
     /// Generate `n` arrival times starting at `start`.
+    ///
+    /// A non-stationary shape whose time-average [`offered_rate`] is zero or
+    /// negative (a degenerate or hand-edited spec) yields an **empty**
+    /// stream rather than hanging in search of an arrival that can never
+    /// occur.
+    ///
+    /// [`offered_rate`]: ArrivalProcess::offered_rate
     pub fn arrivals(&self, n: usize, start: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
         match *self {
             ArrivalProcess::Infinite => vec![start; n],
@@ -37,14 +85,104 @@ impl ArrivalProcess {
                 }
                 out
             }
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                period_s,
+                burst_s,
+            } => {
+                // A spec whose time-average rate is zero (both phase rates
+                // zero, or a zero-length burst over a zero floor) offers no
+                // traffic: return the empty stream instead of spinning in
+                // the thinning loop waiting for an arrival that never comes.
+                if self.offered_rate().unwrap_or(0.0) <= 0.0 {
+                    return Vec::new();
+                }
+                let period = period_s.max(1e-6);
+                let burst_len = burst_s.clamp(0.0, period);
+                let peak = base_rate.max(burst_rate).max(1e-9);
+                thinned_arrivals(n, start, rng, peak, |t| {
+                    if t % period < burst_len {
+                        burst_rate
+                    } else {
+                        base_rate
+                    }
+                })
+            }
+            ArrivalProcess::Diurnal {
+                mean_rate,
+                amplitude,
+                period_s,
+            } => {
+                if self.offered_rate().unwrap_or(0.0) <= 0.0 {
+                    return Vec::new();
+                }
+                let amp = amplitude.clamp(0.0, 1.0);
+                let period = period_s.max(1e-6);
+                let peak = (mean_rate * (1.0 + amp)).max(1e-9);
+                thinned_arrivals(n, start, rng, peak, |t| {
+                    mean_rate * (1.0 + amp * (2.0 * std::f64::consts::PI * t / period).sin())
+                })
+            }
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                surge_rate,
+                mean_calm_s,
+                mean_surge_s,
+            } => {
+                if self.offered_rate().unwrap_or(0.0) <= 0.0 {
+                    return Vec::new();
+                }
+                let rates = [calm_rate.max(1e-9), surge_rate.max(1e-9)];
+                let dwells = [mean_calm_s.max(1e-6), mean_surge_s.max(1e-6)];
+                let mut out = Vec::with_capacity(n);
+                let mut t = 0.0f64;
+                let mut state = 0usize;
+                while out.len() < n {
+                    // Dwell in the current state; arrivals within the dwell
+                    // window are a truncated Poisson stream (memorylessness
+                    // makes restarting at the phase boundary exact).
+                    let dwell = rng.exponential(dwells[state]).max(1e-6);
+                    let mut u = t + rng.exponential(1.0 / rates[state]);
+                    while u < t + dwell && out.len() < n {
+                        out.push(start + SimDuration::from_secs_f64(u));
+                        u += rng.exponential(1.0 / rates[state]);
+                    }
+                    t += dwell;
+                    state = 1 - state;
+                }
+                out
+            }
         }
     }
 
     /// The nominal offered rate in requests/second (`None` for infinite).
+    /// Non-stationary shapes report their time-average rate.
     pub fn offered_rate(&self) -> Option<f64> {
         match *self {
             ArrivalProcess::Infinite => None,
             ArrivalProcess::FixedRate(r) | ArrivalProcess::Poisson(r) => Some(r),
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                period_s,
+                burst_s,
+            } => {
+                let period = period_s.max(1e-6);
+                let burst_len = burst_s.clamp(0.0, period);
+                Some((burst_rate * burst_len + base_rate * (period - burst_len)) / period)
+            }
+            ArrivalProcess::Diurnal { mean_rate, .. } => Some(mean_rate),
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                surge_rate,
+                mean_calm_s,
+                mean_surge_s,
+            } => {
+                let calm = mean_calm_s.max(1e-6);
+                let surge = mean_surge_s.max(1e-6);
+                Some((calm_rate * calm + surge_rate * surge) / (calm + surge))
+            }
         }
     }
 
@@ -59,8 +197,33 @@ impl ArrivalProcess {
                     format!("{r:.1}")
                 }
             }
+            ArrivalProcess::Bursty { .. } => "bursty".to_string(),
+            ArrivalProcess::Diurnal { .. } => "diurnal".to_string(),
+            ArrivalProcess::Mmpp { .. } => "mmpp".to_string(),
         }
     }
+}
+
+/// Lewis–Shedler thinning: draw candidate arrivals from a homogeneous Poisson
+/// process at `peak_rate` and accept each candidate at `rate(t) / peak_rate`.
+/// `t` is seconds since `start`. Exact for any rate function bounded by
+/// `peak_rate`, and deterministic for a fixed RNG stream.
+fn thinned_arrivals(
+    n: usize,
+    start: SimTime,
+    rng: &mut SimRng,
+    peak_rate: f64,
+    rate: impl Fn(f64) -> f64,
+) -> Vec<SimTime> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    while out.len() < n {
+        t += rng.exponential(1.0 / peak_rate);
+        if rng.uniform01() < (rate(t) / peak_rate).clamp(0.0, 1.0) {
+            out.push(start + SimDuration::from_secs_f64(t));
+        }
+    }
+    out
 }
 
 /// A sustained open-loop load test: `rate` req/s for `duration` (the
@@ -147,5 +310,196 @@ mod tests {
     fn offered_rate_accessor() {
         assert_eq!(ArrivalProcess::Infinite.offered_rate(), None);
         assert_eq!(ArrivalProcess::FixedRate(5.0).offered_rate(), Some(5.0));
+    }
+
+    fn empirical_rate(arr: &[SimTime]) -> f64 {
+        let span = (arr.last().unwrap().as_secs_f64() - arr[0].as_secs_f64()).max(1e-9);
+        (arr.len() - 1) as f64 / span
+    }
+
+    #[test]
+    fn bursty_average_rate_matches_offered_rate() {
+        let process = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 30.0,
+            period_s: 60.0,
+            burst_s: 10.0,
+        };
+        let offered = process.offered_rate().unwrap();
+        assert!((offered - (30.0 * 10.0 + 2.0 * 50.0) / 60.0).abs() < 1e-9);
+        let mut rng = SimRng::seed_from_u64(11);
+        let arr = process.arrivals(20_000, SimTime::ZERO, &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let rate = empirical_rate(&arr);
+        assert!((rate - offered).abs() / offered < 0.10, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_concentrates_arrivals_in_the_burst_window() {
+        let process = ArrivalProcess::Bursty {
+            base_rate: 1.0,
+            burst_rate: 40.0,
+            period_s: 100.0,
+            burst_s: 10.0,
+        };
+        let mut rng = SimRng::seed_from_u64(12);
+        let arr = process.arrivals(5_000, SimTime::ZERO, &mut rng);
+        let in_burst = arr
+            .iter()
+            .filter(|t| t.as_secs_f64() % 100.0 < 10.0)
+            .count();
+        // 40 r/s over 10% of the cycle vs 1 r/s over the rest: ~82% of
+        // arrivals land in the burst window.
+        assert!(
+            in_burst as f64 / arr.len() as f64 > 0.6,
+            "burst fraction {}",
+            in_burst as f64 / arr.len() as f64
+        );
+    }
+
+    #[test]
+    fn diurnal_mean_rate_matches_and_swings() {
+        let process = ArrivalProcess::Diurnal {
+            mean_rate: 10.0,
+            amplitude: 0.8,
+            period_s: 120.0,
+        };
+        let mut rng = SimRng::seed_from_u64(13);
+        let arr = process.arrivals(30_000, SimTime::ZERO, &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        let rate = empirical_rate(&arr);
+        assert!((rate - 10.0).abs() / 10.0 < 0.10, "rate {rate}");
+        // Peak half-cycles carry visibly more arrivals than trough ones.
+        let peak = arr
+            .iter()
+            .filter(|t| t.as_secs_f64() % 120.0 < 60.0)
+            .count();
+        assert!(peak * 2 > arr.len() * 11 / 10, "peak count {peak}");
+    }
+
+    #[test]
+    fn mmpp_average_rate_matches_stationary_mix() {
+        let process = ArrivalProcess::Mmpp {
+            calm_rate: 2.0,
+            surge_rate: 25.0,
+            mean_calm_s: 90.0,
+            mean_surge_s: 30.0,
+        };
+        let offered = process.offered_rate().unwrap();
+        assert!((offered - (2.0 * 90.0 + 25.0 * 30.0) / 120.0).abs() < 1e-9);
+        let mut rng = SimRng::seed_from_u64(14);
+        let arr = process.arrivals(40_000, SimTime::ZERO, &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        let rate = empirical_rate(&arr);
+        // Dwell-time randomness makes MMPP converge slower than the thinned
+        // shapes; a 15% band at n=40k is still a real check on the mix.
+        assert!((rate - offered).abs() / offered < 0.15, "rate {rate}");
+    }
+
+    #[test]
+    fn new_shapes_are_seed_deterministic() {
+        for process in [
+            ArrivalProcess::Bursty {
+                base_rate: 1.0,
+                burst_rate: 10.0,
+                period_s: 30.0,
+                burst_s: 5.0,
+            },
+            ArrivalProcess::Diurnal {
+                mean_rate: 5.0,
+                amplitude: 0.5,
+                period_s: 60.0,
+            },
+            ArrivalProcess::Mmpp {
+                calm_rate: 1.0,
+                surge_rate: 8.0,
+                mean_calm_s: 40.0,
+                mean_surge_s: 15.0,
+            },
+        ] {
+            let a = process.arrivals(500, SimTime::ZERO, &mut SimRng::seed_from_u64(9));
+            let b = process.arrivals(500, SimTime::ZERO, &mut SimRng::seed_from_u64(9));
+            assert_eq!(a, b, "{}", process.label());
+        }
+    }
+
+    #[test]
+    fn zero_rate_shapes_yield_empty_streams_instead_of_hanging() {
+        for process in [
+            ArrivalProcess::Bursty {
+                base_rate: 0.0,
+                burst_rate: 0.0,
+                period_s: 60.0,
+                burst_s: 10.0,
+            },
+            // Zero-length burst over a zero floor: the duty-cycle average
+            // is zero even though burst_rate is not.
+            ArrivalProcess::Bursty {
+                base_rate: 0.0,
+                burst_rate: 25.0,
+                period_s: 60.0,
+                burst_s: 0.0,
+            },
+            ArrivalProcess::Diurnal {
+                mean_rate: 0.0,
+                amplitude: 0.5,
+                period_s: 60.0,
+            },
+            ArrivalProcess::Mmpp {
+                calm_rate: 0.0,
+                surge_rate: 0.0,
+                mean_calm_s: 30.0,
+                mean_surge_s: 30.0,
+            },
+        ] {
+            let mut rng = SimRng::seed_from_u64(1);
+            assert!(
+                process.arrivals(50, SimTime::ZERO, &mut rng).is_empty(),
+                "{}",
+                process.label()
+            );
+        }
+        // One dead state is fine: the surge phases still carry the traffic.
+        let half_dead = ArrivalProcess::Mmpp {
+            calm_rate: 0.0,
+            surge_rate: 10.0,
+            mean_calm_s: 5.0,
+            mean_surge_s: 20.0,
+        };
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(half_dead.arrivals(50, SimTime::ZERO, &mut rng).len(), 50);
+    }
+
+    #[test]
+    fn new_shape_labels() {
+        assert_eq!(
+            ArrivalProcess::Bursty {
+                base_rate: 1.0,
+                burst_rate: 2.0,
+                period_s: 10.0,
+                burst_s: 1.0
+            }
+            .label(),
+            "bursty"
+        );
+        assert_eq!(
+            ArrivalProcess::Diurnal {
+                mean_rate: 1.0,
+                amplitude: 0.1,
+                period_s: 10.0
+            }
+            .label(),
+            "diurnal"
+        );
+        assert_eq!(
+            ArrivalProcess::Mmpp {
+                calm_rate: 1.0,
+                surge_rate: 2.0,
+                mean_calm_s: 5.0,
+                mean_surge_s: 5.0
+            }
+            .label(),
+            "mmpp"
+        );
     }
 }

@@ -11,17 +11,24 @@
 //! * [`batchfile`] — OpenAI-style JSON Lines batch input files.
 //! * [`sessions`] — closed-loop WebUI session plans for Table 1.
 //! * [`trace`] — scaled ten-month deployment trace (8.7 M requests, 76 users).
+//! * [`scenario`] — declarative multi-tenant scenario specs, the compiled
+//!   request streams they produce, and the committed scenario catalog.
 
 #![warn(missing_docs)]
 
 pub mod arrival;
 pub mod batchfile;
+pub mod scenario;
 pub mod sessions;
 pub mod sharegpt;
 pub mod trace;
 
 pub use arrival::{ArrivalProcess, SustainedLoad};
 pub use batchfile::{BatchBody, BatchInputFile, BatchLine, ChatMessage};
+pub use scenario::{
+    catalog, CompiledScenario, DeploymentRef, ModelShare, ScenarioRequest, ScenarioSpec,
+    SessionClosedLoop, SloTarget, TenantClass, TenantWorkload,
+};
 pub use sessions::{generate_sessions, SessionPlan, SessionWorkloadConfig};
 pub use sharegpt::{ConversationSample, ShareGptGenerator, ShareGptProfile};
 pub use trace::{

@@ -1,0 +1,732 @@
+//! Declarative multi-tenant scenarios ("scenario matrix").
+//!
+//! A [`ScenarioSpec`] is a serde-serializable description of one full run:
+//! named tenant classes (each with its own arrival shape, length profile,
+//! model mix, priority and SLO targets), an optional embedded
+//! [`FaultPlan`], a deployment reference and a horizon. Specs **compile**
+//! into a merged, deterministically-ordered request stream
+//! ([`ScenarioSpec::compile`]); `first-core`'s `run_scenario` replays that
+//! stream against a live gateway and reports per-tenant SLO attainment.
+//! The committed [`catalog`] is the scenario matrix every benchmark sweep,
+//! golden test and CI smoke run shares.
+
+use crate::arrival::ArrivalProcess;
+use crate::sessions::SessionWorkloadConfig;
+use crate::sharegpt::{ShareGptGenerator, ShareGptProfile};
+use crate::trace::{generate_trace, DeploymentTraceConfig, TraceEntryKind};
+use first_chaos::FaultPlan;
+use first_desim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which deployment a scenario runs against. Resolved to a concrete
+/// `DeploymentBuilder` by `first-core` (this crate only names it, so specs
+/// stay serializable without dragging the whole deployment model along).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeploymentRef {
+    /// The compact 8-node single-cluster test deployment.
+    SingleClusterTest,
+    /// Sophia hosting one instance of each benchmark model (Figure 3 shape).
+    SophiaSingleInstance,
+    /// The paper's 24-node Sophia proof-of-concept deployment.
+    Sophia,
+    /// The federated Sophia + Polaris deployment (§4.5).
+    FederatedSophiaPolaris,
+}
+
+/// Per-tenant-class service-level objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Target 95th-percentile end-to-end latency, seconds.
+    pub p95_latency_s: f64,
+    /// Target availability (completed / offered), `0..=1`.
+    pub availability: f64,
+}
+
+impl SloTarget {
+    /// Interactive-chat default: p95 under a minute, 99% availability.
+    pub fn interactive() -> Self {
+        SloTarget {
+            p95_latency_s: 60.0,
+            availability: 0.99,
+        }
+    }
+
+    /// Batch/throughput default: an hour of queueing is fine, 95% availability.
+    pub fn batch() -> Self {
+        SloTarget {
+            p95_latency_s: 3600.0,
+            availability: 0.95,
+        }
+    }
+
+    /// Whether measured `(p95, availability)` meet this target.
+    pub fn met(&self, p95_latency_s: f64, availability: f64) -> bool {
+        p95_latency_s <= self.p95_latency_s && availability >= self.availability
+    }
+}
+
+/// One share of a tenant's model mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelShare {
+    /// Full model name as registered in the deployment.
+    pub model: String,
+    /// Relative weight within the tenant's mix.
+    pub weight: f64,
+}
+
+impl ModelShare {
+    /// A single-model mix entry with weight 1.
+    pub fn only(model: &str) -> Vec<ModelShare> {
+        vec![ModelShare {
+            model: model.to_string(),
+            weight: 1.0,
+        }]
+    }
+}
+
+/// How a tenant's arrivals and request lengths are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TenantWorkload {
+    /// Synthetic ShareGPT-style lengths under an arrival process.
+    Synthetic {
+        /// Arrival shape.
+        arrival: ArrivalProcess,
+        /// Prompt/output length profile.
+        profile: ShareGptProfile,
+    },
+    /// Replay of the scaled production trace (interactive entries only),
+    /// with arrival times divided by `time_compression` so a months-long
+    /// window fits a benchmark run.
+    TraceReplay {
+        /// Trace generator configuration.
+        config: DeploymentTraceConfig,
+        /// Factor arrival times are divided by (≥ 1).
+        time_compression: f64,
+    },
+}
+
+/// One named tenant class in a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantClass {
+    /// Tenant name; also the auth user the tenant's requests run as, so the
+    /// request log and dashboard partition per tenant for free.
+    pub name: String,
+    /// Requests this tenant offers over the run.
+    pub requests: usize,
+    /// Arrival + length source.
+    pub workload: TenantWorkload,
+    /// Weighted model mix the tenant draws each request's target from.
+    pub models: Vec<ModelShare>,
+    /// Scheduling priority (higher = submitted first on arrival-time ties).
+    pub priority: u8,
+    /// SLO targets reported against in the `GatewayReport`.
+    pub slo: SloTarget,
+}
+
+impl TenantClass {
+    /// A synthetic tenant with the default ShareGPT profile.
+    pub fn synthetic(name: &str, requests: usize, arrival: ArrivalProcess, model: &str) -> Self {
+        TenantClass {
+            name: name.to_string(),
+            requests,
+            workload: TenantWorkload::Synthetic {
+                arrival,
+                profile: ShareGptProfile::default(),
+            },
+            models: ModelShare::only(model),
+            priority: 100,
+            slo: SloTarget::interactive(),
+        }
+    }
+
+    /// Override the priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the SLO targets.
+    pub fn with_slo(mut self, slo: SloTarget) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Override the length profile (synthetic workloads only).
+    pub fn with_profile(mut self, profile: ShareGptProfile) -> Self {
+        if let TenantWorkload::Synthetic {
+            profile: ref mut p, ..
+        } = self.workload
+        {
+            *p = profile;
+        }
+        self
+    }
+
+    /// Override the model mix.
+    pub fn with_models(mut self, models: Vec<ModelShare>) -> Self {
+        self.models = models;
+        self
+    }
+}
+
+/// A closed-loop WebUI session rider: when present, `run_scenario` drives
+/// these sessions through the gateway after the open-loop stream drains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionClosedLoop {
+    /// The session workload (model, concurrency, window, think times).
+    pub config: SessionWorkloadConfig,
+    /// WebUI backend overhead per message, milliseconds.
+    pub webui_overhead_ms: u64,
+}
+
+/// Declarative description of one full multi-tenant run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (artifact keys, golden files, gate metrics).
+    pub name: String,
+    /// One-line description shown in tables.
+    pub description: String,
+    /// Deployment the scenario runs against.
+    pub deployment: DeploymentRef,
+    /// Instances of every hosted chat model pre-warmed at time zero.
+    pub prewarm: u32,
+    /// Whether the gateway runs the production resilience profile.
+    pub resilience: bool,
+    /// Simulation horizon in seconds; arrivals past it are dropped at
+    /// compile time and the run stops there even if undrained.
+    pub horizon_s: f64,
+    /// Open-loop tenant classes (may be empty for pure closed-loop runs).
+    pub tenants: Vec<TenantClass>,
+    /// Embedded fault schedule ([`FaultPlan::none`] for fault-free runs).
+    pub faults: FaultPlan,
+    /// Optional closed-loop session rider.
+    pub sessions: Option<SessionClosedLoop>,
+}
+
+impl ScenarioSpec {
+    /// A fault-free, open-loop spec with the given tenants.
+    pub fn new(
+        name: &str,
+        description: &str,
+        deployment: DeploymentRef,
+        tenants: Vec<TenantClass>,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            description: description.to_string(),
+            deployment,
+            prewarm: 1,
+            resilience: false,
+            horizon_s: 24.0 * 3600.0,
+            tenants,
+            faults: FaultPlan::none(),
+            sessions: None,
+        }
+    }
+
+    /// Total requests offered across all tenants.
+    pub fn total_requests(&self) -> usize {
+        self.tenants.iter().map(|t| t.requests).sum()
+    }
+
+    /// Compile the spec into the merged, deterministically-ordered request
+    /// stream. Each tenant's randomness derives from `seed` plus a stable
+    /// hash of the tenant name, so adding a tenant never perturbs the
+    /// streams of the others.
+    pub fn compile(&self, seed: u64) -> CompiledScenario {
+        let horizon = SimTime::from_secs_f64(self.horizon_s);
+        let mut requests: Vec<ScenarioRequest> = Vec::with_capacity(self.total_requests());
+        for (tenant_idx, tenant) in self.tenants.iter().enumerate() {
+            let tenant_seed = seed ^ stable_name_hash(&tenant.name);
+            let mut rng = SimRng::seed_from_u64(tenant_seed);
+            let mut arrival_rng = rng.derive(1);
+            let mut mix_rng = rng.derive(2);
+            let weights: Vec<f64> = tenant.models.iter().map(|m| m.weight).collect();
+            match &tenant.workload {
+                TenantWorkload::Synthetic { arrival, profile } => {
+                    let mut lengths =
+                        ShareGptGenerator::with_profile(profile.clone(), tenant_seed ^ 0x1E46_7D5A);
+                    let arrivals =
+                        arrival.arrivals(tenant.requests, SimTime::ZERO, &mut arrival_rng);
+                    for (seq, at) in arrivals.into_iter().enumerate() {
+                        if at > horizon {
+                            break;
+                        }
+                        let sample = lengths.sample();
+                        let model_idx = mix_rng.weighted_index(&weights);
+                        requests.push(ScenarioRequest {
+                            at,
+                            tenant: tenant_idx as u32,
+                            priority: tenant.priority,
+                            seq: seq as u32,
+                            model: tenant.models[model_idx].model.clone(),
+                            prompt_tokens: sample.prompt_tokens,
+                            output_tokens: sample.output_tokens,
+                        });
+                    }
+                }
+                TenantWorkload::TraceReplay {
+                    config,
+                    time_compression,
+                } => {
+                    let compression = time_compression.max(1.0);
+                    let trace = generate_trace(config, tenant_seed);
+                    for (seq, entry) in trace
+                        .entries
+                        .iter()
+                        .filter(|e| e.kind == TraceEntryKind::Interactive)
+                        .take(tenant.requests)
+                        .enumerate()
+                    {
+                        let at = SimTime::from_secs_f64(entry.at.as_secs_f64() / compression);
+                        if at > horizon {
+                            break;
+                        }
+                        // The trace's model index maps onto the tenant's mix
+                        // by position, preserving the trace's popularity skew.
+                        let model_idx = entry.model_index % tenant.models.len().max(1);
+                        requests.push(ScenarioRequest {
+                            at,
+                            tenant: tenant_idx as u32,
+                            priority: tenant.priority,
+                            seq: seq as u32,
+                            model: tenant.models[model_idx].model.clone(),
+                            prompt_tokens: entry.prompt_tokens,
+                            output_tokens: entry.output_tokens,
+                        });
+                    }
+                }
+            }
+        }
+        // Deterministic merge order: time, then priority (higher first), then
+        // tenant index, then the tenant's own sequence number.
+        requests.sort_by(|a, b| {
+            a.at.cmp(&b.at)
+                .then(b.priority.cmp(&a.priority))
+                .then(a.tenant.cmp(&b.tenant))
+                .then(a.seq.cmp(&b.seq))
+        });
+        CompiledScenario { requests, horizon }
+    }
+}
+
+/// One request in the compiled, merged stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRequest {
+    /// Arrival time at the gateway.
+    pub at: SimTime,
+    /// Index into the spec's tenant list.
+    pub tenant: u32,
+    /// The owning tenant's priority (merge tie-break, higher first).
+    pub priority: u8,
+    /// The request's sequence number within its tenant.
+    pub seq: u32,
+    /// Target model (full registry name).
+    pub model: String,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Expected output length in tokens.
+    pub output_tokens: u32,
+}
+
+/// The compiled request stream of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledScenario {
+    /// Merged stream, sorted by `(at, priority desc, tenant, seq)`.
+    pub requests: Vec<ScenarioRequest>,
+    /// Horizon the stream was truncated to.
+    pub horizon: SimTime,
+}
+
+/// Stable hash of a tenant name (the workspace-shared FNV-1a, independent
+/// of the std hasher, so compiled streams never change across Rust
+/// releases).
+fn stable_name_hash(name: &str) -> u64 {
+    first_desim::fnv1a_64(name.as_bytes())
+}
+
+/// Canonical model names used by the catalog (must match the serving
+/// catalog's full names).
+pub mod models {
+    /// Llama 3.3 70B (the headline benchmark model).
+    pub const LLAMA_70B: &str = "meta-llama/Llama-3.3-70B-Instruct";
+    /// Llama 3.1 8B.
+    pub const LLAMA_8B: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
+    /// Gemma 2 27B.
+    pub const GEMMA_27B: &str = "google/gemma-2-27b-it";
+    /// Qwen 2.5 32B.
+    pub const QWEN_32B: &str = "Qwen/Qwen2.5-32B-Instruct";
+}
+
+/// The committed scenario catalog: the matrix `scenario_matrix` sweeps, the
+/// golden tests pin and CI smokes. `n` is the total request budget of the
+/// *largest* scenario; the others scale proportionally (with small floors so
+/// tiny smoke budgets still exercise every code path).
+pub fn catalog(n: usize) -> Vec<ScenarioSpec> {
+    use models::*;
+    let n = n.max(16);
+    let part = |num: usize, den: usize| (n * num / den).max(4);
+
+    let steady = ScenarioSpec::new(
+        "steady",
+        "single tenant, Poisson 5 req/s against one hot 70B instance",
+        DeploymentRef::SophiaSingleInstance,
+        vec![TenantClass::synthetic(
+            "interactive",
+            n,
+            ArrivalProcess::Poisson(5.0),
+            LLAMA_70B,
+        )],
+    );
+
+    let burst = ScenarioSpec::new(
+        "burst",
+        "on/off bursts: 25 req/s for 15 s out of every 120 s over a 2 req/s floor",
+        DeploymentRef::SophiaSingleInstance,
+        vec![TenantClass::synthetic(
+            "bursty-chat",
+            n,
+            ArrivalProcess::Bursty {
+                base_rate: 2.0,
+                burst_rate: 25.0,
+                period_s: 120.0,
+                burst_s: 15.0,
+            },
+            LLAMA_70B,
+        )
+        .with_slo(SloTarget {
+            p95_latency_s: 120.0,
+            availability: 0.99,
+        })],
+    );
+
+    let diurnal = ScenarioSpec::new(
+        "diurnal",
+        "sinusoidal day/night load over a 70B/8B model mix on Sophia",
+        DeploymentRef::Sophia,
+        vec![TenantClass::synthetic(
+            "diurnal-chat",
+            n,
+            ArrivalProcess::Diurnal {
+                mean_rate: 6.0,
+                amplitude: 0.7,
+                period_s: 600.0,
+            },
+            LLAMA_70B,
+        )
+        .with_models(vec![
+            ModelShare {
+                model: LLAMA_70B.to_string(),
+                weight: 0.6,
+            },
+            ModelShare {
+                model: LLAMA_8B.to_string(),
+                weight: 0.4,
+            },
+        ])],
+    );
+
+    let long_outputs = ShareGptProfile {
+        output_mean: 600.0,
+        output_cv: 0.5,
+        ..ShareGptProfile::default()
+    };
+    let contention = ScenarioSpec::new(
+        "multi-tenant-contention",
+        "interactive chat, a batch flood and an analytics tenant share Sophia",
+        DeploymentRef::Sophia,
+        vec![
+            TenantClass::synthetic("chat", part(1, 2), ArrivalProcess::Poisson(4.0), LLAMA_70B)
+                .with_priority(200),
+            TenantClass::synthetic(
+                "batch-synth",
+                part(1, 4),
+                ArrivalProcess::Infinite,
+                LLAMA_8B,
+            )
+            .with_priority(10)
+            .with_profile(long_outputs)
+            .with_slo(SloTarget::batch()),
+            TenantClass::synthetic(
+                "analytics",
+                part(1, 4),
+                ArrivalProcess::Poisson(2.0),
+                QWEN_32B,
+            )
+            .with_priority(100)
+            .with_slo(SloTarget {
+                p95_latency_s: 180.0,
+                availability: 0.99,
+            }),
+        ],
+    );
+
+    // Scale the production trace so its interactive stream matches this
+    // scenario's budget, and compress ten months into ~10 simulated minutes.
+    let trace_config = DeploymentTraceConfig {
+        scale_down: (4_100_000 / part(1, 1) as u64).max(1),
+        ..DeploymentTraceConfig::default()
+    };
+    let window_s = trace_config.window.as_secs_f64();
+    let trace_replay = ScenarioSpec::new(
+        "trace-replay",
+        "scaled ten-month production trace (interactive slice) on Sophia",
+        DeploymentRef::Sophia,
+        vec![TenantClass {
+            name: "production-trace".to_string(),
+            requests: part(1, 1),
+            workload: TenantWorkload::TraceReplay {
+                config: trace_config,
+                time_compression: window_s / 600.0,
+            },
+            models: vec![
+                ModelShare {
+                    model: LLAMA_70B.to_string(),
+                    weight: 1.0,
+                },
+                ModelShare {
+                    model: LLAMA_8B.to_string(),
+                    weight: 1.0,
+                },
+                ModelShare {
+                    model: GEMMA_27B.to_string(),
+                    weight: 1.0,
+                },
+                ModelShare {
+                    model: QWEN_32B.to_string(),
+                    weight: 1.0,
+                },
+            ],
+            priority: 100,
+            slo: SloTarget {
+                p95_latency_s: 300.0,
+                availability: 0.99,
+            },
+        }],
+    );
+
+    let mut chaos = ScenarioSpec::new(
+        "chaos-under-load",
+        "federated deployment with a seeded mixed-fault schedule and the production resilience profile",
+        DeploymentRef::FederatedSophiaPolaris,
+        vec![TenantClass::synthetic(
+            "chat",
+            n,
+            ArrivalProcess::Poisson(5.0),
+            LLAMA_70B,
+        )
+        .with_slo(SloTarget {
+            p95_latency_s: 180.0,
+            availability: 0.97,
+        })],
+    );
+    chaos.resilience = true;
+    chaos.faults = FaultPlan::seeded(
+        0xC4A0_5C4A,
+        SimTime::from_secs(10),
+        SimTime::from_secs(300),
+        &[
+            "sophia-endpoint".to_string(),
+            "polaris-endpoint".to_string(),
+        ],
+        10,
+    );
+
+    let inversion = ScenarioSpec::new(
+        "priority-inversion",
+        "a low-priority infinite flood queues ahead of a high-priority trickle on one instance",
+        DeploymentRef::SophiaSingleInstance,
+        vec![
+            TenantClass::synthetic(
+                "background-flood",
+                part(3, 4),
+                ArrivalProcess::Infinite,
+                LLAMA_70B,
+            )
+            .with_priority(10)
+            .with_slo(SloTarget::batch()),
+            TenantClass::synthetic(
+                "interactive",
+                part(1, 4),
+                ArrivalProcess::Poisson(1.0),
+                LLAMA_70B,
+            )
+            .with_priority(200),
+        ],
+    );
+
+    let mut cold_start = ScenarioSpec::new(
+        "cold-start",
+        "MMPP flash crowd hitting a deployment with nothing pre-warmed",
+        DeploymentRef::Sophia,
+        vec![TenantClass::synthetic(
+            "morning-rush",
+            n,
+            ArrivalProcess::Mmpp {
+                calm_rate: 0.5,
+                surge_rate: 8.0,
+                mean_calm_s: 120.0,
+                mean_surge_s: 40.0,
+            },
+            LLAMA_8B,
+        )
+        .with_slo(SloTarget {
+            p95_latency_s: 900.0,
+            availability: 0.99,
+        })],
+    );
+    cold_start.prewarm = 0;
+
+    let mut sessions = ScenarioSpec::new(
+        "closed-loop-sessions",
+        "closed-loop WebUI sessions (think-time-driven) on the test cluster",
+        DeploymentRef::SingleClusterTest,
+        Vec::new(),
+    );
+    sessions.sessions = Some(SessionClosedLoop {
+        config: SessionWorkloadConfig::table1(LLAMA_8B, (n / 16).clamp(4, 32), 60),
+        webui_overhead_ms: 1200,
+    });
+
+    vec![
+        steady,
+        burst,
+        diurnal,
+        contention,
+        trace_replay,
+        chaos,
+        inversion,
+        cold_start,
+        sessions,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_cover_the_matrix() {
+        let specs = catalog(1000);
+        assert!(specs.len() >= 8, "catalog has {} scenarios", specs.len());
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate scenario names");
+        assert!(
+            specs.iter().any(|s| !s.faults.is_empty()),
+            "a chaos scenario"
+        );
+        assert!(
+            specs.iter().any(|s| s.sessions.is_some()),
+            "a session scenario"
+        );
+        assert!(
+            specs.iter().any(|s| s
+                .tenants
+                .iter()
+                .any(|t| matches!(t.workload, TenantWorkload::TraceReplay { .. }))),
+            "a trace-replay scenario"
+        );
+        assert!(
+            specs.iter().any(|s| s.tenants.len() >= 3),
+            "a multi-tenant scenario"
+        );
+        assert!(
+            specs.iter().any(|s| s.prewarm == 0),
+            "a cold-start scenario"
+        );
+    }
+
+    #[test]
+    fn compiled_streams_are_sorted_and_deterministic() {
+        for spec in catalog(200) {
+            let a = spec.compile(42);
+            let b = spec.compile(42);
+            assert_eq!(a, b, "{} not deterministic", spec.name);
+            assert!(
+                a.requests.windows(2).all(|w| w[0].at <= w[1].at),
+                "{} not time-sorted",
+                spec.name
+            );
+            assert!(
+                a.requests.iter().all(|r| r.at <= a.horizon),
+                "{} exceeds horizon",
+                spec.name
+            );
+            let c = spec.compile(43);
+            if !a.requests.is_empty() {
+                assert_ne!(a, c, "{} ignores the seed", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_order_by_priority_then_tenant() {
+        let spec = ScenarioSpec::new(
+            "tie",
+            "two infinite tenants",
+            DeploymentRef::SingleClusterTest,
+            vec![
+                TenantClass::synthetic("low", 5, ArrivalProcess::Infinite, models::LLAMA_8B)
+                    .with_priority(10),
+                TenantClass::synthetic("high", 5, ArrivalProcess::Infinite, models::LLAMA_8B)
+                    .with_priority(200),
+            ],
+        );
+        let compiled = spec.compile(1);
+        assert_eq!(compiled.requests.len(), 10);
+        // All arrivals at t=0: the high-priority tenant's requests come first.
+        assert!(compiled.requests[..5].iter().all(|r| r.priority == 200));
+        assert!(compiled.requests[5..].iter().all(|r| r.priority == 10));
+    }
+
+    #[test]
+    fn adding_a_tenant_does_not_perturb_existing_streams() {
+        let base = ScenarioSpec::new(
+            "base",
+            "",
+            DeploymentRef::Sophia,
+            vec![TenantClass::synthetic(
+                "alpha",
+                50,
+                ArrivalProcess::Poisson(3.0),
+                models::LLAMA_70B,
+            )],
+        );
+        let mut extended = base.clone();
+        extended.tenants.push(TenantClass::synthetic(
+            "beta",
+            50,
+            ArrivalProcess::Poisson(1.0),
+            models::LLAMA_8B,
+        ));
+        let a = base.compile(7);
+        let b = extended.compile(7);
+        let alpha_only: Vec<_> = b
+            .requests
+            .iter()
+            .filter(|r| r.tenant == 0)
+            .cloned()
+            .collect();
+        assert_eq!(a.requests, alpha_only);
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        for spec in catalog(100) {
+            let json = serde_json::to_string(&spec).expect("serializes");
+            let back: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+            assert_eq!(spec, back, "{} round trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn slo_target_met_logic() {
+        let slo = SloTarget::interactive();
+        assert!(slo.met(30.0, 1.0));
+        assert!(!slo.met(90.0, 1.0));
+        assert!(!slo.met(30.0, 0.5));
+    }
+}

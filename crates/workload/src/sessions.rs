@@ -11,7 +11,7 @@ use first_desim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one WebUI concurrency benchmark cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionWorkloadConfig {
     /// Target model.
     pub model: String,

@@ -12,7 +12,7 @@ use first_desim::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// Length statistics of the synthetic conversation profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShareGptProfile {
     /// Mean prompt length in tokens.
     pub prompt_mean: f64,

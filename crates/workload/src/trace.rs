@@ -40,7 +40,7 @@ pub struct TraceEntry {
 }
 
 /// Configuration of the scaled deployment trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeploymentTraceConfig {
     /// Number of distinct users (paper: 76).
     pub users: u32,

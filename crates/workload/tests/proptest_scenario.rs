@@ -1,0 +1,207 @@
+//! Property tests for the scenario-matrix subsystem: the new non-stationary
+//! arrival shapes (bursty / diurnal / MMPP) are sorted, seed-deterministic
+//! and honest about their offered rate, and `ScenarioSpec`s round-trip
+//! through serde and compile to deterministic, horizon-bounded streams.
+
+use first_chaos::FaultPlan;
+use first_desim::{SimRng, SimTime};
+use first_workload::{ArrivalProcess, DeploymentRef, ScenarioSpec, SloTarget, TenantClass};
+use proptest::prelude::*;
+
+/// Check the three shared properties of one arrival shape: sorted output,
+/// byte-identical regeneration under the same seed, and an empirical rate
+/// within `tolerance` of `offered_rate()`. The rate is measured over a
+/// window of `cycles` whole cycles of length `cycle_s` — counting a fixed
+/// time window avoids the end-bias of a fixed arrival count, which would
+/// preferentially stop inside a high-rate phase.
+fn check_shape(
+    process: ArrivalProcess,
+    cycle_s: f64,
+    cycles: f64,
+    seed: u64,
+    tolerance: f64,
+) -> Result<(), String> {
+    let offered = process.offered_rate().expect("finite shapes have a rate");
+    let window_s = cycle_s * cycles;
+    // Enough arrivals to overshoot the window with near-certainty.
+    let n = ((offered * window_s * 1.5) as usize).max(200) + 200;
+    let arr = process.arrivals(n, SimTime::ZERO, &mut SimRng::seed_from_u64(seed));
+    if arr.len() != n {
+        return Err(format!(
+            "{} produced {} of {n} arrivals",
+            process.label(),
+            arr.len()
+        ));
+    }
+    if !arr.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(format!("{} arrivals not sorted", process.label()));
+    }
+    let again = process.arrivals(n, SimTime::ZERO, &mut SimRng::seed_from_u64(seed));
+    if arr != again {
+        return Err(format!("{} not seed-deterministic", process.label()));
+    }
+    if arr.last().unwrap().as_secs_f64() < window_s {
+        return Err(format!(
+            "{} stream too short for the window",
+            process.label()
+        ));
+    }
+    let in_window = arr.iter().filter(|t| t.as_secs_f64() <= window_s).count();
+    let rate = in_window as f64 / window_s;
+    if (rate - offered).abs() / offered > tolerance {
+        return Err(format!(
+            "{}: empirical rate {rate:.3} vs offered {offered:.3} (tolerance {tolerance})",
+            process.label()
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Bursty arrivals: sorted, deterministic, and the time-average rate
+    /// matches the duty-cycle-weighted offered rate.
+    #[test]
+    fn bursty_arrivals_hold_their_contract(
+        seed in 0u64..u64::MAX,
+        base in 0.5f64..4.0,
+        burst_mult in 3.0f64..10.0,
+        period in 30.0f64..120.0,
+        burst_frac in 0.1f64..0.5,
+    ) {
+        let process = ArrivalProcess::Bursty {
+            base_rate: base,
+            burst_rate: base * burst_mult,
+            period_s: period,
+            burst_s: period * burst_frac,
+        };
+        if let Err(e) = check_shape(process, period, 20.0, seed, 0.15) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// Diurnal arrivals: sorted, deterministic, time-average rate = mean.
+    #[test]
+    fn diurnal_arrivals_hold_their_contract(
+        seed in 0u64..u64::MAX,
+        mean in 2.0f64..12.0,
+        amplitude in 0.0f64..1.0,
+        period in 60.0f64..300.0,
+    ) {
+        let process = ArrivalProcess::Diurnal {
+            mean_rate: mean,
+            amplitude,
+            period_s: period,
+        };
+        if let Err(e) = check_shape(process, period, 20.0, seed, 0.15) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// MMPP arrivals: sorted, deterministic, time-average rate = the
+    /// dwell-weighted mix of the two state rates.
+    #[test]
+    fn mmpp_arrivals_hold_their_contract(
+        seed in 0u64..u64::MAX,
+        calm in 0.5f64..3.0,
+        surge in 5.0f64..15.0,
+        calm_dwell in 5.0f64..30.0,
+        surge_dwell in 5.0f64..30.0,
+    ) {
+        let process = ArrivalProcess::Mmpp {
+            calm_rate: calm,
+            surge_rate: surge,
+            mean_calm_s: calm_dwell,
+            mean_surge_s: surge_dwell,
+        };
+        // Dwell-cycle randomness converges slower than thinning: wider band.
+        if let Err(e) = check_shape(process, calm_dwell + surge_dwell, 40.0, seed, 0.30) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// Randomised specs round-trip through serde byte-for-byte and compile
+    /// to deterministic, time-sorted, horizon-bounded streams.
+    #[test]
+    fn specs_round_trip_and_compile_deterministically(
+        seed in 0u64..u64::MAX,
+        requests_a in 5usize..60,
+        requests_b in 5usize..60,
+        rate in 0.5f64..8.0,
+        priority in 0u8..255,
+        horizon_s in 50.0f64..500.0,
+        with_faults in 0usize..2,
+        shape_pick in 0usize..4,
+    ) {
+        let with_faults = with_faults == 1;
+        let arrival = match shape_pick {
+            0 => ArrivalProcess::Poisson(rate),
+            1 => ArrivalProcess::Bursty {
+                base_rate: rate,
+                burst_rate: rate * 5.0,
+                period_s: 60.0,
+                burst_s: 10.0,
+            },
+            2 => ArrivalProcess::Diurnal {
+                mean_rate: rate,
+                amplitude: 0.6,
+                period_s: 120.0,
+            },
+            _ => ArrivalProcess::Mmpp {
+                calm_rate: rate,
+                surge_rate: rate * 4.0,
+                mean_calm_s: 30.0,
+                mean_surge_s: 10.0,
+            },
+        };
+        let mut spec = ScenarioSpec::new(
+            "prop-spec",
+            "randomised property-test spec",
+            DeploymentRef::Sophia,
+            vec![
+                TenantClass::synthetic(
+                    "alpha",
+                    requests_a,
+                    arrival,
+                    "meta-llama/Llama-3.3-70B-Instruct",
+                )
+                .with_priority(priority)
+                .with_slo(SloTarget::interactive()),
+                TenantClass::synthetic(
+                    "beta",
+                    requests_b,
+                    ArrivalProcess::Infinite,
+                    "meta-llama/Meta-Llama-3.1-8B-Instruct",
+                )
+                .with_slo(SloTarget::batch()),
+            ],
+        );
+        spec.horizon_s = horizon_s;
+        if with_faults {
+            spec.faults = FaultPlan::seeded(
+                seed,
+                SimTime::ZERO,
+                SimTime::from_secs_f64(horizon_s),
+                &["sophia-endpoint".to_string()],
+                4,
+            );
+        }
+
+        // Serde round trip is exact.
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: ScenarioSpec = serde_json::from_str(&json).expect("spec parses");
+        prop_assert_eq!(&spec, &back);
+
+        // Compilation: deterministic, sorted, horizon-bounded, conserving.
+        let a = spec.compile(seed);
+        let b = spec.compile(seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.requests.windows(2).all(|w| w[0].at <= w[1].at));
+        prop_assert!(a.requests.iter().all(|r| r.at <= a.horizon));
+        prop_assert!(a.requests.len() <= requests_a + requests_b);
+        // The infinite tenant arrives wholly at t=0, inside any horizon.
+        prop_assert_eq!(
+            a.requests.iter().filter(|r| r.tenant == 1).count(),
+            requests_b
+        );
+    }
+}

@@ -2,7 +2,10 @@
 //! through the gateway, the compute fabric, the batch scheduler and the
 //! serving engine, exercised through the root façade crate.
 
-use first::core::{ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest, GatewayError};
+use first::core::{
+    check_run_invariants, ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest, GatewayError,
+    RunLedger,
+};
 use first::desim::{SimDuration, SimProcess, SimTime};
 use first::workload::ShareGptGenerator;
 
@@ -88,6 +91,19 @@ fn many_concurrent_users_share_the_deployment() {
     assert_eq!(gateway.log().distinct_users(), 2);
     let by_user = gateway.log().usage_by_user();
     assert!(by_user["alice"].requests > 0 && by_user["bob"].requests > 0);
+    // The run also satisfies the scenario-matrix invariants: conservation
+    // and an empty task slab after draining.
+    let ledger = RunLedger {
+        offered: 60,
+        accepted: expected,
+        rejected: 60 - expected,
+        completed: responses.iter().filter(|r| r.success).count(),
+        failed: responses.iter().filter(|r| !r.success).count(),
+        drained: gateway.is_drained(),
+        ..RunLedger::new()
+    };
+    check_run_invariants(&gateway, &ledger)
+        .unwrap_or_else(|v| panic!("invariants violated: {v:?}"));
 }
 
 #[test]

@@ -30,7 +30,7 @@ fn run_outage_scenario(seed: u64, n: usize) -> ResilienceReport {
         SimDuration::from_secs(60),
     );
     let mut injector = FaultInjector::new(plan);
-    run_resilience_openloop(
+    let report = run_resilience_openloop(
         &mut gateway,
         &mut injector,
         &tokens.alice,
@@ -39,7 +39,16 @@ fn run_outage_scenario(seed: u64, n: usize) -> ResilienceReport {
         &arrivals,
         "cluster-outage",
         SimTime::from_secs(7200),
-    )
+    );
+    // Task-leak half of the run invariants: retries, hedges and failovers
+    // must not strand a single copy in the gateway's slabs once drained.
+    assert!(gateway.is_drained(), "outage run drained");
+    let queues = gateway.queue_snapshot();
+    assert_eq!(queues.pending_dispatches, 0, "{queues:?}");
+    assert_eq!(queues.in_flight_tasks, 0, "{queues:?}");
+    assert_eq!(queues.awaiting_delivery, 0, "{queues:?}");
+    assert_eq!(queues.outstanding_copies, 0, "{queues:?}");
+    report
 }
 
 #[test]
