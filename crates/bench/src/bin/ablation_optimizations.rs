@@ -21,10 +21,10 @@ fn run_config(
     label: &str,
     config: GatewayConfig,
     n: usize,
-    rate: ArrivalProcess,
+    rate: &ArrivalProcess,
 ) -> ScenarioReport {
     let samples = sharegpt_samples(n, benchmark_seed());
-    let arr = arrivals(rate, n, arrival_seed());
+    let arr = arrivals(rate.clone(), n, arrival_seed());
     let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
         .prewarm(1)
         .gateway_config(config)
@@ -74,10 +74,10 @@ fn main() {
 
     let low_rate = ArrivalProcess::FixedRate(1.0);
     let reports_low = vec![
-        run_config("optimized", futures_cfg.clone(), 60, low_rate),
-        run_config("opt1 off (polling)", polling_cfg, 60, low_rate),
-        run_config("opt2 off (no caching)", uncached_cfg, 60, low_rate),
-        run_config("all opts off", legacy_cfg.clone(), 60, low_rate),
+        run_config("optimized", futures_cfg.clone(), 60, &low_rate),
+        run_config("opt1 off (polling)", polling_cfg, 60, &low_rate),
+        run_config("opt2 off (no caching)", uncached_cfg, 60, &low_rate),
+        run_config("all opts off", legacy_cfg.clone(), 60, &low_rate),
     ];
     print_reports(
         "Per-request latency at 1 req/s (Optimizations 1 & 2)",
@@ -86,8 +86,8 @@ fn main() {
 
     let inf = ArrivalProcess::Infinite;
     let reports_sat = vec![
-        run_config("async gateway", futures_cfg, n, inf),
-        run_config("sync 9-worker gateway", sync_cfg, n, inf),
+        run_config("async gateway", futures_cfg, n, &inf),
+        run_config("sync 9-worker gateway", sync_cfg, n, &inf),
     ];
     print_reports("Saturation throughput (Optimization 3)", &reports_sat);
     print_comparisons(

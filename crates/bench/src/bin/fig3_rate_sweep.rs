@@ -21,7 +21,7 @@ use first_workload::ArrivalProcess;
 const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
 /// One sweep cell: the FIRST stack or the direct-vLLM baseline at one rate.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum Point {
     First(ArrivalProcess),
     Direct(ArrivalProcess),
@@ -40,14 +40,15 @@ fn main() {
     ];
     let points: Vec<Point> = rates
         .iter()
-        .map(|&r| Point::First(r))
-        .chain(rates.iter().map(|&r| Point::Direct(r)))
+        .map(|r| Point::First(r.clone()))
+        .chain(rates.iter().map(|r| Point::Direct(r.clone())))
         .collect();
 
     let executor = ScenarioExecutor::from_env();
     let harness = std::time::Instant::now();
     let runs = executor.run(points, |_, point| match point {
         Point::First(rate) => {
+            let label = rate.label();
             let arr = arrivals(rate, n, arrival_seed());
             // FIRST: gateway → Globus Compute → one hot 70B instance on Sophia.
             let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
@@ -59,17 +60,18 @@ fn main() {
                 MODEL,
                 &samples,
                 &arr,
-                &rate.label(),
+                &label,
                 horizon,
             );
             report.label = "FIRST".to_string();
             report
         }
         Point::Direct(rate) => {
+            let label = rate.label();
             let arr = arrivals(rate, n, arrival_seed());
             // vLLM Direct: the same engine behind the single-threaded server.
             let cfg = EngineConfig::for_model(find_model("llama-70b").unwrap(), GpuModel::A100_40);
-            run_direct_openloop(cfg, &samples, &arr, &rate.label(), horizon)
+            run_direct_openloop(cfg, &samples, &arr, &label, horizon)
         }
     });
 

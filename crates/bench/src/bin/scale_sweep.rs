@@ -49,7 +49,7 @@ fn main() {
     let seeds = [base_seed, base_seed.wrapping_add(1)];
     let points: Vec<(ArrivalProcess, u64)> = rates
         .iter()
-        .flat_map(|&r| seeds.iter().map(move |&s| (r, s)))
+        .flat_map(|r| seeds.iter().map(move |&s| (r.clone(), s)))
         .collect();
 
     let executor = ScenarioExecutor::from_env();
@@ -62,6 +62,7 @@ fn main() {
     let harness = std::time::Instant::now();
     let runs = executor.run(points, |_, (rate, seed)| {
         let samples = sharegpt_samples(n, seed);
+        let label = rate.label();
         let arr = arrivals(rate, n, seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
         let (mut gateway, tokens) = DeploymentBuilder::sophia_single_instance()
             .prewarm(1)
@@ -72,7 +73,7 @@ fn main() {
             MODEL,
             &samples,
             &arr,
-            &rate.label(),
+            &label,
             horizon,
         );
         report.label = format!("scale seed={seed}");

@@ -87,6 +87,67 @@ impl GateMetric {
     }
 }
 
+/// Per-tenant SLO delta between a cassette's baseline recording and one
+/// replay variant (a different deployment, fault plan or prewarm level).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSloDiff {
+    /// Tenant-class name.
+    pub tenant: String,
+    /// p95 end-to-end latency in the baseline recording, seconds.
+    pub baseline_p95_s: f64,
+    /// p95 end-to-end latency under the variant, seconds.
+    pub variant_p95_s: f64,
+    /// `variant_p95_s - baseline_p95_s` (positive = variant is slower).
+    pub d_p95_s: f64,
+    /// Availability in the baseline recording.
+    pub baseline_availability: f64,
+    /// Availability under the variant.
+    pub variant_availability: f64,
+    /// `variant_availability - baseline_availability`.
+    pub d_availability: f64,
+    /// Whether the tenant met its SLO in the baseline recording.
+    pub slo_met_baseline: bool,
+    /// Whether the tenant met its SLO under the variant.
+    pub slo_met_variant: bool,
+}
+
+impl TenantSloDiff {
+    /// Diff one tenant partition of a variant report against the baseline.
+    pub fn between(
+        baseline: &GatewayReport,
+        variant: &GatewayReport,
+        tenant: &str,
+    ) -> Option<Self> {
+        let b = baseline.tenant(tenant)?;
+        let v = variant.tenant(tenant)?;
+        Some(TenantSloDiff {
+            tenant: tenant.to_string(),
+            baseline_p95_s: b.p95_latency_s,
+            variant_p95_s: v.p95_latency_s,
+            d_p95_s: v.p95_latency_s - b.p95_latency_s,
+            baseline_availability: b.availability,
+            variant_availability: v.availability,
+            d_availability: v.availability - b.availability,
+            slo_met_baseline: b.slo_met,
+            slo_met_variant: v.slo_met,
+        })
+    }
+}
+
+/// One replay variant of a cassette A/B sweep: the full report the variant
+/// produced plus its per-tenant SLO deltas against the baseline recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CassetteAbRun {
+    /// Variant name ("replay-identity", "federated", ...).
+    pub variant: String,
+    /// What the variant changed relative to the recording.
+    pub description: String,
+    /// The variant's full scenario report.
+    pub report: GatewayReport,
+    /// Per-tenant SLO deltas vs the baseline recording, in spec order.
+    pub tenant_diffs: Vec<TenantSloDiff>,
+}
+
 /// The schema-versioned content of one `BENCH_<name>.json` file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchArtifact {
@@ -111,6 +172,11 @@ pub struct BenchArtifact {
     /// applicable; `default` so pre-scenario artifacts still parse).
     #[serde(default)]
     pub scenario_runs: Vec<GatewayReport>,
+    /// Cassette A/B replay variants with per-tenant SLO diffs against the
+    /// baseline recording (empty when not applicable; `default` so
+    /// pre-cassette artifacts still parse).
+    #[serde(default)]
+    pub cassette_ab: Vec<CassetteAbRun>,
     /// Paper-vs-measured comparison rows (empty when not applicable).
     pub comparisons: Vec<Comparison>,
     /// Flat gate metrics derived from the run (what `perf_gate` compares).
@@ -136,6 +202,7 @@ impl BenchArtifact {
             resilience: Vec::new(),
             webui: Vec::new(),
             scenario_runs: Vec::new(),
+            cassette_ab: Vec::new(),
             comparisons: Vec::new(),
             metrics: Vec::new(),
         }
@@ -168,6 +235,12 @@ impl BenchArtifact {
     /// Attach scenario-matrix runs.
     pub fn with_scenario_runs(mut self, runs: &[GatewayReport]) -> Self {
         self.scenario_runs.extend_from_slice(runs);
+        self
+    }
+
+    /// Attach cassette A/B replay variants.
+    pub fn with_cassette_ab(mut self, runs: &[CassetteAbRun]) -> Self {
+        self.cassette_ab.extend_from_slice(runs);
         self
     }
 
@@ -415,6 +488,7 @@ mod tests {
             resilience: Vec::new(),
             webui: Vec::new(),
             scenario_runs: Vec::new(),
+            cassette_ab: Vec::new(),
             comparisons: Vec::new(),
             metrics,
         }
@@ -438,8 +512,12 @@ mod tests {
         // Pre-scenario-matrix artifacts (and committed baselines) lack the
         // `scenario_runs` field; `#[serde(default)]` keeps them readable.
         let a = artifact(vec![GateMetric::higher("req_per_s", 9.5, 0.02)]);
-        let json = a.to_json().replace("\"scenario_runs\": [],\n  ", "");
+        let json = a
+            .to_json()
+            .replace("\"scenario_runs\": [],\n  ", "")
+            .replace("\"cassette_ab\": [],\n  ", "");
         assert!(!json.contains("scenario_runs"));
+        assert!(!json.contains("cassette_ab"));
         let b = BenchArtifact::from_json(&json).expect("legacy artifact parses");
         assert_eq!(a, b);
     }

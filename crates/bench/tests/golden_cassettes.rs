@@ -1,0 +1,133 @@
+//! Golden-cassette regression tests for the record/replay subsystem.
+//!
+//! Two catalog scenarios — the bursty base case and the fault-storm case —
+//! are recorded at a pinned seed and budget. Both the cassette itself
+//! (`bench/golden/CASSETTE_<name>.json`) and the report its replay produces
+//! (`bench/golden/GOLDEN_replay_<name>.json`) must match the committed
+//! files **byte-for-byte**. A diff in the cassette means the workload
+//! compiler or recorder changed what traffic it emits; a diff in the replay
+//! report means the simulator responds differently to identical traffic —
+//! either way an intentional, reviewed change is required.
+//!
+//! Refresh path (same convention as `golden_scenarios`):
+//!
+//! ```text
+//! FIRST_GOLDEN_WRITE=1 cargo test -p first-bench --test golden_cassettes
+//! ```
+//!
+//! then commit the regenerated files and justify the new numbers in the PR.
+
+use first_core::{replay_cassette, run_scenario_recorded};
+use first_workload::{catalog, Cassette};
+use std::path::PathBuf;
+
+/// Pinned probe configuration, shared with `golden_scenarios`.
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_BUDGET: usize = 120;
+
+/// The two pinned recordings: a fault-free bursty stream, and the chaos
+/// scenario whose cassette pins a fault timeline alongside the traffic.
+const GOLDEN_CASSETTES: &[&str] = &["burst", "chaos-under-load"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/golden")
+}
+
+/// Byte-compare `rendered` against the committed golden at `path`, or
+/// rewrite it when `FIRST_GOLDEN_WRITE` is set.
+fn check_golden(rendered: &str, path: &PathBuf, write: bool, what: &str) {
+    if write {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(path, rendered).expect("golden written");
+        println!("refreshed {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); bootstrap with \
+             `FIRST_GOLDEN_WRITE=1 cargo test -p first-bench --test golden_cassettes`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        committed,
+        "{what} diverged from its golden artifact {}.\n\
+         If the behaviour change is intentional, refresh with\n\
+         `FIRST_GOLDEN_WRITE=1 cargo test -p first-bench --test golden_cassettes`\n\
+         and justify the new numbers in the PR.",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_cassettes_record_and_replay_byte_identically() {
+    let write = std::env::var("FIRST_GOLDEN_WRITE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let specs = catalog(GOLDEN_BUDGET);
+    for name in GOLDEN_CASSETTES {
+        let spec = specs
+            .iter()
+            .find(|s| s.name == *name)
+            .unwrap_or_else(|| panic!("catalog scenario '{name}' missing"));
+        let (recorded_report, cassette) =
+            run_scenario_recorded(spec, GOLDEN_SEED).expect("catalog scenario records");
+
+        // The cassette is the pinned contract for the *traffic*.
+        check_golden(
+            &cassette.to_json(),
+            &golden_dir().join(format!("CASSETTE_{name}.json")),
+            write,
+            &format!("cassette '{name}'"),
+        );
+
+        // The replay report is the pinned contract for the *simulator*; it
+        // must also equal the report produced while recording, so record
+        // and replay can never drift apart even when both goldens move.
+        let replayed = replay_cassette(&cassette).expect("golden cassette replays");
+        assert_eq!(
+            replayed, recorded_report,
+            "replay of '{name}' diverged from its own recording"
+        );
+        let rendered = serde_json::to_string_pretty(&replayed).expect("report serializes") + "\n";
+        check_golden(
+            &rendered,
+            &golden_dir().join(format!("GOLDEN_replay_{name}.json")),
+            write,
+            &format!("replay report '{name}'"),
+        );
+    }
+}
+
+#[test]
+fn committed_golden_cassettes_still_parse_and_validate() {
+    // The committed files must load through the public API: a format change
+    // that can no longer read its own pinned recordings is a breaking
+    // change, caught here before any byte comparison confuses the issue.
+    for name in GOLDEN_CASSETTES {
+        let path = golden_dir().join(format!("CASSETTE_{name}.json"));
+        if std::fs::metadata(&path).is_err() {
+            // Bootstrap order: the write-mode run above creates the file.
+            continue;
+        }
+        let cassette = Cassette::load(&path).expect("committed cassette loads");
+        cassette.validate().expect("committed cassette validates");
+        assert_eq!(cassette.scenario, *name);
+        assert_eq!(cassette.seed, GOLDEN_SEED);
+        assert!(!cassette.is_empty(), "pinned cassette has traffic");
+    }
+}
+
+#[test]
+fn golden_cassette_scenarios_exist_in_the_catalog_at_any_budget() {
+    for budget in [16, 120, 1000] {
+        let specs = catalog(budget);
+        for name in GOLDEN_CASSETTES {
+            assert!(
+                specs.iter().any(|s| s.name == *name),
+                "catalog({budget}) lost pinned scenario '{name}'"
+            );
+        }
+    }
+}

@@ -20,7 +20,9 @@
 //! integration tests call it directly on their own drivers.
 
 use crate::gateway::Gateway;
+use crate::scenario::GatewayReport;
 use first_desim::SimTime;
+use first_workload::Cassette;
 
 /// Watches a driver's advance instants for monotonicity.
 #[derive(Debug, Clone, Default)]
@@ -151,6 +153,71 @@ pub fn check_run_invariants(gateway: &Gateway, ledger: &RunLedger) -> Result<(),
                 "drained gateway leaks {} outstanding copies",
                 queues.outstanding_copies
             ));
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Replay-mode conservation: cross-check a replayed run's report against the
+/// cassette it replayed. The replayed run must offer exactly the recorded
+/// stream — whole-run and per-tenant — under the recorded scenario identity.
+/// Returns every violated invariant (empty = all hold).
+pub fn check_replay_invariants(
+    report: &GatewayReport,
+    cassette: &Cassette,
+) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    if report.scenario != cassette.scenario {
+        violations.push(format!(
+            "replayed scenario '{}' != recorded '{}'",
+            report.scenario, cassette.scenario
+        ));
+    }
+    if report.seed != cassette.seed {
+        violations.push(format!(
+            "replayed seed {} != recorded {}",
+            report.seed, cassette.seed
+        ));
+    }
+    if report.offered != cassette.len() {
+        violations.push(format!(
+            "replay offered {} requests but the cassette recorded {}",
+            report.offered,
+            cassette.len()
+        ));
+    }
+    if report.tenants.len() != cassette.tenants.len() {
+        violations.push(format!(
+            "replay has {} tenant partitions but the cassette recorded {}",
+            report.tenants.len(),
+            cassette.tenants.len()
+        ));
+    } else {
+        for (i, tenant) in cassette.tenants.iter().enumerate() {
+            let recorded = cassette
+                .entries
+                .iter()
+                .filter(|e| e.request.tenant as usize == i)
+                .count();
+            let replayed = &report.tenants[i];
+            if replayed.tenant != tenant.name {
+                violations.push(format!(
+                    "tenant {i} replayed as '{}' but was recorded as '{}'",
+                    replayed.tenant, tenant.name
+                ));
+            }
+            if replayed.offered != recorded {
+                violations.push(format!(
+                    "tenant '{}' replayed {} requests but the cassette recorded {}",
+                    tenant.name, replayed.offered, recorded
+                ));
+            }
         }
     }
 

@@ -24,9 +24,11 @@
 //!   benchmark in `first-bench`.
 //! * [`scenario`] — the declarative scenario runner: compiles a
 //!   `first-workload` [`ScenarioSpec`](first_workload::ScenarioSpec) and
-//!   reports per-tenant SLO attainment.
+//!   reports per-tenant SLO attainment; also the cassette record
+//!   ([`run_scenario_recorded`]) and replay ([`replay_cassette`]) hooks.
 //! * [`invariants`] — post-run invariant checking (request conservation,
-//!   monotone clock, no leaked tasks) shared by the runners and tests.
+//!   monotone clock, no leaked tasks, replay conservation) shared by the
+//!   runners and tests.
 
 #![warn(missing_docs)]
 
@@ -52,13 +54,16 @@ pub use api::{
 pub use batch::{BatchId, BatchJob, BatchManager, BatchState};
 pub use deploy::{enroll_standard_users, ClusterSite, DeploymentBuilder, HostedModel, TestTokens};
 pub use gateway::{CompletedRequest, Gateway, GatewayConfig, GatewayQueueSnapshot, JobsEntry};
-pub use invariants::{check_run_invariants, ClockMonitor, RunLedger};
+pub use invariants::{check_replay_invariants, check_run_invariants, ClockMonitor, RunLedger};
 pub use middleware::{AuthMiddleware, RateLimiter, ResponseCache};
 pub use registry::{
     FederationRouter, ModelId, ModelRegistry, RouteCandidate, RoutedTarget, RoutingDecision,
     RoutingPolicy, RoutingReason,
 };
-pub use scenario::{run_scenario, GatewayReport, TenantReport};
+pub use scenario::{
+    replay_cassette, replay_dashboard_cell, run_scenario, run_scenario_recorded, GatewayReport,
+    TenantReport,
+};
 pub use sim::{
     run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_resilience_openloop,
     run_webui_closed_loop, ResilienceReport, ScenarioReport, WebUiCell,

@@ -105,6 +105,7 @@ impl Gateway {
             clusters: clusters.into_values().collect(),
             queues,
             tenants,
+            replay: None,
             total_requests: metrics.total_received(),
             total_completed: metrics.completed,
             total_failed: metrics.failed + metrics.rejected,

@@ -13,12 +13,14 @@
 
 use crate::deploy::DeploymentBuilder;
 use crate::gateway::Gateway;
-use crate::invariants::{check_run_invariants, RunLedger};
+use crate::invariants::{check_replay_invariants, check_run_invariants, RunLedger};
 use crate::sim::{run_webui_closed_loop, synthetic_chat_request, WebUiCell};
 use first_auth::{Identity, Scope, TokenString, UserId};
 use first_chaos::{FaultInjector, ResilienceConfig};
 use first_desim::{Histogram, SimDuration, SimProcess, SimTime};
-use first_workload::{ConversationSample, DeploymentRef, ScenarioSpec};
+use first_workload::{
+    Cassette, CassetteError, ConversationSample, DeploymentRef, RequestOutcome, ScenarioSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -229,6 +231,64 @@ fn enroll_tenant_user(gateway: &mut Gateway, name: &str) -> TokenString {
 /// A spec may carry either open-loop tenants or a closed-loop session rider,
 /// not both (the two drivers would fight over the same simulation clock).
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
+    run_scenario_impl(spec, seed).0
+}
+
+/// Run `spec` exactly as [`run_scenario`] would and additionally record the
+/// run as a [`Cassette`]: the compiled request stream, what the gateway did
+/// with every request, and the spec's fault timeline. The returned report is
+/// identical to what `run_scenario(spec, seed)` yields, and
+/// [`replay_cassette`] on the returned cassette reproduces it byte-for-byte.
+///
+/// Closed-loop session specs are [`CassetteError::Unrecordable`]: their
+/// driver submits outside the compiled stream, so a cassette could not
+/// reproduce them.
+pub fn run_scenario_recorded(
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> Result<(GatewayReport, Cassette), CassetteError> {
+    if spec.sessions.is_some() {
+        return Err(CassetteError::Unrecordable(format!(
+            "scenario '{}' carries a closed-loop session rider",
+            spec.name
+        )));
+    }
+    let (report, outcomes) = run_scenario_impl(spec, seed);
+    let compiled = spec.compile(seed);
+    let cassette = Cassette::from_run(spec, seed, &compiled, outcomes)?;
+    Ok((report, cassette))
+}
+
+/// Replay a recorded cassette: validate it, compile it back into a
+/// self-contained spec (outcomes stripped, tenants replaying their recorded
+/// tracks) and run it against the recorded deployment. The returned report
+/// is byte-identical to the recording's — enforced here by
+/// [`check_replay_invariants`], which turns any divergence in offered counts
+/// or identity into a typed [`CassetteError::ReplayMismatch`].
+pub fn replay_cassette(cassette: &Cassette) -> Result<GatewayReport, CassetteError> {
+    let spec = cassette.to_spec()?;
+    let report = run_scenario(&spec, cassette.seed);
+    check_replay_invariants(&report, cassette)
+        .map_err(|violations| CassetteError::ReplayMismatch(violations.join("; ")))?;
+    Ok(report)
+}
+
+/// The replay-mode dashboard banner for a cassette: what an operator sees
+/// when the traffic on the dashboard is a recording, not live users.
+pub fn replay_dashboard_cell(cassette: &Cassette) -> first_telemetry::ReplayCell {
+    first_telemetry::ReplayCell {
+        cassette: cassette.scenario.clone(),
+        seed: cassette.seed,
+        entries: cassette.len() as u64,
+        fault_events: cassette.faults.len() as u64,
+    }
+}
+
+/// The shared body of [`run_scenario`] and [`run_scenario_recorded`]: drive
+/// the compiled stream and return the report plus per-request outcomes
+/// aligned with the compiled stream by index (always collected — it is two
+/// vector writes per request).
+fn run_scenario_impl(spec: &ScenarioSpec, seed: u64) -> (GatewayReport, Vec<RequestOutcome>) {
     assert!(
         spec.tenants.is_empty() || spec.sessions.is_none(),
         "scenario '{}': open-loop tenants and a session rider are mutually exclusive",
@@ -274,22 +334,37 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
         .map(|r| r.at)
         .unwrap_or(SimTime::ZERO);
 
-    let mut collect =
-        |gateway: &mut Gateway, ledger: &mut RunLedger, last_delivery: &mut SimTime| {
-            for r in gateway.take_responses() {
-                ledger.on_response(r.success);
-                *last_delivery = (*last_delivery).max(r.finished_at);
-                let Some(&tenant) = tenant_by_user.get(&r.user) else {
-                    continue;
-                };
-                if r.success {
-                    latencies[tenant].record(r.latency().as_secs_f64());
-                    output_tokens[tenant] += r.usage.completion_tokens as u64;
-                } else {
-                    failed[tenant] += 1;
-                }
+    // Per-request outcomes, aligned with `compiled.requests` by index; the
+    // gateway's dense request ids map responses back to stream positions.
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(compiled.requests.len());
+    let mut request_index: HashMap<u64, usize> = HashMap::new();
+
+    let mut collect = |gateway: &mut Gateway,
+                       ledger: &mut RunLedger,
+                       last_delivery: &mut SimTime,
+                       outcomes: &mut Vec<RequestOutcome>,
+                       request_index: &HashMap<u64, usize>| {
+        for r in gateway.take_responses() {
+            ledger.on_response(r.success);
+            *last_delivery = (*last_delivery).max(r.finished_at);
+            if let Some(&idx) = request_index.get(&r.request_id) {
+                let o = &mut outcomes[idx];
+                o.delivered = true;
+                o.success = r.success;
+                o.latency_s = r.latency().as_secs_f64();
+                o.completion_tokens = r.usage.completion_tokens;
             }
-        };
+            let Some(&tenant) = tenant_by_user.get(&r.user) else {
+                continue;
+            };
+            if r.success {
+                latencies[tenant].record(r.latency().as_secs_f64());
+                output_tokens[tenant] += r.usage.completion_tokens as u64;
+            } else {
+                failed[tenant] += 1;
+            }
+        }
+    };
 
     // Pure closed-loop specs skip the open-loop drive entirely: advancing
     // the gateway through its prewarm events here would fast-forward the
@@ -321,14 +396,20 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
             // The global stream index keeps every prompt unique, so the
             // response cache cannot collapse tenants into each other.
             let body = synthetic_chat_request(&request.model, next, &sample);
-            let accepted = gateway
-                .chat_completions(
-                    &body,
-                    &tokens[tenant],
-                    Some(request.output_tokens),
-                    request.at,
-                )
-                .is_ok();
+            let result = gateway.chat_completions(
+                &body,
+                &tokens[tenant],
+                Some(request.output_tokens),
+                request.at,
+            );
+            let accepted = result.is_ok();
+            if let Ok(id) = result {
+                request_index.insert(id, next);
+            }
+            outcomes.push(RequestOutcome {
+                accepted,
+                ..RequestOutcome::default()
+            });
             ledger.on_submission(accepted);
             offered[tenant] += 1;
             if !accepted {
@@ -336,12 +417,24 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
             }
             next += 1;
         }
-        collect(&mut gateway, &mut ledger, &mut last_delivery);
+        collect(
+            &mut gateway,
+            &mut ledger,
+            &mut last_delivery,
+            &mut outcomes,
+            &request_index,
+        );
         if next >= compiled.requests.len() && gateway.is_drained() && injector.is_exhausted() {
             break;
         }
     }
-    collect(&mut gateway, &mut ledger, &mut last_delivery);
+    collect(
+        &mut gateway,
+        &mut ledger,
+        &mut last_delivery,
+        &mut outcomes,
+        &request_index,
+    );
     ledger.drained = next >= compiled.requests.len() && gateway.is_drained();
 
     // Closed-loop session rider (pure closed-loop specs only; the gateway is
@@ -413,7 +506,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
 
     let metrics = gateway.metrics_mut();
     let completed_total = ledger.completed + webui.as_ref().map_or(0, |c| c.completed);
-    GatewayReport {
+    let report = GatewayReport {
         scenario: spec.name.clone(),
         seed,
         offered: ledger.offered + webui.as_ref().map_or(0, |c| c.completed),
@@ -436,7 +529,8 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
         tenants,
         slo_attained_tenants,
         webui,
-    }
+    };
+    (report, outcomes)
 }
 
 #[cfg(test)]
@@ -522,6 +616,90 @@ mod tests {
         assert_eq!(
             report.slo_attained_tenants,
             report.tenants.iter().filter(|t| t.slo_met).count()
+        );
+    }
+
+    #[test]
+    fn recording_matches_the_plain_run_and_replays_byte_identically() {
+        let spec = small_spec();
+        let plain = run_scenario(&spec, 42);
+        let (recorded, cassette) = run_scenario_recorded(&spec, 42).expect("recordable");
+        assert_eq!(plain, recorded, "recording must not perturb the run");
+        assert_eq!(cassette.len(), recorded.offered);
+        // Every accepted request in this clean run was delivered and succeeded.
+        assert!(cassette
+            .entries
+            .iter()
+            .all(|e| e.outcome.accepted && e.outcome.delivered && e.outcome.success));
+        assert!(cassette
+            .entries
+            .iter()
+            .all(|e| e.outcome.latency_s > 0.0 && e.outcome.completion_tokens > 0));
+
+        let replayed = replay_cassette(&cassette).expect("replays");
+        assert_eq!(plain, replayed, "replay reproduces the report");
+        // Byte-level, not just structural: what the golden files pin.
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&replayed).unwrap()
+        );
+        // And the cassette survives a serde round trip on the way.
+        let thawed = first_workload::Cassette::from_json(&cassette.to_json()).expect("round trips");
+        assert_eq!(replay_cassette(&thawed).expect("replays"), plain);
+    }
+
+    #[test]
+    fn empty_cassette_replays_to_a_clean_empty_report() {
+        let spec = ScenarioSpec::new(
+            "unit-empty",
+            "no tenants at all",
+            DeploymentRef::SingleClusterTest,
+            Vec::new(),
+        );
+        let (report, cassette) = run_scenario_recorded(&spec, 1).expect("recordable");
+        assert!(cassette.is_empty());
+        assert_eq!(report.offered, 0);
+        let replayed = replay_cassette(&cassette).expect("empty replay is clean");
+        assert_eq!(report, replayed);
+        assert_eq!(replayed.completed, 0);
+    }
+
+    #[test]
+    fn session_specs_are_unrecordable_with_a_typed_error() {
+        let mut spec = ScenarioSpec::new(
+            "unit-sessions",
+            "",
+            DeploymentRef::SingleClusterTest,
+            Vec::new(),
+        );
+        spec.sessions = Some(first_workload::SessionClosedLoop {
+            config: first_workload::SessionWorkloadConfig::table1(models::LLAMA_8B, 4, 60),
+            webui_overhead_ms: 1200,
+        });
+        match run_scenario_recorded(&spec, 1) {
+            Err(CassetteError::Unrecordable(msg)) => assert!(msg.contains("unit-sessions")),
+            other => panic!("expected Unrecordable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_invariants_catch_divergence() {
+        let (_, cassette) = run_scenario_recorded(&small_spec(), 42).expect("recordable");
+        let replayed = replay_cassette(&cassette).expect("replays");
+        assert_eq!(replayed.seed, cassette.seed, "replay reuses the seed");
+        // Forge a diverging report: the conservation check must trip on the
+        // offered count and on a renamed tenant partition.
+        let mut forged = replayed.clone();
+        forged.offered += 1;
+        forged.tenants[0].tenant = "impostor".to_string();
+        let violations = check_replay_invariants(&forged, &cassette).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("offered")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("impostor")),
+            "{violations:?}"
         );
     }
 }

@@ -87,6 +87,20 @@ pub struct TenantRow {
     pub total_tokens: u64,
 }
 
+/// The replay-mode banner cell: shown when the dashboard observes a run
+/// that is replaying a recorded cassette rather than live traffic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplayCell {
+    /// Name of the cassette (scenario) being replayed.
+    pub cassette: String,
+    /// Seed the recording was made under (the replay reuses it).
+    pub seed: u64,
+    /// Recorded requests in the cassette.
+    pub entries: u64,
+    /// Fault events embedded in the cassette's timeline.
+    pub fault_events: u64,
+}
+
 /// A complete dashboard snapshot.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DashboardSnapshot {
@@ -102,6 +116,11 @@ pub struct DashboardSnapshot {
     /// been logged yet).
     #[serde(default)]
     pub tenants: Vec<TenantRow>,
+    /// Replay-mode banner: present when the observed run is a cassette
+    /// replay (absent for live traffic; `default` keeps old snapshots
+    /// parseable).
+    #[serde(default)]
+    pub replay: Option<ReplayCell>,
     /// Total requests received by the gateway.
     pub total_requests: u64,
     /// Total requests completed successfully.
@@ -228,6 +247,13 @@ impl DashboardSnapshot {
                 );
             }
         }
+        if let Some(r) = &self.replay {
+            let _ = writeln!(
+                out,
+                "-- replay -- cassette={} seed={} entries={} fault_events={}",
+                r.cassette, r.seed, r.entries, r.fault_events
+            );
+        }
         let _ = writeln!(
             out,
             "-- resilience -- retries={} failovers={} breaker_trips={} hedges={}",
@@ -295,6 +321,7 @@ mod tests {
                     total_tokens: 80_000,
                 },
             ],
+            replay: None,
             total_requests: 1000,
             total_completed: 950,
             total_failed: 50,
@@ -346,5 +373,27 @@ mod tests {
         assert!(text.contains("batch-synth"));
         assert!(text.contains("retries=40 failovers=12 breaker_trips=2 hedges=5"));
         assert!(text.contains("-- harness -- wall=0.250s events_per_sec=120000"));
+        // Live snapshots carry no replay banner.
+        assert!(!text.contains("-- replay --"));
+    }
+
+    #[test]
+    fn replay_banner_renders_and_old_snapshots_still_parse() {
+        let mut snap = snapshot();
+        snap.replay = Some(ReplayCell {
+            cassette: "burst".into(),
+            seed: 42,
+            entries: 200,
+            fault_events: 3,
+        });
+        let text = snap.render_text();
+        assert!(text.contains("-- replay -- cassette=burst seed=42 entries=200 fault_events=3"));
+
+        // A pre-replay snapshot (no `replay` field) deserializes to None.
+        let json = serde_json::to_string(&snapshot()).unwrap();
+        assert!(json.contains("\"replay\":null"));
+        let stripped = json.replace("\"replay\":null,", "");
+        let back: DashboardSnapshot = serde_json::from_str(&stripped).expect("legacy parses");
+        assert_eq!(back.replay, None);
     }
 }

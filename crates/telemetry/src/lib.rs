@@ -37,7 +37,7 @@ pub mod timeseries;
 
 pub use alerts::{AlertRule, AlertSeverity, AlertState, Alerting, FiredAlert};
 pub use counter::{Counter, Gauge};
-pub use dashboard::{ClusterRow, DashboardSnapshot, ModelRow, QueueRow, TenantRow};
+pub use dashboard::{ClusterRow, DashboardSnapshot, ModelRow, QueueRow, ReplayCell, TenantRow};
 pub use exposition::render_prometheus;
 pub use histogram::BucketHistogram;
 pub use metric::{LabelSet, MetricId, MetricKind};

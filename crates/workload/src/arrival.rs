@@ -10,8 +10,31 @@
 use first_desim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// One request of a recorded replay track: the exact arrival time, model
+/// and token lengths a cassette captured for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayEntry {
+    /// Recorded arrival time at the gateway.
+    pub at: SimTime,
+    /// Recorded target model.
+    pub model: String,
+    /// Recorded prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Recorded output length in tokens.
+    pub output_tokens: u32,
+}
+
+/// A recorded per-tenant request track, replayed verbatim by
+/// [`ArrivalProcess::Replay`]. Entries must be time-sorted (cassette
+/// validation enforces this before a track is ever constructed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayTrack {
+    /// Recorded requests in arrival order.
+    pub entries: Vec<ReplayEntry>,
+}
+
 /// How request arrival times are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// All requests arrive at time zero ("infinite" request rate).
     Infinite,
@@ -57,6 +80,10 @@ pub enum ArrivalProcess {
         /// Mean dwell time in the surge state, seconds.
         mean_surge_s: f64,
     },
+    /// Verbatim replay of a recorded track (cassette playback): arrival
+    /// times come straight from the recording, ignoring the RNG entirely,
+    /// so a replayed stream is identical under any seed.
+    Replay(ReplayTrack),
 }
 
 impl ArrivalProcess {
@@ -153,6 +180,12 @@ impl ArrivalProcess {
                 }
                 out
             }
+            ArrivalProcess::Replay(ref track) => track
+                .entries
+                .iter()
+                .take(n)
+                .map(|e| start + (e.at - SimTime::ZERO))
+                .collect(),
         }
     }
 
@@ -183,6 +216,20 @@ impl ArrivalProcess {
                 let surge = mean_surge_s.max(1e-6);
                 Some((calm_rate * calm + surge_rate * surge) / (calm + surge))
             }
+            ArrivalProcess::Replay(ref track) => {
+                // The empirical rate of the recording: n arrivals over the
+                // recorded span (an empty or single-entry track offers 0).
+                let span = track
+                    .entries
+                    .last()
+                    .map(|e| e.at.as_secs_f64())
+                    .unwrap_or(0.0);
+                if span > 0.0 {
+                    Some(track.entries.len() as f64 / span)
+                } else {
+                    Some(0.0)
+                }
+            }
         }
     }
 
@@ -200,6 +247,7 @@ impl ArrivalProcess {
             ArrivalProcess::Bursty { .. } => "bursty".to_string(),
             ArrivalProcess::Diurnal { .. } => "diurnal".to_string(),
             ArrivalProcess::Mmpp { .. } => "mmpp".to_string(),
+            ArrivalProcess::Replay(..) => "replay".to_string(),
         }
     }
 }
@@ -468,6 +516,48 @@ mod tests {
         };
         let mut rng = SimRng::seed_from_u64(2);
         assert_eq!(half_dead.arrivals(50, SimTime::ZERO, &mut rng).len(), 50);
+    }
+
+    #[test]
+    fn replay_returns_the_recorded_times_verbatim() {
+        let track = ReplayTrack {
+            entries: [0.5, 1.25, 4.0]
+                .iter()
+                .map(|&s| ReplayEntry {
+                    at: SimTime::from_secs_f64(s),
+                    model: "m".to_string(),
+                    prompt_tokens: 10,
+                    output_tokens: 20,
+                })
+                .collect(),
+        };
+        let process = ArrivalProcess::Replay(track);
+        // The RNG is ignored: different seeds give the same stream.
+        let a = process.arrivals(3, SimTime::ZERO, &mut SimRng::seed_from_u64(1));
+        let b = process.arrivals(3, SimTime::ZERO, &mut SimRng::seed_from_u64(999));
+        assert_eq!(a, b);
+        assert_eq!(a[0], SimTime::from_secs_f64(0.5));
+        assert_eq!(a[2], SimTime::from_secs_f64(4.0));
+        // Asking for more than recorded yields the whole (short) track; a
+        // start offset shifts every arrival.
+        assert_eq!(
+            process
+                .arrivals(10, SimTime::ZERO, &mut SimRng::seed_from_u64(1))
+                .len(),
+            3
+        );
+        let shifted = process.arrivals(3, SimTime::from_secs(100), &mut SimRng::seed_from_u64(1));
+        assert_eq!(shifted[0], SimTime::from_secs_f64(100.5));
+        assert_eq!(process.label(), "replay");
+        // Empirical offered rate: 3 arrivals over 4 s.
+        assert!((process.offered_rate().unwrap() - 0.75).abs() < 1e-9);
+        let empty = ArrivalProcess::Replay(ReplayTrack {
+            entries: Vec::new(),
+        });
+        assert_eq!(empty.offered_rate(), Some(0.0));
+        assert!(empty
+            .arrivals(5, SimTime::ZERO, &mut SimRng::seed_from_u64(1))
+            .is_empty());
     }
 
     #[test]

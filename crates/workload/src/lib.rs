@@ -13,18 +13,24 @@
 //! * [`trace`] — scaled ten-month deployment trace (8.7 M requests, 76 users).
 //! * [`scenario`] — declarative multi-tenant scenario specs, the compiled
 //!   request streams they produce, and the committed scenario catalog.
+//! * [`cassette`] — recorded scenario runs as self-contained, pinnable
+//!   replay fixtures (request stream + outcomes + fault timeline).
 
 #![warn(missing_docs)]
 
 pub mod arrival;
 pub mod batchfile;
+pub mod cassette;
 pub mod scenario;
 pub mod sessions;
 pub mod sharegpt;
 pub mod trace;
 
-pub use arrival::{ArrivalProcess, SustainedLoad};
+pub use arrival::{ArrivalProcess, ReplayEntry, ReplayTrack, SustainedLoad};
 pub use batchfile::{BatchBody, BatchInputFile, BatchLine, ChatMessage};
+pub use cassette::{
+    Cassette, CassetteEntry, CassetteError, CassetteTenant, RequestOutcome, CASSETTE_FORMAT_VERSION,
+};
 pub use scenario::{
     catalog, CompiledScenario, DeploymentRef, ModelShare, ScenarioRequest, ScenarioSpec,
     SessionClosedLoop, SloTarget, TenantClass, TenantWorkload,

@@ -243,6 +243,29 @@ impl ScenarioSpec {
             let mut mix_rng = rng.derive(2);
             let weights: Vec<f64> = tenant.models.iter().map(|m| m.weight).collect();
             match &tenant.workload {
+                // Cassette playback: the track *is* the stream. Arrival
+                // times, models and token lengths come straight from the
+                // recording; the per-tenant RNGs are never consulted, so a
+                // replayed spec compiles identically under any seed.
+                TenantWorkload::Synthetic {
+                    arrival: ArrivalProcess::Replay(track),
+                    ..
+                } => {
+                    for (seq, entry) in track.entries.iter().take(tenant.requests).enumerate() {
+                        if entry.at > horizon {
+                            break;
+                        }
+                        requests.push(ScenarioRequest {
+                            at: entry.at,
+                            tenant: tenant_idx as u32,
+                            priority: tenant.priority,
+                            seq: seq as u32,
+                            model: entry.model.clone(),
+                            prompt_tokens: entry.prompt_tokens,
+                            output_tokens: entry.output_tokens,
+                        });
+                    }
+                }
                 TenantWorkload::Synthetic { arrival, profile } => {
                     let mut lengths =
                         ShareGptGenerator::with_profile(profile.clone(), tenant_seed ^ 0x1E46_7D5A);

@@ -1,0 +1,97 @@
+//! Property tests for the cassette record/replay subsystem: any recordable
+//! spec records to a cassette that survives serde byte-for-byte, compiles
+//! back to the exact request stream the recording saw, and replays to a
+//! byte-identical `GatewayReport`. These are the whole-pipeline guarantees
+//! behind the golden regression tests — checked here over randomised specs
+//! instead of two pinned catalog scenarios.
+
+use first_core::{replay_cassette, run_scenario, run_scenario_recorded};
+use first_workload::{
+    ArrivalProcess, Cassette, DeploymentRef, ScenarioSpec, SloTarget, TenantClass,
+};
+use proptest::prelude::*;
+
+/// A small randomised two-tenant open-loop spec. Kept fault-free and on the
+/// single test cluster so each property case stays fast; the fault path is
+/// covered by the pinned `chaos-under-load` golden cassette.
+fn small_spec(requests_a: usize, requests_b: usize, rate: f64, priority: u8) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "prop-cassette",
+        "randomised cassette property-test spec",
+        DeploymentRef::SingleClusterTest,
+        vec![
+            TenantClass::synthetic(
+                "alpha",
+                requests_a,
+                ArrivalProcess::Poisson(rate),
+                "meta-llama/Meta-Llama-3.1-8B-Instruct",
+            )
+            .with_priority(priority)
+            .with_slo(SloTarget::interactive()),
+            TenantClass::synthetic(
+                "beta",
+                requests_b,
+                ArrivalProcess::FixedRate(rate * 2.0),
+                "meta-llama/Meta-Llama-3.1-8B-Instruct",
+            )
+            .with_slo(SloTarget::batch()),
+        ],
+    );
+    spec.horizon_s = 600.0;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Recording is lossless: the cassette validates, survives a serde
+    /// round trip byte-for-byte, and its compiled spec reproduces the exact
+    /// request stream of the original — independent of the replay seed.
+    #[test]
+    fn cassettes_round_trip_and_reproduce_the_stream(
+        seed in 0u64..u64::MAX,
+        requests_a in 5usize..25,
+        requests_b in 5usize..25,
+        rate in 0.5f64..4.0,
+        priority in 0u8..255,
+    ) {
+        let spec = small_spec(requests_a, requests_b, rate, priority);
+        let (_, cassette) = run_scenario_recorded(&spec, seed).expect("open-loop spec records");
+        cassette.validate().expect("recorded cassette is well-formed");
+        prop_assert_eq!(cassette.len(), spec.compile(seed).requests.len());
+
+        // Serde round trip is byte-exact in both directions.
+        let json = cassette.to_json();
+        let back = Cassette::from_json(&json).expect("cassette parses");
+        prop_assert_eq!(&cassette, &back);
+        prop_assert_eq!(&json, &back.to_json());
+
+        // The replay spec pins the stream: compiling it reproduces the
+        // recording verbatim, whatever seed the compiler is handed.
+        let original = spec.compile(seed);
+        let replayed = cassette.to_spec().expect("cassette compiles");
+        prop_assert_eq!(&replayed.compile(seed).requests, &original.requests);
+        prop_assert_eq!(&replayed.compile(seed ^ 0xDEAD).requests, &original.requests);
+    }
+
+    /// Replay determinism end to end: replaying the cassette — directly or
+    /// after a serde round trip — reproduces the recorded report exactly,
+    /// and matches a plain un-recorded run of the same spec.
+    #[test]
+    fn replays_reproduce_the_recorded_report(
+        seed in 0u64..u64::MAX,
+        requests_a in 5usize..20,
+        requests_b in 5usize..20,
+        rate in 0.5f64..4.0,
+    ) {
+        let spec = small_spec(requests_a, requests_b, rate, 64);
+        let (report, cassette) = run_scenario_recorded(&spec, seed).expect("spec records");
+        prop_assert_eq!(&report, &run_scenario(&spec, seed));
+
+        let replayed = replay_cassette(&cassette).expect("cassette replays");
+        prop_assert_eq!(&replayed, &report);
+
+        let reloaded = Cassette::from_json(&cassette.to_json()).expect("parses");
+        prop_assert_eq!(&replay_cassette(&reloaded).expect("reloaded replays"), &report);
+    }
+}

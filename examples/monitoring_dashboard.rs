@@ -13,10 +13,15 @@
 //! The second half runs the scenario catalog's multi-tenant contention
 //! scenario and shows its per-tenant partition: the SLO attainment table
 //! from the `GatewayReport` and the `first_tenant_*` counters on the
-//! exported registry.
+//! exported registry. The run is recorded as a cassette, replayed
+//! byte-identically, and the dashboard's `-- replay --` banner shows what an
+//! operator sees when the traffic on screen is a recording, not live users.
 
 use first::chaos::{FaultInjector, FaultKind, FaultPlan, ResilienceConfig};
-use first::core::{run_scenario, ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest};
+use first::core::{
+    replay_cassette, replay_dashboard_cell, run_scenario_recorded, ChatCompletionRequest,
+    DeploymentBuilder, EmbeddingRequest,
+};
 use first::desim::{SimDuration, SimProcess, SimTime};
 use first::telemetry::render_prometheus;
 use first::workload::catalog;
@@ -177,7 +182,8 @@ fn main() {
         .into_iter()
         .find(|s| s.name == "multi-tenant-contention")
         .expect("catalog scenario present");
-    let report = run_scenario(&spec, 42);
+    let (report, cassette) =
+        run_scenario_recorded(&spec, 42).expect("open-loop catalog scenario records");
     println!("\n== scenario matrix: per-tenant SLO attainment ==");
     print!("{}", report.render_text());
     assert!(report.tenants.len() >= 3, "three tenant classes reported");
@@ -221,5 +227,24 @@ fn main() {
         "\nSLO attainment: {}/{} tenant classes met their targets",
         report.slo_attained_tenants,
         report.tenants.len()
+    );
+
+    // 5. Replay mode. The scenario run above was recorded as a cassette;
+    // replaying it reproduces the report byte-for-byte, and a dashboard
+    // serving a replay carries the `-- replay --` banner so nobody mistakes
+    // a recording for live traffic.
+    let replayed = replay_cassette(&cassette).expect("cassette replays");
+    assert_eq!(report, replayed, "replay reproduces the recorded report");
+    let mut replay_view = gateway.dashboard_snapshot(now);
+    replay_view.replay = Some(replay_dashboard_cell(&cassette));
+    let rendered = replay_view.render_text();
+    let banner = rendered
+        .lines()
+        .find(|l| l.starts_with("-- replay --"))
+        .expect("replay snapshots render the banner");
+    println!("\n== replay mode ==\n{banner}");
+    assert!(
+        banner.contains(&format!("entries={}", cassette.len())),
+        "replay banner carries the cassette provenance"
     );
 }
