@@ -6,9 +6,13 @@
 //! (arrival times, models, token lengths, priorities) the baseline saw, so
 //! any metric movement is attributable to the variant alone — "what if this
 //! exact Tuesday had hit the federated deployment / a fault storm / a cold
-//! cluster?". Emits the schema-v1 `BENCH_cassette_ab.json` artifact with one
-//! [`CassetteAbRun`] per variant and writes the recorded cassette itself to
-//! `CASSETTE_<scenario>.json` next to it.
+//! cluster?". Every run is traced (`sample_every = 1`), so each variant also
+//! carries per-phase latency diffs attributing *where* in the request
+//! lifecycle the movement happened. Emits the schema-v1
+//! `BENCH_cassette_ab.json` artifact with one [`CassetteAbRun`] per variant
+//! (tenant + phase diffs) plus a [`TraceSection`] for the recording, and
+//! writes the recorded cassette itself to `CASSETTE_<scenario>.json` next to
+//! it.
 //!
 //! Env: `FIRST_CASSETTE_SCENARIO` picks the catalog scenario (default
 //! `burst`); `FIRST_BENCH_REQUESTS` / `FIRST_BENCH_SEED` scale and seed the
@@ -18,10 +22,12 @@
 
 use first_bench::{
     benchmark_request_count, benchmark_seed, print_sim_stats, report::artifact_out_dir,
-    BenchArtifact, CassetteAbRun, GateMetric, TenantSloDiff,
+    BenchArtifact, CassetteAbRun, GateMetric, PhaseDiff, TenantSloDiff, TraceSection,
 };
-use first_core::{replay_cassette, run_scenario, run_scenario_recorded, GatewayReport};
+use first_core::GatewayReport;
+use first_core::{replay_cassette_traced, run_scenario_recorded_traced, run_scenario_traced};
 use first_desim::{SimMeter, SimTime};
+use first_telemetry::TraceConfig;
 use first_workload::{catalog, Cassette, DeploymentRef, ScenarioSpec};
 
 /// One deployment/fault mutation applied to the recorded spec.
@@ -83,6 +89,28 @@ fn variants(cassette: &Cassette) -> Vec<Variant> {
     ]
 }
 
+fn phase_diff_table(runs: &[CassetteAbRun]) {
+    println!("\n== per-phase latency diffs vs recording ==");
+    println!(
+        "{:<18} {:<14} {:>11} {:>11} {:>11} {:>10} {:>10}",
+        "variant", "phase", "mean base", "mean var", "d_mean", "p95 base", "p95 var"
+    );
+    for run in runs {
+        for d in &run.phase_diffs {
+            println!(
+                "{:<18} {:<14} {:>10.4}s {:>10.4}s {:>+10.4}s {:>9.3}s {:>9.3}s",
+                run.variant,
+                d.phase,
+                d.baseline_mean_s,
+                d.variant_mean_s,
+                d.d_mean_s,
+                d.baseline_p95_s,
+                d.variant_p95_s,
+            );
+        }
+    }
+}
+
 fn diff_table(runs: &[CassetteAbRun]) {
     println!("\n== per-tenant SLO diffs vs recording ==");
     println!(
@@ -124,10 +152,16 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Trace every request on both sides of the A/B: the recording and every
+    // replay variant run under the same `TraceConfig`, so the byte-identity
+    // check still holds (the `phases` section is deterministic) and each
+    // variant yields a per-phase diff attributing *where* latency moved.
+    let trace = TraceConfig::every_request(n.max(1));
+
     let meter = SimMeter::start();
     println!("recording '{scenario}' (budget {n} requests, seed {seed})...");
-    let (base_report, cassette) =
-        run_scenario_recorded(&spec, seed).expect("catalog scenario records");
+    let (base_report, cassette, base_trees) =
+        run_scenario_recorded_traced(&spec, seed, trace).expect("catalog scenario records");
     print!("{}", base_report.render_text());
 
     let cassette_path = artifact_out_dir().join(format!("CASSETTE_{scenario}.json"));
@@ -140,7 +174,7 @@ fn main() {
     );
 
     // Variant 0 — replay identity: the headline guarantee, enforced hard.
-    let replayed = replay_cassette(&cassette).expect("cassette replays");
+    let (replayed, _) = replay_cassette_traced(&cassette, trace).expect("cassette replays");
     let base_json = serde_json::to_string(&base_report).expect("report serializes");
     let replay_json = serde_json::to_string(&replayed).expect("report serializes");
     if base_json != replay_json {
@@ -162,26 +196,35 @@ fn main() {
             .filter_map(|t| TenantSloDiff::between(&base_report, report, t))
             .collect()
     };
+    let phase_diffs_vs_base = |report: &GatewayReport| -> Vec<PhaseDiff> {
+        match (&base_report.phases, &report.phases) {
+            (Some(base), Some(var)) => PhaseDiff::between(base, var),
+            _ => Vec::new(),
+        }
+    };
 
     let mut runs = vec![CassetteAbRun {
         variant: "replay-identity".to_string(),
         description: "byte-identical replay of the recording (control)".to_string(),
         tenant_diffs: diffs_vs_base(&replayed),
+        phase_diffs: phase_diffs_vs_base(&replayed),
         report: replayed,
     }];
     for variant in variants(&cassette) {
         println!("\nreplaying variant '{}'...", variant.name);
-        let report = run_scenario(&variant.spec, cassette.seed);
+        let (report, _) = run_scenario_traced(&variant.spec, cassette.seed, trace);
         print!("{}", report.render_text());
         runs.push(CassetteAbRun {
             variant: variant.name.to_string(),
             description: variant.description,
             tenant_diffs: diffs_vs_base(&report),
+            phase_diffs: phase_diffs_vs_base(&report),
             report,
         });
     }
 
     diff_table(&runs);
+    phase_diff_table(&runs);
 
     let sim_secs: f64 = std::iter::once(&base_report)
         .chain(runs.iter().map(|r| &r.report))
@@ -192,6 +235,14 @@ fn main() {
     let mut artifact = BenchArtifact::new("cassette_ab")
         .with_scenario_runs(std::slice::from_ref(&base_report))
         .with_cassette_ab(&runs);
+    if let Some(breakdown) = base_report.phases.clone() {
+        artifact = artifact.with_trace(TraceSection {
+            scenario: scenario.clone(),
+            sample_every: trace.sample_every,
+            trees: base_trees.len() as u64,
+            breakdown,
+        });
+    }
     for run in &runs {
         artifact = artifact
             .with_metric(GateMetric::higher(

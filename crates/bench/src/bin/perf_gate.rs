@@ -215,6 +215,37 @@ fn scenario_subset(n: usize) -> (Vec<GatewayReport>, SimRunStats, Vec<GateMetric
     (vec![steady, contention], sim, metrics)
 }
 
+/// Tracing-off section: the `burst` catalog scenario through the default
+/// (recorder-off) configuration. The request path is instrumented for the
+/// flight recorder, but with tracing disabled every instrumentation site
+/// must cost one predicted branch — this section's events/wall metrics hold
+/// that "default off ⇒ free" promise against the committed baseline.
+fn trace_off(n: usize) -> (GatewayReport, SimRunStats, Vec<GateMetric>) {
+    let specs = first_workload::catalog(n);
+    let spec = specs
+        .iter()
+        .find(|s| s.name == "burst")
+        .expect("catalog scenario 'burst' missing");
+    let seed = first_bench::benchmark_seed();
+    let meter = SimMeter::start();
+    let report = run_scenario(spec, seed);
+    let sim = meter.finish(SimTime::from_secs_f64(report.duration_s));
+    assert!(
+        report.phases.is_none(),
+        "default TraceConfig must leave the flight recorder off"
+    );
+    let metrics = vec![
+        GateMetric::higher("trace_off/completed", report.completed as f64, 0.001),
+        GateMetric::lower(
+            "trace_off/events_processed",
+            sim.events_processed as f64,
+            0.10,
+        ),
+        GateMetric::lower("trace_off/wall_time_s", sim.wall_time_s, WALL).with_floor(WALL_FLOOR),
+    ];
+    (report, sim, metrics)
+}
+
 /// Event-queue micro-benchmark: schedule-then-drain churn on the desim
 /// kernel's future-event list (the `drain_due` hot path).
 fn queue_drain_micro() -> (SimRunStats, Vec<GateMetric>) {
@@ -275,18 +306,28 @@ fn main() {
     let (r2, s2, m2) = federated_inf(n);
     let (r3, s3, m3) = scale_inf(n);
     let (s4, m4) = queue_drain_micro();
-    let (scenario_runs, s5, m5) = scenario_subset(n);
+    let (mut scenario_runs, s5, m5) = scenario_subset(n);
+    let (r6, s6, m6) = trace_off(n);
+    scenario_runs.push(r6);
     let mut sim = s1;
     sim.merge(&s2);
     sim.merge(&s3);
     sim.merge(&s4);
     sim.merge(&s5);
+    sim.merge(&s6);
 
     let mut artifact = BenchArtifact::new("perf_gate")
         .with_scenarios(&[r1, r2, r3])
         .with_scenario_runs(&scenario_runs)
         .with_sim(sim);
-    for mut m in m1.into_iter().chain(m2).chain(m3).chain(m4).chain(m5) {
+    for mut m in m1
+        .into_iter()
+        .chain(m2)
+        .chain(m3)
+        .chain(m4)
+        .chain(m5)
+        .chain(m6)
+    {
         if inject_regression {
             // Synthetic 2x regression in the bad direction of every metric:
             // the gate must fail, proving the comparison still bites.

@@ -1,0 +1,119 @@
+//! Trace exporter: run one catalog scenario with the flight recorder
+//! sampling **every** request, hard-verify the span trees, and export them
+//! as a Chrome-trace (Perfetto-loadable) JSON file plus the schema-v1
+//! `BENCH_trace_export.json` artifact with the phase breakdown.
+//!
+//! The verification is the point: every sampled request must yield a
+//! structurally well-formed span tree (root `request` span, children nested
+//! inside it, lifecycle order) whose per-phase durations reconcile exactly
+//! with the end-to-end latency (`phases + idle == e2e`, integer
+//! microseconds). CI runs this binary twice and byte-compares the exported
+//! `TRACE_<scenario>.json` to prove tracing is seed-deterministic.
+//!
+//! Env: `FIRST_TRACE_SCENARIO` picks the catalog scenario (default `burst`);
+//! `FIRST_BENCH_REQUESTS` / `FIRST_BENCH_SEED` scale and seed the run as
+//! everywhere else.
+
+use first_bench::{
+    benchmark_request_count, benchmark_seed, print_sim_stats, report::artifact_out_dir,
+    BenchArtifact, GateMetric, TraceSection,
+};
+use first_core::run_scenario_traced;
+use first_desim::{SimMeter, SimTime};
+use first_telemetry::{chrome_trace_json, Phase, TraceConfig};
+use first_workload::catalog;
+
+fn main() {
+    let n = benchmark_request_count();
+    let seed = benchmark_seed();
+    let scenario = std::env::var("FIRST_TRACE_SCENARIO").unwrap_or_else(|_| "burst".to_string());
+
+    let spec = catalog(n)
+        .into_iter()
+        .find(|s| s.name == scenario)
+        .unwrap_or_else(|| {
+            eprintln!("unknown catalog scenario '{scenario}'");
+            std::process::exit(2);
+        });
+
+    let trace = TraceConfig::every_request(n.max(1));
+    let meter = SimMeter::start();
+    println!("tracing '{scenario}' (budget {n} requests, seed {seed}, sample_every=1)...");
+    let (report, trees) = run_scenario_traced(&spec, seed, trace);
+    let sim = meter.finish(SimTime::from_secs_f64(report.duration_s));
+    print!("{}", report.render_text());
+
+    // Hard verification: tracing that silently produces malformed or
+    // non-reconciling trees is worse than no tracing at all.
+    assert!(!trees.is_empty(), "sample_every=1 captured no trees");
+    for tree in &trees {
+        assert!(
+            tree.well_formed(),
+            "request {} produced a malformed span tree: {tree:?}",
+            tree.request_id
+        );
+        assert_eq!(
+            tree.phase_total_micros() + tree.idle_micros(),
+            tree.end_to_end_micros(),
+            "request {} phase breakdown does not reconcile with e2e latency",
+            tree.request_id
+        );
+        if tree.success && !tree.cached {
+            assert!(
+                tree.spans.iter().any(|s| s.phase == Phase::Decode),
+                "served request {} is missing its decode span",
+                tree.request_id
+            );
+        }
+    }
+    let idle_trees = trees.iter().filter(|t| t.idle_micros() > 0).count();
+    println!(
+        "verified {} span trees: all well-formed, phases + idle == e2e ({} with retry/hedge idle gaps)",
+        trees.len(),
+        idle_trees
+    );
+
+    let breakdown = report.phases.clone().expect("traced run has a breakdown");
+    if let Some(top) = breakdown.critical_path.first() {
+        println!(
+            "critical path: {} dominates {} requests ({:.0}% of attributed time)",
+            top.phase.name(),
+            top.requests,
+            top.time_share * 100.0
+        );
+    }
+
+    // Chrome-trace export, loadable in chrome://tracing or ui.perfetto.dev.
+    let chrome = chrome_trace_json(trees.iter());
+    let out_dir = artifact_out_dir();
+    std::fs::create_dir_all(&out_dir).expect("out dir");
+    let trace_path = out_dir.join(format!("TRACE_{scenario}.json"));
+    std::fs::write(&trace_path, &chrome).expect("trace written");
+    println!(
+        "chrome trace: {} events -> {}",
+        trees.iter().map(|t| t.spans.len()).sum::<usize>(),
+        trace_path.display()
+    );
+
+    let artifact = BenchArtifact::new("trace_export")
+        .with_scenario_runs(std::slice::from_ref(&report))
+        .with_trace(TraceSection {
+            scenario: scenario.clone(),
+            sample_every: trace.sample_every,
+            trees: trees.len() as u64,
+            breakdown,
+        })
+        .with_metric(GateMetric::higher(
+            &format!("trace/{scenario}/completed"),
+            report.completed as f64,
+            0.001,
+        ))
+        .with_metric(GateMetric::higher(
+            &format!("trace/{scenario}/trees"),
+            trees.len() as f64,
+            0.001,
+        ))
+        .with_sim(sim);
+    print_sim_stats(&artifact.sim);
+    artifact.write().expect("artifact written");
+}

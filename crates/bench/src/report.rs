@@ -12,6 +12,7 @@
 use crate::Comparison;
 use first_core::{GatewayReport, ResilienceReport, ScenarioReport, WebUiCell};
 use first_desim::SimRunStats;
+use first_telemetry::PhaseBreakdown;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -134,6 +135,81 @@ impl TenantSloDiff {
     }
 }
 
+/// Per-phase latency delta between a cassette's baseline recording and one
+/// replay variant, derived from the two runs' flight-recorder breakdowns.
+/// Where [`TenantSloDiff`] says *which tenants* got slower, this says *which
+/// lifecycle phase* the regression (or win) lives in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDiff {
+    /// Phase name (snake_case, e.g. "queue_wait", "decode").
+    pub phase: String,
+    /// Mean phase latency in the baseline recording, seconds.
+    pub baseline_mean_s: f64,
+    /// Mean phase latency under the variant, seconds.
+    pub variant_mean_s: f64,
+    /// `variant_mean_s - baseline_mean_s` (positive = variant is slower).
+    pub d_mean_s: f64,
+    /// p95 phase latency in the baseline recording, seconds.
+    pub baseline_p95_s: f64,
+    /// p95 phase latency under the variant, seconds.
+    pub variant_p95_s: f64,
+    /// `variant_p95_s - baseline_p95_s`.
+    pub d_p95_s: f64,
+}
+
+impl PhaseDiff {
+    /// Diff every phase present in either breakdown, in baseline lifecycle
+    /// order (variant-only phases append after). A phase absent from one
+    /// side diffs against zero.
+    pub fn between(baseline: &PhaseBreakdown, variant: &PhaseBreakdown) -> Vec<PhaseDiff> {
+        let mut diffs: Vec<PhaseDiff> = baseline
+            .by_phase
+            .iter()
+            .map(|b| {
+                let v = variant.by_phase.iter().find(|v| v.phase == b.phase);
+                PhaseDiff {
+                    phase: b.phase.name().to_string(),
+                    baseline_mean_s: b.mean_s,
+                    variant_mean_s: v.map_or(0.0, |v| v.mean_s),
+                    d_mean_s: v.map_or(0.0, |v| v.mean_s) - b.mean_s,
+                    baseline_p95_s: b.p95_s,
+                    variant_p95_s: v.map_or(0.0, |v| v.p95_s),
+                    d_p95_s: v.map_or(0.0, |v| v.p95_s) - b.p95_s,
+                }
+            })
+            .collect();
+        for v in &variant.by_phase {
+            if !baseline.by_phase.iter().any(|b| b.phase == v.phase) {
+                diffs.push(PhaseDiff {
+                    phase: v.phase.name().to_string(),
+                    baseline_mean_s: 0.0,
+                    variant_mean_s: v.mean_s,
+                    d_mean_s: v.mean_s,
+                    baseline_p95_s: 0.0,
+                    variant_p95_s: v.p95_s,
+                    d_p95_s: v.p95_s,
+                });
+            }
+        }
+        diffs
+    }
+}
+
+/// The flight-recorder summary of one traced benchmark run: which scenario
+/// was traced, at what sampling rate, and the resulting phase breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSection {
+    /// Scenario name the trace came from.
+    pub scenario: String,
+    /// Sampling rate the recorder ran at (1 = every request).
+    pub sample_every: u64,
+    /// Complete span trees captured.
+    pub trees: u64,
+    /// Per-phase / per-tenant / per-endpoint latency breakdown with
+    /// critical-path attribution.
+    pub breakdown: PhaseBreakdown,
+}
+
 /// One replay variant of a cassette A/B sweep: the full report the variant
 /// produced plus its per-tenant SLO deltas against the baseline recording.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,6 +222,11 @@ pub struct CassetteAbRun {
     pub report: GatewayReport,
     /// Per-tenant SLO deltas vs the baseline recording, in spec order.
     pub tenant_diffs: Vec<TenantSloDiff>,
+    /// Per-phase latency deltas vs the baseline recording, in lifecycle
+    /// order (empty when the sweep ran untraced; `default` so pre-tracing
+    /// artifacts still parse).
+    #[serde(default)]
+    pub phase_diffs: Vec<PhaseDiff>,
 }
 
 /// The schema-versioned content of one `BENCH_<name>.json` file.
@@ -177,6 +258,10 @@ pub struct BenchArtifact {
     /// pre-cassette artifacts still parse).
     #[serde(default)]
     pub cassette_ab: Vec<CassetteAbRun>,
+    /// Flight-recorder trace sections from traced runs (empty when the run
+    /// was untraced; `default` so pre-tracing artifacts still parse).
+    #[serde(default)]
+    pub trace: Vec<TraceSection>,
     /// Paper-vs-measured comparison rows (empty when not applicable).
     pub comparisons: Vec<Comparison>,
     /// Flat gate metrics derived from the run (what `perf_gate` compares).
@@ -203,6 +288,7 @@ impl BenchArtifact {
             webui: Vec::new(),
             scenario_runs: Vec::new(),
             cassette_ab: Vec::new(),
+            trace: Vec::new(),
             comparisons: Vec::new(),
             metrics: Vec::new(),
         }
@@ -241,6 +327,12 @@ impl BenchArtifact {
     /// Attach cassette A/B replay variants.
     pub fn with_cassette_ab(mut self, runs: &[CassetteAbRun]) -> Self {
         self.cassette_ab.extend_from_slice(runs);
+        self
+    }
+
+    /// Attach a flight-recorder trace section.
+    pub fn with_trace(mut self, section: TraceSection) -> Self {
+        self.trace.push(section);
         self
     }
 
@@ -489,6 +581,7 @@ mod tests {
             webui: Vec::new(),
             scenario_runs: Vec::new(),
             cassette_ab: Vec::new(),
+            trace: Vec::new(),
             comparisons: Vec::new(),
             metrics,
         }
@@ -515,11 +608,65 @@ mod tests {
         let json = a
             .to_json()
             .replace("\"scenario_runs\": [],\n  ", "")
-            .replace("\"cassette_ab\": [],\n  ", "");
+            .replace("\"cassette_ab\": [],\n  ", "")
+            .replace("\"trace\": [],\n  ", "");
         assert!(!json.contains("scenario_runs"));
         assert!(!json.contains("cassette_ab"));
+        assert!(!json.contains("\"trace\""));
         let b = BenchArtifact::from_json(&json).expect("legacy artifact parses");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_diffs_cover_both_sides_in_lifecycle_order() {
+        use first_telemetry::{FlightRecorder, Phase, Span, SpanTree, TraceConfig};
+
+        // Build two tiny breakdowns through the real recorder so the diff
+        // sees the same shapes the cassette A/B sweep produces.
+        fn breakdown(decode_us: u64) -> PhaseBreakdown {
+            let mut rec = FlightRecorder::new(TraceConfig::every_request(8));
+            assert!(rec.should_sample());
+            rec.record(SpanTree {
+                request_id: 1,
+                tenant: "chat".into(),
+                model: "m".into(),
+                endpoint: "ep".into(),
+                success: true,
+                cached: false,
+                spans: vec![
+                    Span {
+                        phase: Phase::Request,
+                        start: first_desim::SimTime::from_micros(0),
+                        end: first_desim::SimTime::from_micros(100 + decode_us),
+                        parent: None,
+                    },
+                    Span {
+                        phase: Phase::QueueWait,
+                        start: first_desim::SimTime::from_micros(0),
+                        end: first_desim::SimTime::from_micros(100),
+                        parent: Some(0),
+                    },
+                    Span {
+                        phase: Phase::Decode,
+                        start: first_desim::SimTime::from_micros(100),
+                        end: first_desim::SimTime::from_micros(100 + decode_us),
+                        parent: Some(0),
+                    },
+                ],
+            });
+            rec.breakdown()
+        }
+
+        let base = breakdown(1_000);
+        let variant = breakdown(3_000);
+        let diffs = PhaseDiff::between(&base, &variant);
+        assert_eq!(diffs.len(), 2);
+        // Lifecycle order: queue_wait before decode.
+        assert_eq!(diffs[0].phase, "queue_wait");
+        assert_eq!(diffs[1].phase, "decode");
+        assert!(diffs[0].d_mean_s.abs() < 1e-12, "queue_wait unchanged");
+        assert!((diffs[1].d_mean_s - 0.002).abs() < 1e-9, "decode +2ms");
+        assert!((diffs[1].d_p95_s - 0.002).abs() < 1e-9);
     }
 
     #[test]

@@ -246,6 +246,13 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Enable request-lifecycle tracing with the given sampling and
+    /// retention knobs (default: off, zero per-request cost).
+    pub fn trace(mut self, trace: first_telemetry::TraceConfig) -> Self {
+        self.gateway_config.trace = trace;
+        self
+    }
+
     fn build_auth(&self) -> AuthService {
         let mut policy = AccessPolicy::default();
         // AuroraGPT models are restricted to an early-access group, the

@@ -20,8 +20,9 @@ use first_chaos::{HealthTracker, ResilienceConfig};
 use first_desim::{IdHashBuilder, SimDuration, SimProcess, SimTime};
 use first_fabric::{ClientConfig, ComputeService, EndpointId, FunctionId, TaskId};
 use first_serving::InferenceRequest;
+use first_telemetry::{FlightRecorder, Phase, PhaseBreakdown, Span, SpanTree, TraceConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Gateway configuration: the knobs the paper's optimization study varies.
@@ -46,6 +47,12 @@ pub struct GatewayConfig {
     /// proof-of-concept behaviour); [`first_chaos::ResilienceConfig::production`]
     /// turns everything on.
     pub resilience: ResilienceConfig,
+    /// Request-lifecycle tracing: 1-in-N sampling into the flight recorder.
+    /// Off by default (`sample_every == 0`), in which case the request path
+    /// pays a single branch and allocates nothing — the perf gate's
+    /// `trace_off/*` metrics hold it to that.
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl Default for GatewayConfig {
@@ -59,6 +66,7 @@ impl Default for GatewayConfig {
             default_output_tokens: 180,
             response_cpu: SimDuration::from_millis(5),
             resilience: ResilienceConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -194,6 +202,33 @@ struct AwaitingDelivery {
     deliver_at: SimTime,
     success: bool,
     completion_tokens: u32,
+    /// Fabric/engine-side timestamps for sampled requests; `None` when the
+    /// request is not being traced (the common case).
+    trace: Option<Box<FabricTimes>>,
+}
+
+/// Admission-side timestamps captured in [`Gateway::accept`] for a sampled
+/// request, held until the request delivers and its span tree is assembled.
+#[derive(Debug, Clone, Copy)]
+struct GatewayTimes {
+    arrived_at: SimTime,
+    started_at: SimTime,
+    dispatch_ready_at: SimTime,
+    submit_at: SimTime,
+}
+
+/// Fabric and engine timestamps of the winning attempt, captured in
+/// [`Gateway::collect_results`] while the task record is still at hand.
+#[derive(Debug, Clone, Copy)]
+struct FabricTimes {
+    submitted_at: SimTime,
+    dispatched_at: Option<SimTime>,
+    delivered_at: Option<SimTime>,
+    accepted_at: Option<SimTime>,
+    first_token_at: Option<SimTime>,
+    finished_at: SimTime,
+    available_at: SimTime,
+    observed_at: SimTime,
 }
 
 /// The FIRST gateway.
@@ -251,6 +286,13 @@ pub struct Gateway {
     /// Latest instant the gateway has been advanced to (used for health
     /// staleness in `/jobs` and the dashboard).
     last_advance: SimTime,
+    /// Flight recorder for sampled request span trees. Disabled by default;
+    /// see [`GatewayConfig::trace`].
+    recorder: FlightRecorder,
+    /// Admission-side timestamps of sampled requests still in flight, keyed
+    /// by request id. Empty whenever tracing is off, so the delivery path's
+    /// guard is a single `is_empty` branch.
+    trace_pending: HashMap<u64, GatewayTimes, IdHashBuilder>,
     /// Host wall-clock instant the gateway was built — the denominator of the
     /// harness-health metrics (sim wall-clock, events/sec) on the dashboard.
     started_wall: std::time::Instant,
@@ -288,8 +330,11 @@ impl Gateway {
             AuthMiddleware::without_cache()
         };
         let health = HealthTracker::new(config.resilience.breaker.clone());
+        let recorder = FlightRecorder::new(config.trace);
         Gateway {
             health,
+            recorder,
+            trace_pending: HashMap::default(),
             rate_limiter: RateLimiter::per_minute(config.rate_limit_per_minute),
             response_cache: ResponseCache::new(SimDuration::from_mins(30), 4096),
             workers: WorkerPool::new(config.workers),
@@ -397,9 +442,34 @@ impl Gateway {
         &self.log
     }
 
+    /// Gateway metrics, read-only (the monitoring export path).
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.metrics
+    }
+
     /// Gateway metrics.
     pub fn metrics_mut(&mut self) -> &mut GatewayMetrics {
         &mut self.metrics
+    }
+
+    /// The flight recorder holding the sampled request span trees.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable flight recorder (e.g. to drain the retained trees after a run).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
+    /// Aggregate the retained span trees into a phase-latency breakdown.
+    /// `None` when tracing is disabled or nothing has been sampled yet.
+    pub fn phase_breakdown(&self) -> Option<PhaseBreakdown> {
+        if self.recorder.is_empty() {
+            None
+        } else {
+            Some(self.recorder.breakdown())
+        }
     }
 
     /// Drain completed responses.
@@ -560,6 +630,17 @@ impl Gateway {
         let admission = self.workers.admit(now);
         let connection = self.connection_overhead(&target);
         let submit_at = admission.dispatch_ready_at + auth_latency + connection;
+        if self.recorder.should_sample() {
+            self.trace_pending.insert(
+                request_id,
+                GatewayTimes {
+                    arrived_at: now,
+                    started_at: admission.started_at,
+                    dispatch_ready_at: admission.dispatch_ready_at,
+                    submit_at,
+                },
+            );
+        }
         *self.outstanding_slot(request_id) = 1;
         self.next_submit_at = Some(self.next_submit_at.map_or(submit_at, |t| t.min(submit_at)));
         self.pending.push(PendingDispatch {
@@ -633,6 +714,32 @@ impl Gateway {
                     usage,
                     true,
                 );
+                if self.recorder.should_sample() {
+                    // Cache hits never leave the gateway: the tree is the
+                    // root plus the response-marshalling span.
+                    self.recorder.record(SpanTree {
+                        request_id,
+                        tenant: user.clone(),
+                        model: request.model.clone(),
+                        endpoint: String::new(),
+                        success: true,
+                        cached: true,
+                        spans: vec![
+                            Span {
+                                phase: Phase::Request,
+                                start: now,
+                                end: finished,
+                                parent: None,
+                            },
+                            Span {
+                                phase: Phase::Deliver,
+                                start: now,
+                                end: finished,
+                                parent: Some(0),
+                            },
+                        ],
+                    });
+                }
                 self.responses.push(CompletedRequest {
                     request_id,
                     user,
@@ -787,6 +894,86 @@ impl Gateway {
         });
     }
 
+    /// Assemble and record the span tree for a sampled request that reached
+    /// its final outcome. Consumes the admission-side timestamps (a no-op for
+    /// unsampled requests); a `None` fabric leg yields a gateway-only tree
+    /// (requests that failed at submission).
+    #[allow(clippy::too_many_arguments)]
+    fn record_trace(
+        &mut self,
+        request_id: u64,
+        tenant: &str,
+        model: &str,
+        endpoint: &str,
+        success: bool,
+        fabric: Option<&FabricTimes>,
+        finished_at: SimTime,
+    ) {
+        let Some(g) = self.trace_pending.remove(&request_id) else {
+            return;
+        };
+        fn leaf(spans: &mut Vec<Span>, phase: Phase, start: SimTime, end: SimTime) {
+            spans.push(Span {
+                phase,
+                start,
+                end,
+                parent: Some(0),
+            });
+        }
+        let mut spans = Vec::with_capacity(14);
+        spans.push(Span {
+            phase: Phase::Request,
+            start: g.arrived_at,
+            end: finished_at,
+            parent: None,
+        });
+        // Routing happens synchronously at the API boundary: a zero-length
+        // marker span at arrival.
+        leaf(&mut spans, Phase::Route, g.arrived_at, g.arrived_at);
+        leaf(&mut spans, Phase::QueueWait, g.arrived_at, g.started_at);
+        leaf(
+            &mut spans,
+            Phase::Admission,
+            g.started_at,
+            g.dispatch_ready_at,
+        );
+        leaf(&mut spans, Phase::Submit, g.dispatch_ready_at, g.submit_at);
+        if let Some(f) = fabric {
+            // The fabric leg belongs to the *winning* attempt: for retried
+            // or hedged requests its spans start at that attempt's submit
+            // time, and the gap back to the first attempt shows up as idle
+            // time rather than being mis-attributed to a phase.
+            if let Some(dispatched) = f.dispatched_at {
+                leaf(&mut spans, Phase::Dispatch, f.submitted_at, dispatched);
+                if let Some(delivered) = f.delivered_at {
+                    leaf(&mut spans, Phase::Transit, dispatched, delivered);
+                    if let Some(accepted) = f.accepted_at {
+                        leaf(&mut spans, Phase::BacklogWait, delivered, accepted);
+                        // Slot assignment is instantaneous in the model: a
+                        // zero-length marker at engine admission.
+                        leaf(&mut spans, Phase::Assignment, accepted, accepted);
+                        if let Some(first_token) = f.first_token_at {
+                            leaf(&mut spans, Phase::Prefill, accepted, first_token);
+                            leaf(&mut spans, Phase::Decode, first_token, f.finished_at);
+                        }
+                    }
+                }
+            }
+            leaf(&mut spans, Phase::Relay, f.finished_at, f.available_at);
+            leaf(&mut spans, Phase::Observe, f.available_at, f.observed_at);
+            leaf(&mut spans, Phase::Deliver, f.observed_at, finished_at);
+        }
+        self.recorder.record(SpanTree {
+            request_id,
+            tenant: tenant.to_string(),
+            model: model.to_string(),
+            endpoint: endpoint.to_string(),
+            success,
+            cached: false,
+            spans,
+        });
+    }
+
     fn submit_due(&mut self, now: SimTime) {
         // Most advances have nothing to submit; the cached earliest deadline
         // makes that check O(1) (no scan of the undue backlog).
@@ -866,6 +1053,18 @@ impl Gateway {
                         }
                         self.metrics.on_failed();
                         self.workers.release(p.worker, now);
+                        if !self.trace_pending.is_empty() {
+                            let endpoint_name = Arc::clone(&p.endpoint_name);
+                            self.record_trace(
+                                p.request_id,
+                                &p.user,
+                                &p.inference.model,
+                                &endpoint_name,
+                                false,
+                                None,
+                                now,
+                            );
+                        }
                         self.responses.push(CompletedRequest {
                             request_id: p.request_id,
                             user: p.user,
@@ -1053,6 +1252,27 @@ impl Gateway {
                 .as_ref()
                 .map(|c| c.output_tokens)
                 .unwrap_or(0);
+            // Sampled request: capture the fabric/engine timestamps while the
+            // task record is still at hand (the slab entry is gone by
+            // delivery time). `is_empty` keeps the untraced hot path to one
+            // branch.
+            let trace = if !self.trace_pending.is_empty()
+                && self.trace_pending.contains_key(&in_flight.request_id)
+            {
+                let record = self.service.task(result.task);
+                Some(Box::new(FabricTimes {
+                    submitted_at: in_flight.submitted_at,
+                    dispatched_at: record.and_then(|t| t.dispatched_at),
+                    delivered_at: record.and_then(|t| t.delivered_at),
+                    accepted_at: result.completion.as_ref().map(|c| c.accepted_at),
+                    first_token_at: result.completion.as_ref().map(|c| c.first_token_at),
+                    finished_at: result.finished_at,
+                    available_at: available,
+                    observed_at: observed,
+                }))
+            } else {
+                None
+            };
             self.next_deliver_at = Some(
                 self.next_deliver_at
                     .map_or(deliver_at, |t| t.min(deliver_at)),
@@ -1062,6 +1282,7 @@ impl Gateway {
                 deliver_at,
                 success: result.success,
                 completion_tokens,
+                trace,
             });
         }
     }
@@ -1154,6 +1375,17 @@ impl Gateway {
                     usage,
                     a.success,
                 );
+                if !self.trace_pending.is_empty() {
+                    self.record_trace(
+                        request_id,
+                        &a.in_flight.user,
+                        &a.in_flight.inference.model,
+                        &endpoint_name,
+                        a.success,
+                        a.trace.as_deref(),
+                        a.deliver_at,
+                    );
+                }
                 self.responses.push(CompletedRequest {
                     request_id: a.in_flight.request_id,
                     user: a.in_flight.user,

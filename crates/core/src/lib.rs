@@ -61,7 +61,8 @@ pub use registry::{
     RoutingPolicy, RoutingReason,
 };
 pub use scenario::{
-    replay_cassette, replay_dashboard_cell, run_scenario, run_scenario_recorded, GatewayReport,
+    replay_cassette, replay_cassette_traced, replay_dashboard_cell, run_scenario,
+    run_scenario_recorded, run_scenario_recorded_traced, run_scenario_traced, GatewayReport,
     TenantReport,
 };
 pub use sim::{

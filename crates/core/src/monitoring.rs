@@ -12,7 +12,7 @@ use crate::gateway::Gateway;
 use first_desim::SimTime;
 use first_telemetry::{
     AlertRule, AlertSeverity, Alerting, ClusterRow, DashboardSnapshot, LabelSet, MetricRegistry,
-    ModelRow, QueueRow, TenantRow,
+    ModelRow, PhaseLatencyRow, QueueRow, TenantRow,
 };
 use std::collections::BTreeMap;
 
@@ -23,6 +23,11 @@ impl Gateway {
     /// counts), the request log (per-model usage), the metrics layer
     /// (latency summaries) and the fabric/cluster state (node occupancy and
     /// task queues).
+    ///
+    /// Takes `&mut self` — unlike [`Gateway::export_metrics`], which is
+    /// read-only — because the per-model latency quantiles come from
+    /// [`first_desim::Histogram`], whose `median`/`p95` lazily (re)build a
+    /// sorted cache behind `&mut`.
     pub fn dashboard_snapshot(&mut self, now: SimTime) -> DashboardSnapshot {
         let jobs = self.jobs_status();
         let usage = self.log().usage_by_model();
@@ -97,6 +102,24 @@ impl Gateway {
             })
             .collect();
 
+        // Phase-latency rows from the flight recorder, in lifecycle order
+        // (empty unless tracing is enabled and has sampled traces).
+        let phases = self
+            .phase_breakdown()
+            .map(|b| {
+                b.by_phase
+                    .iter()
+                    .map(|s| PhaseLatencyRow {
+                        phase: s.phase.name().to_string(),
+                        count: s.count,
+                        p50_s: s.p50_s,
+                        p95_s: s.p95_s,
+                        total_s: s.total_s,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
         let (harness_wall_s, _, harness_events_per_sec) = self.harness_health();
         let metrics = self.metrics_mut();
         let mut snapshot = DashboardSnapshot {
@@ -105,6 +128,7 @@ impl Gateway {
             clusters: clusters.into_values().collect(),
             queues,
             tenants,
+            phases,
             replay: None,
             total_requests: metrics.total_received(),
             total_completed: metrics.completed,
@@ -127,26 +151,21 @@ impl Gateway {
     ///
     /// The registry is rebuilt from scratch on every call (counters reflect
     /// totals since the deployment started), which keeps the export
-    /// idempotent: scraping twice does not double-count anything.
-    pub fn export_metrics(&mut self, now: SimTime) -> MetricRegistry {
+    /// idempotent: scraping twice does not double-count anything. Exposition
+    /// is read-only (`&self`): a scrape never mutates gateway state.
+    pub fn export_metrics(&self, now: SimTime) -> MetricRegistry {
         let registry = MetricRegistry::new();
 
         // Gateway request counters by operation.
-        let received: Vec<(String, u64)> = self
-            .metrics_mut()
-            .received
-            .iter()
-            .map(|(op, count)| (op.clone(), *count))
-            .collect();
-        for (op, count) in received {
+        for (op, count) in &self.metrics().received {
             registry.add_counter(
                 "first_gateway_requests_received_total",
-                LabelSet::single("operation", op),
-                count,
+                LabelSet::single("operation", op.clone()),
+                *count,
             );
         }
         {
-            let metrics = self.metrics_mut();
+            let metrics = self.metrics();
             registry.add_counter(
                 "first_gateway_requests_completed_total",
                 LabelSet::empty(),
@@ -230,6 +249,24 @@ impl Gateway {
                 labels,
                 usage.completion_tokens,
             );
+        }
+
+        // Per-phase latency histograms from the flight recorder (tracing must
+        // be enabled; with the default `TraceConfig` off this loop sees no
+        // trees and exports nothing). Leaf spans only — the root `request`
+        // span is the sum of its children plus idle time and would double
+        // count every phase.
+        for tree in self.recorder().trees() {
+            for span in tree.spans.iter().filter(|s| s.parent.is_some()) {
+                registry.observe(
+                    "first_phase_seconds",
+                    LabelSet::from_pairs([
+                        ("phase", span.phase.name().to_string()),
+                        ("tenant", tree.tenant.clone()),
+                    ]),
+                    span.duration_s(),
+                );
+            }
         }
 
         // `/jobs` model states as gauges.
@@ -441,9 +478,11 @@ mod tests {
     const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 
     fn run_some_traffic() -> Gateway {
-        let (mut gw, tokens) = DeploymentBuilder::single_cluster_test()
-            .prewarm(1)
-            .build_with_tokens();
+        run_traffic(DeploymentBuilder::single_cluster_test().prewarm(1))
+    }
+
+    fn run_traffic(builder: DeploymentBuilder) -> Gateway {
+        let (mut gw, tokens) = builder.build_with_tokens();
         for i in 0..5 {
             let req = ChatCompletionRequest::simple(MODEL, &format!("prompt {i}"), 200);
             gw.chat_completions(&req, &tokens.alice, Some(120), SimTime::from_secs(i))
@@ -489,7 +528,7 @@ mod tests {
 
     #[test]
     fn exported_metrics_match_gateway_counters_and_render() {
-        let mut gw = run_some_traffic();
+        let gw = run_some_traffic();
         let registry = gw.export_metrics(SimTime::from_secs(600));
         let snap = registry.snapshot();
         assert_eq!(
@@ -527,6 +566,40 @@ mod tests {
                 .counter_family_total("first_gateway_requests_received_total"),
             5
         );
+    }
+
+    #[test]
+    fn traced_traffic_exports_phase_metrics_and_dashboard_rows() {
+        use first_telemetry::TraceConfig;
+        let gw = run_traffic(
+            DeploymentBuilder::single_cluster_test()
+                .prewarm(1)
+                .trace(TraceConfig::every_request(64)),
+        );
+        assert!(!gw.recorder().is_empty(), "flight recorder sampled traffic");
+
+        // Exposition is read-only and carries the per-phase histogram.
+        let registry = gw.export_metrics(SimTime::from_secs(600));
+        let snap = registry.snapshot();
+        let text = render_prometheus(&snap);
+        assert!(text.contains("first_phase_seconds_bucket"));
+        assert!(text.contains("phase=\"decode\""));
+        assert!(text.contains("tenant=\"alice\""));
+
+        // The dashboard grows a phases section, in lifecycle order.
+        let mut gw = gw;
+        let dash = gw.dashboard_snapshot(SimTime::from_secs(600));
+        assert!(!dash.phases.is_empty());
+        let rendered = dash.render_text();
+        assert!(rendered.contains("-- phases --"));
+        let queue = rendered.find("queue_wait").expect("queue_wait row");
+        let decode = rendered.find("decode").expect("decode row");
+        assert!(queue < decode, "rows render in lifecycle order");
+
+        // Untraced gateways export no phase family and no dashboard section.
+        let gw = run_some_traffic();
+        let text = render_prometheus(&gw.export_metrics(SimTime::from_secs(600)).snapshot());
+        assert!(!text.contains("first_phase_seconds"));
     }
 
     #[test]
@@ -589,7 +662,7 @@ mod tests {
     #[test]
     fn sustained_unavailability_alert_fires_in_outages_and_stays_quiet_otherwise() {
         // Healthy deployment: the resilience rules exist but never fire.
-        let mut gw = run_some_traffic();
+        let gw = run_some_traffic();
         let mut alerting = gw.alerting();
         assert_eq!(
             alerting.rule_count(),

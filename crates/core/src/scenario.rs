@@ -18,6 +18,7 @@ use crate::sim::{run_webui_closed_loop, synthetic_chat_request, WebUiCell};
 use first_auth::{Identity, Scope, TokenString, UserId};
 use first_chaos::{FaultInjector, ResilienceConfig};
 use first_desim::{Histogram, SimDuration, SimProcess, SimTime};
+use first_telemetry::{PhaseBreakdown, SpanTree, TraceConfig};
 use first_workload::{
     Cassette, CassetteError, ConversationSample, DeploymentRef, RequestOutcome, ScenarioSpec,
 };
@@ -144,6 +145,11 @@ pub struct GatewayReport {
     pub slo_attained_tenants: usize,
     /// Closed-loop session cell, when the spec carried a session rider.
     pub webui: Option<WebUiCell>,
+    /// Phase-latency breakdown of the sampled span trees; `None` unless the
+    /// run was traced ([`run_scenario_traced`]) and sampled at least one
+    /// request.
+    #[serde(default)]
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl GatewayReport {
@@ -193,6 +199,39 @@ impl GatewayReport {
                 cell.token_throughput,
             );
         }
+        if let Some(phases) = &self.phases {
+            let _ = writeln!(
+                out,
+                "phase latency ({} sampled, {} dropped):",
+                phases.sampled, phases.dropped
+            );
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "phase", "count", "p50 (s)", "p95 (s)", "mean (s)", "total (s)"
+            );
+            for s in &phases.by_phase {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    s.phase.name(),
+                    s.count,
+                    s.p50_s,
+                    s.p95_s,
+                    s.mean_s,
+                    s.total_s,
+                );
+            }
+            if let Some(top) = phases.critical_path.first() {
+                let _ = writeln!(
+                    out,
+                    "critical path: {} dominates {} requests ({:.0}% of attributed time)",
+                    top.phase.name(),
+                    top.requests,
+                    top.time_share * 100.0,
+                );
+            }
+        }
         out
     }
 }
@@ -231,7 +270,25 @@ fn enroll_tenant_user(gateway: &mut Gateway, name: &str) -> TokenString {
 /// A spec may carry either open-loop tenants or a closed-loop session rider,
 /// not both (the two drivers would fight over the same simulation clock).
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
-    run_scenario_impl(spec, seed).0
+    run_scenario_impl(spec, seed, TraceConfig::default()).0
+}
+
+/// Run `spec` with request-lifecycle tracing enabled: every `sample_every`-th
+/// accepted request yields a [`SpanTree`] in the returned vector, and the
+/// report's [`GatewayReport::phases`] carries the aggregated breakdown.
+///
+/// With `trace` disabled this is exactly [`run_scenario`] (and the trees come
+/// back empty). Tracing never perturbs the simulation — sim-time outcomes are
+/// identical whether or not a request is sampled — and the sampled trees are
+/// seed-deterministic: two runs with the same `(spec, seed, trace)` export
+/// byte-identical traces.
+pub fn run_scenario_traced(
+    spec: &ScenarioSpec,
+    seed: u64,
+    trace: TraceConfig,
+) -> (GatewayReport, Vec<SpanTree>) {
+    let (report, _, trees) = run_scenario_impl(spec, seed, trace);
+    (report, trees)
 }
 
 /// Run `spec` exactly as [`run_scenario`] would and additionally record the
@@ -247,16 +304,28 @@ pub fn run_scenario_recorded(
     spec: &ScenarioSpec,
     seed: u64,
 ) -> Result<(GatewayReport, Cassette), CassetteError> {
+    let (report, cassette, _) = run_scenario_recorded_traced(spec, seed, TraceConfig::default())?;
+    Ok((report, cassette))
+}
+
+/// [`run_scenario_recorded`] with tracing: record the cassette *and* sample
+/// span trees along the way. The report carries the phase breakdown, so a
+/// traced replay with the same `trace` config reproduces it byte-for-byte.
+pub fn run_scenario_recorded_traced(
+    spec: &ScenarioSpec,
+    seed: u64,
+    trace: TraceConfig,
+) -> Result<(GatewayReport, Cassette, Vec<SpanTree>), CassetteError> {
     if spec.sessions.is_some() {
         return Err(CassetteError::Unrecordable(format!(
             "scenario '{}' carries a closed-loop session rider",
             spec.name
         )));
     }
-    let (report, outcomes) = run_scenario_impl(spec, seed);
+    let (report, outcomes, trees) = run_scenario_impl(spec, seed, trace);
     let compiled = spec.compile(seed);
     let cassette = Cassette::from_run(spec, seed, &compiled, outcomes)?;
-    Ok((report, cassette))
+    Ok((report, cassette, trees))
 }
 
 /// Replay a recorded cassette: validate it, compile it back into a
@@ -266,11 +335,21 @@ pub fn run_scenario_recorded(
 /// [`check_replay_invariants`], which turns any divergence in offered counts
 /// or identity into a typed [`CassetteError::ReplayMismatch`].
 pub fn replay_cassette(cassette: &Cassette) -> Result<GatewayReport, CassetteError> {
+    Ok(replay_cassette_traced(cassette, TraceConfig::default())?.0)
+}
+
+/// [`replay_cassette`] with tracing: replay the recording while sampling span
+/// trees. Replaying with the same `trace` config the recording used yields a
+/// byte-identical report (phase breakdown included) and byte-identical trees.
+pub fn replay_cassette_traced(
+    cassette: &Cassette,
+    trace: TraceConfig,
+) -> Result<(GatewayReport, Vec<SpanTree>), CassetteError> {
     let spec = cassette.to_spec()?;
-    let report = run_scenario(&spec, cassette.seed);
+    let (report, trees) = run_scenario_traced(&spec, cassette.seed, trace);
     check_replay_invariants(&report, cassette)
         .map_err(|violations| CassetteError::ReplayMismatch(violations.join("; ")))?;
-    Ok(report)
+    Ok((report, trees))
 }
 
 /// The replay-mode dashboard banner for a cassette: what an operator sees
@@ -285,17 +364,24 @@ pub fn replay_dashboard_cell(cassette: &Cassette) -> first_telemetry::ReplayCell
 }
 
 /// The shared body of [`run_scenario`] and [`run_scenario_recorded`]: drive
-/// the compiled stream and return the report plus per-request outcomes
+/// the compiled stream and return the report, the per-request outcomes
 /// aligned with the compiled stream by index (always collected — it is two
-/// vector writes per request).
-fn run_scenario_impl(spec: &ScenarioSpec, seed: u64) -> (GatewayReport, Vec<RequestOutcome>) {
+/// vector writes per request), and the sampled span trees (empty unless
+/// `trace` is enabled).
+fn run_scenario_impl(
+    spec: &ScenarioSpec,
+    seed: u64,
+    trace: TraceConfig,
+) -> (GatewayReport, Vec<RequestOutcome>, Vec<SpanTree>) {
     assert!(
         spec.tenants.is_empty() || spec.sessions.is_none(),
         "scenario '{}': open-loop tenants and a session rider are mutually exclusive",
         spec.name
     );
 
-    let mut builder = builder_for(spec.deployment).prewarm(spec.prewarm);
+    let mut builder = builder_for(spec.deployment)
+        .prewarm(spec.prewarm)
+        .trace(trace);
     if spec.resilience {
         builder = builder.resilience(ResilienceConfig::production());
     }
@@ -504,6 +590,20 @@ fn run_scenario_impl(spec: &ScenarioSpec, seed: u64) -> (GatewayReport, Vec<Requ
         .collect();
     let slo_attained_tenants = tenants.iter().filter(|t| t.slo_met).count();
 
+    // Drain the sampled span trees and derive the phase breakdown before the
+    // report is sealed; both are deterministic functions of `(spec, seed,
+    // trace)`, so traced reports stay byte-identical across runs.
+    let trees = gateway.recorder_mut().take_trees();
+    let phases = if trees.is_empty() {
+        None
+    } else {
+        Some(PhaseBreakdown::from_trees(
+            trees.iter(),
+            gateway.recorder().sampled(),
+            gateway.recorder().dropped(),
+        ))
+    };
+
     let metrics = gateway.metrics_mut();
     let completed_total = ledger.completed + webui.as_ref().map_or(0, |c| c.completed);
     let report = GatewayReport {
@@ -529,8 +629,9 @@ fn run_scenario_impl(spec: &ScenarioSpec, seed: u64) -> (GatewayReport, Vec<Requ
         tenants,
         slo_attained_tenants,
         webui,
+        phases,
     };
-    (report, outcomes)
+    (report, outcomes, trees)
 }
 
 #[cfg(test)]
@@ -617,6 +718,37 @@ mod tests {
             report.slo_attained_tenants,
             report.tenants.iter().filter(|t| t.slo_met).count()
         );
+    }
+
+    #[test]
+    fn traced_runs_sample_complete_trees_without_perturbing_the_sim() {
+        let spec = small_spec();
+        let plain = run_scenario(&spec, 42);
+        let (traced, trees) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+        // Tracing must not move sim time: everything but the breakdown is
+        // identical to the untraced run.
+        let mut stripped = traced.clone();
+        stripped.phases = None;
+        assert_eq!(plain, stripped, "tracing perturbed the simulation");
+        // Every accepted request yielded a well-formed tree that reconciles
+        // with its end-to-end latency (clean run: no idle time at all).
+        assert_eq!(trees.len(), traced.accepted);
+        for tree in &trees {
+            assert!(tree.well_formed(), "malformed tree: {tree:?}");
+            assert_eq!(
+                tree.phase_total_micros() + tree.idle_micros(),
+                tree.end_to_end_micros()
+            );
+            assert_eq!(tree.idle_micros(), 0, "clean run has no idle gaps");
+        }
+        let phases = traced.phases.as_ref().expect("breakdown present");
+        assert_eq!(phases.sampled, trees.len() as u64);
+        assert_eq!(phases.by_tenant.len(), 1);
+        assert!(!phases.critical_path.is_empty());
+        // Traced runs are themselves deterministic, trees included.
+        let (again, trees_again) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+        assert_eq!(traced, again);
+        assert_eq!(trees, trees_again);
     }
 
     #[test]

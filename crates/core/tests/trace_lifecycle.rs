@@ -1,0 +1,140 @@
+//! Request-lifecycle tracing, end to end: span trees sampled at
+//! `sample_every = 1` must nest correctly and account for every microsecond
+//! of end-to-end latency (`phases + idle == e2e`), and 1-in-N sampling over
+//! randomized scenario specs must be a pure function of the seed — two
+//! identical runs export byte-identical Chrome traces.
+
+use first_core::run_scenario_traced;
+use first_telemetry::{chrome_trace_json, Phase, TraceConfig};
+use first_workload::catalog;
+use proptest::prelude::*;
+
+/// Every sampled request on the `burst` catalog scenario yields a complete,
+/// well-formed span tree whose phase breakdown reconciles exactly with the
+/// end-to-end latency, with the lifecycle phases in order under the root.
+#[test]
+fn span_trees_nest_and_phases_are_exhaustive() {
+    let spec = catalog(150)
+        .into_iter()
+        .find(|s| s.name == "burst")
+        .expect("catalog scenario present");
+    let (report, trees) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+
+    assert!(!trees.is_empty(), "sample_every=1 sampled nothing");
+    assert_eq!(
+        trees.len(),
+        report.completed + report.failed,
+        "one span tree per finished request"
+    );
+    for tree in &trees {
+        // Structural nesting: root `request` span at index 0, every child
+        // interval contained in its parent's, parents before children.
+        assert!(tree.well_formed(), "malformed tree: {tree:?}");
+        assert_eq!(tree.root().unwrap().phase, Phase::Request);
+
+        // Phase exhaustiveness: the leaf phases plus idle gaps account for
+        // the end-to-end latency exactly, in integer microseconds.
+        assert_eq!(
+            tree.phase_total_micros() + tree.idle_micros(),
+            tree.end_to_end_micros(),
+            "request {} leaks time",
+            tree.request_id
+        );
+
+        // Each lifecycle phase appears at most once, in lifecycle order.
+        let leaves: Vec<Phase> = tree
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_some())
+            .map(|s| s.phase)
+            .collect();
+        let mut ordered = leaves.clone();
+        ordered.sort_by_key(|p| Phase::ALL.iter().position(|q| q == p));
+        assert_eq!(leaves, ordered, "phases out of lifecycle order");
+        for phase in Phase::ALL {
+            assert!(
+                leaves.iter().filter(|p| **p == phase).count() <= 1,
+                "phase {phase:?} recorded twice in one tree"
+            );
+        }
+        if tree.success && !tree.cached {
+            for expected in [
+                Phase::QueueWait,
+                Phase::Prefill,
+                Phase::Decode,
+                Phase::Deliver,
+            ] {
+                assert!(
+                    leaves.contains(&expected),
+                    "served request {} missing {expected:?}",
+                    tree.request_id
+                );
+            }
+        }
+    }
+
+    // The aggregated breakdown covers the same trees.
+    let phases = report.phases.expect("traced run reports a breakdown");
+    assert_eq!(phases.sampled, trees.len() as u64);
+    assert_eq!(phases.dropped, 0);
+    assert!(!phases.critical_path.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1-in-N sampling over a randomized scenario spec is seed-deterministic:
+    /// the same (spec, seed, trace config) exports a byte-identical Chrome
+    /// trace, and the sampled count follows the deterministic counter.
+    #[test]
+    fn sampled_traces_are_seed_deterministic(
+        scenario_idx in 0usize..3,
+        requests in 20usize..80,
+        sample_every in 1u64..5,
+        seed in 0u64..500,
+        prewarm in 0u32..3,
+    ) {
+        let names = ["steady", "burst", "multi-tenant-contention"];
+        let mut spec = catalog(requests)
+            .into_iter()
+            .find(|s| s.name == names[scenario_idx])
+            .expect("catalog scenario present");
+        spec.prewarm = prewarm;
+
+        let trace = TraceConfig { sample_every, capacity: 4096 };
+        let (report_a, trees_a) = run_scenario_traced(&spec, seed, trace);
+        let (report_b, trees_b) = run_scenario_traced(&spec, seed, trace);
+
+        // Byte-identical trace export and identical reports.
+        let export_a = chrome_trace_json(trees_a.iter());
+        let export_b = chrome_trace_json(trees_b.iter());
+        prop_assert_eq!(&export_a, &export_b);
+        prop_assert_eq!(
+            serde_json::to_string(&report_a).unwrap(),
+            serde_json::to_string(&report_b).unwrap()
+        );
+
+        // The deterministic counter samples every Nth finished request, so
+        // N=1 captures everything and larger N captures roughly 1/N.
+        let finished = report_a.completed + report_a.failed;
+        if sample_every == 1 {
+            prop_assert_eq!(trees_a.len(), finished);
+        } else {
+            prop_assert!(trees_a.len() <= finished / sample_every as usize + 1);
+        }
+        for tree in &trees_a {
+            prop_assert!(tree.well_formed());
+        }
+
+        // The export parses as Chrome-trace JSON.
+        let value = serde_json::parse_value_complete(&export_a).expect("valid JSON");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        prop_assert_eq!(
+            events.len(),
+            trees_a.iter().map(|t| t.spans.len()).sum::<usize>()
+        );
+    }
+}

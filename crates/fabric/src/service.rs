@@ -279,6 +279,8 @@ impl ComputeService {
             submitted_at: now,
             state: TaskState::QueuedAtService,
             result: None,
+            dispatched_at: None,
+            delivered_at: None,
             result_available_at: None,
         });
         self.dispatch_queue
@@ -326,6 +328,7 @@ impl ComputeService {
             let deliver_at = done + self.latency.service_to_endpoint;
             if let Some(rec) = self.task_mut(id) {
                 rec.state = TaskState::AtEndpoint;
+                rec.dispatched_at = Some(done);
             }
             self.in_transit.push((deliver_at, id, request, ep_idx));
             self.stats.dispatched += 1;
@@ -350,6 +353,7 @@ impl ComputeService {
         for (deliver_at, id, request, ep_idx) in due {
             if let Some(rec) = self.task_mut(id) {
                 rec.state = TaskState::Running;
+                rec.delivered_at = Some(deliver_at);
             }
             self.endpoints[ep_idx].receive_task(id, request, deliver_at);
         }

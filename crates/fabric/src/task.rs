@@ -162,6 +162,15 @@ pub struct TaskRecord {
     pub state: TaskState,
     /// Result, once completed or failed.
     pub result: Option<TaskResult>,
+    /// When the dispatcher finished dispatching the task (client→service hop
+    /// plus dispatcher queue and dispatch cost), feeding the trace `dispatch`
+    /// phase.
+    #[serde(default)]
+    pub dispatched_at: Option<SimTime>,
+    /// When the task arrived at the compute endpoint (dispatch plus
+    /// service→endpoint transit), feeding the trace `transit` phase.
+    #[serde(default)]
+    pub delivered_at: Option<SimTime>,
     /// When the result became available for the client to fetch.
     pub result_available_at: Option<SimTime>,
 }
@@ -205,6 +214,8 @@ mod tests {
             submitted_at: SimTime::from_secs(10),
             state: TaskState::Completed,
             result: None,
+            dispatched_at: None,
+            delivered_at: None,
             result_available_at: Some(SimTime::from_secs(25)),
         };
         assert_eq!(rec.service_latency(), Some(SimDuration::from_secs(15)));

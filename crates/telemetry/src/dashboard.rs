@@ -87,6 +87,25 @@ pub struct TenantRow {
     pub total_tokens: u64,
 }
 
+/// One phase-latency row on the dashboard: latency quantiles for a single
+/// request-lifecycle phase, aggregated over the flight recorder's sampled
+/// traces (see `trace::PhaseBreakdown`). Rows appear in lifecycle order,
+/// not alphabetical order, so the table reads top-to-bottom as a request
+/// flows through the gateway.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseLatencyRow {
+    /// Phase name (snake_case, e.g. "queue_wait", "prefill", "decode").
+    pub phase: String,
+    /// Sampled spans observed for this phase.
+    pub count: u64,
+    /// Median phase latency in seconds.
+    pub p50_s: f64,
+    /// 95th-percentile phase latency in seconds.
+    pub p95_s: f64,
+    /// Total time spent in this phase across all sampled requests.
+    pub total_s: f64,
+}
+
 /// The replay-mode banner cell: shown when the dashboard observes a run
 /// that is replaying a recorded cassette rather than live traffic.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -116,6 +135,10 @@ pub struct DashboardSnapshot {
     /// been logged yet).
     #[serde(default)]
     pub tenants: Vec<TenantRow>,
+    /// Per-phase latency rows in request-lifecycle order (empty unless the
+    /// gateway's flight recorder is enabled and has sampled traces).
+    #[serde(default)]
+    pub phases: Vec<PhaseLatencyRow>,
     /// Replay-mode banner: present when the observed run is a cassette
     /// replay (absent for live traffic; `default` keeps old snapshots
     /// parseable).
@@ -147,6 +170,8 @@ pub struct DashboardSnapshot {
 
 impl DashboardSnapshot {
     /// Sort every section so rendering and comparisons are deterministic.
+    /// (`phases` is left alone: it is already deterministic in lifecycle
+    /// order, which is the order the table should read in.)
     pub fn normalise(&mut self) {
         self.models.sort_by(|a, b| a.model.cmp(&b.model));
         self.clusters.sort_by(|a, b| a.cluster.cmp(&b.cluster));
@@ -247,6 +272,21 @@ impl DashboardSnapshot {
                 );
             }
         }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "-- phases --");
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>10} {:>10} {:>10}",
+                "phase", "count", "p50_s", "p95_s", "total_s"
+            );
+            for p in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>8} {:>10.4} {:>10.4} {:>10.4}",
+                    p.phase, p.count, p.p50_s, p.p95_s, p.total_s
+                );
+            }
+        }
         if let Some(r) = &self.replay {
             let _ = writeln!(
                 out,
@@ -321,6 +361,7 @@ mod tests {
                     total_tokens: 80_000,
                 },
             ],
+            phases: Vec::new(),
             replay: None,
             total_requests: 1000,
             total_completed: 950,
@@ -373,8 +414,46 @@ mod tests {
         assert!(text.contains("batch-synth"));
         assert!(text.contains("retries=40 failovers=12 breaker_trips=2 hedges=5"));
         assert!(text.contains("-- harness -- wall=0.250s events_per_sec=120000"));
-        // Live snapshots carry no replay banner.
+        // Live snapshots carry no replay banner, and the phases section is
+        // omitted while the flight recorder is off.
         assert!(!text.contains("-- replay --"));
+        assert!(!text.contains("-- phases --"));
+    }
+
+    #[test]
+    fn phase_rows_render_in_given_order_and_old_snapshots_still_parse() {
+        let mut snap = snapshot();
+        snap.phases = vec![
+            PhaseLatencyRow {
+                phase: "queue_wait".into(),
+                count: 100,
+                p50_s: 0.0125,
+                p95_s: 0.2,
+                total_s: 3.5,
+            },
+            PhaseLatencyRow {
+                phase: "decode".into(),
+                count: 100,
+                p50_s: 9.1,
+                p95_s: 21.0,
+                total_s: 950.0,
+            },
+        ];
+        // Lifecycle order is preserved by normalise (no alphabetical sort).
+        snap.normalise();
+        assert_eq!(snap.phases[0].phase, "queue_wait");
+        let text = snap.render_text();
+        assert!(text.contains("-- phases --"));
+        let queue = text.find("queue_wait").expect("row rendered");
+        let decode = text.find("decode").expect("row rendered");
+        assert!(queue < decode);
+        assert!(text.contains("0.0125"));
+
+        // A pre-tracing snapshot (no `phases` field) deserializes to empty.
+        let json = serde_json::to_string(&snapshot()).unwrap();
+        let stripped = json.replace("\"phases\":[],", "");
+        let back: DashboardSnapshot = serde_json::from_str(&stripped).expect("legacy parses");
+        assert!(back.phases.is_empty());
     }
 
     #[test]

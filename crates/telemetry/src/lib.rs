@@ -17,6 +17,8 @@
 //! * [`dashboard`] — the operations dashboard model (per-model, per-cluster
 //!   and queue summaries) rendered as plain text.
 //! * [`alerts`] — threshold alert rules evaluated against the registry.
+//! * [`trace`] — request-lifecycle spans, the flight recorder ring buffer,
+//!   phase-latency aggregation and the Chrome-trace exporter.
 //!
 //! The registry is intentionally synchronous and lock-based
 //! (`parking_lot::Mutex` around plain maps): metric updates happen on the
@@ -34,15 +36,22 @@ pub mod histogram;
 pub mod metric;
 pub mod registry;
 pub mod timeseries;
+pub mod trace;
 
 pub use alerts::{AlertRule, AlertSeverity, AlertState, Alerting, FiredAlert};
 pub use counter::{Counter, Gauge};
-pub use dashboard::{ClusterRow, DashboardSnapshot, ModelRow, QueueRow, ReplayCell, TenantRow};
+pub use dashboard::{
+    ClusterRow, DashboardSnapshot, ModelRow, PhaseLatencyRow, QueueRow, ReplayCell, TenantRow,
+};
 pub use exposition::render_prometheus;
 pub use histogram::BucketHistogram;
 pub use metric::{LabelSet, MetricId, MetricKind};
 pub use registry::{MetricRegistry, MetricSnapshot, RegistrySnapshot};
 pub use timeseries::{ResourceTimeline, RollingWindow, TimePoint};
+pub use trace::{
+    chrome_trace_json, CriticalPathEntry, FlightRecorder, GroupPhases, Phase, PhaseBreakdown,
+    PhaseStats, Span, SpanTree, TraceConfig,
+};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {

@@ -10,6 +10,11 @@
 //! and the sustained-unavailability alert fires. Without the variable the
 //! same rules stay silent.
 //!
+//! Set `FIRST_DEMO_TRACE=1` to re-run the contention scenario with the
+//! flight recorder sampling every request: the per-phase latency table
+//! prints, and the sampled span trees are written to `trace_export.json` in
+//! Chrome-trace format (open it in chrome://tracing or ui.perfetto.dev).
+//!
 //! The second half runs the scenario catalog's multi-tenant contention
 //! scenario and shows its per-tenant partition: the SLO attainment table
 //! from the `GatewayReport` and the `first_tenant_*` counters on the
@@ -19,11 +24,11 @@
 
 use first::chaos::{FaultInjector, FaultKind, FaultPlan, ResilienceConfig};
 use first::core::{
-    replay_cassette, replay_dashboard_cell, run_scenario_recorded, ChatCompletionRequest,
-    DeploymentBuilder, EmbeddingRequest,
+    replay_cassette, replay_dashboard_cell, run_scenario_recorded, run_scenario_traced,
+    ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest,
 };
 use first::desim::{SimDuration, SimProcess, SimTime};
-use first::telemetry::render_prometheus;
+use first::telemetry::{chrome_trace_json, render_prometheus, TraceConfig};
 use first::workload::catalog;
 
 const CHAT_MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
@@ -247,4 +252,40 @@ fn main() {
         banner.contains(&format!("entries={}", cassette.len())),
         "replay banner carries the cassette provenance"
     );
+
+    // 6. Request-lifecycle tracing. With FIRST_DEMO_TRACE set, re-run the
+    // contention scenario with the flight recorder sampling every request:
+    // the report grows its phase-latency breakdown (where does a request's
+    // time actually go — queue, dispatch, prefill, decode, relay?) and the
+    // span trees export as a Chrome trace for the timeline view.
+    let trace_active = std::env::var("FIRST_DEMO_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if trace_active {
+        let (traced, trees) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+        let breakdown = traced.phases.as_ref().expect("traced run has phases");
+        println!("\n== phase latency (sample_every=1) ==");
+        let rendered = traced.render_text();
+        if let Some(start) = rendered.find("phase latency") {
+            print!("{}", &rendered[start..]);
+        }
+        assert!(
+            trees.iter().all(first::telemetry::SpanTree::well_formed),
+            "every sampled request yields a well-formed span tree"
+        );
+        let path = std::path::Path::new("trace_export.json");
+        std::fs::write(path, chrome_trace_json(trees.iter())).expect("trace written");
+        println!(
+            "\nwrote {} span trees ({} sampled, {} dropped) -> {}",
+            trees.len(),
+            breakdown.sampled,
+            breakdown.dropped,
+            path.display()
+        );
+        println!("open it in chrome://tracing or ui.perfetto.dev");
+    } else {
+        println!(
+            "\n(set FIRST_DEMO_TRACE=1 for the phase-latency breakdown and a Chrome-trace export)"
+        );
+    }
 }
