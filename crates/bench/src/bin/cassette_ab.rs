@@ -24,8 +24,7 @@ use first_bench::{
     benchmark_request_count, benchmark_seed, print_sim_stats, report::artifact_out_dir,
     BenchArtifact, CassetteAbRun, GateMetric, PhaseDiff, TenantSloDiff, TraceSection,
 };
-use first_core::GatewayReport;
-use first_core::{replay_cassette_traced, run_scenario_recorded_traced, run_scenario_traced};
+use first_core::{GatewayReport, ScenarioRun};
 use first_desim::{SimMeter, SimTime};
 use first_telemetry::TraceConfig;
 use first_workload::{catalog, Cassette, DeploymentRef, ScenarioSpec};
@@ -160,8 +159,17 @@ fn main() {
 
     let meter = SimMeter::start();
     println!("recording '{scenario}' (budget {n} requests, seed {seed})...");
-    let (base_report, cassette, base_trees) =
-        run_scenario_recorded_traced(&spec, seed, trace).expect("catalog scenario records");
+    let base_out = ScenarioRun::new(&spec)
+        .seed(seed)
+        .recorded()
+        .traced(trace)
+        .execute()
+        .expect("catalog scenario records");
+    let (base_report, cassette, base_trees) = (
+        base_out.report,
+        base_out.cassette.expect("recorded"),
+        base_out.traces.expect("traced"),
+    );
     print!("{}", base_report.render_text());
 
     let cassette_path = artifact_out_dir().join(format!("CASSETTE_{scenario}.json"));
@@ -174,7 +182,12 @@ fn main() {
     );
 
     // Variant 0 — replay identity: the headline guarantee, enforced hard.
-    let (replayed, _) = replay_cassette_traced(&cassette, trace).expect("cassette replays");
+    let replayed = ScenarioRun::replay(&cassette)
+        .expect("cassette compiles")
+        .traced(trace)
+        .execute()
+        .expect("cassette replays")
+        .report;
     let base_json = serde_json::to_string(&base_report).expect("report serializes");
     let replay_json = serde_json::to_string(&replayed).expect("report serializes");
     if base_json != replay_json {
@@ -212,7 +225,12 @@ fn main() {
     }];
     for variant in variants(&cassette) {
         println!("\nreplaying variant '{}'...", variant.name);
-        let (report, _) = run_scenario_traced(&variant.spec, cassette.seed, trace);
+        let report = ScenarioRun::new(&variant.spec)
+            .seed(cassette.seed)
+            .traced(trace)
+            .execute()
+            .expect("variant runs")
+            .report;
         print!("{}", report.render_text());
         runs.push(CassetteAbRun {
             variant: variant.name.to_string(),

@@ -23,7 +23,7 @@ use first_bench::{
     sharegpt_samples, BenchArtifact, GateMetric,
 };
 use first_core::{
-    run_gateway_openloop, run_scenario, DeploymentBuilder, GatewayReport, ScenarioReport,
+    run_gateway_openloop, DeploymentBuilder, GatewayReport, ScenarioReport, ScenarioRun,
 };
 use first_desim::{EventQueue, SimMeter, SimRunStats, SimTime};
 use first_workload::ArrivalProcess;
@@ -167,7 +167,7 @@ fn scale_inf(n: usize) -> (ScenarioReport, SimRunStats, Vec<GateMetric>) {
 }
 
 /// Scenario-matrix subset: two catalog scenarios through the declarative
-/// `run_scenario` path — `steady` (single tenant, the runner's base cost)
+/// `ScenarioRun` path — `steady` (single tenant, the runner's base cost)
 /// and `multi-tenant-contention` (three tenant classes, per-tenant metric
 /// partitions and SLO accounting). Gating their completions, SLO attainment
 /// and tail latency keeps the scenario subsystem's behaviour pinned, and
@@ -183,8 +183,15 @@ fn scenario_subset(n: usize) -> (Vec<GatewayReport>, SimRunStats, Vec<GateMetric
     };
     let seed = first_bench::benchmark_seed();
     let meter = SimMeter::start();
-    let steady = run_scenario(&pick("steady"), seed);
-    let contention = run_scenario(&pick("multi-tenant-contention"), seed);
+    let run = |spec: &first_workload::ScenarioSpec| {
+        ScenarioRun::new(spec)
+            .seed(seed)
+            .execute()
+            .expect("gate scenario runs")
+            .report
+    };
+    let steady = run(&pick("steady"));
+    let contention = run(&pick("multi-tenant-contention"));
     let sim = meter.finish(SimTime::from_secs_f64(
         steady.duration_s + contention.duration_s,
     ));
@@ -228,7 +235,11 @@ fn trace_off(n: usize) -> (GatewayReport, SimRunStats, Vec<GateMetric>) {
         .expect("catalog scenario 'burst' missing");
     let seed = first_bench::benchmark_seed();
     let meter = SimMeter::start();
-    let report = run_scenario(spec, seed);
+    let report = ScenarioRun::new(spec)
+        .seed(seed)
+        .execute()
+        .expect("gate scenario runs")
+        .report;
     let sim = meter.finish(SimTime::from_secs_f64(report.duration_s));
     assert!(
         report.phases.is_none(),

@@ -12,13 +12,25 @@
 //! binary exists to prove the scale story, so its default is 100x the other
 //! binaries'; CI smoke runs it at 2000). Aim it at a million with
 //! `FIRST_BENCH_REQUESTS=1000000`.
+//!
+//! The sweep ends with a **sharded federation point**: the same total
+//! request budget replayed through a [`first_core::ShardedGateway`] fleet
+//! (`FIRST_SCALE_SHARDS` shards, default 4), synthetic users
+//! consistent-hashed across the shards — the horizontal path past the
+//! single-gateway serial ceiling, reported per shard and in aggregate.
+//! `FIRST_SCALE_SHARD_REQUESTS` overrides the sharded point's budget
+//! independently (that is how the committed ≥10M-request artifact point is
+//! produced without rerunning the per-gateway sweep at 10M).
 
 use first_bench::{
     aggregate_stats, arrivals, benchmark_seed, print_reports, print_sim_stats, sharegpt_samples,
     BenchArtifact, GateMetric, PointStats, ScenarioExecutor,
 };
-use first_core::{run_gateway_openloop, DeploymentBuilder, ScenarioReport};
-use first_desim::SimTime;
+use first_core::{
+    enroll_standard_users, run_gateway_openloop, run_sharded_openloop, DeploymentBuilder,
+    ScenarioReport, ShardReport, ShardedGateway, ShardingConfig,
+};
+use first_desim::{SimMeter, SimTime};
 use first_workload::ArrivalProcess;
 
 const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
@@ -26,11 +38,73 @@ const MODEL: &str = "meta-llama/Llama-3.3-70B-Instruct";
 /// Default request count (overridden by `FIRST_BENCH_REQUESTS`).
 const DEFAULT_REQUESTS: usize = 100_000;
 
+/// Synthetic routing keys for the sharded point: enough distinct users that
+/// the consistent-hash split stays statistically balanced.
+const SHARD_USERS: usize = 256;
+
 fn request_count() -> usize {
     std::env::var("FIRST_BENCH_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_REQUESTS)
+}
+
+/// Shard count for the federation point (`FIRST_SCALE_SHARDS`, default 4).
+fn shard_count() -> usize {
+    std::env::var("FIRST_SCALE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|s: usize| s.max(1))
+        .unwrap_or(4)
+}
+
+/// Request budget for the sharded point: `FIRST_SCALE_SHARD_REQUESTS` when
+/// set, otherwise the sweep's own budget.
+fn shard_request_count(default: usize) -> usize {
+    std::env::var("FIRST_SCALE_SHARD_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The sharded federation point: `total` requests from [`SHARD_USERS`]
+/// synthetic users, consistent-hashed over `shards` peer gateways, driven
+/// open-loop at infinite rate (the deep-backlog regime every shard's
+/// dispatcher ceiling shapes). Returns the aggregate report and the
+/// per-shard rollups.
+fn sharded_point(
+    shards: usize,
+    total: usize,
+    seed: u64,
+    horizon: SimTime,
+) -> (ScenarioReport, Vec<ShardReport>, first_desim::SimRunStats) {
+    let samples = sharegpt_samples(total, seed.wrapping_add(2));
+    let arr = arrivals(
+        ArrivalProcess::Infinite,
+        total,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(11),
+    );
+    let meter = SimMeter::start();
+    let mut fleet = ShardedGateway::from_builder(
+        &DeploymentBuilder::sophia_single_instance().prewarm(1),
+        ShardingConfig::with_shards(shards),
+    );
+    let tokens: Vec<_> = (0..fleet.shard_count())
+        .map(|i| enroll_standard_users(fleet.shard_mut(i)).alice)
+        .collect();
+    let mut report = run_sharded_openloop(
+        &mut fleet,
+        &tokens,
+        MODEL,
+        &samples,
+        &arr,
+        SHARD_USERS,
+        "inf",
+        horizon,
+    );
+    report.label = format!("scale sharded x{shards}");
+    let sim = meter.finish(SimTime::from_secs_f64(report.duration_s));
+    (report, fleet.shard_reports(&[]), sim)
 }
 
 fn main() {
@@ -91,6 +165,22 @@ fn main() {
 
     print_reports(&format!("Scale sweep — {n} requests/point"), &reports);
 
+    // Sharded federation point: same deployment template, `k` peer gateway
+    // shards, consistent-hash fan-out. Runs after the executor (it is a
+    // single sequential point — the shards interleave on one virtual clock).
+    let k = shard_count();
+    let shard_n = shard_request_count(n);
+    println!("\nsharded point: {shard_n} requests over {k} shard(s)");
+    let (shard_report, shard_rows, shard_sim) = sharded_point(k, shard_n, base_seed, horizon);
+    print_reports(
+        &format!("Sharded federation — {shard_n} requests, {k} shards"),
+        std::slice::from_ref(&shard_report),
+    );
+    println!("{}", ShardReport::table_header());
+    for row in &shard_rows {
+        println!("{}", row.table_row());
+    }
+
     let completed: usize = reports.iter().map(|r| r.completed).sum();
     let offered: usize = reports.iter().map(|r| r.offered).sum();
     let slowest_point_wall = stats.iter().map(|s| s.wall_time_s).fold(0.0, f64::max);
@@ -126,6 +216,42 @@ fn main() {
             stat.wall_time_s,
             8.0,
         ));
+    }
+    // Sharded-point rows: aggregate throughput plus a per-shard breakdown,
+    // so the artifact carries both views of the federation point.
+    artifact = artifact
+        .with_metric(GateMetric::higher(
+            &format!("scale_sharded/x{k}/requests"),
+            shard_n as f64,
+            0.001,
+        ))
+        .with_metric(GateMetric::higher(
+            &format!("scale_sharded/x{k}/completed"),
+            shard_report.completed as f64,
+            0.001,
+        ))
+        .with_metric(GateMetric::lower(
+            &format!("scale_sharded/x{k}/events_processed"),
+            shard_sim.events_processed as f64,
+            0.10,
+        ))
+        .with_metric(GateMetric::lower(
+            &format!("scale_sharded/x{k}/wall_time_s"),
+            shard_sim.wall_time_s,
+            8.0,
+        ));
+    for row in &shard_rows {
+        artifact = artifact
+            .with_metric(GateMetric::higher(
+                &format!("scale_sharded/x{k}/shard{}/completed", row.shard),
+                row.completed as f64,
+                0.001,
+            ))
+            .with_metric(GateMetric::lower(
+                &format!("scale_sharded/x{k}/shard{}/peak_load_depth", row.shard),
+                row.peak_load_depth as f64,
+                0.10,
+            ));
     }
     // The artifact's `requests` field records the *per-point* request count
     // (this binary's own default differs from the shared helper's 1000).

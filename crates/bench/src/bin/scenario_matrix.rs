@@ -8,52 +8,101 @@
 //! bursts, diurnal load, multi-tenant contention, production trace replay,
 //! chaos under load, priority inversion, cold start and closed-loop WebUI
 //! sessions. `FIRST_BENCH_REQUESTS` scales every scenario's request budget,
-//! `FIRST_BENCH_SEED` re-randomises the whole matrix, and
-//! `FIRST_BENCH_THREADS` picks the worker count — reports carry no
-//! wall-clock measurement, so the artifact is byte-identical across thread
-//! counts (the `sim.wall_time_s` harness reading aside), which CI enforces.
+//! `FIRST_BENCH_SEED` re-randomises the whole matrix,
+//! `FIRST_BENCH_THREADS` picks the worker count, and `FIRST_BENCH_SHARDS`
+//! (comma-separated, default `1,2`) adds gateway shard count as a matrix
+//! axis — every scenario runs once per shard count, with per-shard rollups
+//! in the sharded reports. Reports carry no wall-clock measurement, so the
+//! artifact is byte-identical across thread counts (the `sim.wall_time_s`
+//! harness reading aside), which CI enforces — and across shard-determinism
+//! reruns at a fixed shard list.
 
 use first_bench::{
     aggregate_stats, benchmark_request_count, benchmark_seed, print_sim_stats, BenchArtifact,
     GateMetric, ScenarioExecutor,
 };
-use first_core::{run_scenario, GatewayReport};
+use first_core::{GatewayReport, ScenarioRun};
 use first_desim::SimTime;
 use first_workload::catalog;
+
+/// Shard counts to sweep, from `FIRST_BENCH_SHARDS` (comma-separated,
+/// default `1,2`). `1` keeps the pre-federation single-gateway point.
+fn shard_axis() -> Vec<usize> {
+    std::env::var("FIRST_BENCH_SHARDS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|&s| s >= 1)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2])
+}
+
+/// Metric label for one matrix point: bare scenario name on the single-shard
+/// axis (stable perf-gate identity), `@shards<k>` suffix otherwise.
+fn point_label(scenario: &str, shards: usize) -> String {
+    if shards == 1 {
+        scenario.to_string()
+    } else {
+        format!("{scenario}@shards{shards}")
+    }
+}
 
 fn main() {
     let n = benchmark_request_count();
     let seed = benchmark_seed();
-    let specs = catalog(n);
+    let shard_counts = shard_axis();
+    let points: Vec<(first_workload::ScenarioSpec, usize)> = catalog(n)
+        .into_iter()
+        .flat_map(|spec| {
+            shard_counts
+                .iter()
+                .map(move |&shards| (spec.clone(), shards))
+        })
+        .collect();
 
     let executor = ScenarioExecutor::from_env();
     println!(
-        "scenario matrix: {} scenarios, budget {} requests, seed {}, {} thread(s)",
-        specs.len(),
+        "scenario matrix: {} points ({} scenarios x shards {:?}), budget {} requests, seed {}, {} thread(s)",
+        points.len(),
+        points.len() / shard_counts.len(),
+        shard_counts,
         n,
         seed,
         executor.threads()
     );
 
     let harness = std::time::Instant::now();
-    let runs = executor.run(specs, |_, spec| run_scenario(&spec, seed));
+    let runs = executor.run(points, |_, (spec, shards)| {
+        let report = ScenarioRun::new(&spec)
+            .seed(seed)
+            .shards(shards)
+            .execute()
+            .expect("matrix point runs")
+            .report;
+        (report, shards)
+    });
     let stats: Vec<_> = runs.iter().map(|r| r.stats).collect();
-    let reports: Vec<GatewayReport> = runs.into_iter().map(|r| r.result).collect();
+    let reports: Vec<(GatewayReport, usize)> = runs.into_iter().map(|r| r.result).collect();
 
-    for report in &reports {
-        println!("\n== {} ==", report.scenario);
+    for (report, shards) in &reports {
+        println!("\n== {} ({} shard(s)) ==", report.scenario, shards);
         print!("{}", report.render_text());
     }
+    let reports: Vec<GatewayReport> = reports.into_iter().map(|(r, _)| r).collect();
 
     println!("\n== SLO attainment matrix ==");
     println!(
-        "{:<26} {:>8} {:>8} {:>6} {:>6} {:>8} {:>10}",
+        "{:<36} {:>8} {:>8} {:>6} {:>6} {:>8} {:>10}",
         "scenario", "offered", "done", "fail", "rej", "faults", "slo"
     );
     for r in &reports {
+        let shards = r.shards.as_ref().map_or(1, |s| s.count);
         println!(
-            "{:<26} {:>8} {:>8} {:>6} {:>6} {:>8} {:>6}/{:<3}",
-            r.scenario,
+            "{:<36} {:>8} {:>8} {:>6} {:>6} {:>8} {:>6}/{:<3}",
+            point_label(&r.scenario, shards),
             r.offered,
             r.completed,
             r.failed,
@@ -72,19 +121,21 @@ fn main() {
 
     let mut artifact = BenchArtifact::new("scenario_matrix").with_scenario_runs(&reports);
     for r in &reports {
+        let shards = r.shards.as_ref().map_or(1, |s| s.count);
+        let label = point_label(&r.scenario, shards);
         artifact = artifact
             .with_metric(GateMetric::higher(
-                &format!("scenario/{}/completed", r.scenario),
+                &format!("scenario/{label}/completed"),
                 r.completed as f64,
                 0.001,
             ))
             .with_metric(GateMetric::lower(
-                &format!("scenario/{}/failed", r.scenario),
+                &format!("scenario/{label}/failed"),
                 r.failed as f64,
                 0.001,
             ))
             .with_metric(GateMetric::higher(
-                &format!("scenario/{}/slo_attained_tenants", r.scenario),
+                &format!("scenario/{label}/slo_attained_tenants"),
                 r.slo_attained_tenants as f64,
                 0.001,
             ));
@@ -95,9 +146,16 @@ fn main() {
             .fold(None::<f64>, |acc, p| Some(acc.map_or(p, |a| a.max(p))))
         {
             artifact = artifact.with_metric(GateMetric::lower(
-                &format!("scenario/{}/worst_p95_s", r.scenario),
+                &format!("scenario/{label}/worst_p95_s"),
                 worst_p95,
                 0.02,
+            ));
+        }
+        if let Some(section) = &r.shards {
+            artifact = artifact.with_metric(GateMetric::lower(
+                &format!("scenario/{label}/spilled_requests"),
+                section.spilled_requests as f64,
+                0.001,
             ));
         }
     }

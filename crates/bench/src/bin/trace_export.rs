@@ -18,7 +18,7 @@ use first_bench::{
     benchmark_request_count, benchmark_seed, print_sim_stats, report::artifact_out_dir,
     BenchArtifact, GateMetric, TraceSection,
 };
-use first_core::run_scenario_traced;
+use first_core::ScenarioRun;
 use first_desim::{SimMeter, SimTime};
 use first_telemetry::{chrome_trace_json, Phase, TraceConfig};
 use first_workload::catalog;
@@ -39,7 +39,12 @@ fn main() {
     let trace = TraceConfig::every_request(n.max(1));
     let meter = SimMeter::start();
     println!("tracing '{scenario}' (budget {n} requests, seed {seed}, sample_every=1)...");
-    let (report, trees) = run_scenario_traced(&spec, seed, trace);
+    let out = ScenarioRun::new(&spec)
+        .seed(seed)
+        .traced(trace)
+        .execute()
+        .expect("traced run");
+    let (report, trees) = (out.report, out.traces.expect("traced run yields trees"));
     let sim = meter.finish(SimTime::from_secs_f64(report.duration_s));
     print!("{}", report.render_text());
 

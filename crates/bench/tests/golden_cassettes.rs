@@ -17,7 +17,7 @@
 //!
 //! then commit the regenerated files and justify the new numbers in the PR.
 
-use first_core::{replay_cassette, run_scenario_recorded};
+use first_core::ScenarioRun;
 use first_workload::{catalog, Cassette};
 use std::path::PathBuf;
 
@@ -71,8 +71,12 @@ fn golden_cassettes_record_and_replay_byte_identically() {
             .iter()
             .find(|s| s.name == *name)
             .unwrap_or_else(|| panic!("catalog scenario '{name}' missing"));
-        let (recorded_report, cassette) =
-            run_scenario_recorded(spec, GOLDEN_SEED).expect("catalog scenario records");
+        let out = ScenarioRun::new(spec)
+            .seed(GOLDEN_SEED)
+            .recorded()
+            .execute()
+            .expect("catalog scenario records");
+        let (recorded_report, cassette) = (out.report, out.cassette.expect("recorded"));
 
         // The cassette is the pinned contract for the *traffic*.
         check_golden(
@@ -85,7 +89,11 @@ fn golden_cassettes_record_and_replay_byte_identically() {
         // The replay report is the pinned contract for the *simulator*; it
         // must also equal the report produced while recording, so record
         // and replay can never drift apart even when both goldens move.
-        let replayed = replay_cassette(&cassette).expect("golden cassette replays");
+        let replayed = ScenarioRun::replay(&cassette)
+            .expect("golden cassette compiles")
+            .execute()
+            .expect("golden cassette replays")
+            .report;
         assert_eq!(
             replayed, recorded_report,
             "replay of '{name}' diverged from its own recording"

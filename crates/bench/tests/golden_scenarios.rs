@@ -15,7 +15,7 @@
 //! then commit the regenerated `bench/golden/GOLDEN_*.json` files and
 //! justify the new numbers in the PR / CHANGES.md entry.
 
-use first_core::run_scenario;
+use first_core::ScenarioRun;
 use first_workload::catalog;
 use std::path::PathBuf;
 
@@ -43,7 +43,11 @@ fn golden_catalog_scenarios_reproduce_byte_identically() {
             .iter()
             .find(|s| s.name == *name)
             .unwrap_or_else(|| panic!("catalog scenario '{name}' missing"));
-        let report = run_scenario(spec, GOLDEN_SEED);
+        let report = ScenarioRun::new(spec)
+            .seed(GOLDEN_SEED)
+            .execute()
+            .expect("golden scenario runs")
+            .report;
         let rendered = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
         let path = golden_dir().join(format!("GOLDEN_{name}.json"));
         if write {

@@ -485,6 +485,14 @@ impl Gateway {
             && self.service.is_drained()
     }
 
+    /// Cheap O(1) congestion signal: requests admitted but not yet answered
+    /// (pending dispatches plus in-flight tasks). The sharded front tier
+    /// consults this per submission for its spillover decision, so unlike
+    /// [`Gateway::queue_snapshot`] it must not walk any slab.
+    pub fn load_depth(&self) -> usize {
+        self.pending.len() + self.in_flight_count
+    }
+
     /// Diagnostic counts of the gateway's internal queues and slabs — what
     /// the invariant checker inspects after a run ([`crate::invariants`]).
     /// On a drained gateway every count must be zero except

@@ -15,9 +15,11 @@
 //! 3. **No leaked tasks** — a drained gateway holds nothing in its pending,
 //!    in-flight, awaiting-delivery or outstanding-copy slabs.
 //!
-//! [`crate::run_scenario`] runs the check automatically in debug builds
+//! [`crate::ScenarioRun`] runs the check automatically in debug builds
 //! (`#[cfg(debug_assertions)]`), which covers every `cargo test` run;
-//! integration tests call it directly on their own drivers.
+//! integration tests call it directly on their own drivers. Sharded runs go
+//! through [`check_sharded_run_invariants`], which applies the same checks
+//! per shard and additionally reconciles cross-shard totals and spill flow.
 
 use crate::gateway::Gateway;
 use crate::scenario::GatewayReport;
@@ -154,6 +156,65 @@ pub fn check_run_invariants(gateway: &Gateway, ledger: &RunLedger) -> Result<(),
                 queues.outstanding_copies
             ));
         }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Sharded-run conservation: every per-shard ledger must satisfy the
+/// single-gateway invariants against its own shard, and the cross-shard
+/// accounting must reconcile — whole-run totals equal the sums over shards
+/// (requests may cross shards but never leave the fleet), and every spill
+/// leaving one shard arrives at another. Returns every violated invariant
+/// (empty = all hold).
+pub fn check_sharded_run_invariants(
+    shards: &[Gateway],
+    shard_ledgers: &[RunLedger],
+    total: &RunLedger,
+    spilled_out: &[usize],
+    spilled_in: &[usize],
+) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    if shards.len() != shard_ledgers.len() {
+        violations.push(format!(
+            "{} shards but {} shard ledgers",
+            shards.len(),
+            shard_ledgers.len()
+        ));
+        return Err(violations);
+    }
+    for (i, (gateway, ledger)) in shards.iter().zip(shard_ledgers).enumerate() {
+        if let Err(shard_violations) = check_run_invariants(gateway, ledger) {
+            for v in shard_violations {
+                violations.push(format!("shard {i}: {v}"));
+            }
+        }
+    }
+    let sum = |f: fn(&RunLedger) -> usize| shard_ledgers.iter().map(f).sum::<usize>();
+    for (name, got, want) in [
+        ("offered", sum(|l| l.offered), total.offered),
+        ("accepted", sum(|l| l.accepted), total.accepted),
+        ("rejected", sum(|l| l.rejected), total.rejected),
+        ("completed", sum(|l| l.completed), total.completed),
+        ("failed", sum(|l| l.failed), total.failed),
+    ] {
+        if got != want {
+            violations.push(format!(
+                "cross-shard conservation: per-shard {name} sums to {got} but the run ledger says {want}"
+            ));
+        }
+    }
+    let out: usize = spilled_out.iter().sum();
+    let inn: usize = spilled_in.iter().sum();
+    if out != inn {
+        violations.push(format!(
+            "spill flow does not reconcile: {out} spilled out but {inn} spilled in"
+        ));
     }
 
     if violations.is_empty() {

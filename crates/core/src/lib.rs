@@ -22,13 +22,16 @@
 //! * [`deploy`] — deployment assembly (single-cluster test, Sophia, federated).
 //! * [`sim`] — open-loop and closed-loop scenario runners used by every
 //!   benchmark in `first-bench`.
-//! * [`scenario`] — the declarative scenario runner: compiles a
-//!   `first-workload` [`ScenarioSpec`](first_workload::ScenarioSpec) and
-//!   reports per-tenant SLO attainment; also the cassette record
-//!   ([`run_scenario_recorded`]) and replay ([`replay_cassette`]) hooks.
+//! * [`scenario`] — the declarative scenario runner behind the
+//!   [`ScenarioRun`] builder: compiles a `first-workload`
+//!   [`ScenarioSpec`](first_workload::ScenarioSpec) and reports per-tenant
+//!   SLO attainment, with seed, sharding, tracing, recording and replay
+//!   composing on one `execute()`.
+//! * [`shard`] — the sharded multi-gateway federation front tier:
+//!   consistent-hash routing, bounded spillover and per-shard telemetry.
 //! * [`invariants`] — post-run invariant checking (request conservation,
-//!   monotone clock, no leaked tasks, replay conservation) shared by the
-//!   runners and tests.
+//!   monotone clock, no leaked tasks, replay and cross-shard conservation)
+//!   shared by the runners and tests.
 
 #![warn(missing_docs)]
 
@@ -41,6 +44,7 @@ pub mod middleware;
 pub mod monitoring;
 pub mod registry;
 pub mod scenario;
+pub mod shard;
 pub mod sim;
 pub mod storage;
 pub mod streaming;
@@ -54,20 +58,30 @@ pub use api::{
 pub use batch::{BatchId, BatchJob, BatchManager, BatchState};
 pub use deploy::{enroll_standard_users, ClusterSite, DeploymentBuilder, HostedModel, TestTokens};
 pub use gateway::{CompletedRequest, Gateway, GatewayConfig, GatewayQueueSnapshot, JobsEntry};
-pub use invariants::{check_replay_invariants, check_run_invariants, ClockMonitor, RunLedger};
+pub use invariants::{
+    check_replay_invariants, check_run_invariants, check_sharded_run_invariants, ClockMonitor,
+    RunLedger,
+};
 pub use middleware::{AuthMiddleware, RateLimiter, ResponseCache};
 pub use registry::{
     FederationRouter, ModelId, ModelRegistry, RouteCandidate, RoutedTarget, RoutingDecision,
     RoutingPolicy, RoutingReason,
 };
+#[allow(deprecated)]
 pub use scenario::{
-    replay_cassette, replay_cassette_traced, replay_dashboard_cell, run_scenario,
-    run_scenario_recorded, run_scenario_recorded_traced, run_scenario_traced, GatewayReport,
-    TenantReport,
+    replay_cassette, replay_cassette_traced, run_scenario, run_scenario_recorded,
+    run_scenario_recorded_traced, run_scenario_traced,
+};
+pub use scenario::{
+    replay_dashboard_cell, GatewayReport, RunOutput, ScenarioRun, ShardSection, TenantReport,
+};
+pub use shard::{
+    ConsistentHashRing, RouteDecision, ShardReport, ShardedGateway, ShardingConfig,
+    SpilloverPolicy, RING_VNODES,
 };
 pub use sim::{
     run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_resilience_openloop,
-    run_webui_closed_loop, ResilienceReport, ScenarioReport, WebUiCell,
+    run_sharded_openloop, run_webui_closed_loop, ResilienceReport, ScenarioReport, WebUiCell,
 };
 pub use storage::{GatewayMetrics, RequestLog, RequestLogEntry, UsageSummary};
 pub use streaming::{stream_response, StreamChunk, StreamStats, StreamedResponse, StreamingConfig};

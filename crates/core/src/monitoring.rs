@@ -24,11 +24,14 @@ impl Gateway {
     /// (latency summaries) and the fabric/cluster state (node occupancy and
     /// task queues).
     ///
-    /// Takes `&mut self` — unlike [`Gateway::export_metrics`], which is
-    /// read-only — because the per-model latency quantiles come from
-    /// [`first_desim::Histogram`], whose `median`/`p95` lazily (re)build a
-    /// sorted cache behind `&mut`.
-    pub fn dashboard_snapshot(&mut self, now: SimTime) -> DashboardSnapshot {
+    /// Takes `&self`, exactly like [`Gateway::export_metrics`]: both scrape
+    /// paths are read-only and idempotent. The invariant is that a scrape
+    /// never mutates gateway state — the per-model latency quantiles come
+    /// from [`first_desim::Histogram::quantile`], the `&self` percentile that
+    /// reads through (or rebuilds a temporary copy of) the sorted cache
+    /// without touching it, so scraping twice in a row yields identical
+    /// snapshots and never perturbs report equality.
+    pub fn dashboard_snapshot(&self, now: SimTime) -> DashboardSnapshot {
         let jobs = self.jobs_status();
         let usage = self.log().usage_by_model();
         let distinct_users = self.log().distinct_users() as u64;
@@ -36,12 +39,9 @@ impl Gateway {
         let mut models = Vec::with_capacity(jobs.len());
         for entry in &jobs {
             let summary = usage.get(&entry.model).cloned().unwrap_or_default();
-            let (median, p95) = {
-                let metrics = self.metrics_mut();
-                match metrics.latency_by_model.get_mut(&entry.model) {
-                    Some(h) => (h.median(), h.p95()),
-                    None => (0.0, 0.0),
-                }
+            let (median, p95) = match self.metrics().latency_by_model.get(&entry.model) {
+                Some(h) => (h.quantile(50.0), h.quantile(95.0)),
+                None => (0.0, 0.0),
             };
             models.push(ModelRow {
                 model: entry.model.clone(),
@@ -121,7 +121,7 @@ impl Gateway {
             .unwrap_or_default();
 
         let (harness_wall_s, _, harness_events_per_sec) = self.harness_health();
-        let metrics = self.metrics_mut();
+        let metrics = self.metrics();
         let mut snapshot = DashboardSnapshot {
             at_seconds: now.as_secs_f64(),
             models,
@@ -129,6 +129,7 @@ impl Gateway {
             queues,
             tenants,
             phases,
+            shards: Vec::new(),
             replay: None,
             total_requests: metrics.total_received(),
             total_completed: metrics.completed,
@@ -501,7 +502,7 @@ mod tests {
 
     #[test]
     fn dashboard_reflects_served_traffic() {
-        let mut gw = run_some_traffic();
+        let gw = run_some_traffic();
         let snap = gw.dashboard_snapshot(SimTime::from_secs(600));
         assert_eq!(snap.total_completed, 5);
         assert_eq!(snap.total_failed, 0);
@@ -587,7 +588,6 @@ mod tests {
         assert!(text.contains("tenant=\"alice\""));
 
         // The dashboard grows a phases section, in lifecycle order.
-        let mut gw = gw;
         let dash = gw.dashboard_snapshot(SimTime::from_secs(600));
         assert!(!dash.phases.is_empty());
         let rendered = dash.render_text();

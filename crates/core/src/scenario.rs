@@ -1,19 +1,33 @@
 //! The scenario runner: compiles a declarative [`ScenarioSpec`] into a
-//! request stream and replays it against a live deployment.
+//! request stream and replays it against a live deployment — one gateway or
+//! a sharded federation of peers.
 //!
-//! [`run_scenario`] is the single seam every scenario-matrix consumer shares:
-//! it resolves the spec's deployment reference, enrolls one auth user per
-//! tenant class (so the request log, dashboard and metric export partition
-//! per tenant for free), replays the merged stream open-loop with the spec's
-//! embedded fault plan applied along the way, and reports per-tenant metric
-//! partitions and SLO attainment in a [`GatewayReport`]. In debug builds the
-//! run finishes with the [`crate::invariants`] check, so every `cargo test`
-//! that touches a scenario also proves request conservation and task-slab
-//! hygiene.
+//! [`ScenarioRun`] is the single seam every scenario-matrix consumer shares:
+//! a builder that composes the orthogonal run axes — seed, shard topology,
+//! tracing, recording, replay — into one `execute()`. The run resolves the
+//! spec's deployment reference (once per shard), enrolls one auth user per
+//! tenant class on every shard (so the request log, dashboard and metric
+//! export partition per tenant for free, and a credential is valid wherever
+//! the ring or a spill sends the request), replays the merged stream
+//! open-loop with the spec's embedded fault plan applied along the way, and
+//! reports per-tenant metric partitions and SLO attainment in a
+//! [`GatewayReport`] — with a per-shard [`ShardSection`] rollup when the run
+//! was sharded. In debug builds the run finishes with the
+//! [`crate::invariants`] check, so every `cargo test` that touches a
+//! scenario also proves request conservation and task-slab hygiene.
+//!
+//! The older free-function family (`run_scenario`, `run_scenario_traced`,
+//! `run_scenario_recorded`, `run_scenario_recorded_traced`,
+//! `replay_cassette`, `replay_cassette_traced`) survives as thin
+//! `#[deprecated]` delegations — each axis used to multiply the function
+//! count, and sharding would have doubled it again.
 
 use crate::deploy::DeploymentBuilder;
 use crate::gateway::Gateway;
-use crate::invariants::{check_replay_invariants, check_run_invariants, RunLedger};
+use crate::invariants::{check_replay_invariants, RunLedger};
+#[cfg(debug_assertions)]
+use crate::invariants::{check_run_invariants, check_sharded_run_invariants};
+use crate::shard::{ShardReport, ShardedGateway, ShardingConfig, SpilloverPolicy};
 use crate::sim::{run_webui_closed_loop, synthetic_chat_request, WebUiCell};
 use first_auth::{Identity, Scope, TokenString, UserId};
 use first_chaos::{FaultInjector, ResilienceConfig};
@@ -103,6 +117,25 @@ impl TenantReport {
     }
 }
 
+/// The sharded-federation rollup of one run: how the front tier split the
+/// traffic, what each shard did with its share and how much crossed shards
+/// under the spillover policy. `None` on the report when the run used the
+/// transparent single-shard configuration, so unsharded reports serialize
+/// exactly as they did before sharding existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSection {
+    /// Number of peer gateway shards.
+    pub count: usize,
+    /// DNS/LB fan-in latency modelled between client and shard, seconds.
+    pub fanin_latency_s: f64,
+    /// The spillover policy the front tier ran under.
+    pub spillover: SpilloverPolicy,
+    /// Requests that crossed shards under the spillover policy.
+    pub spilled_requests: usize,
+    /// Per-shard rollups, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
 /// The full result of one scenario run: whole-run totals plus the per-tenant
 /// partitions. Contains no wall-clock measurement, so two runs of the same
 /// spec and seed serialize byte-identically — the property the golden tests
@@ -146,10 +179,14 @@ pub struct GatewayReport {
     /// Closed-loop session cell, when the spec carried a session rider.
     pub webui: Option<WebUiCell>,
     /// Phase-latency breakdown of the sampled span trees; `None` unless the
-    /// run was traced ([`run_scenario_traced`]) and sampled at least one
+    /// run was traced ([`ScenarioRun::traced`]) and sampled at least one
     /// request.
     #[serde(default)]
     pub phases: Option<PhaseBreakdown>,
+    /// Per-shard federation rollup; `None` for single-shard runs, so
+    /// unsharded reports stay byte-compatible with pre-sharding ones.
+    #[serde(default)]
+    pub shards: Option<ShardSection>,
 }
 
 impl GatewayReport {
@@ -186,6 +223,24 @@ impl GatewayReport {
             let _ = writeln!(out, "{}", TenantReport::table_header());
             for t in &self.tenants {
                 let _ = writeln!(out, "{}", t.table_row());
+            }
+        }
+        if let Some(sh) = &self.shards {
+            let _ = writeln!(
+                out,
+                "sharded federation: {} shards, fan-in {:.3}s, spillover {}, {} spilled",
+                sh.count,
+                sh.fanin_latency_s,
+                if sh.spillover.enabled {
+                    "bounded"
+                } else {
+                    "off"
+                },
+                sh.spilled_requests,
+            );
+            let _ = writeln!(out, "{}", ShardReport::table_header());
+            for s in &sh.shards {
+                let _ = writeln!(out, "{}", s.table_row());
             }
         }
         if let Some(cell) = &self.webui {
@@ -236,6 +291,192 @@ impl GatewayReport {
     }
 }
 
+/// Everything one [`ScenarioRun::execute`] yields: the report, plus the
+/// cassette when the run was [`ScenarioRun::recorded`] and the sampled span
+/// trees when it was [`ScenarioRun::traced`].
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The scenario report (per-tenant partitions, SLO attainment, optional
+    /// per-shard rollup).
+    pub report: GatewayReport,
+    /// The recorded cassette; `Some` exactly when the run was
+    /// [`ScenarioRun::recorded`].
+    pub cassette: Option<Cassette>,
+    /// The sampled span trees; `Some` exactly when the run was
+    /// [`ScenarioRun::traced`] with tracing enabled.
+    pub traces: Option<Vec<SpanTree>>,
+}
+
+/// A composable scenario run: the one entrypoint behind which seed, shard
+/// topology, tracing, recording and replay compose instead of multiplying
+/// the API.
+///
+/// ```
+/// use first_core::ScenarioRun;
+/// use first_workload::{catalog, ScenarioSpec};
+///
+/// let spec = &catalog(32)[0];
+/// // Plain run.
+/// let report = ScenarioRun::new(spec).seed(42).execute().unwrap().report;
+/// // The same traffic over a 3-shard federation.
+/// let sharded = ScenarioRun::new(spec).seed(42).shards(3).execute().unwrap().report;
+/// assert_eq!(report.offered, sharded.offered);
+/// assert_eq!(sharded.shards.as_ref().unwrap().count, 3);
+/// ```
+///
+/// The run is deterministic for a fixed configuration: the report carries no
+/// wall-clock measurement and every random draw derives from the seed.
+/// Debug builds finish with the [`crate::invariants`] check. A spec may
+/// carry either open-loop tenants or a closed-loop session rider, not both
+/// (the two drivers would fight over the same simulation clock).
+#[derive(Debug, Clone)]
+pub struct ScenarioRun<'c> {
+    spec: ScenarioSpec,
+    seed: u64,
+    sharding: ShardingConfig,
+    trace: TraceConfig,
+    record: bool,
+    replay_of: Option<&'c Cassette>,
+}
+
+impl ScenarioRun<'static> {
+    /// A run of `spec` with the default configuration: seed 0, one shard,
+    /// no tracing, no recording.
+    pub fn new(spec: &ScenarioSpec) -> Self {
+        ScenarioRun {
+            spec: spec.clone(),
+            seed: 0,
+            sharding: ShardingConfig::single(),
+            trace: TraceConfig::default(),
+            record: false,
+            replay_of: None,
+        }
+    }
+}
+
+impl<'c> ScenarioRun<'c> {
+    /// A replay of a recorded cassette: validates it, compiles it back into
+    /// a self-contained spec (outcomes stripped, tenants replaying their
+    /// recorded tracks) and pins the recorded seed. `execute()` then runs it
+    /// against the recorded deployment and enforces byte-level fidelity via
+    /// [`check_replay_invariants`], turning any divergence in offered counts
+    /// or identity into a typed [`CassetteError::ReplayMismatch`].
+    pub fn replay(cassette: &'c Cassette) -> Result<ScenarioRun<'c>, CassetteError> {
+        let spec = cassette.to_spec()?;
+        Ok(ScenarioRun {
+            spec,
+            seed: cassette.seed,
+            sharding: ShardingConfig::single(),
+            trace: TraceConfig::default(),
+            record: false,
+            replay_of: Some(cassette),
+        })
+    }
+
+    /// Set the run seed (replays pin the recorded seed instead).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the spec over `n` peer gateway shards (consistent-hash routed,
+    /// zero fan-in latency, no spillover unless configured separately).
+    /// `n = 1` is the transparent configuration, bit-identical to not
+    /// calling this at all.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.sharding.shards = n.max(1);
+        self
+    }
+
+    /// Model the DNS/LB fan-in hop: every request reaches its shard
+    /// `latency` after the client sent it, and client-observed latencies
+    /// include the hop.
+    pub fn fanin_latency(mut self, latency: SimDuration) -> Self {
+        self.sharding.fanin_latency = latency;
+        self
+    }
+
+    /// Allow bounded cross-shard spillover when a home shard is saturated.
+    pub fn spillover(mut self, policy: SpilloverPolicy) -> Self {
+        self.sharding.spillover = policy;
+        self
+    }
+
+    /// Replace the whole sharding configuration at once.
+    pub fn sharding(mut self, config: ShardingConfig) -> Self {
+        self.sharding = config;
+        self
+    }
+
+    /// Enable request-lifecycle tracing: every `sample_every`-th accepted
+    /// request yields a [`SpanTree`] in [`RunOutput::traces`], and the
+    /// report's [`GatewayReport::phases`] carries the aggregated breakdown.
+    /// Tracing never perturbs the simulation — sim-time outcomes are
+    /// identical whether or not a request is sampled — and the sampled trees
+    /// are seed-deterministic.
+    pub fn traced(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Record the run as a [`Cassette`] in [`RunOutput::cassette`]: the
+    /// compiled request stream, what the gateway did with every request, and
+    /// the spec's fault timeline. Only transparent single-shard runs are
+    /// recordable — the cassette format deliberately carries no shard
+    /// topology, so a recording replays bit-exactly everywhere.
+    pub fn recorded(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Execute the configured run.
+    ///
+    /// Infallible unless the run was [`ScenarioRun::recorded`] (closed-loop
+    /// session specs and sharded configurations are
+    /// [`CassetteError::Unrecordable`]) or is a [`ScenarioRun::replay`]
+    /// (divergence is [`CassetteError::ReplayMismatch`]).
+    pub fn execute(self) -> Result<RunOutput, CassetteError> {
+        if self.record {
+            if self.spec.sessions.is_some() {
+                return Err(CassetteError::Unrecordable(format!(
+                    "scenario '{}' carries a closed-loop session rider",
+                    self.spec.name
+                )));
+            }
+            let transparent = self.sharding.shards <= 1
+                && self.sharding.fanin_latency == SimDuration::ZERO
+                && !self.sharding.spillover.enabled;
+            if !transparent {
+                return Err(CassetteError::Unrecordable(format!(
+                    "scenario '{}' runs on a sharded front tier; cassettes carry no shard \
+                     topology, so only transparent single-shard runs are recordable",
+                    self.spec.name
+                )));
+            }
+        }
+        let (report, outcomes, trees) =
+            run_scenario_impl(&self.spec, self.seed, self.trace, &self.sharding);
+        let cassette = if self.record {
+            let compiled = self.spec.compile(self.seed);
+            Some(Cassette::from_run(
+                &self.spec, self.seed, &compiled, outcomes,
+            )?)
+        } else {
+            None
+        };
+        if let Some(recording) = self.replay_of {
+            check_replay_invariants(&report, recording)
+                .map_err(|violations| CassetteError::ReplayMismatch(violations.join("; ")))?;
+        }
+        let traces = self.trace.enabled().then_some(trees);
+        Ok(RunOutput {
+            report,
+            cassette,
+            traces,
+        })
+    }
+}
+
 /// Resolve a [`DeploymentRef`] to its concrete builder.
 fn builder_for(deployment: DeploymentRef) -> DeploymentBuilder {
     match deployment {
@@ -262,94 +503,92 @@ fn enroll_tenant_user(gateway: &mut Gateway, name: &str) -> TokenString {
 
 /// Compile `spec` at `seed`, replay it against the spec's deployment and
 /// report per-tenant metrics and SLO attainment.
-///
-/// The run is deterministic for a fixed `(spec, seed)` pair: the report
-/// carries no wall-clock measurement and every random draw derives from the
-/// seed. Debug builds finish with the [`crate::invariants`] check.
-///
-/// A spec may carry either open-loop tenants or a closed-loop session rider,
-/// not both (the two drivers would fight over the same simulation clock).
+#[deprecated(
+    note = "use `ScenarioRun::new(spec).seed(seed).execute()` — the builder composes seed, \
+            shards, tracing, recording and replay behind one `execute()`"
+)]
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
-    run_scenario_impl(spec, seed, TraceConfig::default()).0
+    ScenarioRun::new(spec)
+        .seed(seed)
+        .execute()
+        .expect("unrecorded runs are infallible")
+        .report
 }
 
-/// Run `spec` with request-lifecycle tracing enabled: every `sample_every`-th
-/// accepted request yields a [`SpanTree`] in the returned vector, and the
-/// report's [`GatewayReport::phases`] carries the aggregated breakdown.
-///
-/// With `trace` disabled this is exactly [`run_scenario`] (and the trees come
-/// back empty). Tracing never perturbs the simulation — sim-time outcomes are
-/// identical whether or not a request is sampled — and the sampled trees are
-/// seed-deterministic: two runs with the same `(spec, seed, trace)` export
-/// byte-identical traces.
+/// Run `spec` with request-lifecycle tracing enabled.
+#[deprecated(
+    note = "use `ScenarioRun::new(spec).seed(seed).traced(trace).execute()`; the trees come \
+            back in `RunOutput::traces`"
+)]
 pub fn run_scenario_traced(
     spec: &ScenarioSpec,
     seed: u64,
     trace: TraceConfig,
 ) -> (GatewayReport, Vec<SpanTree>) {
-    let (report, _, trees) = run_scenario_impl(spec, seed, trace);
-    (report, trees)
+    let out = ScenarioRun::new(spec)
+        .seed(seed)
+        .traced(trace)
+        .execute()
+        .expect("unrecorded runs are infallible");
+    (out.report, out.traces.unwrap_or_default())
 }
 
-/// Run `spec` exactly as [`run_scenario`] would and additionally record the
-/// run as a [`Cassette`]: the compiled request stream, what the gateway did
-/// with every request, and the spec's fault timeline. The returned report is
-/// identical to what `run_scenario(spec, seed)` yields, and
-/// [`replay_cassette`] on the returned cassette reproduces it byte-for-byte.
-///
-/// Closed-loop session specs are [`CassetteError::Unrecordable`]: their
-/// driver submits outside the compiled stream, so a cassette could not
-/// reproduce them.
+/// Run `spec` exactly as a plain run would and additionally record the run
+/// as a [`Cassette`].
+#[deprecated(
+    note = "use `ScenarioRun::new(spec).seed(seed).recorded().execute()`; the cassette comes \
+            back in `RunOutput::cassette`"
+)]
 pub fn run_scenario_recorded(
     spec: &ScenarioSpec,
     seed: u64,
 ) -> Result<(GatewayReport, Cassette), CassetteError> {
-    let (report, cassette, _) = run_scenario_recorded_traced(spec, seed, TraceConfig::default())?;
-    Ok((report, cassette))
+    let out = ScenarioRun::new(spec).seed(seed).recorded().execute()?;
+    Ok((out.report, out.cassette.expect("recorded run")))
 }
 
-/// [`run_scenario_recorded`] with tracing: record the cassette *and* sample
-/// span trees along the way. The report carries the phase breakdown, so a
-/// traced replay with the same `trace` config reproduces it byte-for-byte.
+/// Record the run as a cassette *and* sample span trees along the way.
+#[deprecated(
+    note = "use `ScenarioRun::new(spec).seed(seed).recorded().traced(trace).execute()` — \
+            recording and tracing compose on the builder"
+)]
 pub fn run_scenario_recorded_traced(
     spec: &ScenarioSpec,
     seed: u64,
     trace: TraceConfig,
 ) -> Result<(GatewayReport, Cassette, Vec<SpanTree>), CassetteError> {
-    if spec.sessions.is_some() {
-        return Err(CassetteError::Unrecordable(format!(
-            "scenario '{}' carries a closed-loop session rider",
-            spec.name
-        )));
-    }
-    let (report, outcomes, trees) = run_scenario_impl(spec, seed, trace);
-    let compiled = spec.compile(seed);
-    let cassette = Cassette::from_run(spec, seed, &compiled, outcomes)?;
-    Ok((report, cassette, trees))
+    let out = ScenarioRun::new(spec)
+        .seed(seed)
+        .recorded()
+        .traced(trace)
+        .execute()?;
+    Ok((
+        out.report,
+        out.cassette.expect("recorded run"),
+        out.traces.unwrap_or_default(),
+    ))
 }
 
-/// Replay a recorded cassette: validate it, compile it back into a
-/// self-contained spec (outcomes stripped, tenants replaying their recorded
-/// tracks) and run it against the recorded deployment. The returned report
-/// is byte-identical to the recording's — enforced here by
-/// [`check_replay_invariants`], which turns any divergence in offered counts
-/// or identity into a typed [`CassetteError::ReplayMismatch`].
+/// Replay a recorded cassette and enforce byte-level replay fidelity.
+#[deprecated(
+    note = "use `ScenarioRun::replay(cassette)?.execute()` — replay is a `ScenarioRun` \
+            configuration, not a separate entrypoint"
+)]
 pub fn replay_cassette(cassette: &Cassette) -> Result<GatewayReport, CassetteError> {
-    Ok(replay_cassette_traced(cassette, TraceConfig::default())?.0)
+    Ok(ScenarioRun::replay(cassette)?.execute()?.report)
 }
 
-/// [`replay_cassette`] with tracing: replay the recording while sampling span
-/// trees. Replaying with the same `trace` config the recording used yields a
-/// byte-identical report (phase breakdown included) and byte-identical trees.
+/// Replay a recording while sampling span trees.
+#[deprecated(
+    note = "use `ScenarioRun::replay(cassette)?.traced(trace).execute()` — replay and tracing \
+            compose on the builder"
+)]
 pub fn replay_cassette_traced(
     cassette: &Cassette,
     trace: TraceConfig,
 ) -> Result<(GatewayReport, Vec<SpanTree>), CassetteError> {
-    let spec = cassette.to_spec()?;
-    let (report, trees) = run_scenario_traced(&spec, cassette.seed, trace);
-    check_replay_invariants(&report, cassette)
-        .map_err(|violations| CassetteError::ReplayMismatch(violations.join("; ")))?;
-    Ok((report, trees))
+    let out = ScenarioRun::replay(cassette)?.traced(trace).execute()?;
+    Ok((out.report, out.traces.unwrap_or_default()))
 }
 
 /// The replay-mode dashboard banner for a cassette: what an operator sees
@@ -363,15 +602,21 @@ pub fn replay_dashboard_cell(cassette: &Cassette) -> first_telemetry::ReplayCell
     }
 }
 
-/// The shared body of [`run_scenario`] and [`run_scenario_recorded`]: drive
-/// the compiled stream and return the report, the per-request outcomes
-/// aligned with the compiled stream by index (always collected — it is two
-/// vector writes per request), and the sampled span trees (empty unless
-/// `trace` is enabled).
+/// The shared body of every [`ScenarioRun`]: drive the compiled stream over
+/// the (possibly single-shard) federation and return the report, the
+/// per-request outcomes aligned with the compiled stream by index (always
+/// collected — it is two vector writes per request), and the sampled span
+/// trees (empty unless `trace` is enabled).
+///
+/// With the transparent sharding configuration (1 shard, zero fan-in, no
+/// spillover) this loop degenerates exactly to the pre-federation
+/// single-gateway driver, which is what keeps unsharded reports
+/// byte-identical across the redesign.
 fn run_scenario_impl(
     spec: &ScenarioSpec,
     seed: u64,
     trace: TraceConfig,
+    sharding: &ShardingConfig,
 ) -> (GatewayReport, Vec<RequestOutcome>, Vec<SpanTree>) {
     assert!(
         spec.tenants.is_empty() || spec.sessions.is_none(),
@@ -385,12 +630,23 @@ fn run_scenario_impl(
     if spec.resilience {
         builder = builder.resilience(ResilienceConfig::production());
     }
-    let mut gateway = builder.build();
+    let mut fleet = ShardedGateway::from_builder(&builder, sharding.clone());
+    let n_shards = fleet.shard_count();
+    let fanin = sharding.fanin_latency;
+    let fanin_s = fanin.as_secs_f64();
 
-    let tokens: Vec<TokenString> = spec
-        .tenants
-        .iter()
-        .map(|t| enroll_tenant_user(&mut gateway, &t.name))
+    // One auth user per tenant class, enrolled identically on every shard
+    // (the shared control plane): a tenant's credential is valid wherever
+    // the ring or a spill sends the request. tokens[shard][tenant].
+    let tokens: Vec<Vec<TokenString>> = fleet
+        .shards_mut()
+        .iter_mut()
+        .map(|gw| {
+            spec.tenants
+                .iter()
+                .map(|t| enroll_tenant_user(gw, &t.name))
+                .collect()
+        })
         .collect();
     let tenant_by_user: HashMap<String, usize> = spec
         .tenants
@@ -398,11 +654,23 @@ fn run_scenario_impl(
         .enumerate()
         .map(|(i, t)| (t.name.clone(), i))
         .collect();
+    // Ring lookups cached per tenant: tenants are the routing key (API key).
+    let home: Vec<usize> = spec
+        .tenants
+        .iter()
+        .map(|t| fleet.home_shard(&t.name))
+        .collect();
 
     let compiled = spec.compile(seed);
     let horizon = compiled.horizon;
-    let mut injector = FaultInjector::new(spec.faults.clone());
+    // Every shard gets its own injector over the same plan: the spec's fault
+    // timeline is facility-wide, hitting each shard's replica of the
+    // affected endpoints at the same instants.
+    let mut injectors: Vec<FaultInjector> = (0..n_shards)
+        .map(|_| FaultInjector::new(spec.faults.clone()))
+        .collect();
     let mut ledger = RunLedger::new();
+    let mut shard_ledgers: Vec<RunLedger> = vec![RunLedger::new(); n_shards];
 
     // Per-tenant accumulators.
     let n_tenants = spec.tenants.len();
@@ -420,44 +688,59 @@ fn run_scenario_impl(
         .map(|r| r.at)
         .unwrap_or(SimTime::ZERO);
 
-    // Per-request outcomes, aligned with `compiled.requests` by index; the
-    // gateway's dense request ids map responses back to stream positions.
+    // Per-request outcomes, aligned with `compiled.requests` by index; each
+    // shard's dense request ids map its responses back to stream positions.
     let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(compiled.requests.len());
-    let mut request_index: HashMap<u64, usize> = HashMap::new();
+    let mut request_index: HashMap<(usize, u64), usize> = HashMap::new();
 
-    let mut collect = |gateway: &mut Gateway,
+    let mut collect = |fleet: &mut ShardedGateway,
                        ledger: &mut RunLedger,
+                       shard_ledgers: &mut [RunLedger],
                        last_delivery: &mut SimTime,
                        outcomes: &mut Vec<RequestOutcome>,
-                       request_index: &HashMap<u64, usize>| {
-        for r in gateway.take_responses() {
-            ledger.on_response(r.success);
-            *last_delivery = (*last_delivery).max(r.finished_at);
-            if let Some(&idx) = request_index.get(&r.request_id) {
-                let o = &mut outcomes[idx];
-                o.delivered = true;
-                o.success = r.success;
-                o.latency_s = r.latency().as_secs_f64();
-                o.completion_tokens = r.usage.completion_tokens;
-            }
-            let Some(&tenant) = tenant_by_user.get(&r.user) else {
-                continue;
-            };
-            if r.success {
-                latencies[tenant].record(r.latency().as_secs_f64());
-                output_tokens[tenant] += r.usage.completion_tokens as u64;
-            } else {
-                failed[tenant] += 1;
+                       request_index: &HashMap<(usize, u64), usize>| {
+        for (shard, shard_ledger) in shard_ledgers.iter_mut().enumerate() {
+            for r in fleet.shard_mut(shard).take_responses() {
+                ledger.on_response(r.success);
+                shard_ledger.on_response(r.success);
+                *last_delivery = (*last_delivery).max(r.finished_at);
+                // Client-observed latency includes the fan-in hop (zero on
+                // the transparent configuration, leaving values bit-exact).
+                let observed = r.latency().as_secs_f64() + fanin_s;
+                if let Some(&idx) = request_index.get(&(shard, r.request_id)) {
+                    let o = &mut outcomes[idx];
+                    o.delivered = true;
+                    o.success = r.success;
+                    o.latency_s = observed;
+                    o.completion_tokens = r.usage.completion_tokens;
+                }
+                let Some(&tenant) = tenant_by_user.get(&r.user) else {
+                    continue;
+                };
+                if r.success {
+                    latencies[tenant].record(observed);
+                    output_tokens[tenant] += r.usage.completion_tokens as u64;
+                } else {
+                    failed[tenant] += 1;
+                }
             }
         }
     };
 
     // Pure closed-loop specs skip the open-loop drive entirely: advancing
-    // the gateway through its prewarm events here would fast-forward the
+    // the gateways through their prewarm events here would fast-forward the
     // clock past the session window before the session driver starts.
-    while !compiled.requests.is_empty() || injector.is_active() {
+    while !compiled.requests.is_empty() || injectors.iter().any(FaultInjector::is_active) {
         let next_arrival = compiled.requests.get(next).map(|r| r.at);
-        let step = match (next_arrival, injector.next_event_merged(&gateway)) {
+        let mut internal: Option<SimTime> = None;
+        for (i, injector) in injectors.iter().enumerate() {
+            internal = match (internal, injector.next_event_merged(fleet.shard(i))) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        }
+        let step = match (next_arrival, internal) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, None) => a,
             (None, b) => b,
@@ -469,8 +752,11 @@ fn run_scenario_impl(
             break;
         }
         ledger.clock.observe(step);
-        injector.apply_due(gateway.service_mut(), step);
-        gateway.advance(step);
+        for i in 0..n_shards {
+            shard_ledgers[i].clock.observe(step);
+            injectors[i].apply_due(fleet.shard_mut(i).service_mut(), step);
+            fleet.shard_mut(i).advance(step);
+        }
         while next < compiled.requests.len() && compiled.requests[next].at <= step {
             let request = &compiled.requests[next];
             let tenant = request.tenant as usize;
@@ -482,21 +768,24 @@ fn run_scenario_impl(
             // The global stream index keeps every prompt unique, so the
             // response cache cannot collapse tenants into each other.
             let body = synthetic_chat_request(&request.model, next, &sample);
-            let result = gateway.chat_completions(
+            let decision = fleet.route_home(home[tenant]);
+            let shard = decision.shard;
+            let result = fleet.shard_mut(shard).chat_completions(
                 &body,
-                &tokens[tenant],
+                &tokens[shard][tenant],
                 Some(request.output_tokens),
-                request.at,
+                request.at + fanin,
             );
             let accepted = result.is_ok();
             if let Ok(id) = result {
-                request_index.insert(id, next);
+                request_index.insert((shard, id), next);
             }
             outcomes.push(RequestOutcome {
                 accepted,
                 ..RequestOutcome::default()
             });
             ledger.on_submission(accepted);
+            shard_ledgers[shard].on_submission(accepted);
             offered[tenant] += 1;
             if !accepted {
                 rejected[tenant] += 1;
@@ -504,31 +793,43 @@ fn run_scenario_impl(
             next += 1;
         }
         collect(
-            &mut gateway,
+            &mut fleet,
             &mut ledger,
+            &mut shard_ledgers,
             &mut last_delivery,
             &mut outcomes,
             &request_index,
         );
-        if next >= compiled.requests.len() && gateway.is_drained() && injector.is_exhausted() {
+        if next >= compiled.requests.len()
+            && fleet.is_drained()
+            && injectors.iter().all(FaultInjector::is_exhausted)
+        {
             break;
         }
     }
     collect(
-        &mut gateway,
+        &mut fleet,
         &mut ledger,
+        &mut shard_ledgers,
         &mut last_delivery,
         &mut outcomes,
         &request_index,
     );
-    ledger.drained = next >= compiled.requests.len() && gateway.is_drained();
+    let all_submitted = next >= compiled.requests.len();
+    ledger.drained = all_submitted && fleet.is_drained();
+    for (i, shard_ledger) in shard_ledgers.iter_mut().enumerate() {
+        shard_ledger.drained = all_submitted && fleet.shard(i).is_drained();
+    }
 
-    // Closed-loop session rider (pure closed-loop specs only; the gateway is
-    // untouched at this point, so the session window starts at t=0).
+    // Closed-loop session rider (pure closed-loop specs only; the gateways
+    // are untouched at this point, so the session window starts at t=0). On
+    // a sharded fleet the rider lands on its ring shard, like any tenant.
     let webui = spec.sessions.as_ref().map(|rider| {
-        let token = enroll_tenant_user(&mut gateway, "webui-sessions");
+        let shard = fleet.home_shard("webui-sessions");
+        let gateway = fleet.shard_mut(shard);
+        let token = enroll_tenant_user(gateway, "webui-sessions");
         run_webui_closed_loop(
-            &mut gateway,
+            gateway,
             &token,
             &rider.config,
             SimDuration::from_millis(rider.webui_overhead_ms),
@@ -538,7 +839,18 @@ fn run_scenario_impl(
 
     #[cfg(debug_assertions)]
     if spec.sessions.is_none() {
-        if let Err(violations) = check_run_invariants(&gateway, &ledger) {
+        let checked = if n_shards == 1 {
+            check_run_invariants(fleet.shard(0), &ledger)
+        } else {
+            check_sharded_run_invariants(
+                fleet.shards(),
+                &shard_ledgers,
+                &ledger,
+                fleet.spilled_out(),
+                fleet.spilled_in(),
+            )
+        };
+        if let Err(violations) = checked {
             panic!(
                 "scenario '{}' violated run invariants:\n  {}",
                 spec.name,
@@ -592,19 +904,64 @@ fn run_scenario_impl(
 
     // Drain the sampled span trees and derive the phase breakdown before the
     // report is sealed; both are deterministic functions of `(spec, seed,
-    // trace)`, so traced reports stay byte-identical across runs.
-    let trees = gateway.recorder_mut().take_trees();
+    // trace, sharding)`, so traced reports stay byte-identical across runs.
+    // Trees concatenate in shard order.
+    let mut trees: Vec<SpanTree> = Vec::new();
+    let mut sampled = 0u64;
+    let mut dropped = 0u64;
+    for gateway in fleet.shards_mut() {
+        trees.extend(gateway.recorder_mut().take_trees());
+        sampled += gateway.recorder().sampled();
+        dropped += gateway.recorder().dropped();
+    }
     let phases = if trees.is_empty() {
         None
     } else {
-        Some(PhaseBreakdown::from_trees(
-            trees.iter(),
-            gateway.recorder().sampled(),
-            gateway.recorder().dropped(),
-        ))
+        Some(PhaseBreakdown::from_trees(trees.iter(), sampled, dropped))
     };
 
-    let metrics = gateway.metrics_mut();
+    // Per-shard rollup, only reported for genuinely sharded runs so
+    // single-shard reports serialize exactly as before the federation.
+    let shard_section = if n_shards > 1 {
+        let shards: Vec<ShardReport> = shard_ledgers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ShardReport {
+                shard: i,
+                offered: l.offered,
+                accepted: l.accepted,
+                rejected: l.rejected,
+                completed: l.completed,
+                failed: l.failed,
+                spilled_in: fleet.spilled_in()[i],
+                spilled_out: fleet.spilled_out()[i],
+                faults_injected: injectors[i].applied().len(),
+                peak_load_depth: fleet.peak_load()[i],
+            })
+            .collect();
+        Some(ShardSection {
+            count: n_shards,
+            fanin_latency_s: fanin_s,
+            spillover: sharding.spillover,
+            spilled_requests: fleet.spilled_total(),
+            shards,
+        })
+    } else {
+        None
+    };
+
+    let (retries, failovers, breaker_trips, hedges) = fleet
+        .shards()
+        .iter()
+        .map(Gateway::metrics)
+        .fold((0, 0, 0, 0), |acc, m| {
+            (
+                acc.0 + m.retries,
+                acc.1 + m.failovers,
+                acc.2 + m.breaker_trips,
+                acc.3 + m.hedges,
+            )
+        });
     let completed_total = ledger.completed + webui.as_ref().map_or(0, |c| c.completed);
     let report = GatewayReport {
         scenario: spec.name.clone(),
@@ -621,15 +978,16 @@ fn run_scenario_impl(
                 .as_ref()
                 .map_or(0.0, |c| c.token_throughput * c.duration_s))
             / duration_s,
-        faults_injected: injector.applied().len(),
-        retries: metrics.retries,
-        failovers: metrics.failovers,
-        breaker_trips: metrics.breaker_trips,
-        hedges: metrics.hedges,
+        faults_injected: injectors[0].applied().len(),
+        retries,
+        failovers,
+        breaker_trips,
+        hedges,
         tenants,
         slo_attained_tenants,
         webui,
         phases,
+        shards: shard_section,
     };
     (report, outcomes, trees)
 }
@@ -655,14 +1013,26 @@ mod tests {
         )
     }
 
+    fn run(spec: &ScenarioSpec, seed: u64) -> GatewayReport {
+        ScenarioRun::new(spec)
+            .seed(seed)
+            .execute()
+            .expect("plain run")
+            .report
+    }
+
     #[test]
     fn steady_scenario_completes_everything_and_partitions_by_tenant() {
-        let report = run_scenario(&small_spec(), 42);
+        let report = run(&small_spec(), 42);
         assert_eq!(report.offered, 25);
         assert_eq!(report.accepted, 25);
         assert_eq!(report.completed, 25);
         assert_eq!(report.failed, 0);
         assert_eq!(report.tenants.len(), 1);
+        assert!(
+            report.shards.is_none(),
+            "single-shard runs report no shard section"
+        );
         let t = report.tenant("unit-tenant").unwrap();
         assert_eq!(t.completed, 25);
         assert!((t.availability - 1.0).abs() < 1e-9);
@@ -676,11 +1046,111 @@ mod tests {
     #[test]
     fn reports_are_seed_deterministic_and_seed_sensitive() {
         let spec = small_spec();
-        let a = run_scenario(&spec, 7);
-        let b = run_scenario(&spec, 7);
+        let a = run(&spec, 7);
+        let b = run(&spec, 7);
         assert_eq!(a, b);
-        let c = run_scenario(&spec, 8);
+        let c = run(&spec, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn explicit_single_shard_config_is_byte_identical_to_default() {
+        let spec = small_spec();
+        let plain = run(&spec, 42);
+        let explicit = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(1)
+            .spillover(SpilloverPolicy::disabled())
+            .fanin_latency(SimDuration::ZERO)
+            .execute()
+            .expect("plain run")
+            .report;
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&explicit).unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_runs_conserve_requests_and_report_per_shard_partitions() {
+        let spec = ScenarioSpec::new(
+            "unit-sharded",
+            "",
+            DeploymentRef::SingleClusterTest,
+            vec![
+                TenantClass::synthetic(
+                    "tenant-a",
+                    20,
+                    ArrivalProcess::Poisson(2.0),
+                    models::LLAMA_70B,
+                ),
+                TenantClass::synthetic(
+                    "tenant-b",
+                    20,
+                    ArrivalProcess::Poisson(2.0),
+                    models::LLAMA_8B,
+                ),
+                TenantClass::synthetic(
+                    "tenant-c",
+                    20,
+                    ArrivalProcess::Poisson(2.0),
+                    models::LLAMA_8B,
+                ),
+            ],
+        );
+        let report = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(3)
+            .execute()
+            .expect("sharded run")
+            .report;
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.completed + report.failed + report.rejected, 60);
+        let section = report.shards.as_ref().expect("shard section present");
+        assert_eq!(section.count, 3);
+        assert_eq!(section.shards.len(), 3);
+        assert_eq!(
+            section.shards.iter().map(|s| s.offered).sum::<usize>(),
+            report.offered
+        );
+        assert_eq!(
+            section.shards.iter().map(|s| s.completed).sum::<usize>(),
+            report.completed
+        );
+        assert_eq!(section.spilled_requests, 0, "spillover defaults off");
+        // Sharded runs are deterministic too.
+        let again = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(3)
+            .execute()
+            .expect("sharded run")
+            .report;
+        assert_eq!(report, again);
+        let text = report.render_text();
+        assert!(text.contains("sharded federation: 3 shards"));
+    }
+
+    #[test]
+    fn fanin_latency_defers_arrivals_and_shows_in_client_latency() {
+        let spec = small_spec();
+        let base = run(&spec, 42);
+        let hop = SimDuration::from_millis(250);
+        let delayed = ScenarioRun::new(&spec)
+            .seed(42)
+            .fanin_latency(hop)
+            .execute()
+            .expect("run")
+            .report;
+        assert_eq!(delayed.offered, base.offered);
+        assert_eq!(delayed.completed, base.completed);
+        let t_base = base.tenant("unit-tenant").unwrap();
+        let t_hop = delayed.tenant("unit-tenant").unwrap();
+        assert!(
+            t_hop.mean_latency_s >= t_base.mean_latency_s + 0.2,
+            "fan-in hop shows up in client-observed latency: {} vs {}",
+            t_hop.mean_latency_s,
+            t_base.mean_latency_s
+        );
     }
 
     #[test]
@@ -706,7 +1176,7 @@ mod tests {
                     .with_slo(SloTarget::batch()),
             ],
         );
-        let report = run_scenario(&spec, 42);
+        let report = run(&spec, 42);
         assert_eq!(report.offered, 35);
         assert_eq!(report.completed, 35);
         let interactive = report.tenant("interactive").unwrap();
@@ -723,8 +1193,14 @@ mod tests {
     #[test]
     fn traced_runs_sample_complete_trees_without_perturbing_the_sim() {
         let spec = small_spec();
-        let plain = run_scenario(&spec, 42);
-        let (traced, trees) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+        let plain = run(&spec, 42);
+        let out = ScenarioRun::new(&spec)
+            .seed(42)
+            .traced(TraceConfig::every_request(4096))
+            .execute()
+            .expect("traced run");
+        let traced = out.report;
+        let trees = out.traces.expect("traced run returns trees");
         // Tracing must not move sim time: everything but the breakdown is
         // identical to the untraced run.
         let mut stripped = traced.clone();
@@ -746,16 +1222,27 @@ mod tests {
         assert_eq!(phases.by_tenant.len(), 1);
         assert!(!phases.critical_path.is_empty());
         // Traced runs are themselves deterministic, trees included.
-        let (again, trees_again) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
-        assert_eq!(traced, again);
-        assert_eq!(trees, trees_again);
+        let again = ScenarioRun::new(&spec)
+            .seed(42)
+            .traced(TraceConfig::every_request(4096))
+            .execute()
+            .expect("traced run");
+        assert_eq!(traced, again.report);
+        assert_eq!(trees, again.traces.expect("trees again"));
     }
 
     #[test]
     fn recording_matches_the_plain_run_and_replays_byte_identically() {
         let spec = small_spec();
-        let plain = run_scenario(&spec, 42);
-        let (recorded, cassette) = run_scenario_recorded(&spec, 42).expect("recordable");
+        let plain = run(&spec, 42);
+        let out = ScenarioRun::new(&spec)
+            .seed(42)
+            .recorded()
+            .execute()
+            .expect("recordable");
+        let recorded = out.report;
+        let cassette = out.cassette.expect("recorded run yields a cassette");
+        assert!(out.traces.is_none(), "untraced run returns no trees");
         assert_eq!(plain, recorded, "recording must not perturb the run");
         assert_eq!(cassette.len(), recorded.offered);
         // Every accepted request in this clean run was delivered and succeeded.
@@ -768,7 +1255,11 @@ mod tests {
             .iter()
             .all(|e| e.outcome.latency_s > 0.0 && e.outcome.completion_tokens > 0));
 
-        let replayed = replay_cassette(&cassette).expect("replays");
+        let replayed = ScenarioRun::replay(&cassette)
+            .expect("cassette compiles")
+            .execute()
+            .expect("replays")
+            .report;
         assert_eq!(plain, replayed, "replay reproduces the report");
         // Byte-level, not just structural: what the golden files pin.
         assert_eq!(
@@ -777,7 +1268,12 @@ mod tests {
         );
         // And the cassette survives a serde round trip on the way.
         let thawed = first_workload::Cassette::from_json(&cassette.to_json()).expect("round trips");
-        assert_eq!(replay_cassette(&thawed).expect("replays"), plain);
+        let replayed_again = ScenarioRun::replay(&thawed)
+            .expect("compiles")
+            .execute()
+            .expect("replays")
+            .report;
+        assert_eq!(replayed_again, plain);
     }
 
     #[test]
@@ -788,16 +1284,25 @@ mod tests {
             DeploymentRef::SingleClusterTest,
             Vec::new(),
         );
-        let (report, cassette) = run_scenario_recorded(&spec, 1).expect("recordable");
+        let out = ScenarioRun::new(&spec)
+            .seed(1)
+            .recorded()
+            .execute()
+            .expect("recordable");
+        let cassette = out.cassette.expect("cassette");
         assert!(cassette.is_empty());
-        assert_eq!(report.offered, 0);
-        let replayed = replay_cassette(&cassette).expect("empty replay is clean");
-        assert_eq!(report, replayed);
+        assert_eq!(out.report.offered, 0);
+        let replayed = ScenarioRun::replay(&cassette)
+            .expect("compiles")
+            .execute()
+            .expect("empty replay is clean")
+            .report;
+        assert_eq!(out.report, replayed);
         assert_eq!(replayed.completed, 0);
     }
 
     #[test]
-    fn session_specs_are_unrecordable_with_a_typed_error() {
+    fn session_and_sharded_specs_are_unrecordable_with_typed_errors() {
         let mut spec = ScenarioSpec::new(
             "unit-sessions",
             "",
@@ -808,16 +1313,36 @@ mod tests {
             config: first_workload::SessionWorkloadConfig::table1(models::LLAMA_8B, 4, 60),
             webui_overhead_ms: 1200,
         });
-        match run_scenario_recorded(&spec, 1) {
+        match ScenarioRun::new(&spec).seed(1).recorded().execute() {
             Err(CassetteError::Unrecordable(msg)) => assert!(msg.contains("unit-sessions")),
+            other => panic!("expected Unrecordable, got {other:?}"),
+        }
+        // Sharded runs are unrecordable too: the cassette format carries no
+        // shard topology.
+        match ScenarioRun::new(&small_spec())
+            .seed(1)
+            .shards(2)
+            .recorded()
+            .execute()
+        {
+            Err(CassetteError::Unrecordable(msg)) => assert!(msg.contains("sharded")),
             other => panic!("expected Unrecordable, got {other:?}"),
         }
     }
 
     #[test]
     fn replay_invariants_catch_divergence() {
-        let (_, cassette) = run_scenario_recorded(&small_spec(), 42).expect("recordable");
-        let replayed = replay_cassette(&cassette).expect("replays");
+        let out = ScenarioRun::new(&small_spec())
+            .seed(42)
+            .recorded()
+            .execute()
+            .expect("recordable");
+        let cassette = out.cassette.expect("cassette");
+        let replayed = ScenarioRun::replay(&cassette)
+            .expect("compiles")
+            .execute()
+            .expect("replays")
+            .report;
         assert_eq!(replayed.seed, cassette.seed, "replay reuses the seed");
         // Forge a diverging report: the conservation check must trip on the
         // offered count and on a renamed tenant partition.
@@ -833,5 +1358,21 @@ mod tests {
             violations.iter().any(|v| v.contains("impostor")),
             "{violations:?}"
         );
+    }
+
+    /// The deprecated free functions must stay thin, faithful delegations
+    /// until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_delegate_faithfully() {
+        let spec = small_spec();
+        let via_builder = run(&spec, 42);
+        assert_eq!(run_scenario(&spec, 42), via_builder);
+        let (traced, trees) = run_scenario_traced(&spec, 42, TraceConfig::default());
+        assert_eq!(traced, via_builder);
+        assert!(trees.is_empty(), "disabled tracing yields no trees");
+        let (recorded, cassette) = run_scenario_recorded(&spec, 42).expect("records");
+        assert_eq!(recorded, via_builder);
+        assert_eq!(replay_cassette(&cassette).expect("replays"), via_builder);
     }
 }

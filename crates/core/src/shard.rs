@@ -1,0 +1,702 @@
+//! Sharded multi-gateway federation: N peer gateway shards behind a thin
+//! front tier.
+//!
+//! One `Gateway` advance loop is the reproduction's serial ceiling (PR 4's
+//! scale sweep drove 26.8M events through a single instance), and the
+//! production path to million-user traffic is horizontal: run several
+//! identical gateway deployments as peers and fan requests in through
+//! DNS/load-balancer routing. This module models that tier:
+//!
+//! * [`ConsistentHashRing`] — virtual-node consistent hashing of tenant
+//!   names (API keys) onto shards, so adding a shard remaps only ~`1/(n+1)`
+//!   of the key space and every remapped key moves *to the new shard*.
+//! * [`SpilloverPolicy`] — bounded cross-shard spillover: when a tenant's
+//!   home shard is saturated (its [`Gateway::load_depth`] exceeds the
+//!   threshold) a bounded fraction of its traffic may divert to the
+//!   least-loaded peer. Spills are accounted per shard (out at the home,
+//!   in at the receiver) and surface in telemetry.
+//! * [`ShardedGateway`] — the front tier itself: owns the shard fleet,
+//!   routes submissions, models the fan-in hop with a configurable latency,
+//!   and rolls shard-local queues and telemetry up into per-shard
+//!   [`ShardReport`] rows plus aggregate dashboard/metric views.
+//!
+//! Every shard is a full deployment replica built from the *same*
+//! [`DeploymentBuilder`] configuration, so
+//! a credential enrolled identically on each shard is valid wherever the
+//! ring (or a spill) sends the request — exactly the shared-control-plane /
+//! shard-local-data-plane split the production gateway runs.
+//!
+//! A 1-shard [`ShardedGateway`] is transparent: the ring maps every key to
+//! shard 0, no spill target exists, and the default fan-in latency is zero,
+//! so driving it is bit-identical to driving the bare [`Gateway`] — the
+//! property the sharding proptests pin.
+
+use crate::deploy::DeploymentBuilder;
+use crate::gateway::Gateway;
+use first_desim::{fnv1a_64, SimDuration, SimProcess, SimTime};
+use first_telemetry::{DashboardSnapshot, LabelSet, MetricRegistry, ShardRow};
+use serde::{Deserialize, Serialize};
+
+/// Virtual nodes per shard on the [`ConsistentHashRing`]. 64 points per
+/// shard keeps the expected load imbalance across shards within a few
+/// percent while the ring stays small enough to rebuild on every topology
+/// change.
+pub const RING_VNODES: usize = 64;
+
+/// Bounded cross-shard spillover policy for the front tier.
+///
+/// Spillover fires per submission: when the home shard's
+/// [`Gateway::load_depth`] exceeds `queue_threshold` and a strictly
+/// less-loaded peer exists, the request diverts to the least-loaded peer —
+/// but never more than `max_fraction` of the home shard's routed traffic,
+/// so a melting shard cannot silently turn the whole fleet into one big
+/// queue. Disabled by default (strict consistent-hash routing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpilloverPolicy {
+    /// Whether spillover is allowed at all.
+    pub enabled: bool,
+    /// Home-shard [`Gateway::load_depth`] above which spillover may fire.
+    pub queue_threshold: usize,
+    /// Upper bound on the fraction of a home shard's routed requests that
+    /// may spill away from it (evaluated cumulatively over the run).
+    pub max_fraction: f64,
+}
+
+impl Default for SpilloverPolicy {
+    fn default() -> Self {
+        SpilloverPolicy {
+            enabled: false,
+            queue_threshold: 0,
+            max_fraction: 0.0,
+        }
+    }
+}
+
+impl SpilloverPolicy {
+    /// Spillover disabled: every request sticks to its ring shard.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Bounded spillover: divert once the home shard holds more than
+    /// `queue_threshold` unanswered requests, spilling at most
+    /// `max_fraction` of the home shard's traffic.
+    pub fn bounded(queue_threshold: usize, max_fraction: f64) -> Self {
+        SpilloverPolicy {
+            enabled: true,
+            queue_threshold,
+            max_fraction: max_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Front-tier configuration: how many shards, what the fan-in hop costs and
+/// whether saturated shards may spill. The default (`1` shard, zero fan-in,
+/// no spillover) is the transparent configuration whose behaviour is
+/// bit-identical to an unsharded deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingConfig {
+    /// Number of peer gateway shards (≥ 1).
+    pub shards: usize,
+    /// DNS/LB fan-in latency added between a client's send instant and the
+    /// request reaching its shard. Zero by default so single-shard runs stay
+    /// bit-identical to the unsharded path.
+    pub fanin_latency: SimDuration,
+    /// Cross-shard spillover policy.
+    pub spillover: SpilloverPolicy,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig {
+            shards: 1,
+            fanin_latency: SimDuration::ZERO,
+            spillover: SpilloverPolicy::disabled(),
+        }
+    }
+}
+
+impl ShardingConfig {
+    /// The transparent single-shard configuration.
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// `shards` peers with zero fan-in latency and no spillover.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardingConfig {
+            shards: shards.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Set the fan-in latency.
+    pub fn fanin(mut self, latency: SimDuration) -> Self {
+        self.fanin_latency = latency;
+        self
+    }
+
+    /// Set the spillover policy.
+    pub fn spill(mut self, policy: SpilloverPolicy) -> Self {
+        self.spillover = policy;
+        self
+    }
+}
+
+/// Consistent hashing of string keys (tenant names / API keys) onto shard
+/// indices via [`RING_VNODES`] virtual nodes per shard.
+///
+/// The stability property the tests pin: growing the ring from `n` to `n+1`
+/// shards only *adds* points, so a key either keeps its shard or moves to
+/// the new shard — never between two old shards — and the expected moved
+/// fraction is `1/(n+1)`.
+#[derive(Debug, Clone)]
+pub struct ConsistentHashRing {
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+/// Finalize a 64-bit hash (splitmix64 mixer). FNV-1a alone avalanches
+/// poorly on near-identical strings like `shard-0#vnode-1` /
+/// `shard-0#vnode-2`, which clusters ring points and skews arc ownership;
+/// one mixing round restores a uniform spread. Applied to both ring points
+/// and lookup keys, it stays a pure deterministic function of the input.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ConsistentHashRing {
+    /// A ring over `shards` shards (≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * RING_VNODES);
+        for shard in 0..shards {
+            for vnode in 0..RING_VNODES {
+                let key = format!("shard-{shard}#vnode-{vnode}");
+                points.push((mix64(fnv1a_64(key.as_bytes())), shard as u32));
+            }
+        }
+        // Ties (64-bit collisions) are broken toward the lower shard index,
+        // deterministically.
+        points.sort_unstable();
+        ConsistentHashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or clockwise of the
+    /// key's hash, wrapping at the top of the hash space.
+    pub fn shard_for(&self, key: &str) -> usize {
+        let hash = mix64(fnv1a_64(key.as_bytes()));
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard as usize
+    }
+}
+
+/// Per-shard rollup of one run, reported inside
+/// [`ShardSection`](crate::scenario::ShardSection) and rendered by the
+/// scenario report and the dashboard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests the front tier routed to this shard (spill-ins included).
+    pub offered: usize,
+    /// Requests the shard accepted.
+    pub accepted: usize,
+    /// Requests the shard rejected at its API boundary.
+    pub rejected: usize,
+    /// Requests the shard answered successfully.
+    pub completed: usize,
+    /// Requests that failed after acceptance.
+    pub failed: usize,
+    /// Requests this shard received because another shard was saturated.
+    pub spilled_in: usize,
+    /// Requests routed away from this shard under the spillover policy.
+    pub spilled_out: usize,
+    /// Faults the shard's injector applied.
+    pub faults_injected: usize,
+    /// Peak [`Gateway::load_depth`] observed at submission instants.
+    pub peak_load_depth: usize,
+}
+
+impl ShardReport {
+    /// One formatted table row (used by the scenario report renderer).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<6} {:>8} {:>8} {:>6} {:>8} {:>6} {:>9} {:>10} {:>7} {:>9}",
+            self.shard,
+            self.offered,
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.spilled_in,
+            self.spilled_out,
+            self.faults_injected,
+            self.peak_load_depth,
+        )
+    }
+
+    /// The table header matching [`ShardReport::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<6} {:>8} {:>8} {:>6} {:>8} {:>6} {:>9} {:>10} {:>7} {:>9}",
+            "shard",
+            "offered",
+            "accept",
+            "rej",
+            "done",
+            "fail",
+            "spill_in",
+            "spill_out",
+            "faults",
+            "peak_q"
+        )
+    }
+}
+
+/// Where the front tier decided one submission should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The shard that will receive the request.
+    pub shard: usize,
+    /// The consistent-hash home shard of the key.
+    pub home: usize,
+    /// Whether this submission spilled away from its home shard.
+    pub spilled: bool,
+}
+
+/// The sharded front tier: N peer [`Gateway`] deployments behind consistent
+/// hashing, bounded spillover and a fan-in hop. See the module docs for the
+/// model.
+pub struct ShardedGateway {
+    shards: Vec<Gateway>,
+    ring: ConsistentHashRing,
+    config: ShardingConfig,
+    routed: Vec<usize>,
+    spilled_in: Vec<usize>,
+    spilled_out: Vec<usize>,
+    peak_load: Vec<usize>,
+}
+
+impl ShardedGateway {
+    /// Build `config.shards` identical deployments from `builder` (one
+    /// [`DeploymentBuilder::build`] per shard — the shared control plane is
+    /// the configuration itself, so auth policy, registry and topology match
+    /// across the fleet).
+    pub fn from_builder(builder: &DeploymentBuilder, config: ShardingConfig) -> Self {
+        let n = config.shards.max(1);
+        let shards: Vec<Gateway> = (0..n).map(|_| builder.clone().build()).collect();
+        ShardedGateway {
+            shards,
+            ring: ConsistentHashRing::new(n),
+            config: ShardingConfig {
+                shards: n,
+                ..config
+            },
+            routed: vec![0; n],
+            spilled_in: vec![0; n],
+            spilled_out: vec![0; n],
+            peak_load: vec![0; n],
+        }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The front tier's configuration.
+    pub fn config(&self) -> &ShardingConfig {
+        &self.config
+    }
+
+    /// The consistent-hash ring.
+    pub fn ring(&self) -> &ConsistentHashRing {
+        &self.ring
+    }
+
+    /// Borrow one shard.
+    pub fn shard(&self, index: usize) -> &Gateway {
+        &self.shards[index]
+    }
+
+    /// Mutably borrow one shard.
+    pub fn shard_mut(&mut self, index: usize) -> &mut Gateway {
+        &mut self.shards[index]
+    }
+
+    /// Borrow the whole fleet.
+    pub fn shards(&self) -> &[Gateway] {
+        &self.shards
+    }
+
+    /// Mutably borrow the whole fleet (enrollment loops, per-shard drains).
+    pub fn shards_mut(&mut self) -> &mut [Gateway] {
+        &mut self.shards
+    }
+
+    /// The consistent-hash home shard for `key` (no spillover considered).
+    pub fn home_shard(&self, key: &str) -> usize {
+        self.ring.shard_for(key)
+    }
+
+    /// Decide where the next submission keyed by `key` goes and account the
+    /// decision: the ring's home shard unless the spillover policy diverts
+    /// it to the least-loaded peer. Call exactly once per submission.
+    pub fn route(&mut self, key: &str) -> RouteDecision {
+        self.route_home(self.ring.shard_for(key))
+    }
+
+    /// [`ShardedGateway::route`] with a precomputed home shard (drivers that
+    /// cache ring lookups per tenant).
+    pub fn route_home(&mut self, home: usize) -> RouteDecision {
+        let depth = self.shards[home].load_depth();
+        self.peak_load[home] = self.peak_load[home].max(depth);
+        let policy = self.config.spillover;
+        let mut target = home;
+        if policy.enabled && self.shards.len() > 1 && depth > policy.queue_threshold {
+            // Cumulative budget, checked before counting this request so a
+            // freshly saturated shard can spill its first request: once
+            // traffic accumulates, `spilled_out <= max_fraction * routed`
+            // bounds the diverted share.
+            let budget_ok =
+                self.spilled_out[home] as f64 <= policy.max_fraction * self.routed[home] as f64;
+            if budget_ok {
+                // Least-loaded peer, lowest index on ties (deterministic).
+                let (best, best_depth) = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != home)
+                    .map(|(i, gw)| (i, gw.load_depth()))
+                    .min_by_key(|&(i, d)| (d, i))
+                    .expect("more than one shard");
+                if best_depth < depth {
+                    target = best;
+                }
+            }
+        }
+        self.routed[home] += 1;
+        let spilled = target != home;
+        if spilled {
+            self.spilled_out[home] += 1;
+            self.spilled_in[target] += 1;
+        }
+        RouteDecision {
+            shard: target,
+            home,
+            spilled,
+        }
+    }
+
+    /// Earliest pending event across the fleet.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(SimProcess::next_event_time)
+            .min()
+    }
+
+    /// Advance every shard to `now` (peer simulation entities share one
+    /// clock).
+    pub fn advance_all(&mut self, now: SimTime) {
+        for shard in &mut self.shards {
+            shard.advance(now);
+        }
+    }
+
+    /// Whether every shard has answered everything it accepted.
+    pub fn is_drained(&self) -> bool {
+        self.shards.iter().all(Gateway::is_drained)
+    }
+
+    /// Requests the front tier routed per shard (spill-ins counted at the
+    /// receiving shard is tracked separately in [`ShardedGateway::spilled_in`]).
+    pub fn routed(&self) -> &[usize] {
+        &self.routed
+    }
+
+    /// Per-shard spill-in counts.
+    pub fn spilled_in(&self) -> &[usize] {
+        &self.spilled_in
+    }
+
+    /// Per-shard spill-out counts.
+    pub fn spilled_out(&self) -> &[usize] {
+        &self.spilled_out
+    }
+
+    /// Total requests that crossed shards under the spillover policy.
+    pub fn spilled_total(&self) -> usize {
+        self.spilled_out.iter().sum()
+    }
+
+    /// Peak [`Gateway::load_depth`] per shard, observed at submission
+    /// instants.
+    pub fn peak_load(&self) -> &[usize] {
+        &self.peak_load
+    }
+
+    /// Roll the fleet up into per-shard report rows. Acceptance and outcome
+    /// counts come from each shard's own metrics layer, routing and spill
+    /// counts from the front tier, fault counts from `faults_per_shard`
+    /// (pass `&[]` when no injector ran).
+    pub fn shard_reports(&self, faults_per_shard: &[usize]) -> Vec<ShardReport> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, gw)| {
+                let m = gw.metrics();
+                let completed = m.completed as usize;
+                let failed = m.failed as usize;
+                let rejected = m.rejected as usize;
+                ShardReport {
+                    shard: i,
+                    offered: self.routed[i] - self.spilled_out[i] + self.spilled_in[i],
+                    accepted: completed + failed,
+                    rejected,
+                    completed,
+                    failed,
+                    spilled_in: self.spilled_in[i],
+                    spilled_out: self.spilled_out[i],
+                    faults_injected: faults_per_shard.get(i).copied().unwrap_or(0),
+                    peak_load_depth: self.peak_load[i],
+                }
+            })
+            .collect()
+    }
+
+    /// The fleet dashboard: shard 0..n's snapshots folded into one aggregate
+    /// view (totals summed, per-model/cluster/queue/tenant rows merged by
+    /// key) plus the per-shard `-- shards --` section.
+    pub fn dashboard_snapshot(&self, now: SimTime) -> DashboardSnapshot {
+        let mut merged: Option<DashboardSnapshot> = None;
+        for gw in &self.shards {
+            let snap = gw.dashboard_snapshot(now);
+            merged = Some(match merged {
+                None => snap,
+                Some(mut acc) => {
+                    acc.absorb(&snap);
+                    acc
+                }
+            });
+        }
+        let mut snapshot = merged.unwrap_or_default();
+        snapshot.shards = self.shard_rows();
+        snapshot.normalise();
+        snapshot
+    }
+
+    /// The per-shard dashboard rows.
+    pub fn shard_rows(&self) -> Vec<ShardRow> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, gw)| {
+                let m = gw.metrics();
+                ShardRow {
+                    shard: i as u64,
+                    requests: m.total_received(),
+                    completed: m.completed,
+                    failed: m.failed + m.rejected,
+                    spilled_in: self.spilled_in[i] as u64,
+                    spilled_out: self.spilled_out[i] as u64,
+                    load_depth: gw.load_depth() as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Export the `first_shard_*` metric family: one sample per shard,
+    /// labelled `shard="<index>"`, covering routed/completed/failed
+    /// requests, spill flow and the live load depth. Read-only, like
+    /// [`Gateway::export_metrics`].
+    pub fn export_shard_metrics(&self, _now: SimTime) -> MetricRegistry {
+        let registry = MetricRegistry::new();
+        for (i, gw) in self.shards.iter().enumerate() {
+            let labels = LabelSet::single("shard", i.to_string());
+            let m = gw.metrics();
+            registry.add_counter(
+                "first_shard_requests_total",
+                labels.clone(),
+                m.total_received(),
+            );
+            registry.add_counter("first_shard_completed_total", labels.clone(), m.completed);
+            registry.add_counter(
+                "first_shard_failed_total",
+                labels.clone(),
+                m.failed + m.rejected,
+            );
+            registry.add_counter(
+                "first_shard_spilled_in_total",
+                labels.clone(),
+                self.spilled_in[i] as u64,
+            );
+            registry.add_counter(
+                "first_shard_spilled_out_total",
+                labels.clone(),
+                self.spilled_out[i] as u64,
+            );
+            registry.set_gauge(
+                "first_shard_load_depth",
+                labels.clone(),
+                gw.load_depth() as f64,
+            );
+            registry.set_gauge(
+                "first_shard_peak_load_depth",
+                labels,
+                self.peak_load[i] as f64,
+            );
+        }
+        registry.set_gauge(
+            "first_shard_count",
+            LabelSet::empty(),
+            self.shards.len() as f64,
+        );
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn ring_covers_every_shard_and_is_deterministic() {
+        let ring = ConsistentHashRing::new(4);
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+        for i in 0..2000 {
+            let shard = ring.shard_for(&format!("tenant-{i}"));
+            assert!(shard < 4);
+            *seen.entry(shard).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 4, "all shards own keys: {seen:?}");
+        // Virtual nodes keep the split roughly balanced.
+        for (&shard, &count) in &seen {
+            assert!(
+                count > 200,
+                "shard {shard} owns only {count}/2000 keys: {seen:?}"
+            );
+        }
+        let again = ConsistentHashRing::new(4);
+        for i in 0..100 {
+            let key = format!("tenant-{i}");
+            assert_eq!(ring.shard_for(&key), again.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_keys_to_the_new_shard() {
+        for n in 1..6usize {
+            let old = ConsistentHashRing::new(n);
+            let new = ConsistentHashRing::new(n + 1);
+            let mut moved = 0usize;
+            let keys = 4000usize;
+            for i in 0..keys {
+                let key = format!("tenant-{i}");
+                let before = old.shard_for(&key);
+                let after = new.shard_for(&key);
+                if before != after {
+                    assert_eq!(
+                        after, n,
+                        "key '{key}' moved between old shards {before}->{after} at n={n}"
+                    );
+                    moved += 1;
+                }
+            }
+            let expected = keys as f64 / (n + 1) as f64;
+            let moved = moved as f64;
+            assert!(
+                moved > expected * 0.5 && moved < expected * 1.6,
+                "n={n}: {moved} keys moved, expected ~{expected:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_routing_is_transparent() {
+        let mut fleet = ShardedGateway::from_builder(
+            &DeploymentBuilder::single_cluster_test().prewarm(1),
+            ShardingConfig::single(),
+        );
+        for i in 0..10 {
+            let d = fleet.route(&format!("tenant-{i}"));
+            assert_eq!(d.shard, 0);
+            assert!(!d.spilled);
+        }
+        assert_eq!(fleet.spilled_total(), 0);
+        assert_eq!(fleet.routed()[0], 10);
+    }
+
+    #[test]
+    fn spillover_respects_threshold_and_budget() {
+        use crate::api::ChatCompletionRequest;
+        let builder = DeploymentBuilder::single_cluster_test().prewarm(1);
+        let mut fleet = ShardedGateway::from_builder(
+            &builder,
+            ShardingConfig::with_shards(2).spill(SpilloverPolicy::bounded(0, 0.5)),
+        );
+        // Enroll the same users on both shards (shared control plane).
+        let tokens: Vec<_> = (0..2)
+            .map(|i| {
+                let gw = fleet.shard_mut(i);
+                crate::deploy::enroll_standard_users(gw)
+            })
+            .collect();
+        // Saturate shard 0 with a few requests so its load depth is nonzero.
+        let model = "meta-llama/Llama-3.3-70B-Instruct";
+        for i in 0..4u64 {
+            let req = ChatCompletionRequest::simple(model, &format!("warm {i}"), 64);
+            fleet
+                .shard_mut(0)
+                .chat_completions(&req, &tokens[0].alice, Some(32), SimTime::from_secs(i))
+                .expect("accepted");
+        }
+        assert!(fleet.shard(0).load_depth() > 0);
+        assert_eq!(fleet.shard(1).load_depth(), 0);
+        // A key homed on shard 0 now spills to shard 1 — but only within the
+        // 50% budget.
+        let key = (0..)
+            .map(|i| format!("probe-{i}"))
+            .find(|k| fleet.home_shard(k) == 0)
+            .unwrap();
+        let first = fleet.route(&key);
+        assert_eq!(first.home, 0);
+        assert_eq!(first.shard, 1, "saturated home spills to the idle peer");
+        assert!(first.spilled);
+        // Exhaust the budget: with max_fraction=0.5 the cumulative spill
+        // count can never exceed half the routed count.
+        for _ in 0..20 {
+            fleet.route(&key);
+        }
+        let routed = fleet.routed()[0];
+        let spilled = fleet.spilled_out()[0];
+        assert!(
+            spilled as f64 <= 0.5 * routed as f64 + 1.0,
+            "budget exceeded: {spilled}/{routed}"
+        );
+        assert_eq!(fleet.spilled_in()[1], spilled);
+    }
+
+    #[test]
+    fn spillover_disabled_never_diverts() {
+        let builder = DeploymentBuilder::single_cluster_test().prewarm(1);
+        let mut fleet = ShardedGateway::from_builder(&builder, ShardingConfig::with_shards(3));
+        for i in 0..50 {
+            let d = fleet.route(&format!("tenant-{i}"));
+            assert_eq!(d.shard, d.home);
+            assert!(!d.spilled);
+        }
+        assert_eq!(fleet.spilled_total(), 0);
+    }
+}

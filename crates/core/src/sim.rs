@@ -9,6 +9,7 @@
 
 use crate::api::ChatCompletionRequest;
 use crate::gateway::Gateway;
+use crate::shard::ShardedGateway;
 use first_auth::TokenString;
 use first_chaos::FaultInjector;
 use first_desim::{Histogram, SimDuration, SimProcess, SimTime};
@@ -205,6 +206,102 @@ pub fn run_gateway_openloop(
     let duration = (last_completion - first_arrival).as_secs_f64();
     ScenarioReport::from_observations(
         "FIRST",
+        rate_label,
+        samples.len(),
+        &mut latencies,
+        output_tokens,
+        duration,
+    )
+}
+
+/// Replay `samples` against a sharded gateway federation at the given
+/// arrival times: request `i` is keyed by synthetic user `user-{i % users}`,
+/// consistent-hashed onto its home shard (and possibly spilled under the
+/// fleet's policy), and submitted with that shard's token. Returns the
+/// aggregate §5.1 metrics; per-shard rollups stay available on the fleet
+/// afterwards via [`ShardedGateway::shard_reports`].
+///
+/// `tokens` holds one valid bearer token per shard (the same user enrolled
+/// on every shard — the shared control plane).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_openloop(
+    fleet: &mut ShardedGateway,
+    tokens: &[TokenString],
+    model: &str,
+    samples: &[ConversationSample],
+    arrivals: &[SimTime],
+    users: usize,
+    rate_label: &str,
+    horizon: SimTime,
+) -> ScenarioReport {
+    assert_eq!(samples.len(), arrivals.len());
+    assert_eq!(
+        tokens.len(),
+        fleet.shard_count(),
+        "one token per shard required"
+    );
+    let users = users.max(1);
+    // Ring lookups cached per synthetic user; the ring is stable for the
+    // fleet's lifetime.
+    let homes: Vec<usize> = (0..users)
+        .map(|u| fleet.home_shard(&format!("user-{u}")))
+        .collect();
+
+    let mut latencies = Histogram::with_capacity(samples.len());
+    let mut output_tokens = 0u64;
+    let mut next = 0usize;
+    let mut last_completion = SimTime::ZERO;
+    let first_arrival = arrivals.first().copied().unwrap_or(SimTime::ZERO);
+
+    loop {
+        let next_arrival = arrivals.get(next).copied();
+        let step = match (next_arrival, fleet.next_event_time()) {
+            (Some(a), Some(i)) => a.min(i),
+            (Some(a), None) => a,
+            (None, Some(i)) => i,
+            (None, None) => break,
+        };
+        if step > horizon {
+            break;
+        }
+        fleet.advance_all(step);
+        while next < arrivals.len() && arrivals[next] <= step {
+            let req = synthetic_chat_request(model, next, &samples[next]);
+            let decision = fleet.route_home(homes[next % users]);
+            let _ = fleet.shard_mut(decision.shard).chat_completions(
+                &req,
+                &tokens[decision.shard],
+                Some(samples[next].output_tokens),
+                arrivals[next],
+            );
+            next += 1;
+        }
+        // Shard-ordered collection keeps the aggregate deterministic.
+        for shard in 0..fleet.shard_count() {
+            for r in fleet.shard_mut(shard).take_responses() {
+                if r.success {
+                    latencies.record(r.latency().as_secs_f64());
+                    output_tokens += r.usage.completion_tokens as u64;
+                    last_completion = last_completion.max(r.finished_at);
+                }
+            }
+        }
+        if next >= arrivals.len() && fleet.is_drained() {
+            break;
+        }
+    }
+    for shard in 0..fleet.shard_count() {
+        for r in fleet.shard_mut(shard).take_responses() {
+            if r.success {
+                latencies.record(r.latency().as_secs_f64());
+                output_tokens += r.usage.completion_tokens as u64;
+                last_completion = last_completion.max(r.finished_at);
+            }
+        }
+    }
+    let duration = (last_completion - first_arrival).as_secs_f64();
+    ScenarioReport::from_observations(
+        &format!("FIRST x{} shards", fleet.shard_count()),
         rate_label,
         samples.len(),
         &mut latencies,

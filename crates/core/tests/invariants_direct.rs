@@ -2,11 +2,11 @@
 //! monitor, the run ledger, the run-invariant checker over a hand-driven
 //! gateway, and replay-mode conservation against a real recorded cassette.
 //! These cover the checker *as a library* — independent of the automatic
-//! debug-build hook inside `run_scenario`.
+//! debug-build hook inside `ScenarioRun`.
 
 use first_core::{
-    check_replay_invariants, check_run_invariants, run_scenario_recorded, ChatCompletionRequest,
-    ClockMonitor, DeploymentBuilder, RunLedger,
+    check_replay_invariants, check_run_invariants, ChatCompletionRequest, ClockMonitor,
+    DeploymentBuilder, RunLedger, ScenarioRun,
 };
 use first_desim::{SimProcess, SimTime};
 use first_workload::{ArrivalProcess, DeploymentRef, ScenarioSpec, TenantClass};
@@ -134,7 +134,12 @@ fn replay_conservation_holds_for_a_real_recording_and_names_forgeries() {
             TenantClass::synthetic("bronze", 4, ArrivalProcess::FixedRate(1.0), MODEL),
         ],
     );
-    let (report, cassette) = run_scenario_recorded(&spec, 7).expect("spec records");
+    let out = ScenarioRun::new(&spec)
+        .seed(7)
+        .recorded()
+        .execute()
+        .expect("spec records");
+    let (report, cassette) = (out.report, out.cassette.expect("recorded"));
 
     // The genuine pair conserves: offered == cassette length, per tenant too.
     check_replay_invariants(&report, &cassette).expect("recording conserves");

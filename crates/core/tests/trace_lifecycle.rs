@@ -4,7 +4,7 @@
 //! randomized scenario specs must be a pure function of the seed — two
 //! identical runs export byte-identical Chrome traces.
 
-use first_core::run_scenario_traced;
+use first_core::ScenarioRun;
 use first_telemetry::{chrome_trace_json, Phase, TraceConfig};
 use first_workload::catalog;
 use proptest::prelude::*;
@@ -18,7 +18,12 @@ fn span_trees_nest_and_phases_are_exhaustive() {
         .into_iter()
         .find(|s| s.name == "burst")
         .expect("catalog scenario present");
-    let (report, trees) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+    let out = ScenarioRun::new(&spec)
+        .seed(42)
+        .traced(TraceConfig::every_request(4096))
+        .execute()
+        .expect("traced run");
+    let (report, trees) = (out.report, out.traces.expect("traced run yields trees"));
 
     assert!(!trees.is_empty(), "sample_every=1 sampled nothing");
     assert_eq!(
@@ -102,8 +107,16 @@ proptest! {
         spec.prewarm = prewarm;
 
         let trace = TraceConfig { sample_every, capacity: 4096 };
-        let (report_a, trees_a) = run_scenario_traced(&spec, seed, trace);
-        let (report_b, trees_b) = run_scenario_traced(&spec, seed, trace);
+        let run = |spec: &first_workload::ScenarioSpec| {
+            let out = ScenarioRun::new(spec)
+                .seed(seed)
+                .traced(trace)
+                .execute()
+                .expect("traced run");
+            (out.report, out.traces.expect("traced run yields trees"))
+        };
+        let (report_a, trees_a) = run(&spec);
+        let (report_b, trees_b) = run(&spec);
 
         // Byte-identical trace export and identical reports.
         let export_a = chrome_trace_json(trees_a.iter());

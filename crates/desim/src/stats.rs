@@ -356,6 +356,27 @@ impl Histogram {
         }
     }
 
+    /// Read-only percentile in `[0, 100]`: the `&self` counterpart of
+    /// [`Histogram::percentile`] for scrape paths that must not mutate the
+    /// histogram. Uses the sorted cache when it is fresh; otherwise sorts a
+    /// temporary copy of the samples and leaves the cache untouched, so the
+    /// call is idempotent and never perturbs equality or serialization of
+    /// the histogram it reads.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        let rank = rank.min(self.samples.len() - 1);
+        if self.sorted {
+            return self.samples[rank];
+        }
+        let mut copy = self.samples.clone();
+        copy.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        copy[rank]
+    }
+
     /// Merge another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);

@@ -41,7 +41,8 @@ pub mod trace;
 pub use alerts::{AlertRule, AlertSeverity, AlertState, Alerting, FiredAlert};
 pub use counter::{Counter, Gauge};
 pub use dashboard::{
-    ClusterRow, DashboardSnapshot, ModelRow, PhaseLatencyRow, QueueRow, ReplayCell, TenantRow,
+    ClusterRow, DashboardSnapshot, ModelRow, PhaseLatencyRow, QueueRow, ReplayCell, ShardRow,
+    TenantRow,
 };
 pub use exposition::render_prometheus;
 pub use histogram::BucketHistogram;

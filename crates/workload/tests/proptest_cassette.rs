@@ -5,7 +5,7 @@
 //! behind the golden regression tests — checked here over randomised specs
 //! instead of two pinned catalog scenarios.
 
-use first_core::{replay_cassette, run_scenario, run_scenario_recorded};
+use first_core::ScenarioRun;
 use first_workload::{
     ArrivalProcess, Cassette, DeploymentRef, ScenarioSpec, SloTarget, TenantClass,
 };
@@ -56,7 +56,13 @@ proptest! {
         priority in 0u8..255,
     ) {
         let spec = small_spec(requests_a, requests_b, rate, priority);
-        let (_, cassette) = run_scenario_recorded(&spec, seed).expect("open-loop spec records");
+        let cassette = ScenarioRun::new(&spec)
+            .seed(seed)
+            .recorded()
+            .execute()
+            .expect("open-loop spec records")
+            .cassette
+            .expect("recorded");
         cassette.validate().expect("recorded cassette is well-formed");
         prop_assert_eq!(cassette.len(), spec.compile(seed).requests.len());
 
@@ -85,13 +91,25 @@ proptest! {
         rate in 0.5f64..4.0,
     ) {
         let spec = small_spec(requests_a, requests_b, rate, 64);
-        let (report, cassette) = run_scenario_recorded(&spec, seed).expect("spec records");
-        prop_assert_eq!(&report, &run_scenario(&spec, seed));
+        let out = ScenarioRun::new(&spec)
+            .seed(seed)
+            .recorded()
+            .execute()
+            .expect("spec records");
+        let (report, cassette) = (out.report, out.cassette.expect("recorded"));
+        let plain = ScenarioRun::new(&spec).seed(seed).execute().unwrap().report;
+        prop_assert_eq!(&report, &plain);
 
-        let replayed = replay_cassette(&cassette).expect("cassette replays");
-        prop_assert_eq!(&replayed, &report);
+        let replay = |c: &Cassette| {
+            ScenarioRun::replay(c)
+                .expect("cassette compiles")
+                .execute()
+                .expect("cassette replays")
+                .report
+        };
+        prop_assert_eq!(&replay(&cassette), &report);
 
         let reloaded = Cassette::from_json(&cassette.to_json()).expect("parses");
-        prop_assert_eq!(&replay_cassette(&reloaded).expect("reloaded replays"), &report);
+        prop_assert_eq!(&replay(&reloaded), &report);
     }
 }

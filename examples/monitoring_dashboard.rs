@@ -24,8 +24,7 @@
 
 use first::chaos::{FaultInjector, FaultKind, FaultPlan, ResilienceConfig};
 use first::core::{
-    replay_cassette, replay_dashboard_cell, run_scenario_recorded, run_scenario_traced,
-    ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest,
+    replay_dashboard_cell, ChatCompletionRequest, DeploymentBuilder, EmbeddingRequest, ScenarioRun,
 };
 use first::desim::{SimDuration, SimProcess, SimTime};
 use first::telemetry::{chrome_trace_json, render_prometheus, TraceConfig};
@@ -187,8 +186,12 @@ fn main() {
         .into_iter()
         .find(|s| s.name == "multi-tenant-contention")
         .expect("catalog scenario present");
-    let (report, cassette) =
-        run_scenario_recorded(&spec, 42).expect("open-loop catalog scenario records");
+    let out = ScenarioRun::new(&spec)
+        .seed(42)
+        .recorded()
+        .execute()
+        .expect("open-loop catalog scenario records");
+    let (report, cassette) = (out.report, out.cassette.expect("recorded"));
     println!("\n== scenario matrix: per-tenant SLO attainment ==");
     print!("{}", report.render_text());
     assert!(report.tenants.len() >= 3, "three tenant classes reported");
@@ -238,7 +241,11 @@ fn main() {
     // replaying it reproduces the report byte-for-byte, and a dashboard
     // serving a replay carries the `-- replay --` banner so nobody mistakes
     // a recording for live traffic.
-    let replayed = replay_cassette(&cassette).expect("cassette replays");
+    let replayed = ScenarioRun::replay(&cassette)
+        .expect("cassette compiles")
+        .execute()
+        .expect("cassette replays")
+        .report;
     assert_eq!(report, replayed, "replay reproduces the recorded report");
     let mut replay_view = gateway.dashboard_snapshot(now);
     replay_view.replay = Some(replay_dashboard_cell(&cassette));
@@ -262,7 +269,15 @@ fn main() {
         .map(|v| !v.is_empty() && v != "0")
         .unwrap_or(false);
     if trace_active {
-        let (traced, trees) = run_scenario_traced(&spec, 42, TraceConfig::every_request(4096));
+        let traced_out = ScenarioRun::new(&spec)
+            .seed(42)
+            .traced(TraceConfig::every_request(4096))
+            .execute()
+            .expect("traced run");
+        let (traced, trees) = (
+            traced_out.report,
+            traced_out.traces.expect("traced run yields trees"),
+        );
         let breakdown = traced.phases.as_ref().expect("traced run has phases");
         println!("\n== phase latency (sample_every=1) ==");
         let rendered = traced.render_text();

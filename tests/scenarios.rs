@@ -4,7 +4,7 @@
 //! and every run passes the invariant checker.
 
 use first::core::{
-    check_run_invariants, run_scenario, run_webui_closed_loop, DeploymentBuilder, RunLedger,
+    check_run_invariants, run_webui_closed_loop, DeploymentBuilder, RunLedger, ScenarioRun,
 };
 use first::desim::{SimDuration, SimTime};
 use first::workload::{catalog, generate_sessions, SessionWorkloadConfig, TenantWorkload};
@@ -13,13 +13,13 @@ const MODEL_8B: &str = "meta-llama/Meta-Llama-3.1-8B-Instruct";
 
 #[test]
 fn catalog_scenarios_run_end_to_end_with_per_tenant_partitions() {
-    // A debug-build run of `run_scenario` also executes the invariant
-    // checker after every scenario, so this doubles as the conservation
-    // proof for each exercised deployment shape.
+    // A debug-build `ScenarioRun` also executes the invariant checker
+    // after every scenario, so this doubles as the conservation proof for
+    // each exercised deployment shape.
     let specs = catalog(48);
     for name in ["steady", "multi-tenant-contention", "chaos-under-load"] {
         let spec = specs.iter().find(|s| s.name == name).expect("in catalog");
-        let report = run_scenario(spec, 42);
+        let report = ScenarioRun::new(spec).seed(42).execute().unwrap().report;
         assert_eq!(report.offered, report.accepted + report.rejected, "{name}");
         assert_eq!(
             report.accepted,
@@ -41,7 +41,7 @@ fn catalog_scenarios_run_end_to_end_with_per_tenant_partitions() {
         .iter()
         .find(|s| s.name == "chaos-under-load")
         .expect("in catalog");
-    let report = run_scenario(chaos, 42);
+    let report = ScenarioRun::new(chaos).seed(42).execute().unwrap().report;
     assert!(report.faults_injected > 0, "chaos plan applied");
 }
 
@@ -56,7 +56,7 @@ fn trace_replay_scenario_preserves_the_trace_shape() {
         spec.tenants[0].workload,
         TenantWorkload::TraceReplay { .. }
     ));
-    let report = run_scenario(spec, 42);
+    let report = ScenarioRun::new(spec).seed(42).execute().unwrap().report;
     assert!(report.completed > 0);
     // The trace tenant spreads over several models (popularity skew).
     let compiled = spec.compile(42);
@@ -76,7 +76,7 @@ fn closed_loop_session_scenario_reports_a_webui_cell() {
         .iter()
         .find(|s| s.name == "closed-loop-sessions")
         .expect("in catalog");
-    let report = run_scenario(spec, 42);
+    let report = ScenarioRun::new(spec).seed(42).execute().unwrap().report;
     let cell = report.webui.as_ref().expect("session rider reported");
     assert!(cell.completed > 0, "sessions completed turns: {cell:?}");
     assert_eq!(report.completed, cell.completed);
