@@ -84,7 +84,7 @@ fn scenarios(seed: u64, run_secs: f64) -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
-fn run_scenario(label: &str, plan: FaultPlan, n: usize, seed: u64) -> ResilienceReport {
+fn run_fault_scenario(label: &str, plan: FaultPlan, n: usize, seed: u64) -> ResilienceReport {
     let (mut gateway, tokens) = DeploymentBuilder::federated_sophia_polaris()
         .prewarm(1)
         .resilience(ResilienceConfig::production())
@@ -112,7 +112,7 @@ fn main() {
 
     let mut reports: Vec<ResilienceReport> = Vec::new();
     for (label, plan) in scenarios(seed, run_secs) {
-        reports.push(run_scenario(label, plan, n, seed));
+        reports.push(run_fault_scenario(label, plan, n, seed));
     }
     let baseline = reports[0].clone();
 
@@ -141,7 +141,7 @@ fn main() {
 
     // Reproducibility proof: re-run one fault scenario under the same seed
     // and require bit-identical metrics.
-    let again = run_scenario(
+    let again = run_fault_scenario(
         "cluster-outage",
         scenarios(seed, run_secs).pop().expect("scenarios").1,
         n,

@@ -1,6 +1,6 @@
 //! Golden-artifact regression tests for the scenario matrix.
 //!
-//! Three small catalog scenarios run at a pinned seed and request budget;
+//! Four small catalog scenarios run at a pinned seed and request budget;
 //! their `GatewayReport`s must serialize **byte-identically** to the JSON
 //! committed under `bench/golden/`. A diff here means the simulation's
 //! observable behaviour changed — per-tenant latencies, SLO attainment,
@@ -15,8 +15,8 @@
 //! then commit the regenerated `bench/golden/GOLDEN_*.json` files and
 //! justify the new numbers in the PR / CHANGES.md entry.
 
-use first_core::ScenarioRun;
-use first_workload::catalog;
+use first_core::{GatewayReport, ScenarioRun};
+use first_workload::{catalog, ScenarioSpec};
 use std::path::PathBuf;
 
 /// Seed and budget are pinned: goldens are not reruns of the live bench
@@ -24,12 +24,29 @@ use std::path::PathBuf;
 const GOLDEN_SEED: u64 = 42;
 const GOLDEN_BUDGET: usize = 120;
 
-/// The three pinned scenarios: the runner's base case, the multi-tenant
-/// SLO-partition case, and the priority/tie-break merge case.
-const GOLDEN_SCENARIOS: &[&str] = &["steady", "multi-tenant-contention", "priority-inversion"];
+/// The pinned scenarios: the runner's base case, the multi-tenant
+/// SLO-partition case, the priority/tie-break merge case, and the
+/// federation-tier failover case (shard crash + restart under load).
+const GOLDEN_SCENARIOS: &[&str] = &[
+    "steady",
+    "multi-tenant-contention",
+    "priority-inversion",
+    "shard-outage",
+];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/golden")
+}
+
+/// Run a pinned scenario exactly the way its golden was produced.
+/// `shard-outage` is the one catalog entry that needs a federation: its
+/// fault plan kills shard 1 of 4, so it runs on a 4-shard fleet.
+fn run_golden(spec: &ScenarioSpec) -> GatewayReport {
+    let mut run = ScenarioRun::new(spec).seed(GOLDEN_SEED);
+    if spec.name == "shard-outage" {
+        run = run.shards(4);
+    }
+    run.execute().expect("golden scenario runs").report
 }
 
 #[test]
@@ -43,11 +60,7 @@ fn golden_catalog_scenarios_reproduce_byte_identically() {
             .iter()
             .find(|s| s.name == *name)
             .unwrap_or_else(|| panic!("catalog scenario '{name}' missing"));
-        let report = ScenarioRun::new(spec)
-            .seed(GOLDEN_SEED)
-            .execute()
-            .expect("golden scenario runs")
-            .report;
+        let report = run_golden(spec);
         let rendered = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
         let path = golden_dir().join(format!("GOLDEN_{name}.json"));
         if write {
@@ -86,5 +99,49 @@ fn golden_scenarios_exist_in_the_catalog_at_any_budget() {
                 "catalog({budget}) lost pinned scenario '{name}'"
             );
         }
+    }
+}
+
+/// The headline failover guarantee, pinned at golden seed/budget: killing
+/// 1 of 4 shards mid-run loses **zero** accepted requests — every request
+/// completes, is retried to completion, or is shed with a typed outcome
+/// (none are shed here: surviving capacity is sufficient).
+#[test]
+fn shard_outage_golden_loses_zero_accepted_requests() {
+    let specs = catalog(GOLDEN_BUDGET);
+    let spec = specs
+        .iter()
+        .find(|s| s.name == "shard-outage")
+        .expect("shard-outage in catalog");
+    let report = run_golden(spec);
+    assert_eq!(report.offered, 120);
+    assert_eq!(report.accepted, 120, "nothing rejected at the front tier");
+    assert_eq!(report.completed, 120, "zero accepted requests lost");
+    assert_eq!(report.failed, 0);
+    let failover = report.failover.as_ref().expect("failover section");
+    assert_eq!(failover.crashes, 1);
+    assert_eq!(failover.restarts, 1);
+    assert!(
+        failover.lost_in_flight > 0,
+        "the crash catches requests in flight: {failover:?}"
+    );
+    assert_eq!(
+        failover.retried_to_completion, failover.lost_in_flight,
+        "every lost copy completed on a surviving peer"
+    );
+    // Only the dead shard's tenant ("copilot", homed on shard 1) re-homes:
+    // the other three tenants' keys never move.
+    let copilot = report.tenant("copilot").expect("copilot report");
+    assert!(failover.rehomed_requests > 0);
+    assert!(
+        failover.rehomed_requests <= copilot.offered,
+        "re-homing is confined to the dead shard's tenant: {} rehomed vs {} copilot requests",
+        failover.rehomed_requests,
+        copilot.offered
+    );
+    assert_eq!(failover.shed_overload + failover.shed_no_live_shard, 0);
+    // Per-tenant SLO accounting survives the outage.
+    for tenant in &report.tenants {
+        assert_eq!(tenant.completed, tenant.offered, "{}", tenant.tenant);
     }
 }

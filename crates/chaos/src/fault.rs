@@ -232,6 +232,135 @@ impl FaultPlan {
     }
 }
 
+/// One kind of shard-scoped fault. Unlike [`FaultKind`], which perturbs the
+/// compute substrate *inside* one shard, these strike the federation tier
+/// itself: whole-shard death and recovery, front-tier reachability, and the
+/// shared fan-in path. They are applied by the scenario driver at the
+/// `ShardedGateway` level, not by the per-shard [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardFaultKind {
+    /// The shard process dies: every in-flight request on it is lost, its
+    /// keys re-home to surviving peers, and it stays dead until an explicit
+    /// [`ShardFaultKind::ShardRestart`].
+    ShardCrash {
+        /// Index of the shard that crashes.
+        shard: usize,
+    },
+    /// A previously crashed shard comes back empty (cold caches, fresh
+    /// queues) and rejoins the ring.
+    ShardRestart {
+        /// Index of the shard that restarts.
+        shard: usize,
+    },
+    /// The front tier loses reachability to a healthy shard for `duration`:
+    /// the shard keeps draining its queue, but no new requests route to it
+    /// and responses it produces are only collected once the partition heals.
+    FrontTierPartition {
+        /// Index of the shard cut off from the front tier.
+        shard: usize,
+        /// How long the partition lasts.
+        duration: SimDuration,
+    },
+    /// The shared DNS/LB fan-in path degrades: every submission pays `extra`
+    /// on top of the configured fan-in latency until the spike ends.
+    FanInLatencySpike {
+        /// Extra fan-in latency added.
+        extra: SimDuration,
+        /// Spike duration.
+        duration: SimDuration,
+    },
+}
+
+impl ShardFaultKind {
+    /// The shard this fault targets, if any (fan-in spikes hit every shard).
+    pub fn shard(&self) -> Option<usize> {
+        match self {
+            ShardFaultKind::ShardCrash { shard }
+            | ShardFaultKind::ShardRestart { shard }
+            | ShardFaultKind::FrontTierPartition { shard, .. } => Some(*shard),
+            ShardFaultKind::FanInLatencySpike { .. } => None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardFaultKind::ShardCrash { .. } => "shard-crash",
+            ShardFaultKind::ShardRestart { .. } => "shard-restart",
+            ShardFaultKind::FrontTierPartition { .. } => "front-tier-partition",
+            ShardFaultKind::FanInLatencySpike { .. } => "fanin-latency-spike",
+        }
+    }
+}
+
+/// A shard-scoped fault scheduled at an absolute virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardFaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: ShardFaultKind,
+}
+
+/// A deterministic, time-ordered schedule of shard-scoped faults, mirroring
+/// [`FaultPlan`] for the federation tier.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardFaultPlan {
+    events: Vec<ShardFaultEvent>,
+}
+
+impl ShardFaultPlan {
+    /// An empty plan (the shard-fault-free baseline).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault; events are kept sorted by time (ties keep push order).
+    pub fn push(&mut self, at: SimTime, kind: ShardFaultKind) -> &mut Self {
+        self.events.push(ShardFaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Builder-style [`ShardFaultPlan::push`].
+    pub fn with(mut self, at: SimTime, kind: ShardFaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// The scheduled events, in time order.
+    pub fn events(&self) -> &[ShardFaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing (the baseline).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A single permanent shard crash at `at`.
+    pub fn kill(shard: usize, at: SimTime) -> Self {
+        Self::none().with(at, ShardFaultKind::ShardCrash { shard })
+    }
+
+    /// A shard crash at `at` followed by its restart `down_for` later.
+    pub fn kill_and_restart(shard: usize, at: SimTime, down_for: SimDuration) -> Self {
+        Self::none()
+            .with(at, ShardFaultKind::ShardCrash { shard })
+            .with(at + down_for, ShardFaultKind::ShardRestart { shard })
+    }
+
+    /// A front-tier partition of `shard` at `at` lasting `duration`.
+    pub fn partition(shard: usize, at: SimTime, duration: SimDuration) -> Self {
+        Self::none().with(at, ShardFaultKind::FrontTierPartition { shard, duration })
+    }
+}
+
 /// A fault the injector actually applied (for logs and assertions).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppliedFault {
@@ -508,6 +637,59 @@ mod tests {
         assert!(injector.is_exhausted());
         assert_eq!(injector.applied().len(), 2);
         assert!(!FaultInjector::new(FaultPlan::none()).is_active());
+    }
+
+    #[test]
+    fn shard_fault_plans_stay_time_ordered_and_round_trip() {
+        let plan = ShardFaultPlan::none()
+            .with(
+                SimTime::from_secs(40),
+                ShardFaultKind::ShardRestart { shard: 1 },
+            )
+            .with(
+                SimTime::from_secs(8),
+                ShardFaultKind::ShardCrash { shard: 1 },
+            )
+            .with(
+                SimTime::from_secs(20),
+                ShardFaultKind::FanInLatencySpike {
+                    extra: SimDuration::from_millis(250),
+                    duration: SimDuration::from_secs(15),
+                },
+            );
+        assert_eq!(plan.len(), 3);
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(plan.events()[0].kind.label(), "shard-crash");
+        assert_eq!(plan.events()[0].kind.shard(), Some(1));
+        assert_eq!(plan.events()[1].kind.shard(), None);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ShardFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        assert!(ShardFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn kill_and_restart_schedules_the_matching_pair() {
+        let plan =
+            ShardFaultPlan::kill_and_restart(2, SimTime::from_secs(10), SimDuration::from_secs(30));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.events()[0].kind,
+            ShardFaultKind::ShardCrash { shard: 2 }
+        );
+        assert_eq!(plan.events()[0].at, SimTime::from_secs(10));
+        assert_eq!(
+            plan.events()[1].kind,
+            ShardFaultKind::ShardRestart { shard: 2 }
+        );
+        assert_eq!(plan.events()[1].at, SimTime::from_secs(40));
+        assert_eq!(
+            ShardFaultPlan::partition(0, SimTime::from_secs(5), SimDuration::from_secs(9)).events()
+                [0]
+            .kind
+            .label(),
+            "front-tier-partition"
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   [`FaultInjector`] that replays them against a deployment: node crashes
 //!   and PBS preemptions (`first-hpc`), endpoint flaps, cluster outages and
 //!   latency spikes (`first-fabric`), engine stalls (`first-serving`). The
-//!   same seed always produces the same failure scenario.
+//!   same seed always produces the same failure scenario. Shard-scoped plans
+//!   ([`ShardFaultPlan`]) schedule federation-tier faults — whole-shard
+//!   crashes and restarts, front-tier partitions, fan-in latency spikes —
+//!   that the sharded scenario driver applies above the per-shard injectors.
 //! * [`health`] — the resilience machinery the gateway consumes: per-endpoint
 //!   [`HealthState`]s, an exponential-backoff [`RetryPolicy`], hedged-request
 //!   support, a [`CircuitBreaker`], and the [`ResilienceConfig`] bundle.
@@ -23,13 +26,16 @@
 pub mod fault;
 pub mod health;
 
-pub use fault::{AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{
+    AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultPlan, ShardFaultEvent, ShardFaultKind,
+    ShardFaultPlan,
+};
 pub use health::{
     CircuitBreaker, CircuitBreakerConfig, HealthState, HealthTracker, ResilienceConfig, RetryPolicy,
 };
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+    pub use crate::fault::{FaultInjector, FaultKind, FaultPlan, ShardFaultKind, ShardFaultPlan};
     pub use crate::health::{HealthState, HealthTracker, ResilienceConfig, RetryPolicy};
 }

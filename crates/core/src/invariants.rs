@@ -22,7 +22,7 @@
 //! per shard and additionally reconciles cross-shard totals and spill flow.
 
 use crate::gateway::Gateway;
-use crate::scenario::GatewayReport;
+use crate::scenario::{FailoverSection, GatewayReport};
 use first_desim::SimTime;
 use first_workload::Cassette;
 
@@ -224,6 +224,147 @@ pub fn check_sharded_run_invariants(
     }
 }
 
+/// Conservation under failover: with shard-scoped faults and a front tier
+/// retrying, hedging and shedding, the simple cross-shard sums of
+/// [`check_sharded_run_invariants`] no longer hold — retries and hedges
+/// multiply physical submissions, typed sheds resolve client requests
+/// without one, and a crash loses in-flight copies outright. This check
+/// reconciles the whole flow instead: every client request is accounted
+/// exactly once across home, re-home, retry and shed paths, and every
+/// physical copy is accounted as answered, lost to a crash, or still in
+/// flight on an undrained shard.
+///
+/// The logical ledger (`total`) counts each client request once; the
+/// per-shard ledgers count physical submissions (including retries and
+/// hedges). `ever_crashed[i]` marks shards whose ledgers can only satisfy
+/// weak conservation — the copies they lost were purged, not answered.
+pub fn check_failover_run_invariants(
+    shards: &[Gateway],
+    shard_ledgers: &[RunLedger],
+    total: &RunLedger,
+    ever_crashed: &[bool],
+    failover: &FailoverSection,
+    spilled_out: &[usize],
+    spilled_in: &[usize],
+) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    if shards.len() != shard_ledgers.len() || shards.len() != ever_crashed.len() {
+        violations.push(format!(
+            "{} shards but {} shard ledgers and {} crash flags",
+            shards.len(),
+            shard_ledgers.len(),
+            ever_crashed.len()
+        ));
+        return Err(violations);
+    }
+    // Per-shard physical ledgers: strict when the shard never crashed (its
+    // driver-set drained flag engages the strict checks), weak otherwise.
+    for (i, (gateway, ledger)) in shards.iter().zip(shard_ledgers).enumerate() {
+        if let Err(shard_violations) = check_run_invariants(gateway, ledger) {
+            for v in shard_violations {
+                violations.push(format!("shard {i}: {v}"));
+            }
+        }
+    }
+    // Whole-run logical conservation.
+    if total.clock.violations() > 0 {
+        violations.push(format!(
+            "sim clock moved backwards {} time(s)",
+            total.clock.violations()
+        ));
+    }
+    if total.offered != total.accepted + total.rejected {
+        violations.push(format!(
+            "offered {} != accepted {} + rejected {}",
+            total.offered, total.accepted, total.rejected
+        ));
+    }
+    if total.completed + total.failed > total.accepted {
+        violations.push(format!(
+            "more responses ({} completed + {} failed) than accepted requests ({})",
+            total.completed, total.failed, total.accepted
+        ));
+    }
+    if total.drained && total.completed + total.failed != total.accepted {
+        violations.push(format!(
+            "drained run lost requests: accepted {} != completed {} + failed {}",
+            total.accepted, total.completed, total.failed
+        ));
+    }
+    // Physical dispatch flow: every client request the front tier did not
+    // shed pre-submit, plus every retry and hedge, hit exactly one shard.
+    let sum = |f: fn(&RunLedger) -> usize| shard_ledgers.iter().map(f).sum::<usize>();
+    let phys_offered = sum(|l| l.offered);
+    let expected_offered = total.offered - failover.shed_overload - failover.shed_no_live_shard
+        + failover.retries_dispatched
+        + failover.hedges_dispatched;
+    if phys_offered != expected_offered {
+        violations.push(format!(
+            "physical dispatch flow does not reconcile: shards saw {} submissions but \
+             offered {} - shed ({} + {}) + retries {} + hedges {} = {}",
+            phys_offered,
+            total.offered,
+            failover.shed_overload,
+            failover.shed_no_live_shard,
+            failover.retries_dispatched,
+            failover.hedges_dispatched,
+            expected_offered
+        ));
+    }
+    if total.drained {
+        // Every physically accepted copy was answered or died in a crash…
+        let phys_accepted = sum(|l| l.accepted);
+        let phys_answered = sum(|l| l.completed + l.failed);
+        if phys_accepted != phys_answered + failover.lost_in_flight {
+            violations.push(format!(
+                "physical copies leak: {} accepted != {} answered + {} lost in flight",
+                phys_accepted, phys_answered, failover.lost_in_flight
+            ));
+        }
+        // …and every physical answer either resolved a client request or
+        // arrived stale; give-ups resolved a client request without one.
+        let logical_answered = total.completed + total.failed;
+        let expected_answered =
+            logical_answered - failover.shed_retries_exhausted + failover.stale_responses;
+        if phys_answered != expected_answered {
+            violations.push(format!(
+                "response flow does not reconcile: shards answered {} but logical ({}) - \
+                 gave up ({}) + stale ({}) = {}",
+                phys_answered,
+                logical_answered,
+                failover.shed_retries_exhausted,
+                failover.stale_responses,
+                expected_answered
+            ));
+        }
+    }
+    if failover.retried_to_completion + failover.hedge_wins
+        > failover.retries_dispatched + failover.hedges_dispatched
+    {
+        violations.push(format!(
+            "more retry/hedge wins ({} + {}) than dispatches ({} + {})",
+            failover.retried_to_completion,
+            failover.hedge_wins,
+            failover.retries_dispatched,
+            failover.hedges_dispatched
+        ));
+    }
+    let out: usize = spilled_out.iter().sum();
+    let inn: usize = spilled_in.iter().sum();
+    if out != inn {
+        violations.push(format!(
+            "spill flow does not reconcile: {out} spilled out but {inn} spilled in"
+        ));
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
 /// Replay-mode conservation: cross-check a replayed run's report against the
 /// cassette it replayed. The replayed run must offer exactly the recorded
 /// stream — whole-run and per-tenant — under the recorded scenario identity.
@@ -382,5 +523,115 @@ mod tests {
             ..ledger
         };
         assert!(check_run_invariants(&gw, &bad).is_err());
+    }
+
+    /// A hand-built two-shard failover run: shard 1 crashed mid-run with two
+    /// copies in flight, one was retried to completion on shard 0, one
+    /// exhausted its retry budget, and one request was shed for overload.
+    fn failover_fixture() -> (Vec<Gateway>, Vec<RunLedger>, RunLedger, FailoverSection) {
+        let shards = vec![
+            DeploymentBuilder::single_cluster_test().prewarm(1).build(),
+            DeploymentBuilder::single_cluster_test().prewarm(1).build(),
+        ];
+        let shard_ledgers = vec![
+            RunLedger {
+                offered: 6,
+                accepted: 6,
+                rejected: 0,
+                completed: 6,
+                failed: 0,
+                clock: ClockMonitor::new(),
+                drained: true,
+            },
+            RunLedger {
+                offered: 4,
+                accepted: 4,
+                rejected: 0,
+                completed: 2,
+                failed: 0,
+                clock: ClockMonitor::new(),
+                drained: false,
+            },
+        ];
+        let total = RunLedger {
+            offered: 10,
+            accepted: 9,
+            rejected: 1,
+            completed: 8,
+            failed: 1,
+            clock: ClockMonitor::new(),
+            drained: true,
+        };
+        let failover = FailoverSection {
+            crashes: 1,
+            lost_in_flight: 2,
+            retries_dispatched: 1,
+            retried_to_completion: 1,
+            shed_overload: 1,
+            shed_retries_exhausted: 1,
+            ..FailoverSection::default()
+        };
+        (shards, shard_ledgers, total, failover)
+    }
+
+    #[test]
+    fn failover_flow_reconciles_across_home_retry_and_shed_paths() {
+        let (shards, shard_ledgers, total, failover) = failover_fixture();
+        check_failover_run_invariants(
+            &shards,
+            &shard_ledgers,
+            &total,
+            &[false, true],
+            &failover,
+            &[0, 0],
+            &[0, 0],
+        )
+        .expect("every request is accounted exactly once");
+    }
+
+    #[test]
+    fn failover_copy_leak_is_reported() {
+        let (shards, shard_ledgers, total, mut failover) = failover_fixture();
+        // Claim three copies were lost when only two physically went missing:
+        // the accepted-vs-answered reconciliation must catch the gap.
+        failover.lost_in_flight = 3;
+        let violations = check_failover_run_invariants(
+            &shards,
+            &shard_ledgers,
+            &total,
+            &[false, true],
+            &failover,
+            &[0, 0],
+            &[0, 0],
+        )
+        .unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("physical copies leak")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn failover_unshed_dispatch_mismatch_is_reported() {
+        let (shards, shard_ledgers, total, mut failover) = failover_fixture();
+        failover.shed_overload = 0;
+        let violations = check_failover_run_invariants(
+            &shards,
+            &shard_ledgers,
+            &total,
+            &[false, true],
+            &failover,
+            &[0, 0],
+            &[0, 0],
+        )
+        .unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("physical dispatch flow")),
+            "{violations:?}"
+        );
     }
 }

@@ -59,8 +59,8 @@ pub use batch::{BatchId, BatchJob, BatchManager, BatchState};
 pub use deploy::{enroll_standard_users, ClusterSite, DeploymentBuilder, HostedModel, TestTokens};
 pub use gateway::{CompletedRequest, Gateway, GatewayConfig, GatewayQueueSnapshot, JobsEntry};
 pub use invariants::{
-    check_replay_invariants, check_run_invariants, check_sharded_run_invariants, ClockMonitor,
-    RunLedger,
+    check_failover_run_invariants, check_replay_invariants, check_run_invariants,
+    check_sharded_run_invariants, ClockMonitor, RunLedger,
 };
 pub use middleware::{AuthMiddleware, RateLimiter, ResponseCache};
 pub use registry::{
@@ -73,11 +73,12 @@ pub use scenario::{
     run_scenario_recorded_traced, run_scenario_traced,
 };
 pub use scenario::{
-    replay_dashboard_cell, GatewayReport, RunOutput, ScenarioRun, ShardSection, TenantReport,
+    replay_dashboard_cell, FailoverSection, GatewayReport, RunOutput, ScenarioRun, ShardSection,
+    TenantReport,
 };
 pub use shard::{
-    ConsistentHashRing, RouteDecision, ShardReport, ShardedGateway, ShardingConfig,
-    SpilloverPolicy, RING_VNODES,
+    ConsistentHashRing, FrontTierPolicy, RouteDecision, ShardReport, ShardedGateway,
+    ShardingConfig, ShedPolicy, SpilloverPolicy, RING_VNODES,
 };
 pub use sim::{
     run_direct_openloop, run_gateway_openloop, run_openai_openloop, run_resilience_openloop,

@@ -24,20 +24,24 @@
 
 use crate::deploy::DeploymentBuilder;
 use crate::gateway::Gateway;
-use crate::invariants::{check_replay_invariants, RunLedger};
 #[cfg(debug_assertions)]
-use crate::invariants::{check_run_invariants, check_sharded_run_invariants};
-use crate::shard::{ShardReport, ShardedGateway, ShardingConfig, SpilloverPolicy};
+use crate::invariants::{
+    check_failover_run_invariants, check_run_invariants, check_sharded_run_invariants,
+};
+use crate::invariants::{check_replay_invariants, RunLedger};
+use crate::shard::{FrontTierPolicy, ShardReport, ShardedGateway, ShardingConfig, SpilloverPolicy};
 use crate::sim::{run_webui_closed_loop, synthetic_chat_request, WebUiCell};
 use first_auth::{Identity, Scope, TokenString, UserId};
-use first_chaos::{FaultInjector, ResilienceConfig};
+use first_chaos::{FaultInjector, ResilienceConfig, ShardFaultKind};
 use first_desim::{Histogram, SimDuration, SimProcess, SimTime};
 use first_telemetry::{PhaseBreakdown, SpanTree, TraceConfig};
 use first_workload::{
-    Cassette, CassetteError, ConversationSample, DeploymentRef, RequestOutcome, ScenarioSpec,
+    Cassette, CassetteError, ConversationSample, DeploymentRef, RequestOutcome, ScenarioRequest,
+    ScenarioSpec,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Per-tenant metric partition of one scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,6 +140,53 @@ pub struct ShardSection {
     pub shards: Vec<ShardReport>,
 }
 
+/// The failover rollup of one run under shard-scoped faults or a non-default
+/// front-tier policy: what the chaos plan did to the federation tier and how
+/// the front tier absorbed it — retries, hedges, re-homes, and typed sheds.
+/// `None` on the report when the run had neither, so reports from before
+/// shard faults existed keep serializing exactly as they did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailoverSection {
+    /// Whole-shard crashes applied from the plan.
+    pub crashes: usize,
+    /// Shard restarts applied (fresh replica, cold caches, re-enrolled
+    /// tenants).
+    pub restarts: usize,
+    /// Front-tier partitions applied (shard alive but unroutable).
+    pub partitions: usize,
+    /// Fan-in latency spikes applied.
+    pub fanin_spikes: usize,
+    /// Physical in-flight copies lost to shard crashes.
+    pub lost_in_flight: usize,
+    /// Arrivals routed to a surviving peer because their home shard was dead
+    /// or partitioned at arrival time.
+    pub rehomed_requests: usize,
+    /// Front-tier re-dispatches: crash-loss retries under exponential
+    /// backoff plus request-timeout re-dispatches.
+    pub retries_dispatched: usize,
+    /// Requests that resolved on a non-hedge attempt after more than one
+    /// dispatch.
+    pub retried_to_completion: usize,
+    /// Hedged duplicate dispatches issued by the front tier.
+    pub hedges_dispatched: usize,
+    /// Requests whose hedged duplicate answered first.
+    pub hedge_wins: usize,
+    /// Responses that arrived after their request had already been resolved
+    /// by a duplicate; dropped at the front tier, counted on the shard.
+    pub stale_responses: usize,
+    /// Typed overload sheds: arrivals below the shed policy's priority floor
+    /// rejected while their home shard's queue exceeded the depth bound.
+    pub shed_overload: usize,
+    /// Typed sheds because no shard was routable at arrival time.
+    pub shed_no_live_shard: usize,
+    /// Accepted requests failed back to the client after the retry budget
+    /// ran out, or with no routable shard left to retry on.
+    pub shed_retries_exhausted: usize,
+    /// Circuit-breaker trips recorded by the fleet's per-shard health
+    /// tracker.
+    pub breaker_trips: u64,
+}
+
 /// The full result of one scenario run: whole-run totals plus the per-tenant
 /// partitions. Contains no wall-clock measurement, so two runs of the same
 /// spec and seed serialize byte-identically — the property the golden tests
@@ -187,6 +238,11 @@ pub struct GatewayReport {
     /// unsharded reports stay byte-compatible with pre-sharding ones.
     #[serde(default)]
     pub shards: Option<ShardSection>,
+    /// Shard-fault failover rollup; `None` unless the run carried a shard
+    /// fault plan or a non-default front-tier policy, so existing reports
+    /// stay byte-compatible.
+    #[serde(default)]
+    pub failover: Option<FailoverSection>,
 }
 
 impl GatewayReport {
@@ -242,6 +298,29 @@ impl GatewayReport {
             for s in &sh.shards {
                 let _ = writeln!(out, "{}", s.table_row());
             }
+        }
+        if let Some(fo) = &self.failover {
+            let _ = writeln!(
+                out,
+                "failover: {} crashed / {} restarted / {} partitioned / {} fan-in spikes; \
+                 lost {} in flight, rehomed {}, retries {} ({} won), hedges {} ({} won), \
+                 {} stale; shed {} overload + {} no-shard + {} exhausted; {} breaker trips",
+                fo.crashes,
+                fo.restarts,
+                fo.partitions,
+                fo.fanin_spikes,
+                fo.lost_in_flight,
+                fo.rehomed_requests,
+                fo.retries_dispatched,
+                fo.retried_to_completion,
+                fo.hedges_dispatched,
+                fo.hedge_wins,
+                fo.stale_responses,
+                fo.shed_overload,
+                fo.shed_no_live_shard,
+                fo.shed_retries_exhausted,
+                fo.breaker_trips,
+            );
         }
         if let Some(cell) = &self.webui {
             let _ = writeln!(
@@ -408,6 +487,17 @@ impl<'c> ScenarioRun<'c> {
         self
     }
 
+    /// Configure the front-tier failover policy: retry/backoff for requests
+    /// lost to shard crashes, an optional per-request timeout re-dispatch,
+    /// an optional hedge, and an optional lowest-priority shed under
+    /// overload. Setting any non-default policy (or running a spec with a
+    /// shard fault plan) switches the run onto the failover driver and adds
+    /// a [`FailoverSection`] to the report.
+    pub fn front_tier(mut self, policy: FrontTierPolicy) -> Self {
+        self.sharding.front_tier = policy;
+        self
+    }
+
     /// Enable request-lifecycle tracing: every `sample_every`-th accepted
     /// request yields a [`SpanTree`] in [`RunOutput::traces`], and the
     /// report's [`GatewayReport::phases`] carries the aggregated breakdown.
@@ -443,9 +533,17 @@ impl<'c> ScenarioRun<'c> {
                     self.spec.name
                 )));
             }
+            if !self.spec.shard_faults.is_empty() {
+                return Err(CassetteError::Unrecordable(format!(
+                    "scenario '{}' carries a shard-scoped fault plan; cassettes replay on one \
+                     transparent shard, which cannot express federation-tier faults",
+                    self.spec.name
+                )));
+            }
             let transparent = self.sharding.shards <= 1
                 && self.sharding.fanin_latency == SimDuration::ZERO
-                && !self.sharding.spillover.enabled;
+                && !self.sharding.spillover.enabled
+                && self.sharding.front_tier == FrontTierPolicy::default();
             if !transparent {
                 return Err(CassetteError::Unrecordable(format!(
                     "scenario '{}' runs on a sharded front tier; cassettes carry no shard \
@@ -602,6 +700,294 @@ pub fn replay_dashboard_cell(cassette: &Cassette) -> first_telemetry::ReplayCell
     }
 }
 
+/// Front-tier actions scheduled on the failover event queue. Ordering within
+/// one instant follows the queue's monotone sequence number, so the enum's
+/// own derived order only ever breaks exact duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FrontAction {
+    /// Re-dispatch request `idx` after a crash lost its in-flight copy.
+    Retry(usize),
+    /// Request-timeout check for request `idx`, armed at attempt snapshot.
+    Timeout(usize, u32),
+    /// Hedge request `idx` if the attempt snapshot is still current.
+    Hedge(usize, u32),
+    /// A front-tier partition of `shard` heals.
+    Heal(usize),
+}
+
+/// Mutable front-tier failover state for one run. Only allocated when the
+/// run carries shard-scoped faults or a non-default [`FrontTierPolicy`]; the
+/// fault-free path never touches it, which is what keeps those reports
+/// byte-identical to the pre-failover driver.
+struct FrontState {
+    policy: FrontTierPolicy,
+    /// Per-request resolution flag, aligned with the compiled stream.
+    resolved: Vec<bool>,
+    /// Physical dispatch attempts per request (initial submit included).
+    attempts: Vec<u32>,
+    /// Physical copies currently in flight per request.
+    outstanding: Vec<u32>,
+    /// Shard the latest non-hedge attempt went to (hedges go elsewhere).
+    last_shard: Vec<usize>,
+    /// Accepted-but-unresolved logical requests.
+    unresolved: usize,
+    /// Event queue keyed by `(time, seq)`; the seq keeps ordering
+    /// deterministic within one instant.
+    queue: BinaryHeap<Reverse<(SimTime, u64, FrontAction)>>,
+    seq: u64,
+    /// Cursor into the spec's shard fault plan.
+    cursor: usize,
+    /// Active fan-in latency spikes: `(expires, extra latency)`.
+    spikes: Vec<(SimTime, SimDuration)>,
+    /// Shards that crashed at least once; their physical ledgers can never
+    /// report drained because the in-flight work they lost is gone.
+    ever_crashed: Vec<bool>,
+    counters: FailoverSection,
+}
+
+impl FrontState {
+    fn new(policy: FrontTierPolicy, requests: usize, shards: usize) -> Self {
+        FrontState {
+            policy,
+            resolved: vec![false; requests],
+            attempts: vec![0; requests],
+            outstanding: vec![0; requests],
+            last_shard: vec![0; requests],
+            unresolved: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            cursor: 0,
+            spikes: Vec::new(),
+            ever_crashed: vec![false; shards],
+            counters: FailoverSection::default(),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, action: FrontAction) {
+        self.queue.push(Reverse((at, self.seq, action)));
+        self.seq += 1;
+    }
+
+    fn next_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Fan-in latency including any active spike at `now`.
+    fn effective_fanin(&self, base: SimDuration, now: SimTime) -> SimDuration {
+        let extra = self
+            .spikes
+            .iter()
+            .filter(|&&(until, _)| until > now)
+            .map(|&(_, extra)| extra)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        base + extra
+    }
+
+    /// Resolve `idx` as failed-back-to-the-client when nothing is in flight
+    /// for it any more and the front tier has no further move.
+    fn give_up(&mut self, idx: usize, tenant: usize, ledger: &mut RunLedger, failed: &mut [usize]) {
+        if self.outstanding[idx] > 0 || self.resolved[idx] {
+            return;
+        }
+        self.resolved[idx] = true;
+        self.unresolved -= 1;
+        ledger.on_response(false);
+        failed[tenant] += 1;
+        self.counters.shed_retries_exhausted += 1;
+    }
+}
+
+/// One front-tier re-dispatch of request `idx` at `now`: a crash-loss or
+/// timeout retry (`hedge == false`, budgeted by the retry policy) or a
+/// hedged duplicate to a different shard (`hedge == true`). Resolves the
+/// request as failed when the budget is exhausted or no shard is routable
+/// and nothing is in flight.
+#[allow(clippy::too_many_arguments)]
+fn front_dispatch(
+    fleet: &mut ShardedGateway,
+    f: &mut FrontState,
+    ledger: &mut RunLedger,
+    shard_ledgers: &mut [RunLedger],
+    request_index: &mut HashMap<(usize, u64), (usize, bool)>,
+    requests: &[ScenarioRequest],
+    spec: &ScenarioSpec,
+    tokens: &[Vec<TokenString>],
+    failed: &mut [usize],
+    idx: usize,
+    now: SimTime,
+    hedge: bool,
+) {
+    let request = &requests[idx];
+    let tenant = request.tenant as usize;
+    let budget = 1 + f.policy.retry.max_retries;
+    if !hedge && f.attempts[idx] >= budget {
+        f.give_up(idx, tenant, ledger, failed);
+        return;
+    }
+    let target = if hedge {
+        // Hedge to the least-loaded routable shard other than the one the
+        // primary attempt went to; with nowhere else to go, skip quietly —
+        // the primary is still in flight.
+        let exclude = f.last_shard[idx];
+        (0..fleet.shard_count())
+            .filter(|&i| i != exclude && fleet.routable(i))
+            .min_by_key(|&i| (fleet.shard(i).load_depth(), i))
+    } else {
+        fleet.routable_home(&spec.tenants[tenant].name)
+    };
+    let Some(shard) = target else {
+        if !hedge {
+            f.give_up(idx, tenant, ledger, failed);
+        }
+        return;
+    };
+    let sample = ConversationSample {
+        prompt_tokens: request.prompt_tokens,
+        output_tokens: request.output_tokens,
+        prompt_text: String::new(),
+    };
+    let body = synthetic_chat_request(&request.model, idx, &sample);
+    let result = fleet.shard_mut(shard).chat_completions(
+        &body,
+        &tokens[shard][tenant],
+        Some(request.output_tokens),
+        now,
+    );
+    f.attempts[idx] += 1;
+    if hedge {
+        f.counters.hedges_dispatched += 1;
+    } else {
+        f.counters.retries_dispatched += 1;
+    }
+    match result {
+        Ok(id) => {
+            request_index.insert((shard, id), (idx, hedge));
+            f.outstanding[idx] += 1;
+            shard_ledgers[shard].on_submission(true);
+            if !hedge {
+                f.last_shard[idx] = shard;
+                let snap = f.attempts[idx];
+                if let Some(timeout) = f.policy.request_timeout {
+                    f.push(now + timeout, FrontAction::Timeout(idx, snap));
+                }
+                if let Some(after) = f.policy.hedge_after {
+                    f.push(now + after, FrontAction::Hedge(idx, snap));
+                }
+            }
+        }
+        Err(_) => {
+            shard_ledgers[shard].on_submission(false);
+            if !hedge {
+                if f.attempts[idx] >= budget {
+                    f.give_up(idx, tenant, ledger, failed);
+                } else {
+                    // The shard refused the retry outright: burn one backoff
+                    // step and try again within the same budget.
+                    let backoff = f.policy.retry.backoff(f.attempts[idx].saturating_sub(1));
+                    f.push(now + backoff, FrontAction::Retry(idx));
+                }
+            }
+        }
+    }
+}
+
+/// Drain every reachable shard's responses into the ledgers, outcomes and
+/// per-tenant accumulators. On the failover path (`front` present) the first
+/// response to a logical request wins — duplicates are counted stale and
+/// dropped at the front tier — and dead or partitioned shards deliver
+/// nothing: a crash loses its in-flight copies outright and a partition
+/// buffers responses until it heals.
+#[allow(clippy::too_many_arguments)]
+fn collect_responses(
+    fleet: &mut ShardedGateway,
+    ledger: &mut RunLedger,
+    shard_ledgers: &mut [RunLedger],
+    last_delivery: &mut SimTime,
+    outcomes: &mut [RequestOutcome],
+    request_index: &mut HashMap<(usize, u64), (usize, bool)>,
+    mut front: Option<&mut FrontState>,
+    requests: &[ScenarioRequest],
+    tenant_by_user: &HashMap<String, usize>,
+    fanin_s: f64,
+    latencies: &mut [Histogram],
+    output_tokens: &mut [u64],
+    failed: &mut [usize],
+) {
+    for (shard, shard_ledger) in shard_ledgers.iter_mut().enumerate() {
+        if front.is_some() && (!fleet.is_live(shard) || !fleet.is_reachable(shard)) {
+            continue;
+        }
+        for r in fleet.shard_mut(shard).take_responses() {
+            *last_delivery = (*last_delivery).max(r.finished_at);
+            if let Some(f) = front.as_deref_mut() {
+                shard_ledger.on_response(r.success);
+                let Some((idx, was_hedge)) = request_index.remove(&(shard, r.request_id)) else {
+                    continue;
+                };
+                f.outstanding[idx] = f.outstanding[idx].saturating_sub(1);
+                if f.resolved[idx] {
+                    f.counters.stale_responses += 1;
+                    continue;
+                }
+                f.resolved[idx] = true;
+                f.unresolved -= 1;
+                ledger.on_response(r.success);
+                // Client-observed latency spans from the original arrival:
+                // backoff, re-dispatch and hedge delay all count against the
+                // SLO, as does any fan-in spike baked into the arrival time.
+                let observed = r
+                    .finished_at
+                    .saturating_since(requests[idx].at)
+                    .as_secs_f64();
+                let o = &mut outcomes[idx];
+                o.delivered = true;
+                o.success = r.success;
+                o.latency_s = observed;
+                o.completion_tokens = r.usage.completion_tokens;
+                if f.attempts[idx] > 1 {
+                    if was_hedge {
+                        f.counters.hedge_wins += 1;
+                    } else {
+                        f.counters.retried_to_completion += 1;
+                    }
+                }
+                let Some(&tenant) = tenant_by_user.get(&r.user) else {
+                    continue;
+                };
+                if r.success {
+                    latencies[tenant].record(observed);
+                    output_tokens[tenant] += r.usage.completion_tokens as u64;
+                } else {
+                    failed[tenant] += 1;
+                }
+                continue;
+            }
+            ledger.on_response(r.success);
+            shard_ledger.on_response(r.success);
+            // Client-observed latency includes the fan-in hop (zero on
+            // the transparent configuration, leaving values bit-exact).
+            let observed = r.latency().as_secs_f64() + fanin_s;
+            if let Some(&(idx, _)) = request_index.get(&(shard, r.request_id)) {
+                let o = &mut outcomes[idx];
+                o.delivered = true;
+                o.success = r.success;
+                o.latency_s = observed;
+                o.completion_tokens = r.usage.completion_tokens;
+            }
+            let Some(&tenant) = tenant_by_user.get(&r.user) else {
+                continue;
+            };
+            if r.success {
+                latencies[tenant].record(observed);
+                output_tokens[tenant] += r.usage.completion_tokens as u64;
+            } else {
+                failed[tenant] += 1;
+            }
+        }
+    }
+}
+
 /// The shared body of every [`ScenarioRun`]: drive the compiled stream over
 /// the (possibly single-shard) federation and return the report, the
 /// per-request outcomes aligned with the compiled stream by index (always
@@ -623,6 +1009,12 @@ fn run_scenario_impl(
         "scenario '{}': open-loop tenants and a session rider are mutually exclusive",
         spec.name
     );
+    assert!(
+        spec.shard_faults.is_empty() || spec.sessions.is_none(),
+        "scenario '{}': shard-scoped faults drive the open-loop front tier and cannot compose \
+         with a closed-loop session rider",
+        spec.name
+    );
 
     let mut builder = builder_for(spec.deployment)
         .prewarm(spec.prewarm)
@@ -638,7 +1030,7 @@ fn run_scenario_impl(
     // One auth user per tenant class, enrolled identically on every shard
     // (the shared control plane): a tenant's credential is valid wherever
     // the ring or a spill sends the request. tokens[shard][tenant].
-    let tokens: Vec<Vec<TokenString>> = fleet
+    let mut tokens: Vec<Vec<TokenString>> = fleet
         .shards_mut()
         .iter_mut()
         .map(|gw| {
@@ -663,6 +1055,18 @@ fn run_scenario_impl(
 
     let compiled = spec.compile(seed);
     let horizon = compiled.horizon;
+    // The failover driver only engages when the run can actually need it;
+    // otherwise `front` stays `None` and the fault-free path below is
+    // byte-identical to the pre-failover driver.
+    let front_active =
+        !spec.shard_faults.is_empty() || sharding.front_tier != FrontTierPolicy::default();
+    let mut front = front_active.then(|| {
+        FrontState::new(
+            sharding.front_tier.clone(),
+            compiled.requests.len(),
+            n_shards,
+        )
+    });
     // Every shard gets its own injector over the same plan: the spec's fault
     // timeline is facility-wide, hitting each shard's replica of the
     // affected endpoints at the same instants.
@@ -689,63 +1093,47 @@ fn run_scenario_impl(
         .unwrap_or(SimTime::ZERO);
 
     // Per-request outcomes, aligned with `compiled.requests` by index; each
-    // shard's dense request ids map its responses back to stream positions.
+    // shard's dense request ids map its responses back to stream positions
+    // (the flag marks hedged duplicates on the failover path).
     let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(compiled.requests.len());
-    let mut request_index: HashMap<(usize, u64), usize> = HashMap::new();
-
-    let mut collect = |fleet: &mut ShardedGateway,
-                       ledger: &mut RunLedger,
-                       shard_ledgers: &mut [RunLedger],
-                       last_delivery: &mut SimTime,
-                       outcomes: &mut Vec<RequestOutcome>,
-                       request_index: &HashMap<(usize, u64), usize>| {
-        for (shard, shard_ledger) in shard_ledgers.iter_mut().enumerate() {
-            for r in fleet.shard_mut(shard).take_responses() {
-                ledger.on_response(r.success);
-                shard_ledger.on_response(r.success);
-                *last_delivery = (*last_delivery).max(r.finished_at);
-                // Client-observed latency includes the fan-in hop (zero on
-                // the transparent configuration, leaving values bit-exact).
-                let observed = r.latency().as_secs_f64() + fanin_s;
-                if let Some(&idx) = request_index.get(&(shard, r.request_id)) {
-                    let o = &mut outcomes[idx];
-                    o.delivered = true;
-                    o.success = r.success;
-                    o.latency_s = observed;
-                    o.completion_tokens = r.usage.completion_tokens;
-                }
-                let Some(&tenant) = tenant_by_user.get(&r.user) else {
-                    continue;
-                };
-                if r.success {
-                    latencies[tenant].record(observed);
-                    output_tokens[tenant] += r.usage.completion_tokens as u64;
-                } else {
-                    failed[tenant] += 1;
-                }
-            }
-        }
-    };
+    let mut request_index: HashMap<(usize, u64), (usize, bool)> = HashMap::new();
 
     // Pure closed-loop specs skip the open-loop drive entirely: advancing
     // the gateways through their prewarm events here would fast-forward the
     // clock past the session window before the session driver starts.
-    while !compiled.requests.is_empty() || injectors.iter().any(FaultInjector::is_active) {
+    while !compiled.requests.is_empty()
+        || injectors.iter().any(FaultInjector::is_active)
+        || front.is_some()
+    {
         let next_arrival = compiled.requests.get(next).map(|r| r.at);
         let mut internal: Option<SimTime> = None;
         for (i, injector) in injectors.iter().enumerate() {
-            internal = match (internal, injector.next_event_merged(fleet.shard(i))) {
+            let candidate = if fleet.is_live(i) {
+                injector.next_event_merged(fleet.shard(i))
+            } else {
+                // A dead shard makes no progress of its own; only the
+                // injector's pending timeline still needs draining.
+                injector.next_event_time()
+            };
+            internal = match (internal, candidate) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, None) => a,
                 (None, b) => b,
             };
         }
-        let step = match (next_arrival, internal) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, None) => a,
-            (None, b) => b,
-        };
-        let Some(step) = step else {
+        let front_next = front.as_ref().and_then(|f| {
+            let plan = spec.shard_faults.events().get(f.cursor).map(|e| e.at);
+            match (plan, f.next_at()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        });
+        let Some(step) = [next_arrival, internal, front_next]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
             break;
         };
         if step > horizon {
@@ -755,11 +1143,230 @@ fn run_scenario_impl(
         for i in 0..n_shards {
             shard_ledgers[i].clock.observe(step);
             injectors[i].apply_due(fleet.shard_mut(i).service_mut(), step);
-            fleet.shard_mut(i).advance(step);
+            if fleet.is_live(i) {
+                fleet.shard_mut(i).advance(step);
+            }
+        }
+        if let Some(f) = front.as_mut() {
+            // Shard-plan faults due at this step, applied before arrivals so
+            // routing at `step` already sees the new membership.
+            while let Some(event) = spec.shard_faults.events().get(f.cursor) {
+                if event.at > step {
+                    break;
+                }
+                f.cursor += 1;
+                match &event.kind {
+                    ShardFaultKind::ShardCrash { shard } => {
+                        let shard = *shard;
+                        if !fleet.kill_shard(shard, step) {
+                            continue;
+                        }
+                        f.ever_crashed[shard] = true;
+                        // Everything in flight on the shard dies with it.
+                        // Sort the purged keys so HashMap iteration order
+                        // never leaks into the retry schedule.
+                        let mut lost: Vec<(usize, u64)> = request_index
+                            .keys()
+                            .filter(|&&(s, _)| s == shard)
+                            .copied()
+                            .collect();
+                        lost.sort_unstable();
+                        for key in lost {
+                            let (idx, _) = request_index.remove(&key).expect("listed above");
+                            f.counters.lost_in_flight += 1;
+                            f.outstanding[idx] = f.outstanding[idx].saturating_sub(1);
+                            if f.resolved[idx] || f.outstanding[idx] > 0 {
+                                continue;
+                            }
+                            if f.attempts[idx] > f.policy.retry.max_retries {
+                                let tenant = compiled.requests[idx].tenant as usize;
+                                f.give_up(idx, tenant, &mut ledger, &mut failed);
+                            } else {
+                                let backoff =
+                                    f.policy.retry.backoff(f.attempts[idx].saturating_sub(1));
+                                f.push(step + backoff, FrontAction::Retry(idx));
+                            }
+                        }
+                    }
+                    ShardFaultKind::ShardRestart { shard } => {
+                        let shard = *shard;
+                        if shard >= n_shards || fleet.is_live(shard) {
+                            continue;
+                        }
+                        // A fresh replica from the same deployment builder:
+                        // cold caches, re-enrolled tenants, clock caught up
+                        // to the restart instant.
+                        let mut gw = builder.clone().build();
+                        let fresh: Vec<TokenString> = spec
+                            .tenants
+                            .iter()
+                            .map(|t| enroll_tenant_user(&mut gw, &t.name))
+                            .collect();
+                        gw.advance(step);
+                        fleet.restore_shard(shard, gw, step);
+                        tokens[shard] = fresh;
+                    }
+                    ShardFaultKind::FrontTierPartition { shard, duration } => {
+                        if fleet.partition_shard(*shard, step) {
+                            f.counters.partitions += 1;
+                            f.push(step + *duration, FrontAction::Heal(*shard));
+                        }
+                    }
+                    ShardFaultKind::FanInLatencySpike { extra, duration } => {
+                        f.counters.fanin_spikes += 1;
+                        f.spikes.push((step + *duration, *extra));
+                    }
+                }
+            }
+            // Front-tier events due now: retries, timeouts, hedges, heals.
+            while f.next_at().is_some_and(|at| at <= step) {
+                let Some(Reverse((_, _, action))) = f.queue.pop() else {
+                    break;
+                };
+                match action {
+                    FrontAction::Retry(idx) => {
+                        if !f.resolved[idx] {
+                            front_dispatch(
+                                &mut fleet,
+                                f,
+                                &mut ledger,
+                                &mut shard_ledgers,
+                                &mut request_index,
+                                &compiled.requests,
+                                spec,
+                                &tokens,
+                                &mut failed,
+                                idx,
+                                step,
+                                false,
+                            );
+                        }
+                    }
+                    FrontAction::Timeout(idx, snap) => {
+                        if !f.resolved[idx] && f.attempts[idx] == snap {
+                            front_dispatch(
+                                &mut fleet,
+                                f,
+                                &mut ledger,
+                                &mut shard_ledgers,
+                                &mut request_index,
+                                &compiled.requests,
+                                spec,
+                                &tokens,
+                                &mut failed,
+                                idx,
+                                step,
+                                false,
+                            );
+                        }
+                    }
+                    FrontAction::Hedge(idx, snap) => {
+                        if !f.resolved[idx] && f.attempts[idx] == snap {
+                            front_dispatch(
+                                &mut fleet,
+                                f,
+                                &mut ledger,
+                                &mut shard_ledgers,
+                                &mut request_index,
+                                &compiled.requests,
+                                spec,
+                                &tokens,
+                                &mut failed,
+                                idx,
+                                step,
+                                true,
+                            );
+                        }
+                    }
+                    FrontAction::Heal(shard) => {
+                        fleet.heal_shard(shard, step);
+                    }
+                }
+            }
         }
         while next < compiled.requests.len() && compiled.requests[next].at <= step {
             let request = &compiled.requests[next];
             let tenant = request.tenant as usize;
+            if let Some(f) = front.as_mut() {
+                let idx = next;
+                next += 1;
+                offered[tenant] += 1;
+                // Degraded-mode routing: home on the live ring (dead and
+                // partitioned shards carry no points), shed typed when the
+                // federation cannot take the request at all or the shed
+                // policy says this priority must yield.
+                let Some(cur_home) = fleet.routable_home(&spec.tenants[tenant].name) else {
+                    outcomes.push(RequestOutcome {
+                        accepted: false,
+                        ..RequestOutcome::default()
+                    });
+                    ledger.on_submission(false);
+                    rejected[tenant] += 1;
+                    f.resolved[idx] = true;
+                    f.counters.shed_no_live_shard += 1;
+                    continue;
+                };
+                if let Some(shed) = f.policy.shed {
+                    if request.priority < shed.priority_floor
+                        && fleet.shard(cur_home).load_depth() > shed.queue_depth
+                    {
+                        outcomes.push(RequestOutcome {
+                            accepted: false,
+                            ..RequestOutcome::default()
+                        });
+                        ledger.on_submission(false);
+                        rejected[tenant] += 1;
+                        f.resolved[idx] = true;
+                        f.counters.shed_overload += 1;
+                        continue;
+                    }
+                }
+                if cur_home != home[tenant] {
+                    f.counters.rehomed_requests += 1;
+                }
+                let sample = ConversationSample {
+                    prompt_tokens: request.prompt_tokens,
+                    output_tokens: request.output_tokens,
+                    prompt_text: String::new(),
+                };
+                let body = synthetic_chat_request(&request.model, idx, &sample);
+                let decision = fleet.route_home(cur_home);
+                let shard = decision.shard;
+                let arrival = request.at + f.effective_fanin(fanin, request.at);
+                let result = fleet.shard_mut(shard).chat_completions(
+                    &body,
+                    &tokens[shard][tenant],
+                    Some(request.output_tokens),
+                    arrival,
+                );
+                let accepted = result.is_ok();
+                outcomes.push(RequestOutcome {
+                    accepted,
+                    ..RequestOutcome::default()
+                });
+                ledger.on_submission(accepted);
+                shard_ledgers[shard].on_submission(accepted);
+                match result {
+                    Ok(id) => {
+                        request_index.insert((shard, id), (idx, false));
+                        f.attempts[idx] = 1;
+                        f.outstanding[idx] = 1;
+                        f.last_shard[idx] = shard;
+                        f.unresolved += 1;
+                        if let Some(timeout) = f.policy.request_timeout {
+                            f.push(arrival + timeout, FrontAction::Timeout(idx, 1));
+                        }
+                        if let Some(after) = f.policy.hedge_after {
+                            f.push(arrival + after, FrontAction::Hedge(idx, 1));
+                        }
+                    }
+                    Err(_) => {
+                        rejected[tenant] += 1;
+                        f.resolved[idx] = true;
+                    }
+                }
+                continue;
+            }
             let sample = ConversationSample {
                 prompt_tokens: request.prompt_tokens,
                 output_tokens: request.output_tokens,
@@ -778,7 +1385,7 @@ fn run_scenario_impl(
             );
             let accepted = result.is_ok();
             if let Ok(id) = result {
-                request_index.insert((shard, id), next);
+                request_index.insert((shard, id), (next, false));
             }
             outcomes.push(RequestOutcome {
                 accepted,
@@ -792,33 +1399,55 @@ fn run_scenario_impl(
             }
             next += 1;
         }
-        collect(
+        collect_responses(
             &mut fleet,
             &mut ledger,
             &mut shard_ledgers,
             &mut last_delivery,
             &mut outcomes,
-            &request_index,
+            &mut request_index,
+            front.as_mut(),
+            &compiled.requests,
+            &tenant_by_user,
+            fanin_s,
+            &mut latencies,
+            &mut output_tokens,
+            &mut failed,
         );
         if next >= compiled.requests.len()
             && fleet.is_drained()
             && injectors.iter().all(FaultInjector::is_exhausted)
+            && front.as_ref().is_none_or(|f| {
+                f.cursor >= spec.shard_faults.len() && f.queue.is_empty() && f.unresolved == 0
+            })
         {
             break;
         }
     }
-    collect(
+    collect_responses(
         &mut fleet,
         &mut ledger,
         &mut shard_ledgers,
         &mut last_delivery,
         &mut outcomes,
-        &request_index,
+        &mut request_index,
+        front.as_mut(),
+        &compiled.requests,
+        &tenant_by_user,
+        fanin_s,
+        &mut latencies,
+        &mut output_tokens,
+        &mut failed,
     );
     let all_submitted = next >= compiled.requests.len();
-    ledger.drained = all_submitted && fleet.is_drained();
+    ledger.drained =
+        all_submitted && fleet.is_drained() && front.as_ref().is_none_or(|f| f.unresolved == 0);
     for (i, shard_ledger) in shard_ledgers.iter_mut().enumerate() {
-        shard_ledger.drained = all_submitted && fleet.shard(i).is_drained();
+        // A shard that ever crashed can never report drained: the physical
+        // copies it lost mid-flight are gone, not answered.
+        shard_ledger.drained = all_submitted
+            && fleet.shard(i).is_drained()
+            && front.as_ref().is_none_or(|f| !f.ever_crashed[i]);
     }
 
     // Closed-loop session rider (pure closed-loop specs only; the gateways
@@ -839,7 +1468,17 @@ fn run_scenario_impl(
 
     #[cfg(debug_assertions)]
     if spec.sessions.is_none() {
-        let checked = if n_shards == 1 {
+        let checked = if let Some(f) = front.as_ref() {
+            check_failover_run_invariants(
+                fleet.shards(),
+                &shard_ledgers,
+                &ledger,
+                &f.ever_crashed,
+                &f.counters,
+                fleet.spilled_out(),
+                fleet.spilled_in(),
+            )
+        } else if n_shards == 1 {
             check_run_invariants(fleet.shard(0), &ledger)
         } else {
             check_sharded_run_invariants(
@@ -950,6 +1589,16 @@ fn run_scenario_impl(
         None
     };
 
+    // Failover rollup: the driver's counters plus what the fleet itself
+    // tracked (crashes, restarts, per-shard breaker trips).
+    let failover = front.as_ref().map(|f| {
+        let mut section = f.counters.clone();
+        section.crashes = fleet.crashes();
+        section.restarts = fleet.restarts();
+        section.breaker_trips = fleet.health().trips();
+        section
+    });
+
     let (retries, failovers, breaker_trips, hedges) = fleet
         .shards()
         .iter()
@@ -988,6 +1637,7 @@ fn run_scenario_impl(
         webui,
         phases,
         shards: shard_section,
+        failover,
     };
     (report, outcomes, trees)
 }
@@ -995,6 +1645,7 @@ fn run_scenario_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::{ConsistentHashRing, ShedPolicy};
     use first_workload::{
         scenario::models, ArrivalProcess, DeploymentRef, ScenarioSpec, SloTarget, TenantClass,
     };
@@ -1374,5 +2025,319 @@ mod tests {
         let (recorded, cassette) = run_scenario_recorded(&spec, 42).expect("records");
         assert_eq!(recorded, via_builder);
         assert_eq!(replay_cassette(&cassette).expect("replays"), via_builder);
+    }
+
+    /// Three tenants across four shards, enough load that a mid-run crash
+    /// catches requests in flight.
+    fn failover_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "unit-failover",
+            "shard faults under load",
+            DeploymentRef::SingleClusterTest,
+            vec![
+                TenantClass::synthetic(
+                    "tenant-a",
+                    20,
+                    ArrivalProcess::Poisson(2.0),
+                    models::LLAMA_70B,
+                ),
+                TenantClass::synthetic(
+                    "tenant-b",
+                    20,
+                    ArrivalProcess::Poisson(2.0),
+                    models::LLAMA_8B,
+                ),
+                TenantClass::synthetic(
+                    "tenant-c",
+                    20,
+                    ArrivalProcess::Poisson(2.0),
+                    models::LLAMA_8B,
+                ),
+            ],
+        )
+    }
+
+    /// Pick a shard that actually hosts one of the spec's tenants, so a kill
+    /// is guaranteed to disturb live traffic.
+    fn home_of(spec: &ScenarioSpec, shards: usize, tenant: usize) -> usize {
+        ConsistentHashRing::new(shards).shard_for(&spec.tenants[tenant].name)
+    }
+
+    #[test]
+    fn shard_crash_with_restart_loses_no_accepted_requests() {
+        let mut spec = failover_spec();
+        let victim = home_of(&spec, 4, 0);
+        spec.shard_faults = first_chaos::ShardFaultPlan::kill_and_restart(
+            victim,
+            SimTime::from_secs(4),
+            SimDuration::from_secs(30),
+        );
+        let report = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(4)
+            .execute()
+            .expect("failover run")
+            .report;
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.failed, 0, "front tier retried every lost request");
+        assert_eq!(report.rejected, 0, "no shedding configured");
+        assert_eq!(report.completed, 60, "zero accepted requests lost");
+        let failover = report.failover.as_ref().expect("failover section");
+        assert_eq!(failover.crashes, 1);
+        assert_eq!(failover.restarts, 1);
+        assert!(
+            failover.lost_in_flight > 0,
+            "a 30s outage on a tenant's home shard catches requests in flight: {failover:?}"
+        );
+        assert_eq!(
+            failover.retried_to_completion, failover.lost_in_flight,
+            "every lost copy was re-dispatched and completed elsewhere"
+        );
+        assert!(
+            failover.rehomed_requests > 0,
+            "arrivals during the outage re-home to surviving peers"
+        );
+        assert_eq!(failover.shed_retries_exhausted, 0);
+        let text = report.render_text();
+        assert!(text.contains("failover:"), "{text}");
+        // Failover runs are byte-deterministic like everything else.
+        let again = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(4)
+            .execute()
+            .expect("failover run")
+            .report;
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn fault_free_front_tier_matches_transparent_sharded_run() {
+        let spec = failover_spec();
+        let plain = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(3)
+            .execute()
+            .expect("plain sharded run")
+            .report;
+        // A timeout far beyond any real completion never fires, so the
+        // failover driver must reproduce the transparent path exactly.
+        let policy = FrontTierPolicy {
+            request_timeout: Some(SimDuration::from_secs(3600)),
+            ..FrontTierPolicy::default()
+        };
+        let fronted = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(3)
+            .front_tier(policy)
+            .execute()
+            .expect("fronted run")
+            .report;
+        let failover = fronted.failover.clone().expect("failover section");
+        assert_eq!(
+            failover,
+            FailoverSection::default(),
+            "no faults, no retries, nothing shed"
+        );
+        let mut stripped = fronted;
+        stripped.failover = None;
+        assert_eq!(
+            plain, stripped,
+            "fault-free failover driver must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn shed_policy_rejects_low_priority_overload_with_typed_outcome() {
+        let spec = failover_spec();
+        // Every tenant sits below the floor and any queued work counts as
+        // overload: most of the burst sheds instead of queueing.
+        let policy = FrontTierPolicy {
+            shed: Some(ShedPolicy::new(0, 200)),
+            ..FrontTierPolicy::default()
+        };
+        let report = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(2)
+            .front_tier(policy)
+            .execute()
+            .expect("shedding run")
+            .report;
+        let failover = report.failover.as_ref().expect("failover section");
+        assert!(failover.shed_overload > 0, "overload shed engaged");
+        assert_eq!(
+            report.rejected, failover.shed_overload,
+            "typed sheds are the only rejections"
+        );
+        assert_eq!(report.failed, 0);
+        assert_eq!(
+            report.offered,
+            report.completed + report.rejected,
+            "every request resolves exactly once"
+        );
+    }
+
+    #[test]
+    fn hedged_requests_complete_without_double_counting() {
+        let spec = failover_spec();
+        let policy = FrontTierPolicy {
+            hedge_after: Some(SimDuration::from_millis(1)),
+            ..FrontTierPolicy::default()
+        };
+        let report = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(2)
+            .front_tier(policy)
+            .execute()
+            .expect("hedged run")
+            .report;
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.failed, 0);
+        let failover = report.failover.as_ref().expect("failover section");
+        assert!(failover.hedges_dispatched > 0, "1ms hedge delay fires");
+        assert_eq!(
+            failover.stale_responses + failover.hedge_wins,
+            failover.hedges_dispatched,
+            "every hedge copy either won or arrived stale"
+        );
+    }
+
+    #[test]
+    fn partitioned_shard_times_out_and_heals_without_losing_requests() {
+        let mut spec = failover_spec();
+        let victim = home_of(&spec, 4, 0);
+        spec.shard_faults = first_chaos::ShardFaultPlan::partition(
+            victim,
+            SimTime::from_secs(3),
+            SimDuration::from_secs(20),
+        );
+        let policy = FrontTierPolicy {
+            request_timeout: Some(SimDuration::from_secs(5)),
+            ..FrontTierPolicy::default()
+        };
+        let report = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(4)
+            .front_tier(policy)
+            .execute()
+            .expect("partitioned run")
+            .report;
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.completed, 60);
+        let failover = report.failover.as_ref().expect("failover section");
+        assert_eq!(failover.partitions, 1);
+        assert_eq!(failover.crashes, 0, "a partition is not a crash");
+        assert!(
+            failover.rehomed_requests > 0,
+            "arrivals during the partition route around the unreachable shard"
+        );
+    }
+
+    #[test]
+    fn fanin_spike_fault_inflates_latency_for_its_duration() {
+        let mut spec = failover_spec();
+        spec.shard_faults = first_chaos::ShardFaultPlan::none().with(
+            SimTime::from_secs(2),
+            first_chaos::ShardFaultKind::FanInLatencySpike {
+                extra: SimDuration::from_secs(2),
+                duration: SimDuration::from_secs(10),
+            },
+        );
+        let report = ScenarioRun::new(&spec)
+            .seed(42)
+            .shards(2)
+            .execute()
+            .expect("spiked run")
+            .report;
+        assert_eq!(report.completed, 60);
+        let failover = report.failover.as_ref().expect("failover section");
+        assert_eq!(failover.fanin_spikes, 1);
+        // The same run without the spike is strictly faster on average.
+        let calm_spec = failover_spec();
+        let calm = ScenarioRun::new(&calm_spec)
+            .seed(42)
+            .shards(2)
+            .front_tier(FrontTierPolicy {
+                request_timeout: Some(SimDuration::from_secs(3600)),
+                ..FrontTierPolicy::default()
+            })
+            .execute()
+            .expect("calm run")
+            .report;
+        let mean = |r: &GatewayReport| {
+            r.tenants.iter().map(|t| t.mean_latency_s).sum::<f64>() / r.tenants.len() as f64
+        };
+        assert!(
+            mean(&report) > mean(&calm) + 0.1,
+            "spike shows in client latency: {} vs {}",
+            mean(&report),
+            mean(&calm)
+        );
+    }
+
+    /// The shard rollup structures are part of the serialized report format
+    /// the goldens pin: a JSON round trip must be lossless field-for-field.
+    #[test]
+    fn shard_report_and_section_round_trip_through_serde() {
+        let report = crate::shard::ShardReport {
+            shard: 2,
+            offered: 41,
+            accepted: 40,
+            rejected: 1,
+            completed: 38,
+            failed: 2,
+            spilled_in: 3,
+            spilled_out: 5,
+            faults_injected: 4,
+            peak_load_depth: 17,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let thawed: crate::shard::ShardReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, thawed);
+
+        let section = ShardSection {
+            count: 3,
+            fanin_latency_s: 0.25,
+            spillover: SpilloverPolicy::bounded(10, 0.5),
+            spilled_requests: 8,
+            shards: vec![report.clone(), ShardReport::default()],
+        };
+        let json = serde_json::to_string_pretty(&section).unwrap();
+        let thawed: ShardSection = serde_json::from_str(&json).unwrap();
+        assert_eq!(section, thawed);
+
+        let failover = FailoverSection {
+            crashes: 1,
+            restarts: 1,
+            lost_in_flight: 16,
+            retries_dispatched: 16,
+            retried_to_completion: 16,
+            breaker_trips: 1,
+            ..FailoverSection::default()
+        };
+        let json = serde_json::to_string(&failover).unwrap();
+        let thawed: FailoverSection = serde_json::from_str(&json).unwrap();
+        assert_eq!(failover, thawed);
+    }
+
+    #[test]
+    fn shard_fault_specs_are_unrecordable_with_typed_errors() {
+        let mut spec = failover_spec();
+        spec.shard_faults = first_chaos::ShardFaultPlan::kill(0, SimTime::from_secs(1));
+        match ScenarioRun::new(&spec)
+            .seed(1)
+            .shards(4)
+            .recorded()
+            .execute()
+        {
+            Err(CassetteError::Unrecordable(msg)) => {
+                assert!(msg.contains("federation-tier faults"), "{msg}")
+            }
+            other => panic!("expected Unrecordable, got {other:?}"),
+        }
     }
 }

@@ -33,6 +33,7 @@
 
 use crate::deploy::DeploymentBuilder;
 use crate::gateway::Gateway;
+use first_chaos::{CircuitBreakerConfig, HealthTracker, RetryPolicy};
 use first_desim::{fnv1a_64, SimDuration, SimProcess, SimTime};
 use first_telemetry::{DashboardSnapshot, LabelSet, MetricRegistry, ShardRow};
 use serde::{Deserialize, Serialize};
@@ -90,6 +91,51 @@ impl SpilloverPolicy {
     }
 }
 
+/// Degraded-mode load shedding at the front tier: when the surviving fleet
+/// cannot absorb a failover wave, requests below `priority_floor` whose home
+/// shard already holds more than `queue_depth` unanswered requests are
+/// rejected with a typed overload outcome instead of joining a collapsing
+/// queue. High-priority work is never shed by this policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedPolicy {
+    /// Home-shard [`Gateway::load_depth`] above which shedding starts.
+    pub queue_depth: usize,
+    /// Requests with priority strictly below this value may be shed.
+    pub priority_floor: u8,
+}
+
+impl ShedPolicy {
+    /// Shed sub-`priority_floor` work once the home queue exceeds `queue_depth`.
+    pub fn new(queue_depth: usize, priority_floor: u8) -> Self {
+        ShedPolicy {
+            queue_depth,
+            priority_floor,
+        }
+    }
+}
+
+/// How the front tier handles shard failure: the retry/backoff schedule for
+/// requests lost to a dead shard, an optional per-attempt timeout, an
+/// optional hedge delay (duplicate a slow request to a peer and take the
+/// first answer), and an optional degraded-mode [`ShedPolicy`].
+///
+/// The default — [`RetryPolicy::default`] backoff, no timeout, no hedging,
+/// no shedding — only ever acts when a shard actually dies, so fault-free
+/// runs are byte-identical with or without it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrontTierPolicy {
+    /// Backoff schedule for re-dispatching requests lost to a dead shard.
+    pub retry: RetryPolicy,
+    /// Per-attempt timeout: when set, an attempt unanswered after this long
+    /// is re-dispatched (the original answer still wins if it arrives first).
+    pub request_timeout: Option<SimDuration>,
+    /// Hedge delay: when set, an attempt unanswered after this long is
+    /// *duplicated* to the least-loaded routable peer; first answer wins.
+    pub hedge_after: Option<SimDuration>,
+    /// Degraded-mode shedding policy (off by default).
+    pub shed: Option<ShedPolicy>,
+}
+
 /// Front-tier configuration: how many shards, what the fan-in hop costs and
 /// whether saturated shards may spill. The default (`1` shard, zero fan-in,
 /// no spillover) is the transparent configuration whose behaviour is
@@ -104,6 +150,9 @@ pub struct ShardingConfig {
     pub fanin_latency: SimDuration,
     /// Cross-shard spillover policy.
     pub spillover: SpilloverPolicy,
+    /// Shard-failure handling policy (retry/timeout/hedge/shed).
+    #[serde(default)]
+    pub front_tier: FrontTierPolicy,
 }
 
 impl Default for ShardingConfig {
@@ -112,6 +161,7 @@ impl Default for ShardingConfig {
             shards: 1,
             fanin_latency: SimDuration::ZERO,
             spillover: SpilloverPolicy::disabled(),
+            front_tier: FrontTierPolicy::default(),
         }
     }
 }
@@ -139,6 +189,12 @@ impl ShardingConfig {
     /// Set the spillover policy.
     pub fn spill(mut self, policy: SpilloverPolicy) -> Self {
         self.spillover = policy;
+        self
+    }
+
+    /// Set the shard-failure handling policy.
+    pub fn front(mut self, policy: FrontTierPolicy) -> Self {
+        self.front_tier = policy;
         self
     }
 }
@@ -193,10 +249,53 @@ impl ConsistentHashRing {
     /// The shard owning `key`: the first ring point at or clockwise of the
     /// key's hash, wrapping at the top of the hash space.
     pub fn shard_for(&self, key: &str) -> usize {
+        self.try_shard_for(key)
+            .expect("ring has at least one point")
+    }
+
+    /// [`ConsistentHashRing::shard_for`] on rings that may have lost every
+    /// point to membership removal: `None` means no shard is routable.
+    pub fn try_shard_for(&self, key: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
         let hash = mix64(fnv1a_64(key.as_bytes()));
         let idx = self.points.partition_point(|&(p, _)| p < hash);
         let (_, shard) = self.points[idx % self.points.len()];
-        shard as usize
+        Some(shard as usize)
+    }
+
+    /// A view of this ring with `shard`'s points removed — the failover
+    /// counterpart of ring growth. Removal only *deletes* points, so a
+    /// surviving shard's arcs can only grow: keys homed on the dead shard
+    /// re-home to surviving peers, and every other key keeps its assignment
+    /// (the inverse of the growth property the sharding proptests pin).
+    /// `shards()` is unchanged, so surviving indices keep their meaning.
+    pub fn without(&self, shard: usize) -> Self {
+        ConsistentHashRing {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|&(_, s)| s as usize != shard)
+                .collect(),
+            shards: self.shards,
+        }
+    }
+
+    /// A view keeping only the points of shards marked routable. An
+    /// all-`true` mask is the identity; an all-`false` mask yields an empty
+    /// ring whose [`ConsistentHashRing::try_shard_for`] returns `None`.
+    pub fn restricted(&self, routable: &[bool]) -> Self {
+        ConsistentHashRing {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|&(_, s)| routable.get(s as usize).copied().unwrap_or(false))
+                .collect(),
+            shards: self.shards,
+        }
     }
 }
 
@@ -280,11 +379,24 @@ pub struct RouteDecision {
 pub struct ShardedGateway {
     shards: Vec<Gateway>,
     ring: ConsistentHashRing,
+    /// The ring restricted to routable (live *and* reachable) shards;
+    /// identical to `ring` while the whole fleet is healthy.
+    live_ring: ConsistentHashRing,
     config: ShardingConfig,
     routed: Vec<usize>,
     spilled_in: Vec<usize>,
     spilled_out: Vec<usize>,
     peak_load: Vec<usize>,
+    /// Whether each shard process is alive (false after a crash, until a
+    /// restart replaces it).
+    live: Vec<bool>,
+    /// Whether the front tier can reach each shard (false during a
+    /// front-tier partition; the shard itself keeps running).
+    reachable: Vec<bool>,
+    /// Per-shard circuit-breaker health, keyed `shard-<index>`.
+    health: HealthTracker,
+    crashes: usize,
+    restarts: usize,
 }
 
 impl ShardedGateway {
@@ -295,9 +407,11 @@ impl ShardedGateway {
     pub fn from_builder(builder: &DeploymentBuilder, config: ShardingConfig) -> Self {
         let n = config.shards.max(1);
         let shards: Vec<Gateway> = (0..n).map(|_| builder.clone().build()).collect();
+        let ring = ConsistentHashRing::new(n);
         ShardedGateway {
             shards,
-            ring: ConsistentHashRing::new(n),
+            live_ring: ring.clone(),
+            ring,
             config: ShardingConfig {
                 shards: n,
                 ..config
@@ -306,7 +420,24 @@ impl ShardedGateway {
             spilled_in: vec![0; n],
             spilled_out: vec![0; n],
             peak_load: vec![0; n],
+            live: vec![true; n],
+            reachable: vec![true; n],
+            health: HealthTracker::new(CircuitBreakerConfig::default()),
+            crashes: 0,
+            restarts: 0,
         }
+    }
+
+    /// The health-tracker key for shard `index`.
+    fn health_key(index: usize) -> String {
+        format!("shard-{index}")
+    }
+
+    fn rebuild_live_ring(&mut self) {
+        let routable: Vec<bool> = (0..self.shards.len())
+            .map(|i| self.live[i] && self.reachable[i])
+            .collect();
+        self.live_ring = self.ring.restricted(&routable);
     }
 
     /// Number of shards in the fleet.
@@ -349,6 +480,120 @@ impl ShardedGateway {
         self.ring.shard_for(key)
     }
 
+    /// The home shard for `key` on the *live* ring: the full ring's
+    /// assignment while the fleet is healthy, a surviving peer when `key`'s
+    /// home shard is dead or partitioned, and `None` when no shard is
+    /// routable at all.
+    pub fn routable_home(&self, key: &str) -> Option<usize> {
+        self.live_ring.try_shard_for(key)
+    }
+
+    /// The ring restricted to routable shards.
+    pub fn live_ring(&self) -> &ConsistentHashRing {
+        &self.live_ring
+    }
+
+    /// Whether the shard process is alive (not crashed).
+    pub fn is_live(&self, index: usize) -> bool {
+        self.live.get(index).copied().unwrap_or(false)
+    }
+
+    /// Whether the front tier can reach the shard.
+    pub fn is_reachable(&self, index: usize) -> bool {
+        self.reachable.get(index).copied().unwrap_or(false)
+    }
+
+    /// Whether the front tier may route new work to the shard (live *and*
+    /// reachable).
+    pub fn routable(&self, index: usize) -> bool {
+        self.is_live(index) && self.is_reachable(index)
+    }
+
+    /// Number of shards the front tier may currently route to.
+    pub fn routable_count(&self) -> usize {
+        (0..self.shards.len()).filter(|&i| self.routable(i)).count()
+    }
+
+    /// Kill shard `index`: it stops advancing, its in-flight work is lost,
+    /// its breaker trips, and its keys re-home to surviving peers. Returns
+    /// whether the fault was effective (the shard existed and was alive) —
+    /// out-of-range indices apply vacuously, matching
+    /// [`first_chaos::FaultInjector`]'s unknown-endpoint semantics.
+    pub fn kill_shard(&mut self, index: usize, now: SimTime) -> bool {
+        if index >= self.shards.len() || !self.live[index] {
+            return false;
+        }
+        self.live[index] = false;
+        self.crashes += 1;
+        // A dead shard is observed as consecutive probe failures until the
+        // breaker trips.
+        let key = Self::health_key(index);
+        for _ in 0..16 {
+            if self.health.on_failure(&key, now) {
+                break;
+            }
+        }
+        self.rebuild_live_ring();
+        true
+    }
+
+    /// Replace a dead shard with a freshly built `gateway` (cold caches,
+    /// empty queues) and rejoin it to the ring. Returns whether the restart
+    /// was effective (the shard existed and was dead).
+    pub fn restore_shard(&mut self, index: usize, gateway: Gateway, now: SimTime) -> bool {
+        if index >= self.shards.len() || self.live[index] {
+            return false;
+        }
+        self.shards[index] = gateway;
+        self.live[index] = true;
+        self.reachable[index] = true;
+        self.restarts += 1;
+        self.health.on_success(&Self::health_key(index), now);
+        self.rebuild_live_ring();
+        true
+    }
+
+    /// Cut the front tier off from a (healthy) shard: it keeps draining its
+    /// own queue but receives no new work until [`ShardedGateway::heal_shard`].
+    /// Returns whether the partition was effective.
+    pub fn partition_shard(&mut self, index: usize, now: SimTime) -> bool {
+        if index >= self.shards.len() || !self.live[index] || !self.reachable[index] {
+            return false;
+        }
+        self.reachable[index] = false;
+        self.health.on_failure(&Self::health_key(index), now);
+        self.rebuild_live_ring();
+        true
+    }
+
+    /// Heal a front-tier partition. Returns whether anything changed.
+    pub fn heal_shard(&mut self, index: usize, now: SimTime) -> bool {
+        if index >= self.shards.len() || self.reachable[index] {
+            return false;
+        }
+        self.reachable[index] = true;
+        if self.live[index] {
+            self.health.on_success(&Self::health_key(index), now);
+        }
+        self.rebuild_live_ring();
+        true
+    }
+
+    /// Per-shard circuit-breaker health (keys are `shard-<index>`).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Shard crashes applied so far.
+    pub fn crashes(&self) -> usize {
+        self.crashes
+    }
+
+    /// Shard restarts applied so far.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
     /// Decide where the next submission keyed by `key` goes and account the
     /// decision: the ring's home shard unless the spillover policy diverts
     /// it to the least-loaded peer. Call exactly once per submission.
@@ -371,17 +616,20 @@ impl ShardedGateway {
             let budget_ok =
                 self.spilled_out[home] as f64 <= policy.max_fraction * self.routed[home] as f64;
             if budget_ok {
-                // Least-loaded peer, lowest index on ties (deterministic).
-                let (best, best_depth) = self
+                // Least-loaded routable peer, lowest index on ties
+                // (deterministic). All shards are routable on a healthy
+                // fleet, so this matches the pre-failover behaviour exactly.
+                let best = self
                     .shards
                     .iter()
                     .enumerate()
-                    .filter(|&(i, _)| i != home)
+                    .filter(|&(i, _)| i != home && self.live[i] && self.reachable[i])
                     .map(|(i, gw)| (i, gw.load_depth()))
-                    .min_by_key(|&(i, d)| (d, i))
-                    .expect("more than one shard");
-                if best_depth < depth {
-                    target = best;
+                    .min_by_key(|&(i, d)| (d, i));
+                if let Some((best, best_depth)) = best {
+                    if best_depth < depth {
+                        target = best;
+                    }
                 }
             }
         }
@@ -398,25 +646,35 @@ impl ShardedGateway {
         }
     }
 
-    /// Earliest pending event across the fleet.
+    /// Earliest pending event across the live fleet (dead shards no longer
+    /// make progress).
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.shards
             .iter()
-            .filter_map(SimProcess::next_event_time)
+            .zip(&self.live)
+            .filter(|&(_, &live)| live)
+            .filter_map(|(shard, _)| SimProcess::next_event_time(shard))
             .min()
     }
 
-    /// Advance every shard to `now` (peer simulation entities share one
-    /// clock).
+    /// Advance every live shard to `now` (peer simulation entities share one
+    /// clock). Partitioned shards still advance — they are running, merely
+    /// unreachable from the front tier.
     pub fn advance_all(&mut self, now: SimTime) {
-        for shard in &mut self.shards {
-            shard.advance(now);
+        for (shard, &live) in self.shards.iter_mut().zip(&self.live) {
+            if live {
+                shard.advance(now);
+            }
         }
     }
 
-    /// Whether every shard has answered everything it accepted.
+    /// Whether every live shard has answered everything it accepted (a dead
+    /// shard's in-flight work is lost, not awaited).
     pub fn is_drained(&self) -> bool {
-        self.shards.iter().all(Gateway::is_drained)
+        self.shards
+            .iter()
+            .zip(&self.live)
+            .all(|(shard, &live)| !live || shard.is_drained())
     }
 
     /// Requests the front tier routed per shard (spill-ins counted at the
@@ -518,9 +776,11 @@ impl ShardedGateway {
 
     /// Export the `first_shard_*` metric family: one sample per shard,
     /// labelled `shard="<index>"`, covering routed/completed/failed
-    /// requests, spill flow and the live load depth. Read-only, like
+    /// requests, spill flow, the live load depth, shard liveness and the
+    /// time-dependent breaker health at `now`, plus the fleet-level
+    /// `first_shard_failover_*` counters. Read-only, like
     /// [`Gateway::export_metrics`].
-    pub fn export_shard_metrics(&self, _now: SimTime) -> MetricRegistry {
+    pub fn export_shard_metrics(&self, now: SimTime) -> MetricRegistry {
         let registry = MetricRegistry::new();
         for (i, gw) in self.shards.iter().enumerate() {
             let labels = LabelSet::single("shard", i.to_string());
@@ -553,14 +813,44 @@ impl ShardedGateway {
             );
             registry.set_gauge(
                 "first_shard_peak_load_depth",
-                labels,
+                labels.clone(),
                 self.peak_load[i] as f64,
+            );
+            registry.set_gauge(
+                "first_shard_live",
+                labels.clone(),
+                if self.live[i] { 1.0 } else { 0.0 },
+            );
+            registry.set_gauge(
+                "first_shard_health",
+                labels,
+                self.health.state(&Self::health_key(i), now).severity(),
             );
         }
         registry.set_gauge(
             "first_shard_count",
             LabelSet::empty(),
             self.shards.len() as f64,
+        );
+        registry.add_counter(
+            "first_shard_failover_crashes_total",
+            LabelSet::empty(),
+            self.crashes as u64,
+        );
+        registry.add_counter(
+            "first_shard_failover_restarts_total",
+            LabelSet::empty(),
+            self.restarts as u64,
+        );
+        registry.add_counter(
+            "first_shard_failover_breaker_trips_total",
+            LabelSet::empty(),
+            self.health.trips(),
+        );
+        registry.set_gauge(
+            "first_scrape_time_seconds",
+            LabelSet::empty(),
+            now.as_secs_f64(),
         );
         registry
     }
@@ -686,6 +976,142 @@ mod tests {
             "budget exceeded: {spilled}/{routed}"
         );
         assert_eq!(fleet.spilled_in()[1], spilled);
+    }
+
+    #[test]
+    fn removing_a_shard_rehomes_only_its_keys() {
+        for n in 2..6usize {
+            let full = ConsistentHashRing::new(n);
+            for dead in 0..n {
+                let survivors = full.without(dead);
+                assert_eq!(survivors.shards(), n, "indices keep their meaning");
+                for i in 0..2000 {
+                    let key = format!("tenant-{i}");
+                    let before = full.shard_for(&key);
+                    let after = survivors.shard_for(&key);
+                    assert_ne!(after, dead, "key '{key}' routed to the dead shard");
+                    if before != dead {
+                        assert_eq!(
+                            before, after,
+                            "live key '{key}' moved {before}->{after} when shard {dead} died"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_ring_masks_and_empties() {
+        let ring = ConsistentHashRing::new(3);
+        assert_eq!(
+            ring.restricted(&[true, true, true]).shard_for("tenant-7"),
+            ring.shard_for("tenant-7"),
+            "all-true mask is the identity"
+        );
+        let only_two = ring.restricted(&[false, false, true]);
+        for i in 0..50 {
+            assert_eq!(only_two.shard_for(&format!("tenant-{i}")), 2);
+        }
+        assert_eq!(
+            ring.restricted(&[false, false, false]).try_shard_for("k"),
+            None,
+            "no routable shard left"
+        );
+    }
+
+    #[test]
+    fn kill_restore_and_partition_drive_routing_and_health() {
+        let builder = DeploymentBuilder::single_cluster_test().prewarm(1);
+        let mut fleet = ShardedGateway::from_builder(&builder, ShardingConfig::with_shards(3));
+        let key = (0..)
+            .map(|i| format!("probe-{i}"))
+            .find(|k| fleet.home_shard(k) == 1)
+            .unwrap();
+        assert_eq!(fleet.routable_home(&key), Some(1));
+        assert_eq!(fleet.routable_count(), 3);
+
+        // Crash shard 1: its keys re-home, it stops counting toward drain,
+        // and its breaker trips.
+        let t = SimTime::from_secs(10);
+        assert!(fleet.kill_shard(1, t));
+        assert!(!fleet.kill_shard(1, t), "double-kill is vacuous");
+        assert!(!fleet.kill_shard(9, t), "out-of-range kill is vacuous");
+        assert!(!fleet.is_live(1));
+        assert_eq!(fleet.routable_count(), 2);
+        let rehomed = fleet.routable_home(&key).expect("survivors own the key");
+        assert_ne!(rehomed, 1);
+        assert_eq!(
+            fleet.health().state("shard-1", t),
+            first_chaos::HealthState::Unavailable
+        );
+        assert_eq!(fleet.crashes(), 1);
+
+        // Restart with a fresh replica: routing returns to the full ring.
+        let t2 = SimTime::from_secs(40);
+        assert!(fleet.restore_shard(1, builder.clone().build(), t2));
+        assert!(!fleet.restore_shard(1, builder.clone().build(), t2));
+        assert!(fleet.is_live(1));
+        assert_eq!(fleet.routable_home(&key), Some(1));
+        assert_eq!(fleet.restarts(), 1);
+
+        // Partition: the shard is alive but unroutable until healed.
+        assert!(fleet.partition_shard(1, t2));
+        assert!(fleet.is_live(1));
+        assert!(!fleet.is_reachable(1));
+        assert_ne!(fleet.routable_home(&key), Some(1));
+        assert!(fleet.heal_shard(1, SimTime::from_secs(50)));
+        assert_eq!(fleet.routable_home(&key), Some(1));
+    }
+
+    #[test]
+    fn exported_shard_metrics_cover_health_liveness_and_failover_counters() {
+        let builder = DeploymentBuilder::single_cluster_test().prewarm(1);
+        let mut fleet = ShardedGateway::from_builder(&builder, ShardingConfig::with_shards(2));
+        let t = SimTime::from_secs(30);
+        fleet.kill_shard(1, t);
+        let snap = fleet.export_shard_metrics(t).snapshot();
+        for name in [
+            "first_shard_requests_total",
+            "first_shard_completed_total",
+            "first_shard_failed_total",
+            "first_shard_spilled_in_total",
+            "first_shard_spilled_out_total",
+        ] {
+            for shard in 0..2 {
+                assert!(
+                    snap.find(name, &LabelSet::single("shard", shard.to_string()))
+                        .is_some(),
+                    "missing {name} for shard {shard}"
+                );
+            }
+        }
+        let gauge = |name: &str, shard: usize| {
+            snap.gauge_value(name, &LabelSet::single("shard", shard.to_string()))
+        };
+        assert_eq!(gauge("first_shard_live", 0), 1.0);
+        assert_eq!(gauge("first_shard_live", 1), 0.0);
+        assert_eq!(gauge("first_shard_health", 0), 0.0, "healthy severity");
+        assert_eq!(gauge("first_shard_health", 1), 2.0, "unavailable severity");
+        assert_eq!(
+            snap.counter_value("first_shard_failover_crashes_total", &LabelSet::empty()),
+            1
+        );
+        assert_eq!(
+            snap.counter_value("first_shard_failover_restarts_total", &LabelSet::empty()),
+            0
+        );
+        assert!(
+            snap.counter_value(
+                "first_shard_failover_breaker_trips_total",
+                &LabelSet::empty()
+            ) >= 1
+        );
+        // The scrape timestamp comes from `now`, no longer ignored.
+        assert_eq!(
+            snap.gauge_value("first_scrape_time_seconds", &LabelSet::empty()),
+            30.0
+        );
     }
 
     #[test]

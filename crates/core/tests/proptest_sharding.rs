@@ -147,6 +147,68 @@ proptest! {
         );
     }
 
+    /// Shard death is the exact inverse of ring growth: removing shard `k`
+    /// from an `n`-shard ring remaps **only** the keys that were homed on
+    /// `k` — every key on a surviving shard keeps its assignment, so a
+    /// crash never disturbs live shards' tenants.
+    #[test]
+    fn ring_removal_remaps_only_the_dead_shards_keys(
+        n in 2usize..10,
+        dead in 0usize..10,
+        keys in 200usize..600,
+        salt in 0u64..10_000,
+    ) {
+        let dead = dead % n;
+        let full = ConsistentHashRing::new(n);
+        let degraded = full.without(dead);
+        let mut moved = 0usize;
+        for k in 0..keys {
+            let key = format!("tenant-{salt}-{k}");
+            let before = full.shard_for(&key);
+            let after = degraded.shard_for(&key);
+            // The dead shard owns nothing in the degraded view…
+            prop_assert_ne!(after, dead);
+            if before == dead {
+                moved += 1;
+            } else {
+                // …and nobody else's keys move.
+                prop_assert_eq!(before, after);
+            }
+        }
+        // Sanity: with 64 vnodes/shard the dead shard owned a nontrivial
+        // slice, so a large enough sample sees at least one remap.
+        if keys >= 400 && n <= 4 {
+            prop_assert!(moved > 0, "shard {} owned no keys of {}", dead, keys);
+        }
+    }
+
+    /// Degraded-view lookups are a pure function of `(key, live-set)`:
+    /// deriving the same live-set twice — or via `restricted` with the
+    /// equivalent membership mask — yields identical assignments.
+    #[test]
+    fn ring_removal_lookup_pure_in_key_and_live_set(
+        n in 2usize..10,
+        dead in 0usize..10,
+        keys in 1usize..200,
+        salt in 0u64..10_000,
+    ) {
+        let dead = dead % n;
+        let full = ConsistentHashRing::new(n);
+        let a = full.without(dead);
+        let b = full.without(dead);
+        let mut routable = vec![true; n];
+        routable[dead] = false;
+        let c = full.restricted(&routable);
+        for k in 0..keys {
+            let key = format!("user-{salt}-{k}");
+            let shard = a.shard_for(&key);
+            prop_assert!(shard < n);
+            prop_assert_ne!(shard, dead);
+            prop_assert_eq!(shard, b.shard_for(&key));
+            prop_assert_eq!(shard, c.shard_for(&key));
+        }
+    }
+
     /// Lookups are a pure function of `(key, shard count)`: rebuilding the
     /// ring never changes an assignment, and every shard index is in range.
     #[test]

@@ -1,12 +1,12 @@
 //! Cassette record/replay: a recorded scenario run as a self-contained,
 //! pinnable fixture.
 //!
-//! A [`Cassette`] captures everything one `run_scenario` execution offered to
-//! the gateway — the merged request stream (per-request arrival time, tenant,
+//! A [`Cassette`] captures everything one scenario run offered to the
+//! gateway — the merged request stream (per-request arrival time, tenant,
 //! priority, model, token lengths), the per-request outcomes the gateway
 //! produced, the embedded fault timeline and the scenario metadata — in one
 //! serde-serializable value. Recording happens in `first-core`
-//! (`run_scenario_recorded`); this module owns the format and the **compile**
+//! (`ScenarioRun::recorded`); this module owns the format and the **compile**
 //! step ([`Cassette::to_spec`]) that strips outcomes back into a
 //! self-contained [`ScenarioSpec`] whose tenants replay their recorded tracks
 //! through [`ArrivalProcess::Replay`]. Compiling that spec reproduces the
@@ -331,6 +331,9 @@ impl Cassette {
             horizon_s: self.horizon_s,
             tenants,
             faults: self.faults.clone(),
+            // Runs with shard-scoped faults are unrecordable, so a cassette
+            // never carries a shard fault plan.
+            shard_faults: first_chaos::ShardFaultPlan::none(),
             sessions: None,
         })
     }

@@ -5,8 +5,8 @@
 //! model mix, priority and SLO targets), an optional embedded
 //! [`FaultPlan`], a deployment reference and a horizon. Specs **compile**
 //! into a merged, deterministically-ordered request stream
-//! ([`ScenarioSpec::compile`]); `first-core`'s `run_scenario` replays that
-//! stream against a live gateway and reports per-tenant SLO attainment.
+//! ([`ScenarioSpec::compile`]); `first-core`'s `ScenarioRun` builder replays
+//! that stream against a live gateway and reports per-tenant SLO attainment.
 //! The committed [`catalog`] is the scenario matrix every benchmark sweep,
 //! golden test and CI smoke run shares.
 
@@ -14,8 +14,8 @@ use crate::arrival::ArrivalProcess;
 use crate::sessions::SessionWorkloadConfig;
 use crate::sharegpt::{ShareGptGenerator, ShareGptProfile};
 use crate::trace::{generate_trace, DeploymentTraceConfig, TraceEntryKind};
-use first_chaos::FaultPlan;
-use first_desim::{SimRng, SimTime};
+use first_chaos::{FaultPlan, ShardFaultPlan};
+use first_desim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Which deployment a scenario runs against. Resolved to a concrete
@@ -169,8 +169,9 @@ impl TenantClass {
     }
 }
 
-/// A closed-loop WebUI session rider: when present, `run_scenario` drives
-/// these sessions through the gateway after the open-loop stream drains.
+/// A closed-loop WebUI session rider: when present, the scenario runner
+/// drives these sessions through the gateway after the open-loop stream
+/// drains.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionClosedLoop {
     /// The session workload (model, concurrency, window, think times).
@@ -199,6 +200,12 @@ pub struct ScenarioSpec {
     pub tenants: Vec<TenantClass>,
     /// Embedded fault schedule ([`FaultPlan::none`] for fault-free runs).
     pub faults: FaultPlan,
+    /// Shard-scoped fault schedule applied at the federation tier (whole-shard
+    /// crashes/restarts, front-tier partitions, fan-in latency spikes).
+    /// Defaults to empty so specs recorded before shard faults existed still
+    /// deserialize.
+    #[serde(default)]
+    pub shard_faults: ShardFaultPlan,
     /// Optional closed-loop session rider.
     pub sessions: Option<SessionClosedLoop>,
 }
@@ -220,6 +227,7 @@ impl ScenarioSpec {
             horizon_s: 24.0 * 3600.0,
             tenants,
             faults: FaultPlan::none(),
+            shard_faults: ShardFaultPlan::none(),
             sessions: None,
         }
     }
@@ -648,6 +656,43 @@ pub fn catalog(n: usize) -> Vec<ScenarioSpec> {
         webui_overhead_ms: 1200,
     });
 
+    // Tenant names are chosen so that on a 4-shard ring each shard hosts
+    // exactly one tenant ("copilot" homes on shard 1, the one the plan
+    // kills): the outage must re-home copilot's keys and nobody else's.
+    let mut shard_outage = ScenarioSpec::new(
+        "shard-outage",
+        "4-shard federation; shard 1 crashes at t=8s mid-load and restarts 32s later — the front tier retries every lost request onto surviving peers",
+        DeploymentRef::SingleClusterTest,
+        vec![
+            TenantClass::synthetic(
+                "batch-embed",
+                part(1, 4),
+                ArrivalProcess::Poisson(2.0),
+                LLAMA_8B,
+            ),
+            TenantClass::synthetic(
+                "copilot",
+                part(1, 4),
+                ArrivalProcess::Poisson(2.0),
+                LLAMA_70B,
+            ),
+            TenantClass::synthetic(
+                "argonne-chat",
+                part(1, 4),
+                ArrivalProcess::Poisson(2.0),
+                LLAMA_70B,
+            ),
+            TenantClass::synthetic(
+                "eval-harness",
+                part(1, 4),
+                ArrivalProcess::Poisson(2.0),
+                LLAMA_8B,
+            ),
+        ],
+    );
+    shard_outage.shard_faults =
+        ShardFaultPlan::kill_and_restart(1, SimTime::from_secs(8), SimDuration::from_secs(32));
+
     vec![
         steady,
         burst,
@@ -658,6 +703,7 @@ pub fn catalog(n: usize) -> Vec<ScenarioSpec> {
         inversion,
         cold_start,
         sessions,
+        shard_outage,
     ]
 }
 
