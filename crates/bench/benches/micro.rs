@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use first_core::{ChatCompletionRequest, DeploymentBuilder};
-use first_desim::{EventQueue, Interner, SimDuration, SimProcess, SimTime, SymbolId};
+use first_desim::{EventQueue, Interner, SimDuration, SimProcess, SimTime, SymbolId, TimingWheel};
 use first_hpc::{BatchScheduler, Cluster, GpuModel, JobRequest};
 use first_serving::{find_model, run_to_completion, EngineConfig, InferenceRequest};
 use first_telemetry::{BucketHistogram, LabelSet, MetricRegistry};
@@ -175,6 +175,67 @@ fn bench_event_queue_100k(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wheel_vs_heap(c: &mut Criterion) {
+    // Head-to-head future-event-list comparison: the hierarchical timing
+    // wheel against the classic `BinaryHeap` it replaced, on the same
+    // push-all/drain-all churn at 1e5–1e7 events. `FIRST_MICRO_EVENTS`
+    // caps the sweep so CI can run a reduced smoke pass (e.g. set it to
+    // 100000) while local runs cover the full range.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let cap: u64 = std::env::var("FIRST_MICRO_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000);
+    // Mixed-horizon deadline pattern: near bursts, mid-range, far tail —
+    // the shape the gateway produces (a cheap LCG keeps it deterministic).
+    let time_for = |i: u64, n: u64| {
+        let r = i
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            >> 33;
+        match i % 8 {
+            0..=4 => i + r % 1_000,       // near: next millisecond
+            5 | 6 => i + r % 1_000_000,   // mid: next second
+            _ => i + r % (n.max(1) * 10), // far tail
+        }
+    };
+    let mut group = c.benchmark_group("wheel_vs_heap");
+    group.sample_size(10);
+    for &n in &[100_000u64, 1_000_000, 10_000_000] {
+        if n > cap {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("timing_wheel", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: TimingWheel<u64> = TimingWheel::with_capacity(n as usize);
+                for i in 0..n {
+                    q.push(SimTime::from_micros(time_for(i, n)), i);
+                }
+                let mut sum = 0u64;
+                while let Some(ev) = q.pop() {
+                    sum = sum.wrapping_add(ev.payload);
+                }
+                sum
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::with_capacity(n as usize);
+                for i in 0..n {
+                    q.push(Reverse((time_for(i, n), i)));
+                }
+                let mut sum = 0u64;
+                while let Some(Reverse((_, payload))) = q.pop() {
+                    sum = sum.wrapping_add(payload);
+                }
+                sum
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_decode,
@@ -183,6 +244,7 @@ criterion_group!(
     bench_vector_index,
     bench_telemetry,
     bench_interner,
-    bench_event_queue_100k
+    bench_event_queue_100k,
+    bench_wheel_vs_heap
 );
 criterion_main!(benches);

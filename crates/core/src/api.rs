@@ -118,11 +118,7 @@ impl ChatCompletionRequest {
 
     /// Rough prompt-token estimate (≈1 token/word plus per-message framing).
     pub fn prompt_token_estimate(&self) -> u32 {
-        let words: usize = self
-            .messages
-            .iter()
-            .map(|m| m.content.split_whitespace().count())
-            .sum();
+        let words: usize = self.messages.iter().map(|m| count_words(&m.content)).sum();
         (words as u32 + 4 * self.messages.len() as u32).max(1)
     }
 
@@ -143,6 +139,28 @@ impl ChatCompletionRequest {
         }
         Ok(())
     }
+}
+
+/// Whitespace-separated word count, equal to `s.split_whitespace().count()`.
+/// ASCII text (every synthetic prompt) takes a byte-scan fast path; the char
+/// iterator only runs when Unicode whitespace could be present.
+fn count_words(s: &str) -> usize {
+    if !s.is_ascii() {
+        return s.split_whitespace().count();
+    }
+    let b = s.as_bytes();
+    let Some(&first) = b.first() else {
+        return 0;
+    };
+    let ws = |x: u8| matches!(x, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c);
+    // A word starts at every whitespace→non-whitespace transition; counting
+    // pairs (instead of carrying an in-word flag) lets the loop vectorize.
+    usize::from(!ws(first))
+        + b[..b.len() - 1]
+            .iter()
+            .zip(&b[1..])
+            .filter(|&(&a, &c)| ws(a) && !ws(c))
+            .count()
 }
 
 /// One choice in a chat completion response.

@@ -17,7 +17,7 @@ use crate::storage::{GatewayMetrics, RequestLog, RequestLogEntry};
 use crate::workers::{WorkerPool, WorkerPoolConfig};
 use first_auth::{AuthService, TokenString};
 use first_chaos::{HealthTracker, ResilienceConfig};
-use first_desim::{IdHashBuilder, SimDuration, SimProcess, SimTime};
+use first_desim::{IdHashBuilder, ScheduledEvent, SimDuration, SimProcess, SimTime, TimingWheel};
 use first_fabric::{ClientConfig, ComputeService, EndpointId, FunctionId, TaskId};
 use first_serving::InferenceRequest;
 use first_telemetry::{FlightRecorder, Phase, PhaseBreakdown, Span, SpanTree, TraceConfig};
@@ -244,13 +244,21 @@ pub struct Gateway {
     workers: WorkerPool,
     log: RequestLog,
     metrics: GatewayMetrics,
-    pending: Vec<PendingDispatch>,
-    /// Earliest `submit_at` across `pending` (cached so the per-event checks
-    /// are O(1) instead of scanning a queue that holds every not-yet-due
-    /// dispatch — at million-request scale that scan dominated the run).
-    next_submit_at: Option<SimTime>,
-    /// Earliest `deliver_at` across `awaiting` (same caching).
-    next_deliver_at: Option<SimTime>,
+    /// Not-yet-submitted dispatches, bucketed by `submit_at` on a timing
+    /// wheel: `peek_time` makes the per-event due check O(1), and a due
+    /// batch is drained without touching the undue backlog — at
+    /// million-request scale the old `Vec` rebuild scan dominated the run.
+    /// The wheel's insertion sequence doubles as the arrival order the
+    /// dispatch loop must preserve (see `submit_due`).
+    pending: TimingWheel<PendingDispatch>,
+    /// Completed tasks waiting for their client-observed delivery instant,
+    /// bucketed by `deliver_at` (same structure as `pending`).
+    awaiting: TimingWheel<AwaitingDelivery>,
+    /// Reusable drain buffer for `submit_due` (batch capacity survives
+    /// between advances, keeping the due path allocation-free).
+    submit_buf: Vec<ScheduledEvent<PendingDispatch>>,
+    /// Reusable drain buffer for `deliver_due`.
+    deliver_buf: Vec<ScheduledEvent<AwaitingDelivery>>,
     /// In-flight tasks, indexed by `TaskId - 1` (the service assigns task ids
     /// densely from 1, and this gateway is the service's only client). A slab
     /// instead of a hash map: insertion and removal are a bounds-checked
@@ -263,7 +271,6 @@ pub struct Gateway {
     /// task order, so advancing this watermark keeps the hedge scans O(live)
     /// instead of O(tasks ever issued).
     in_flight_first_live: usize,
-    awaiting: Vec<AwaitingDelivery>,
     responses: Vec<CompletedRequest>,
     /// Whether the endpoint (by dense id) has been connected to before —
     /// replaces a name-keyed `HashSet` that hashed an endpoint name per
@@ -346,13 +353,13 @@ impl Gateway {
             service,
             log: RequestLog::new(),
             metrics: GatewayMetrics::new(),
-            pending: Vec::new(),
-            next_submit_at: None,
-            next_deliver_at: None,
+            pending: TimingWheel::new(),
+            awaiting: TimingWheel::new(),
+            submit_buf: Vec::new(),
+            deliver_buf: Vec::new(),
             in_flight: Vec::new(),
             in_flight_count: 0,
             in_flight_first_live: 0,
-            awaiting: Vec::new(),
             responses: Vec::new(),
             connected_endpoints: Vec::new(),
             connected_unresolved: HashSet::new(),
@@ -650,22 +657,24 @@ impl Gateway {
             );
         }
         *self.outstanding_slot(request_id) = 1;
-        self.next_submit_at = Some(self.next_submit_at.map_or(submit_at, |t| t.min(submit_at)));
-        self.pending.push(PendingDispatch {
-            request_id,
-            model,
-            inference,
-            endpoint_name: target.name,
-            endpoint: target.endpoint,
-            function,
+        self.pending.push(
             submit_at,
-            worker: admission.worker,
-            arrived_at: now,
-            user,
-            operation,
-            prompt_text_key,
-            attempt: 0,
-        });
+            PendingDispatch {
+                request_id,
+                model,
+                inference,
+                endpoint_name: target.name,
+                endpoint: target.endpoint,
+                function,
+                submit_at,
+                worker: admission.worker,
+                arrived_at: now,
+                user,
+                operation,
+                prompt_text_key,
+                attempt: 0,
+            },
+        );
         request_id
     }
 
@@ -983,15 +992,22 @@ impl Gateway {
     }
 
     fn submit_due(&mut self, now: SimTime) {
-        // Most advances have nothing to submit; the cached earliest deadline
-        // makes that check O(1) (no scan of the undue backlog).
-        if self.next_submit_at.is_none_or(|t| t > now) {
+        // Most advances have nothing to submit; the wheel's cached earliest
+        // deadline makes that check O(1) (no scan of the undue backlog).
+        if self.pending.peek_time().is_none_or(|t| t > now) {
             return;
         }
-        let mut remaining = Vec::with_capacity(self.pending.len());
+        // Drain the due batch, then re-sort it into wheel-insertion order:
+        // the dispatch loop historically walked the pending buffer in
+        // arrival order (not deadline order), and replay determinism pins
+        // that processing order.
+        let mut due = std::mem::take(&mut self.submit_buf);
+        self.pending.drain_due_into(now, &mut due);
+        due.sort_unstable_by_key(|e| e.seq);
         let mut retries: Vec<PendingDispatch> = Vec::new();
-        for p in std::mem::take(&mut self.pending) {
-            if p.submit_at <= now {
+        for ev in due.drain(..) {
+            let p = ev.payload;
+            {
                 let submitted = match p.endpoint {
                     Some(endpoint) => self.service.submit_to(
                         p.function,
@@ -1087,13 +1103,15 @@ impl Gateway {
                         let _ = e;
                     }
                 }
-            } else {
-                remaining.push(p);
             }
         }
-        self.pending = remaining;
-        self.pending.extend(retries);
-        self.next_submit_at = self.pending.iter().map(|p| p.submit_at).min();
+        self.submit_buf = due;
+        // Retries re-enter the wheel after the batch, so they order behind
+        // every already-pending dispatch — exactly where the old buffer
+        // appended them.
+        for r in retries {
+            self.pending.push(r.submit_at, r);
+        }
     }
 
     /// Mark one outstanding copy of `request_id` as resolved; returns how
@@ -1281,30 +1299,34 @@ impl Gateway {
             } else {
                 None
             };
-            self.next_deliver_at = Some(
-                self.next_deliver_at
-                    .map_or(deliver_at, |t| t.min(deliver_at)),
-            );
-            self.awaiting.push(AwaitingDelivery {
-                in_flight,
+            self.awaiting.push(
                 deliver_at,
-                success: result.success,
-                completion_tokens,
-                trace,
-            });
+                AwaitingDelivery {
+                    in_flight,
+                    deliver_at,
+                    success: result.success,
+                    completion_tokens,
+                    trace,
+                },
+            );
         }
     }
 
     fn deliver_due(&mut self, now: SimTime) {
         // Same early-out as submit_due: deliveries are sparse relative to
-        // simulation events, so don't rebuild the buffer when nothing is due.
-        if self.next_deliver_at.is_none_or(|t| t > now) {
+        // simulation events, so don't touch the wheel when nothing is due.
+        if self.awaiting.peek_time().is_none_or(|t| t > now) {
             return;
         }
-        let mut remaining = Vec::with_capacity(self.awaiting.len());
+        // Same order contract as submit_due: deliver in wheel-insertion
+        // (i.e. result-collection) order, not deadline order.
+        let mut due = std::mem::take(&mut self.deliver_buf);
+        self.awaiting.drain_due_into(now, &mut due);
+        due.sort_unstable_by_key(|e| e.seq);
         let mut retries: Vec<PendingDispatch> = Vec::new();
-        for a in std::mem::take(&mut self.awaiting) {
-            if a.deliver_at <= now {
+        for ev in due.drain(..) {
+            let a = ev.payload;
+            {
                 let request_id = a.in_flight.request_id;
                 let copies_left = self.resolve_copy(request_id);
                 // Every copy's outcome is real signal about its endpoint.
@@ -1405,19 +1427,12 @@ impl Gateway {
                     success: a.success,
                     cached: false,
                 });
-            } else {
-                remaining.push(a);
             }
         }
-        self.awaiting = remaining;
-        self.next_deliver_at = self.awaiting.iter().map(|a| a.deliver_at).min();
-        if let Some(first_retry) = retries.iter().map(|r| r.submit_at).min() {
-            self.next_submit_at = Some(
-                self.next_submit_at
-                    .map_or(first_retry, |t| t.min(first_retry)),
-            );
+        self.deliver_buf = due;
+        for r in retries {
+            self.pending.push(r.submit_at, r);
         }
-        self.pending.extend(retries);
     }
 
     /// Feed one request outcome into the health tracker, counting breaker
@@ -1444,8 +1459,8 @@ impl SimProcess for Gateway {
                 (None, b) => b,
             };
         };
-        consider(self.next_submit_at);
-        consider(self.next_deliver_at);
+        consider(self.pending.peek_time());
+        consider(self.awaiting.peek_time());
         consider(SimProcess::next_event_time(&self.service));
         if self.config.resilience.enabled {
             if let Some(hedge_after) = self.config.resilience.hedge_after {

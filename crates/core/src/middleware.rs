@@ -3,12 +3,10 @@
 
 use crate::api::GatewayError;
 use first_auth::{AuthService, IntrospectionResult, Scope, TokenString};
-use first_desim::{SimDuration, SimTime};
+use first_desim::{IdHashBuilder, SimDuration, SimTime};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
 
 /// Outcome of authenticating one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,12 +189,15 @@ pub struct CachedResponse {
 /// Response cache keyed by (model, prompt) for idempotent repeated requests.
 ///
 /// Eviction keeps the entry set identical to a scan-the-map-for-the-oldest
-/// implementation, but resolves the victim through an ordered `(time, key)`
-/// index: the full-cache `put` — every delivery once a deployment has served
-/// `capacity` distinct prompts — costs two tree operations instead of an
-/// O(capacity) scan of the map (the single largest per-delivery cost in the
-/// rate-sweep benchmarks before it was indexed). Ties on the insertion time
-/// break deterministically by key, where the scan inherited `HashMap`
+/// implementation, but resolves the victim through a lazily pruned min-heap
+/// over `(time, key)`: the full-cache `put` — every delivery once a
+/// deployment has served `capacity` distinct prompts — costs one heap push
+/// and an amortized pop instead of an O(capacity) scan of the map (the
+/// single largest per-delivery cost in the rate-sweep benchmarks before it
+/// was indexed). Replaced entries leave stale heap pairs behind; they are
+/// discarded on pop by checking the map's current insertion time, so the
+/// surviving minimum is exactly the ordered index's. Ties on the insertion
+/// time break deterministically by key, where the scan inherited `HashMap`
 /// iteration order.
 #[derive(Debug)]
 pub struct ResponseCache {
@@ -204,10 +205,13 @@ pub struct ResponseCache {
     pub ttl: SimDuration,
     /// Maximum entries retained.
     pub capacity: usize,
-    entries: HashMap<u64, (SimTime, CachedResponse)>,
-    /// Ordered eviction index over `(inserted_at, key)`; always in sync with
-    /// `entries`.
-    by_age: std::collections::BTreeSet<(SimTime, u64)>,
+    /// Keys are already-mixed 64-bit hashes, so the map skips SipHash and
+    /// uses the identity hasher (order is never observed; eviction goes
+    /// through `by_age`).
+    entries: HashMap<u64, (SimTime, CachedResponse), IdHashBuilder>,
+    /// Min-heap eviction index over `(inserted_at, key)`; may hold stale
+    /// pairs for replaced entries (pruned on pop, rebuilt when oversized).
+    by_age: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
     hits: u64,
     misses: u64,
 }
@@ -218,8 +222,8 @@ impl ResponseCache {
         ResponseCache {
             ttl,
             capacity,
-            entries: HashMap::new(),
-            by_age: std::collections::BTreeSet::new(),
+            entries: HashMap::default(),
+            by_age: std::collections::BinaryHeap::new(),
             hits: 0,
             misses: 0,
         }
@@ -231,12 +235,29 @@ impl ResponseCache {
     }
 
     /// Hash key for a (model, prompt, max_tokens) triple.
+    ///
+    /// Runs once per request over the full prompt, so it folds 8 bytes per
+    /// step (FxHash-style rotate-xor-multiply) instead of a byte-wise
+    /// cryptographic hash; each field's length is folded in so field
+    /// boundaries cannot alias.
     pub fn key(model: &str, prompt: &str, max_tokens: u32) -> u64 {
-        let mut h = DefaultHasher::new();
-        model.hash(&mut h);
-        prompt.hash(&mut h);
-        max_tokens.hash(&mut h);
-        h.finish()
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        fn fold(mut h: u64, bytes: &[u8]) -> u64 {
+            let mut chunks = bytes.chunks_exact(8);
+            for c in &mut chunks {
+                let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+            }
+            let rem = chunks.remainder();
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            let w = u64::from_le_bytes(tail);
+            h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+            (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(K)
+        }
+        let mut h = fold(0xcbf2_9ce4_8422_2325, model.as_bytes());
+        h = fold(h, prompt.as_bytes());
+        (h.rotate_left(5) ^ u64::from(max_tokens)).wrapping_mul(K)
     }
 
     /// Look up a cached response.
@@ -255,17 +276,29 @@ impl ResponseCache {
 
     /// Insert a response.
     pub fn put(&mut self, key: u64, response: CachedResponse, now: SimTime) {
+        use std::cmp::Reverse;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            // Evict the oldest entry (smallest insertion time, then key).
-            if let Some(&(t, oldest)) = self.by_age.iter().next() {
-                self.by_age.remove(&(t, oldest));
-                self.entries.remove(&oldest);
+            // Evict the oldest entry (smallest insertion time, then key),
+            // discarding stale heap pairs whose key was since replaced.
+            while let Some(&Reverse((t, oldest))) = self.by_age.peek() {
+                self.by_age.pop();
+                let live = self.entries.get(&oldest).is_some_and(|&(at, _)| at == t);
+                if live {
+                    self.entries.remove(&oldest);
+                    break;
+                }
             }
         }
-        if let Some((previous, _)) = self.entries.insert(key, (now, response)) {
-            self.by_age.remove(&(previous, key));
+        self.entries.insert(key, (now, response));
+        self.by_age.push(Reverse((now, key)));
+        // Replacements leave stale pairs behind; rebuild before they dominate.
+        if self.by_age.len() > self.entries.len() * 2 + 64 {
+            self.by_age = self
+                .entries
+                .iter()
+                .map(|(&k, &(t, _))| Reverse((t, k)))
+                .collect();
         }
-        self.by_age.insert((now, key));
     }
 }
 

@@ -772,12 +772,15 @@ impl FrontState {
         self.queue.peek().map(|Reverse((at, _, _))| *at)
     }
 
-    /// Fan-in latency including any active spike at `now`.
-    fn effective_fanin(&self, base: SimDuration, now: SimTime) -> SimDuration {
+    /// Fan-in latency including any active spike at `now`. Expired spikes
+    /// are pruned here — arrivals are non-decreasing, so an entry that has
+    /// lapsed can never contribute again and would otherwise accumulate for
+    /// the whole run (one per injected spike, scanned on every request).
+    fn effective_fanin(&mut self, base: SimDuration, now: SimTime) -> SimDuration {
+        self.spikes.retain(|&(until, _)| until > now);
         let extra = self
             .spikes
             .iter()
-            .filter(|&&(until, _)| until > now)
             .map(|&(_, extra)| extra)
             .max()
             .unwrap_or(SimDuration::ZERO);
@@ -2235,6 +2238,32 @@ mod tests {
             failover.rehomed_requests > 0,
             "arrivals during the partition route around the unreachable shard"
         );
+    }
+
+    #[test]
+    fn expired_fanin_spikes_are_pruned_not_accumulated() {
+        let mut f = FrontState::new(FrontTierPolicy::default(), 1, 1);
+        for i in 0..1_000u64 {
+            f.spikes
+                .push((SimTime::from_secs(i + 1), SimDuration::from_millis(i)));
+        }
+        // Once every spike has lapsed, a single query drops the whole
+        // backlog instead of rescanning it on every later request.
+        let base = SimDuration::from_millis(5);
+        assert_eq!(f.effective_fanin(base, SimTime::from_secs(2_000)), base);
+        assert!(f.spikes.is_empty(), "lapsed spikes must not accumulate");
+        // Active spikes survive the prune and the largest extra still wins.
+        f.spikes
+            .push((SimTime::from_secs(3_000), SimDuration::from_millis(40)));
+        f.spikes
+            .push((SimTime::from_secs(3_000), SimDuration::from_millis(70)));
+        f.spikes
+            .push((SimTime::from_secs(2_100), SimDuration::from_millis(90)));
+        assert_eq!(
+            f.effective_fanin(base, SimTime::from_secs(2_500)),
+            base + SimDuration::from_millis(70)
+        );
+        assert_eq!(f.spikes.len(), 2, "only the lapsed spike is dropped");
     }
 
     #[test]

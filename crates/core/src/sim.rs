@@ -17,7 +17,7 @@ use first_serving::{
     CloudApi, CloudApiConfig, DirectServer, EngineConfig, FrontendConfig, InferenceRequest,
     VllmEngine,
 };
-use first_workload::{ConversationSample, SessionWorkloadConfig};
+use first_workload::{ChatMessage, ConversationSample, SessionWorkloadConfig};
 use serde::{Deserialize, Serialize};
 
 /// The §5.1 metrics for one benchmark run.
@@ -94,22 +94,49 @@ impl ScenarioReport {
     }
 }
 
+thread_local! {
+    /// Lazily grown " tok"/" data" filler shared by every synthetic prompt on
+    /// this thread. The filler after the unique `q{index}` prefix depends only
+    /// on the word count, so each request body is one `memcpy` of a template
+    /// prefix instead of a per-word `push_str` loop.
+    static CHAT_FILLER: std::cell::RefCell<(String, usize)> =
+        const { std::cell::RefCell::new((String::new(), 0)) };
+}
+
 /// Build a unique synthetic chat request body for one workload sample.
 pub(crate) fn synthetic_chat_request(
     model: &str,
     index: usize,
     sample: &ConversationSample,
 ) -> ChatCompletionRequest {
+    use std::fmt::Write as _;
     // prompt_token_estimate = words + 4 framing tokens; build content so the
     // estimate matches the sample's prompt length and every prompt is unique
     // (so the response cache cannot short-circuit the benchmark).
     let words = sample.prompt_tokens.saturating_sub(4).max(1) as usize;
-    let mut content = String::with_capacity(words * 4 + 16);
-    content.push_str(&format!("q{index}"));
-    for w in 1..words {
-        content.push_str(if w % 7 == 0 { " data" } else { " tok" });
-    }
-    ChatCompletionRequest::simple(model, &content, sample.output_tokens.max(1))
+    // Filler words are " tok" (4 bytes) except every 7th, " data" (5 bytes),
+    // so n filler words occupy exactly 4n + n/7 bytes of the template.
+    let fill = words - 1;
+    let fill_bytes = 4 * fill + fill / 7;
+    CHAT_FILLER.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (template, built) = &mut *guard;
+        while *built < fill {
+            *built += 1;
+            template.push_str(if *built % 7 == 0 { " data" } else { " tok" });
+        }
+        let mut content = String::with_capacity(fill_bytes + 16);
+        write!(content, "q{index}").expect("write to String");
+        content.push_str(&template[..fill_bytes]);
+        // Moves `content` instead of `ChatCompletionRequest::simple`'s clone.
+        ChatCompletionRequest {
+            model: model.to_string(),
+            messages: vec![ChatMessage::user(content)],
+            max_tokens: sample.output_tokens.max(1),
+            temperature: 0.7,
+            stream: false,
+        }
+    })
 }
 
 /// Replay `samples` against the FIRST gateway at the given arrival times.

@@ -3,7 +3,8 @@
 //! The deterministic virtual-time substrate every other FIRST crate builds on:
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time.
-//! * [`EventQueue`] — a `(time, sequence)`-ordered future-event list.
+//! * [`EventQueue`] — a `(time, sequence)`-ordered future-event list backed
+//!   by the hierarchical [`TimingWheel`] (O(1) push, amortized-O(1) pop).
 //! * [`SimProcess`] / [`Driver`] — the cooperative component protocol used to
 //!   compose independently written substrates into one simulation.
 //! * [`SimRng`] — seeded RNG with the distributions the workload and
@@ -21,6 +22,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use intern::{fnv1a_64, IdHashBuilder, Interner, InternerSnapshot, SymbolId};
 pub use process::{Driver, RunOutcome, SimProcess};
@@ -28,6 +30,7 @@ pub use queue::{DrainDue, EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use stats::{CounterSet, Histogram, OnlineStats, SimMeter, SimRunStats};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {

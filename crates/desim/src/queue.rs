@@ -1,12 +1,16 @@
 //! Time-ordered event queue.
 //!
-//! The queue is a binary heap keyed by `(time, sequence)` where the sequence
-//! number breaks ties in insertion order, which keeps runs deterministic even
-//! when many events share a timestamp.
+//! The queue is keyed by `(time, sequence)` where the sequence number breaks
+//! ties in insertion order, which keeps runs deterministic even when many
+//! events share a timestamp. Storage is the hierarchical
+//! [`TimingWheel`] — O(1) push and amortized-O(1)
+//! pop — with this type adding the kernel stats hooks on top (one
+//! [`crate::stats::kernel::record_event`] per pop, peak-depth reporting per
+//! push).
 
 use crate::time::SimTime;
+use crate::wheel::TimingWheel;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An event payload tagged with its firing time and a tie-breaking sequence.
 #[derive(Debug, Clone)]
@@ -42,11 +46,19 @@ impl<T> Ord for ScheduledEvent<T> {
     }
 }
 
-/// A deterministic min-priority queue of future events.
+/// A deterministic min-priority queue of future events: a metered facade
+/// over [`TimingWheel`] that reports pops and peak depth into the
+/// [`crate::stats::kernel`] counters.
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<ScheduledEvent<T>>,
-    next_seq: u64,
+    wheel: TimingWheel<T>,
+    /// Largest depth this queue has reported within the current kernel
+    /// epoch; depths at or below it cannot move the global peak, so the
+    /// thread-local is only touched on new per-queue maxima.
+    local_peak: usize,
+    /// Kernel epoch `local_peak` belongs to (the epoch advances whenever
+    /// the kernel counters are reset).
+    peak_epoch: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -59,45 +71,54 @@ impl<T> EventQueue<T> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            wheel: TimingWheel::new(),
+            local_peak: 0,
+            peak_epoch: crate::stats::kernel::depth_epoch(),
         }
     }
 
     /// Create an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
+            wheel: TimingWheel::with_capacity(capacity),
+            local_peak: 0,
+            peak_epoch: crate::stats::kernel::depth_epoch(),
         }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     /// Schedule `payload` to fire at absolute time `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, payload });
-        crate::stats::kernel::record_queue_depth(self.heap.len());
+        self.wheel.push(time, payload);
+        let depth = self.wheel.len();
+        let epoch = crate::stats::kernel::depth_epoch();
+        if epoch != self.peak_epoch {
+            self.peak_epoch = epoch;
+            self.local_peak = 0;
+        }
+        if depth > self.local_peak {
+            self.local_peak = depth;
+            crate::stats::kernel::record_queue_depth(depth);
+        }
     }
 
     /// Firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.wheel.peek_time()
     }
 
     /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
-        let ev = self.heap.pop();
+        let ev = self.wheel.pop();
         if ev.is_some() {
             crate::stats::kernel::record_event();
         }
@@ -106,15 +127,11 @@ impl<T> EventQueue<T> {
 
     /// Remove and return the earliest event only if it fires at or before `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<ScheduledEvent<T>> {
-        if self.peek_time().map(|t| t <= now).unwrap_or(false) {
-            let ev = self.heap.pop();
-            if ev.is_some() {
-                crate::stats::kernel::record_event();
-            }
-            ev
-        } else {
-            None
+        let ev = self.wheel.pop_due(now);
+        if ev.is_some() {
+            crate::stats::kernel::record_event();
         }
+        ev
     }
 
     /// Drain every event due at or before `now`, in firing order.
@@ -140,7 +157,7 @@ impl<T> EventQueue<T> {
 
     /// Remove all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
     }
 }
 

@@ -22,6 +22,7 @@ pub mod kernel {
     thread_local! {
         static EVENTS_PROCESSED: Cell<u64> = const { Cell::new(0) };
         static PEAK_QUEUE_DEPTH: Cell<usize> = const { Cell::new(0) };
+        static DEPTH_EPOCH: Cell<u64> = const { Cell::new(0) };
     }
 
     /// Record one processed simulation event.
@@ -50,10 +51,20 @@ pub mod kernel {
         PEAK_QUEUE_DEPTH.with(|c| c.get())
     }
 
-    /// Reset both counters (called by [`super::SimMeter::start`]).
+    /// Current depth epoch: advances on every [`reset`]. Queues cache the
+    /// largest depth they have reported per epoch so repeat depths skip the
+    /// thread-local peak update entirely; comparing epochs tells them when
+    /// that cache went stale.
+    pub fn depth_epoch() -> u64 {
+        DEPTH_EPOCH.with(|c| c.get())
+    }
+
+    /// Reset both counters (called by [`super::SimMeter::start`]) and
+    /// advance the depth epoch so per-queue peak caches invalidate.
     pub fn reset() {
         EVENTS_PROCESSED.with(|c| c.set(0));
         PEAK_QUEUE_DEPTH.with(|c| c.set(0));
+        DEPTH_EPOCH.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -309,8 +320,13 @@ impl Histogram {
         }
     }
 
-    /// Percentile in `[0, 100]` using nearest-rank on the sorted samples.
-    /// Returns 0 when empty.
+    /// Percentile in `[0, 100]` using the rounded linear rank
+    /// `round(p/100 · (n−1))` into the sorted samples — NOT the classic
+    /// nearest-rank `⌈p/100 · n⌉` definition; the two differ by up to one
+    /// sample position (e.g. p50 of `[1, 2, 3, 4]` is `3` here, `2` under
+    /// nearest-rank). Every golden report pins values produced by this
+    /// rule, so the formula is part of the replay contract. `p` is clamped
+    /// to `[0, 100]`; returns 0 when empty.
     pub fn percentile(&mut self, p: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -357,7 +373,9 @@ impl Histogram {
     }
 
     /// Read-only percentile in `[0, 100]`: the `&self` counterpart of
-    /// [`Histogram::percentile`] for scrape paths that must not mutate the
+    /// [`Histogram::percentile`], computing the same rounded linear rank
+    /// `round(p/100 · (n−1))` (see there for how this differs from
+    /// nearest-rank), for scrape paths that must not mutate the
     /// histogram. Uses the sorted cache when it is fresh; otherwise sorts a
     /// temporary copy of the samples and leaves the cache untouched, so the
     /// call is idempotent and never perturbs equality or serialization of
@@ -491,6 +509,43 @@ mod tests {
         assert!((h.p95() - 95.0).abs() <= 1.0);
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn histogram_percentile_boundaries() {
+        // A single sample answers every percentile.
+        let mut one = Histogram::new();
+        one.record(7.5);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(one.percentile(p), 7.5);
+            assert_eq!(one.quantile(p), 7.5);
+        }
+        // p=0 is the minimum, p=100 the maximum, out-of-range p clamps.
+        let mut h = Histogram::new();
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            h.record(x);
+        }
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 4.0);
+        assert_eq!(h.percentile(-5.0), 1.0);
+        assert_eq!(h.percentile(250.0), 4.0);
+        // Rounded linear rank, not nearest-rank: round(0.5 * 3) = 2 → the
+        // third sorted sample. (Nearest-rank would give the second, 2.0.)
+        assert_eq!(h.percentile(50.0), 3.0);
+        assert_eq!(h.quantile(50.0), 3.0);
+        // NaN samples must not poison the sort: the `partial_cmp` fallback
+        // to `Equal` keeps the comparator total, so the call is panic-free,
+        // no sample is lost, and the answer is always a recorded sample
+        // (which one is unspecified when NaN neighbours short-circuit the
+        // ordering — metrics paths never record NaN, this pins graceful
+        // degradation, not a numeric result).
+        let mut with_nan = Histogram::new();
+        for x in [2.0, f64::NAN, 1.0] {
+            with_nan.record(x);
+        }
+        let p0 = with_nan.percentile(0.0);
+        assert!(p0.is_nan() || p0 == 1.0 || p0 == 2.0, "answer is a sample");
+        assert_eq!(with_nan.count(), 3);
     }
 
     #[test]

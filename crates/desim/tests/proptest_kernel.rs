@@ -1,6 +1,7 @@
 //! Property-based tests for the DES kernel invariants.
 
 use first_desim::prelude::*;
+use first_desim::TimingWheel;
 use proptest::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -162,6 +163,128 @@ proptest! {
             prop_assert_eq!(ev.time, t);
         }
         prop_assert!(q.is_empty());
+    }
+
+    /// The timing wheel agrees with a reference binary heap on every pop:
+    /// the same `(time, seq, payload)` triples in the same order, across
+    /// same-instant bursts, past-due pushes (dated before events already
+    /// popped) and far-future times beyond the wheel horizon.
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in proptest::collection::vec((0u64..4, 0u64..1_000_000), 1..300),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64; // mirrors the wheel's internal insertion sequence
+        let mut watermark = 0u64; // latest popped firing time, in µs
+        for &(kind, raw) in &ops {
+            match kind {
+                // Burst of simultaneous events at one instant.
+                0 => {
+                    let t = watermark + raw % 10_000;
+                    for _ in 0..3 {
+                        wheel.push(SimTime::from_micros(t), seq);
+                        heap.push(Reverse((t, seq, seq)));
+                        seq += 1;
+                    }
+                }
+                // Past-due push: at or below the time already popped past.
+                1 => {
+                    let t = watermark.saturating_sub(raw % 10_000);
+                    wheel.push(SimTime::from_micros(t), seq);
+                    heap.push(Reverse((t, seq, seq)));
+                    seq += 1;
+                }
+                // Far-future push, often beyond a near level's span.
+                2 => {
+                    let t = watermark + (raw % 64) * (1u64 << 31) + raw;
+                    wheel.push(SimTime::from_micros(t), seq);
+                    heap.push(Reverse((t, seq, seq)));
+                    seq += 1;
+                }
+                // Pop one from each; both must agree exactly.
+                _ => match (wheel.pop(), heap.pop()) {
+                    (None, None) => {}
+                    (Some(ev), Some(Reverse((t, s, p)))) => {
+                        prop_assert_eq!(ev.time, SimTime::from_micros(t));
+                        prop_assert_eq!(ev.seq, s);
+                        prop_assert_eq!(ev.payload, p);
+                        watermark = t;
+                    }
+                    (w, h) => prop_assert!(
+                        false,
+                        "wheel {:?} vs heap {:?} diverged on emptiness",
+                        w.map(|e| e.time),
+                        h.map(|Reverse((t, ..))| t)
+                    ),
+                },
+            }
+        }
+        // Drain the remainder in lockstep.
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(ev), Some(Reverse((t, s, p)))) => {
+                    prop_assert_eq!(ev.time, SimTime::from_micros(t));
+                    prop_assert_eq!(ev.seq, s);
+                    prop_assert_eq!(ev.payload, p);
+                }
+                (w, h) => prop_assert!(
+                    false,
+                    "wheel {:?} vs heap {:?} diverged on emptiness",
+                    w.map(|e| e.time),
+                    h.map(|Reverse((t, ..))| t)
+                ),
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// An early-dropped `drain_due` iterator consumes a prefix of the global
+    /// `(time, seq)` order and leaves everything else queued: the taken
+    /// prefix plus the remaining pops replays the reference sort exactly,
+    /// and `size_hint` brackets the true due count.
+    #[test]
+    fn drain_due_early_drop_matches_reference(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+        cut in 0u64..1_000_000,
+        take in 0usize..64,
+    ) {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::with_capacity(times.len());
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+            reference.push((t, i));
+        }
+        // (time, insertion index) — the kernel's global firing order.
+        reference.sort_unstable();
+        let due_count = reference.iter().filter(|&&(t, _)| t <= cut).count();
+
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        // Scoped so the iterator is dropped early: undrained events must
+        // stay queued.
+        {
+            let mut it = q.drain_due(SimTime::from_micros(cut));
+            let (lo, hi) = it.size_hint();
+            prop_assert!(lo <= due_count, "size_hint lower {} > due {}", lo, due_count);
+            if let Some(hi) = hi {
+                prop_assert!(hi >= due_count, "size_hint upper {} < due {}", hi, due_count);
+            }
+            for _ in 0..take {
+                match it.next() {
+                    Some(ev) => popped.push((ev.time.as_micros(), ev.payload)),
+                    None => break,
+                }
+            }
+        }
+        prop_assert_eq!(popped.len(), take.min(due_count));
+        prop_assert_eq!(q.len(), times.len() - popped.len());
+        while let Some(ev) = q.pop() {
+            popped.push((ev.time.as_micros(), ev.payload));
+        }
+        prop_assert_eq!(popped, reference);
     }
 
     /// Two RNGs with the same seed emit bit-identical streams across every

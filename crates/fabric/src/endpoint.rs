@@ -154,6 +154,12 @@ pub struct ComputeEndpoint {
     next_instance_id: u32,
     offline_until: Option<SimTime>,
     stats: EndpointStats,
+    /// Next instant `assign_and_scale` can make progress without new external
+    /// input (recomputed after each pass); quiet advances return immediately.
+    next_wake: Option<SimTime>,
+    /// Forces the next `assign_and_scale` to run a full pass; set by every
+    /// external mutation (task received, prewarm, fault injection, …).
+    dirty: bool,
 }
 
 impl ComputeEndpoint {
@@ -169,6 +175,8 @@ impl ComputeEndpoint {
             next_instance_id: 0,
             offline_until: None,
             stats: EndpointStats::default(),
+            next_wake: None,
+            dirty: true,
         }
     }
 
@@ -204,6 +212,7 @@ impl ComputeEndpoint {
 
     /// Mutable access to the batch scheduler (to inject background load).
     pub fn scheduler_mut(&mut self) -> &mut BatchScheduler {
+        self.dirty = true;
         &mut self.scheduler
     }
 
@@ -343,6 +352,7 @@ impl ComputeEndpoint {
         self.waiting[hosting_idx].push_back((task, request));
         // React immediately: launch or assign without waiting for the next
         // global advance round.
+        self.dirty = true;
         self.assign_and_scale(now);
         true
     }
@@ -367,6 +377,7 @@ impl ComputeEndpoint {
                 launched += 1;
             }
         }
+        self.dirty = true;
         launched
     }
 
@@ -381,6 +392,7 @@ impl ComputeEndpoint {
         else {
             return false;
         };
+        self.dirty = true;
         // Re-queue whatever was running there.
         let inst = &mut self.instances[idx];
         inst.state = InstanceState::Failed;
@@ -417,6 +429,7 @@ impl ComputeEndpoint {
     /// fast; an already-set later recovery instant is kept.
     pub fn set_offline_until(&mut self, until: SimTime) {
         self.offline_until = Some(self.offline_until.map_or(until, |t| t.max(until)));
+        self.dirty = true;
     }
 
     /// Whether the endpoint is unreachable at `now`.
@@ -455,6 +468,7 @@ impl ComputeEndpoint {
 
     /// Bring a crashed node back online. Returns `false` for unknown nodes.
     pub fn restore_node(&mut self, node: NodeId) -> bool {
+        self.dirty = true;
         match self.scheduler.cluster_mut().node_mut(node) {
             Some(n) => {
                 n.offline = false;
@@ -479,6 +493,7 @@ impl ComputeEndpoint {
         };
         let job = self.instances[idx].job;
         self.scheduler.cancel(job, now);
+        self.dirty = true;
         self.assign_and_scale(now);
         true
     }
@@ -501,6 +516,7 @@ impl ComputeEndpoint {
             self.scheduler.cancel(job, now);
         }
         if !jobs.is_empty() {
+            self.dirty = true;
             self.assign_and_scale(now);
         }
         jobs.len()
@@ -511,6 +527,7 @@ impl ComputeEndpoint {
     /// the modelled failure is a decode-loop hang. Returns the number of
     /// engines affected.
     pub fn stall_engines(&mut self, until: SimTime) -> usize {
+        self.dirty = true;
         let mut stalled = 0;
         for inst in self.instances.iter_mut() {
             if let Some(InstanceBackend::Vllm(engine)) = inst.backend.as_mut() {
@@ -621,9 +638,16 @@ impl ComputeEndpoint {
     /// without paying the full walk twice on the — far more common — quiet
     /// events.
     fn assign_and_scale(&mut self, now: SimTime) {
+        // Quiet advance: nothing external changed and no scheduler/engine/idle
+        // event is due yet, so a pass could not make progress — skip the walk.
+        if !self.dirty && self.next_wake.is_none_or(|t| t > now) {
+            return;
+        }
         if self.assign_and_scale_pass(now) {
             self.assign_and_scale_pass(now);
         }
+        self.dirty = false;
+        self.next_wake = self.compute_next_event_time();
     }
 
     /// One pass; returns whether any state changed (see `assign_and_scale`).
@@ -826,22 +850,9 @@ impl ComputeEndpoint {
         progress
     }
 
-    fn idle_release_deadline(&self) -> Option<SimTime> {
-        self.instances
-            .iter()
-            .filter(|i| i.state == InstanceState::Ready && i.in_flight.is_empty())
-            .filter_map(|i| {
-                self.config
-                    .models
-                    .get(i.hosting)
-                    .map(|h| i.last_active + h.idle_timeout)
-            })
-            .min()
-    }
-}
-
-impl SimProcess for ComputeEndpoint {
-    fn next_event_time(&self) -> Option<SimTime> {
+    /// Full scan behind [`SimProcess::next_event_time`]: earliest scheduler
+    /// event, engine event or idle-release deadline.
+    fn compute_next_event_time(&self) -> Option<SimTime> {
         let mut next: Option<SimTime> = SimProcess::next_event_time(&self.scheduler);
         for inst in &self.instances {
             let t = match &inst.backend {
@@ -859,6 +870,31 @@ impl SimProcess for ComputeEndpoint {
             next = Some(next.map_or(d, |n| n.min(d)));
         }
         next
+    }
+
+    fn idle_release_deadline(&self) -> Option<SimTime> {
+        self.instances
+            .iter()
+            .filter(|i| i.state == InstanceState::Ready && i.in_flight.is_empty())
+            .filter_map(|i| {
+                self.config
+                    .models
+                    .get(i.hosting)
+                    .map(|h| i.last_active + h.idle_timeout)
+            })
+            .min()
+    }
+}
+
+impl SimProcess for ComputeEndpoint {
+    fn next_event_time(&self) -> Option<SimTime> {
+        // `next_wake` is recomputed after every pass and nothing moves the
+        // scheduler, engines or idle deadlines between passes, so a clean
+        // endpoint answers from the cache instead of re-scanning.
+        if !self.dirty {
+            return self.next_wake;
+        }
+        self.compute_next_event_time()
     }
 
     fn advance(&mut self, now: SimTime) {

@@ -78,8 +78,16 @@ pub struct ComputeService {
     dispatcher_free_at: SimTime,
     /// Dispatched tasks in transit to their endpoint: `(deliver_at, task, request, endpoint idx)`.
     in_transit: Vec<(SimTime, TaskId, InferenceRequest, usize)>,
+    /// Earliest `deliver_at` across `in_transit`, kept exact on every push
+    /// and removal so the per-event due checks and `next_event_time` are
+    /// O(1) instead of rescanning the transit buffer.
+    next_transit_at: Option<SimTime>,
     /// Results relayed back, ready for the client at the given instant.
     ready_results: Vec<(SimTime, TaskResult)>,
+    /// Earliest availability across `ready_results` (same caching; note
+    /// this is the unfiltered minimum — `next_event_time` still applies its
+    /// `last_advanced` cut-off).
+    next_ready_at: Option<SimTime>,
     /// Latest instant the service has been advanced to. Used to avoid
     /// re-announcing result-availability events that have already been
     /// reached (a driver that never polls would otherwise spin forever on
@@ -109,7 +117,9 @@ impl ComputeService {
             dispatch_queue: VecDeque::new(),
             dispatcher_free_at: SimTime::ZERO,
             in_transit: Vec::new(),
+            next_transit_at: None,
             ready_results: Vec::new(),
+            next_ready_at: None,
             last_advanced: SimTime::ZERO,
             latency_spike: None,
             next_task_id: 1,
@@ -294,6 +304,11 @@ impl ComputeService {
     /// Drain results whose relay reached the client by `now`.
     pub fn poll_results(&mut self, now: SimTime) -> Vec<TaskResult> {
         let mut out = Vec::new();
+        // Cached-minimum early-out: polling is per-advance, readiness is per
+        // request, so the common case must not scan the buffer.
+        if self.next_ready_at.is_none_or(|t| t > now) {
+            return out;
+        }
         let mut i = 0;
         while i < self.ready_results.len() {
             if self.ready_results[i].0 <= now {
@@ -302,6 +317,7 @@ impl ComputeService {
                 i += 1;
             }
         }
+        self.next_ready_at = self.ready_results.iter().map(|&(t, _)| t).min();
         out
     }
 
@@ -330,12 +346,20 @@ impl ComputeService {
                 rec.state = TaskState::AtEndpoint;
                 rec.dispatched_at = Some(done);
             }
+            self.next_transit_at = Some(
+                self.next_transit_at
+                    .map_or(deliver_at, |t| t.min(deliver_at)),
+            );
             self.in_transit.push((deliver_at, id, request, ep_idx));
             self.stats.dispatched += 1;
         }
     }
 
     fn deliver_due(&mut self, now: SimTime) {
+        // Cached-minimum early-out, as in `poll_results`.
+        if self.next_transit_at.is_none_or(|t| t > now) {
+            return;
+        }
         // Split off everything due, then deliver in (time, task) order: a
         // coarse advance can make several deliveries due at once, and the
         // endpoint (whose scheduler asserts monotone time) must observe them
@@ -349,6 +373,7 @@ impl ComputeService {
                 i += 1;
             }
         }
+        self.next_transit_at = self.in_transit.iter().map(|&(t, ..)| t).min();
         due.sort_by_key(|t| (t.0, t.1));
         for (deliver_at, id, request, ep_idx) in due {
             if let Some(rec) = self.task_mut(id) {
@@ -396,6 +421,7 @@ impl ComputeService {
             } else {
                 self.stats.failed += 1;
             }
+            self.next_ready_at = Some(self.next_ready_at.map_or(available, |t| t.min(available)));
             self.ready_results.push((available, result));
         }
     }
@@ -430,7 +456,9 @@ impl Clone for ComputeService {
             dispatch_queue: self.dispatch_queue.clone(),
             dispatcher_free_at: self.dispatcher_free_at,
             in_transit: self.in_transit.clone(),
+            next_transit_at: self.next_transit_at,
             ready_results: self.ready_results.clone(),
+            next_ready_at: self.next_ready_at,
             last_advanced: self.last_advanced,
             latency_spike: self.latency_spike,
             next_task_id: self.next_task_id,
@@ -443,16 +471,27 @@ impl Clone for ComputeService {
 impl SimProcess for ComputeService {
     fn next_event_time(&self) -> Option<SimTime> {
         let mut next = self.next_dispatch_time();
-        for &(t, ..) in &self.in_transit {
+        if let Some(t) = self.next_transit_at {
             next = Some(next.map_or(t, |n| n.min(t)));
         }
-        for &(t, _) in &self.ready_results {
-            // Only announce availability instants that have not been reached
-            // yet; results already available stay retrievable via
-            // `poll_results` but are no longer events.
-            if t > self.last_advanced {
+        // Only announce availability instants that have not been reached
+        // yet; results already available stay retrievable via
+        // `poll_results` but are no longer events. The cached minimum
+        // answers the common case (everything ready is in the future); a
+        // stale minimum — results left unpolled past their instant — falls
+        // back to the filtered scan.
+        match self.next_ready_at {
+            Some(t) if t > self.last_advanced => {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
+            Some(_) => {
+                for &(t, _) in &self.ready_results {
+                    if t > self.last_advanced {
+                        next = Some(next.map_or(t, |n| n.min(t)));
+                    }
+                }
+            }
+            None => {}
         }
         for ep in &self.endpoints {
             if let Some(t) = SimProcess::next_event_time(ep) {

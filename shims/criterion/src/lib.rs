@@ -19,6 +19,22 @@ pub fn black_box<T>(value: T) -> T {
     std_black_box(value)
 }
 
+/// True when `name` passes the CLI filter: as with real criterion's
+/// `cargo bench -- <filter>`, any non-flag argument is a substring filter
+/// and a benchmark runs when it matches at least one (or none are given).
+fn should_run(name: &str) -> bool {
+    let mut any_filter = false;
+    let mut matched = false;
+    for arg in std::env::args().skip(1) {
+        if arg.starts_with('-') {
+            continue;
+        }
+        any_filter = true;
+        matched |= name.contains(arg.as_str());
+    }
+    !any_filter || matched
+}
+
 /// Identifier for a parameterised benchmark (`group/function/parameter`).
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -124,9 +140,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        let full = format!("{}/{id}", self.name);
+        if !should_run(&full) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher, input);
-        bencher.report(&format!("{}/{id}", self.name));
+        bencher.report(&full);
         self
     }
 
@@ -135,9 +155,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        let full = format!("{}/{name}", self.name);
+        if !should_run(&full) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
-        bencher.report(&format!("{}/{name}", self.name));
+        bencher.report(&full);
         self
     }
 
@@ -166,6 +190,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if !should_run(name) {
+            return self;
+        }
         let mut bencher = Bencher::new(10);
         f(&mut bencher);
         bencher.report(name);
